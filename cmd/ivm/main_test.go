@@ -1,0 +1,104 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"ivm"
+)
+
+func testViews(t *testing.T) *ivm.Views {
+	t.Helper()
+	db := ivm.NewDatabase()
+	db.MustLoad(`link(a,b). link(b,c).`)
+	v, err := db.Materialize(`
+		reach(X,Y) :- link(X,Y).
+		reach(X,Y) :- reach(X,Z), link(Z,Y).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func runScript(t *testing.T, v *ivm.Views, script string) string {
+	t.Helper()
+	var out strings.Builder
+	apply := func(s string) error {
+		ch, err := v.ApplyScript(s)
+		if err != nil {
+			return err
+		}
+		out.WriteString(ch.String())
+		return nil
+	}
+	if err := runREPL(v, apply, strings.NewReader(script), &out); err != nil {
+		t.Fatal(err)
+	}
+	return out.String()
+}
+
+func TestREPLDeltaAndShow(t *testing.T) {
+	v := testViews(t)
+	out := runScript(t, v, "+link(c,d).\nshow reach\nquit\n")
+	if !strings.Contains(out, "Δ(reach)") {
+		t.Fatalf("missing delta output:\n%s", out)
+	}
+	if !strings.Contains(out, "reach (6 tuples):") {
+		t.Fatalf("missing show output:\n%s", out)
+	}
+}
+
+func TestREPLQuery(t *testing.T) {
+	v := testViews(t)
+	out := runScript(t, v, "query reach(a, X)\nquit\n")
+	if !strings.Contains(out, "2 match(es)") {
+		t.Fatalf("query output:\n%s", out)
+	}
+}
+
+func TestREPLRulesAddRemove(t *testing.T) {
+	v := testViews(t)
+	out := runScript(t, v, "rules\naddrule reach(X,Y) :- tunnel(X,Y).\n+tunnel(x,y).\nrmrule 2\nrules\nquit\n")
+	if !strings.Contains(out, "[0] reach(X, Y) :- link(X, Y).") {
+		t.Fatalf("rules listing:\n%s", out)
+	}
+	if !strings.Contains(out, "Δ(reach) = {(x, y)}") {
+		t.Fatalf("tunnel fact must derive reach(x,y):\n%s", out)
+	}
+	if !strings.Contains(out, "Δ(reach) = {(x, y) -1}") {
+		t.Fatalf("rmrule must retract reach(x,y):\n%s", out)
+	}
+	if v.Has("reach", "x", "y") {
+		t.Fatal("tunnel rule removed, derivation must be gone")
+	}
+}
+
+func TestREPLStatsAndErrors(t *testing.T) {
+	v := testViews(t)
+	out := runScript(t, v, "-link(a,b).\nstats\n-link(zz,qq).\nbad syntax here\nquit\n")
+	if !strings.Contains(out, "dred: overestimated=") {
+		t.Fatalf("stats:\n%s", out)
+	}
+	if strings.Count(out, "error:") != 2 {
+		t.Fatalf("expected two error lines:\n%s", out)
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	got := splitList(" a, b ,,c ")
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Fatalf("splitList: %v", got)
+	}
+	if splitList("") != nil {
+		t.Fatal("empty")
+	}
+}
+
+func TestREPLExplain(t *testing.T) {
+	v := testViews(t)
+	out := runScript(t, v, "explain reach(a, c)\nquit\n")
+	if !strings.Contains(out, "1 derivation(s)") || !strings.Contains(out, "link(b, c)") {
+		t.Fatalf("explain output:\n%s", out)
+	}
+}

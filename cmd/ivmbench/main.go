@@ -1,0 +1,71 @@
+// Command ivmbench regenerates every experiment table of the
+// reproduction (DESIGN.md E1–E13; E11 lives in the property tests).
+//
+// Usage:
+//
+//	ivmbench [-scale smoke|default|large] [-exp E6[,E8,...]]
+//
+// Each table names the paper claim it checks; the shapes (who wins, by
+// roughly what factor, where crossovers fall) are the reproduction
+// target, not absolute numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ivm/internal/experiments"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "default", "experiment scale: smoke, default, or large")
+	expFlag := flag.String("exp", "", "comma-separated experiment ids to run (default: all)")
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleFlag {
+	case "smoke":
+		scale = experiments.SmokeScale
+	case "default":
+		scale = experiments.DefaultScale
+	case "large":
+		scale = experiments.Scale{Nodes: 600, Edges: 4200, Trials: 5}
+	default:
+		fmt.Fprintf(os.Stderr, "ivmbench: unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	runners := map[string]func(experiments.Scale) *experiments.Table{
+		"E1": experiments.RunE1, "E2": experiments.RunE2, "E3": experiments.RunE3,
+		"E4": experiments.RunE4, "E5": experiments.RunE5, "E6": experiments.RunE6,
+		"E7": experiments.RunE7, "E8": experiments.RunE8, "E9": experiments.RunE9,
+		"E10": experiments.RunE10, "E12": experiments.RunE12, "E13": experiments.RunE13,
+	}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E12", "E13"}
+
+	want := map[string]bool{}
+	if *expFlag != "" {
+		for _, id := range strings.Split(*expFlag, ",") {
+			id = strings.ToUpper(strings.TrimSpace(id))
+			if _, ok := runners[id]; !ok {
+				fmt.Fprintf(os.Stderr, "ivmbench: unknown experiment %q (E11 is test-only: go test -run TestProperty)\n", id)
+				os.Exit(2)
+			}
+			want[id] = true
+		}
+	}
+
+	fmt.Printf("ivm experiment harness — scale=%s (nodes=%d edges=%d trials=%d)\n\n",
+		*scaleFlag, scale.Nodes, scale.Edges, scale.Trials)
+	for _, id := range order {
+		if len(want) > 0 && !want[id] {
+			continue
+		}
+		table := runners[id](scale)
+		fmt.Println(table.Render())
+	}
+	fmt.Println("E11 (Lemma 4.1 / Theorem 4.1 / Theorem 7.1 equivalence properties) runs as:")
+	fmt.Println("  go test -run 'TestProperty' .")
+}

@@ -1,0 +1,98 @@
+// Provenance: the counting algorithm stores only the *number* of
+// derivations ("we store only the number of derivations, not the
+// derivations themselves", paper Section 1). This example shows the two
+// sides of that trade: counts answer "how robust is this tuple?" for
+// free, and Explain enumerates the actual derivations on demand —
+// here for auditing which suppliers support which deliverable parts.
+//
+// Run with:
+//
+//	go run ./examples/provenance
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ivm"
+)
+
+func main() {
+	db := ivm.NewDatabase()
+	db.MustLoad(`
+		supplies(acme,  bolts).  supplies(acme,  nuts).
+		supplies(bcorp, bolts).  supplies(bcorp, plates).
+		supplies(cinc,  nuts).
+		needs(widget, bolts).    needs(widget, nuts).
+		needs(gadget, plates).
+	`)
+	views, err := db.Materialize(`
+		% A part is sourced if some supplier provides it; counts = #suppliers.
+		sourced(Part)          :- supplies(Sup, Part).
+		% A product is buildable from a given supplier pair...
+		can_build(Prod)        :- needs(Prod, Part), supplies(Sup, Part).
+		% ...and at risk if some needed part has no supplier.
+		at_risk(Prod)          :- needs(Prod, Part), !sourced(Part).
+		% Supplier criticality: how many needed parts they cover.
+		coverage(Sup, N)       :- groupby(cover(Sup, Part), [Sup], N = count(Part)).
+		cover(Sup, Part)       :- supplies(Sup, Part), needs(Prod, Part).
+	`, ivm.WithSemantics(ivm.DuplicateSemantics))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Counts as robustness: sourced(bolts) has two derivations (acme,
+	// bcorp) — losing one supplier cannot unsource it.
+	for _, part := range []string{"bolts", "nuts", "plates"} {
+		fmt.Printf("sourced(%s): %d supplier derivation(s)\n", part, views.Count("sourced", part))
+	}
+
+	// Explain: which concrete facts support sourced(bolts)?
+	ds, err := views.Explain(`sourced(bolts)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nderivations of sourced(bolts):")
+	for i, d := range ds {
+		fmt.Printf("  %d. via %s\n", i+1, d.Rule)
+		for _, sg := range d.Subgoals {
+			fmt.Printf("     %s%s\n", sg.Pred, sg.Tuple)
+		}
+	}
+
+	// Query: pattern search with bindings.
+	res, err := views.Query(`coverage(Sup, N)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nsupplier coverage of needed parts:")
+	for _, r := range res {
+		fmt.Printf("  %s covers %s needed part(s)\n", r.Bindings["Sup"], r.Bindings["N"])
+	}
+
+	// Incremental what-if: bcorp exits the market.
+	fmt.Println("\nbcorp exits:")
+	ch, err := views.ApplyScript(`-supplies(bcorp, bolts). -supplies(bcorp, plates).`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(ch)
+	fmt.Println("bolts still sourced (acme remains):", views.Has("sourced", "bolts"))
+	fmt.Println("gadget now at risk:", views.Has("at_risk", "gadget"))
+
+	// Drill into the risk.
+	ds, err = views.Explain(`at_risk(gadget)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, d := range ds {
+		fmt.Println("because:")
+		for _, sg := range d.Subgoals {
+			mark := ""
+			if sg.Negated {
+				mark = "no "
+			}
+			fmt.Printf("  %s%s%s\n", mark, sg.Pred, sg.Tuple)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package ivm
+
+import (
+	"fmt"
+
+	"ivm/internal/datalog"
+	"ivm/internal/eval"
+	"ivm/internal/parser"
+)
+
+// Subgoal is one instantiated body literal of a derivation.
+type Subgoal struct {
+	// Pred is the subgoal's predicate (for aggregates, the grouped
+	// predicate's GROUPBY image).
+	Pred string
+	// Tuple is the matched tuple (for negated subgoals, the tuple whose
+	// absence satisfied the literal; for aggregates, groupVals + result).
+	Tuple Tuple
+	// Negated marks absence-satisfied subgoals.
+	Negated bool
+	// Aggregate marks GROUPBY-image subgoals.
+	Aggregate bool
+	// Count is the matched tuple's stored derivation count (1 for
+	// negations).
+	Count int64
+}
+
+// Derivation is one way a view tuple is derived: a rule and the ground
+// body subgoals instantiating it.
+type Derivation struct {
+	// Rule renders the applied rule.
+	Rule string
+	// RuleIndex is the rule's position in Program().Rules.
+	RuleIndex int
+	// Subgoals are the instantiated body literals, in evaluation order.
+	Subgoals []Subgoal
+}
+
+// Explain enumerates the derivations of a ground view tuple — the
+// alternatives the counting algorithm counts without storing ("we store
+// only the number of derivations, not the derivations themselves",
+// paper Section 1):
+//
+//	ds, err := v.Explain(`hop(a, c)`)
+//	// ds[0].Subgoals → link(a,b), link(b,c)
+//	// ds[1].Subgoals → link(a,d), link(d,c)
+//
+// The goal must be ground (no variables). One level of derivation is
+// returned; explain a subgoal tuple to drill deeper. For recursive views
+// under DRed, derivations reflect the current materialized state.
+func (v *Views) Explain(goal string) ([]Derivation, error) {
+	a, err := parser.ParseGoal(goal)
+	if err != nil {
+		return nil, err
+	}
+	tuple := make(Tuple, len(a.Args))
+	for i, t := range a.Args {
+		c, ok := t.(datalog.Const)
+		if !ok {
+			return nil, fmt.Errorf("ivm: Explain needs a ground goal; %s is a variable", t)
+		}
+		tuple[i] = c.Value
+	}
+
+	// Explain may build indexes and group tables: take the write lock.
+	v.mu.Lock()
+	defer v.mu.Unlock()
+
+	prog := v.Program()
+	db, sem, gts := v.explainState()
+	var out []Derivation
+	for _, ri := range prog.RulesFor(a.Pred) {
+		rule := prog.Rules[ri]
+		srcs, err := eval.SourcesAt(rule, ri, db, sem, gts)
+		if err != nil {
+			return nil, err
+		}
+		matches, err := eval.Explain(rule, srcs, tuple)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range matches {
+			d := Derivation{Rule: rule.String(), RuleIndex: ri}
+			for _, g := range m {
+				d.Subgoals = append(d.Subgoals, Subgoal{
+					Pred: g.Pred, Tuple: g.Tuple,
+					Negated: g.Negated, Aggregate: g.Aggregate, Count: g.Count,
+				})
+			}
+			out = append(out, d)
+		}
+	}
+	return out, nil
+}
+
+// explainState returns the storage, semantics and group tables of the
+// active engine for derivation enumeration.
+func (v *Views) explainState() (*eval.DB, Semantics, map[eval.RuleLit]*eval.GroupTable) {
+	switch {
+	case v.c != nil:
+		return v.c.DB(), v.c.InternalSemantics(), v.c.GroupTables()
+	case v.dr != nil:
+		return v.dr.DB(), SetSemantics, v.dr.GroupTables()
+	case v.rc != nil:
+		return v.rc.DB(), v.rc.Semantics(), nil
+	default:
+		return v.pf.DB(), SetSemantics, nil
+	}
+}

@@ -1,0 +1,115 @@
+package ivm_test
+
+import (
+	"testing"
+
+	"ivm"
+)
+
+func TestExplainHop(t *testing.T) {
+	v := mustViews(t, `link(a,b). link(b,c). link(b,e). link(a,d). link(d,c).`,
+		`hop(X,Y) :- link(X,Z), link(Z,Y).`,
+		ivm.WithSemantics(ivm.DuplicateSemantics))
+	ds, err := v.Explain(`hop(a, c)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly the two derivations the paper counts: via b and via d.
+	if len(ds) != 2 {
+		t.Fatalf("derivations: %v", ds)
+	}
+	mids := map[string]bool{}
+	for _, d := range ds {
+		if len(d.Subgoals) != 2 || d.Subgoals[0].Pred != "link" {
+			t.Fatalf("subgoals: %v", d.Subgoals)
+		}
+		mids[d.Subgoals[0].Tuple[1].Str()] = true
+	}
+	if !mids["b"] || !mids["d"] {
+		t.Fatalf("intermediates: %v", mids)
+	}
+	// count(t) equals the number of derivations Explain enumerates.
+	if int(v.Count("hop", "a", "c")) != len(ds) {
+		t.Fatal("count must equal the number of derivations")
+	}
+	// Absent tuples have no derivations.
+	ds, err = v.Explain(`hop(q, q)`)
+	if err != nil || len(ds) != 0 {
+		t.Fatalf("absent: %v %v", ds, err)
+	}
+}
+
+func TestExplainNegationAndAggregate(t *testing.T) {
+	v := mustViews(t, `link(a,b,10). link(b,c,20). link(a,d,5). link(d,c,25).`, `
+		hop(S,D,C1+C2)      :- link(S,I,C1), link(I,D,C2).
+		min_cost_hop(S,D,M) :- groupby(hop(S,D,C), [S,D], M = min(C)).
+		best(S,D)           :- min_cost_hop(S,D,M), !expensive(S,D).
+	`, ivm.WithSemantics(ivm.DuplicateSemantics))
+
+	// Arithmetic head: the slow unification path.
+	ds, err := v.Explain(`hop(a, c, 30)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 2 { // 10+20 via b and 5+25 via d
+		t.Fatalf("hop(a,c,30): %v", ds)
+	}
+
+	// Aggregate subgoal appears as a GROUPBY image tuple when explaining
+	// the aggregate view itself.
+	ds, err = v.Explain(`min_cost_hop(a, c, 30)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 1 || len(ds[0].Subgoals) != 1 || !ds[0].Subgoals[0].Aggregate {
+		t.Fatalf("min_cost_hop: %+v", ds)
+	}
+	if ds[0].Subgoals[0].Pred != "hop" || !ds[0].Subgoals[0].Tuple.Equal(ivm.T("a", "c", 30)) {
+		t.Fatalf("aggregate image: %+v", ds[0].Subgoals[0])
+	}
+
+	// Negated subgoal appears as an absence.
+	ds, err = v.Explain(`best(a, c)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 1 {
+		t.Fatalf("best: %v", ds)
+	}
+	var sawNeg bool
+	for _, g := range ds[0].Subgoals {
+		if g.Negated && g.Pred == "expensive" {
+			sawNeg = true
+		}
+	}
+	if !sawNeg {
+		t.Fatalf("subgoals: %+v", ds[0].Subgoals)
+	}
+}
+
+func TestExplainRecursive(t *testing.T) {
+	v := mustViews(t, `link(a,b). link(b,c).`, `
+		tc(X,Y) :- link(X,Y).
+		tc(X,Y) :- tc(X,Z), link(Z,Y).
+	`)
+	ds, err := v.Explain(`tc(a, c)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One derivation via the recursive rule: tc(a,b), link(b,c).
+	if len(ds) != 1 || ds[0].RuleIndex != 1 {
+		t.Fatalf("tc(a,c): %v", ds)
+	}
+	// Drill into the subgoal.
+	ds2, err := v.Explain(`tc(a, b)`)
+	if err != nil || len(ds2) != 1 || ds2[0].RuleIndex != 0 {
+		t.Fatalf("tc(a,b): %v %v", ds2, err)
+	}
+}
+
+func TestExplainRejectsVariables(t *testing.T) {
+	v := mustViews(t, `p(a).`, `q(X) :- p(X).`)
+	if _, err := v.Explain(`q(X)`); err == nil {
+		t.Fatal("non-ground goal must be rejected")
+	}
+}

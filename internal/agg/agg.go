@@ -1,0 +1,325 @@
+// Package agg implements the aggregate functions of the paper's GROUPBY
+// subgoals (Section 6.2) with the incremental group state needed by
+// Algorithm 6.1: MIN, MAX, SUM and COUNT are incrementally computable in
+// the sense of [DAJ91]; AVG and VARIANCE are decomposed into incrementally
+// computable parts (count, sum, sum of squares).
+//
+// A State accumulates one group's values (with multiplicities, so it works
+// under both set and duplicate semantics). Add is always O(1). Remove is
+// O(1) whenever the function is incrementally computable downward; for
+// MIN/MAX, removing the last copy of the current extremum is not — Remove
+// then reports needRescan=true and the caller must rebuild the group from
+// the underlying relation, exactly the fallback the paper prescribes for
+// non-incrementally-computable cases.
+package agg
+
+import (
+	"fmt"
+	"math"
+
+	"ivm/internal/datalog"
+	"ivm/internal/value"
+)
+
+// State is the running aggregate of one group.
+type State interface {
+	// Add folds mult copies of v into the group. mult must be positive.
+	Add(v value.Value, mult int64) error
+	// Remove removes mult copies of v. needRescan reports that the state
+	// can no longer answer exactly and the group must be recomputed from
+	// scratch. mult must be positive.
+	Remove(v value.Value, mult int64) (needRescan bool, err error)
+	// Result returns the aggregate value; ok is false for an empty group
+	// (an empty group contributes no tuple to the GROUPBY relation).
+	Result() (v value.Value, ok bool)
+	// Clone returns an independent copy.
+	Clone() State
+}
+
+// New returns a fresh State for the named function.
+func New(f datalog.AggFunc) (State, error) {
+	switch f {
+	case datalog.AggMin:
+		return &extremum{min: true}, nil
+	case datalog.AggMax:
+		return &extremum{min: false}, nil
+	case datalog.AggSum:
+		return &sum{}, nil
+	case datalog.AggCount:
+		return &counter{}, nil
+	case datalog.AggAvg:
+		return &avg{}, nil
+	case datalog.AggVariance:
+		return &variance{}, nil
+	default:
+		return nil, fmt.Errorf("agg: unknown aggregate function %q", f)
+	}
+}
+
+// Incremental reports whether f's Remove is always exact (never needs a
+// group rescan). MIN and MAX are only incrementally computable upward.
+func Incremental(f datalog.AggFunc) bool {
+	return f != datalog.AggMin && f != datalog.AggMax
+}
+
+type nonNumericError struct {
+	fn string
+	v  value.Value
+}
+
+func (e *nonNumericError) Error() string {
+	return fmt.Sprintf("agg: %s over non-numeric value %s", e.fn, e.v)
+}
+
+// extremum implements MIN/MAX over any totally ordered values. It tracks
+// the current extremum and how many copies of it the group holds, so
+// removals of non-extremal values and of duplicated extrema stay O(1).
+type extremum struct {
+	min     bool
+	n       int64 // total multiplicity in the group
+	best    value.Value
+	bestN   int64 // multiplicity of best
+	invalid bool  // set after an inexact Remove until rebuilt
+}
+
+func (e *extremum) name() string {
+	if e.min {
+		return "min"
+	}
+	return "max"
+}
+
+func (e *extremum) better(a, b value.Value) bool {
+	if e.min {
+		return a.Compare(b) < 0
+	}
+	return a.Compare(b) > 0
+}
+
+func (e *extremum) Add(v value.Value, mult int64) error {
+	if e.invalid {
+		return fmt.Errorf("agg: %s state used after it required a rescan", e.name())
+	}
+	if e.n == 0 || e.better(v, e.best) {
+		e.best = v
+		e.bestN = mult
+	} else if v.Compare(e.best) == 0 {
+		e.bestN += mult
+	}
+	e.n += mult
+	return nil
+}
+
+func (e *extremum) Remove(v value.Value, mult int64) (bool, error) {
+	if e.invalid {
+		return true, nil
+	}
+	if e.n < mult {
+		return false, fmt.Errorf("agg: %s group underflow", e.name())
+	}
+	if v.Compare(e.best) == 0 {
+		e.bestN -= mult
+		if e.bestN <= 0 {
+			e.n -= mult
+			if e.n > 0 {
+				// The extremum left the group and survivors exist: the new
+				// extremum is unknown without a rescan.
+				e.invalid = true
+				return true, nil
+			}
+			return false, nil
+		}
+	} else if e.better(v, e.best) {
+		return false, fmt.Errorf("agg: %s removal of %s beyond current extremum %s", e.name(), v, e.best)
+	}
+	e.n -= mult
+	return false, nil
+}
+
+func (e *extremum) Result() (value.Value, bool) {
+	if e.n == 0 || e.invalid {
+		return value.Value{}, false
+	}
+	return e.best, true
+}
+
+func (e *extremum) Clone() State {
+	c := *e
+	return &c
+}
+
+// sum implements SUM. Integer groups stay exact in int64; a single float
+// member switches the group to float accumulation.
+type sum struct {
+	n     int64
+	i     int64
+	f     float64
+	float bool
+}
+
+func (s *sum) Add(v value.Value, mult int64) error {
+	if !v.IsNumeric() {
+		return &nonNumericError{"sum", v}
+	}
+	if v.Kind() == value.Float {
+		s.float = true
+	}
+	if v.Kind() == value.Int && !s.float {
+		s.i += v.Int() * mult
+	} else {
+		s.f += v.Float() * float64(mult)
+	}
+	s.n += mult
+	return nil
+}
+
+func (s *sum) Remove(v value.Value, mult int64) (bool, error) {
+	if !v.IsNumeric() {
+		return false, &nonNumericError{"sum", v}
+	}
+	if v.Kind() == value.Int && !s.float {
+		s.i -= v.Int() * mult
+	} else {
+		s.f -= v.Float() * float64(mult)
+	}
+	s.n -= mult
+	if s.n < 0 {
+		return false, fmt.Errorf("agg: sum group underflow")
+	}
+	return false, nil
+}
+
+func (s *sum) Result() (value.Value, bool) {
+	if s.n == 0 {
+		return value.Value{}, false
+	}
+	if s.float {
+		return value.NewFloat(s.f + float64(s.i)), true
+	}
+	return value.NewInt(s.i), true
+}
+
+func (s *sum) Clone() State {
+	c := *s
+	return &c
+}
+
+// counter implements COUNT (of group members, with multiplicity).
+type counter struct {
+	n int64
+}
+
+func (c *counter) Add(_ value.Value, mult int64) error {
+	c.n += mult
+	return nil
+}
+
+func (c *counter) Remove(_ value.Value, mult int64) (bool, error) {
+	c.n -= mult
+	if c.n < 0 {
+		return false, fmt.Errorf("agg: count group underflow")
+	}
+	return false, nil
+}
+
+func (c *counter) Result() (value.Value, bool) {
+	if c.n == 0 {
+		return value.Value{}, false
+	}
+	return value.NewInt(c.n), true
+}
+
+func (c *counter) Clone() State {
+	x := *c
+	return &x
+}
+
+// avg implements AVERAGE, decomposed into sum and count.
+type avg struct {
+	n   int64
+	sum float64
+}
+
+func (a *avg) Add(v value.Value, mult int64) error {
+	if !v.IsNumeric() {
+		return &nonNumericError{"avg", v}
+	}
+	a.sum += v.Float() * float64(mult)
+	a.n += mult
+	return nil
+}
+
+func (a *avg) Remove(v value.Value, mult int64) (bool, error) {
+	if !v.IsNumeric() {
+		return false, &nonNumericError{"avg", v}
+	}
+	a.sum -= v.Float() * float64(mult)
+	a.n -= mult
+	if a.n < 0 {
+		return false, fmt.Errorf("agg: avg group underflow")
+	}
+	return false, nil
+}
+
+func (a *avg) Result() (value.Value, bool) {
+	if a.n == 0 {
+		return value.Value{}, false
+	}
+	return value.NewFloat(a.sum / float64(a.n)), true
+}
+
+func (a *avg) Clone() State {
+	c := *a
+	return &c
+}
+
+// variance implements the population variance, decomposed into count, sum
+// and sum of squares: Var = E[X²] − E[X]².
+type variance struct {
+	n     int64
+	sum   float64
+	sumSq float64
+}
+
+func (s *variance) Add(v value.Value, mult int64) error {
+	if !v.IsNumeric() {
+		return &nonNumericError{"variance", v}
+	}
+	f := v.Float()
+	s.sum += f * float64(mult)
+	s.sumSq += f * f * float64(mult)
+	s.n += mult
+	return nil
+}
+
+func (s *variance) Remove(v value.Value, mult int64) (bool, error) {
+	if !v.IsNumeric() {
+		return false, &nonNumericError{"variance", v}
+	}
+	f := v.Float()
+	s.sum -= f * float64(mult)
+	s.sumSq -= f * f * float64(mult)
+	s.n -= mult
+	if s.n < 0 {
+		return false, fmt.Errorf("agg: variance group underflow")
+	}
+	return false, nil
+}
+
+func (s *variance) Result() (value.Value, bool) {
+	if s.n == 0 {
+		return value.Value{}, false
+	}
+	mean := s.sum / float64(s.n)
+	v := s.sumSq/float64(s.n) - mean*mean
+	// Guard tiny negative results from floating-point cancellation.
+	if v < 0 && v > -1e-9 {
+		v = 0
+	}
+	return value.NewFloat(math.Max(v, 0)), true
+}
+
+func (s *variance) Clone() State {
+	c := *s
+	return &c
+}

@@ -1,0 +1,141 @@
+// Package recompute is the non-incremental baseline: after every batch of
+// base changes it re-evaluates the whole view program from scratch and
+// diffs the result against the previous materialization. Section 1 of the
+// paper notes this is occasionally the *better* strategy (e.g. when an
+// entire base relation is deleted) — experiment E6 locates the crossover.
+package recompute
+
+import (
+	"fmt"
+
+	"ivm/internal/datalog"
+	"ivm/internal/eval"
+	"ivm/internal/relation"
+	"ivm/internal/strata"
+)
+
+// Engine materializes a view program by full recomputation.
+type Engine struct {
+	prog  *datalog.Program
+	strat *strata.Stratification
+	sem   eval.Semantics
+	db    *eval.DB
+}
+
+// New validates prog and computes the initial materialization.
+func New(prog *datalog.Program, base *eval.DB, sem eval.Semantics) (*Engine, error) {
+	if err := datalog.Validate(prog); err != nil {
+		return nil, err
+	}
+	st, err := strata.Compute(prog)
+	if err != nil {
+		return nil, err
+	}
+	db := base.Clone()
+	if sem == eval.Set {
+		// Under set semantics base relations are sets.
+		for _, pred := range db.Preds() {
+			db.Put(pred, db.Get(pred).ToSet())
+		}
+	}
+	ev := eval.NewEvaluator(prog, st, sem)
+	if err := ev.Evaluate(db); err != nil {
+		return nil, err
+	}
+	return &Engine{prog: prog, strat: st, sem: sem, db: db}, nil
+}
+
+// Program returns the view program.
+func (e *Engine) Program() *datalog.Program { return e.prog }
+
+// Relation returns the stored relation for pred, or nil.
+func (e *Engine) Relation(pred string) *relation.Relation { return e.db.Get(pred) }
+
+// DB exposes the engine's storage (read-only use).
+func (e *Engine) DB() *eval.DB { return e.db }
+
+// Apply merges the base changes and recomputes every view from scratch,
+// returning the count delta of each derived relation (diff of old vs new).
+func (e *Engine) Apply(baseDelta map[string]*relation.Relation) (map[string]*relation.Relation, error) {
+	derived := e.prog.DerivedPreds()
+	commit := make(map[string]*relation.Relation)
+	for pred, d := range baseDelta {
+		if derived[pred] {
+			return nil, fmt.Errorf("recompute: delta for derived predicate %s", pred)
+		}
+		stored := e.db.Ensure(pred, d.Arity())
+		if stored.Arity() >= 0 && d.Arity() >= 0 && stored.Arity() != d.Arity() {
+			return nil, fmt.Errorf("recompute: delta for %s has arity %d, relation has arity %d", pred, d.Arity(), stored.Arity())
+		}
+		var verr error
+		cd := d
+		if e.sem == eval.Set {
+			// Base relations are sets: collapse the delta to transitions.
+			cd = relation.New(d.Arity())
+			d.Each(func(row relation.Row) {
+				if verr != nil {
+					return
+				}
+				has := stored.Has(row.Tuple)
+				switch {
+				case row.Count > 0 && !has:
+					cd.Add(row.Tuple, 1)
+				case row.Count < 0:
+					if !has {
+						verr = fmt.Errorf("recompute: deletion of absent tuple %s%s", pred, row.Tuple)
+						return
+					}
+					cd.Add(row.Tuple, -1)
+				}
+			})
+		} else {
+			d.Each(func(row relation.Row) {
+				if verr == nil && stored.Count(row.Tuple)+row.Count < 0 {
+					verr = fmt.Errorf("recompute: deletion of %s%s exceeds its stored count", pred, row.Tuple)
+				}
+			})
+		}
+		if verr != nil {
+			return nil, verr
+		}
+		commit[pred] = cd
+	}
+	old := make(map[string]*relation.Relation)
+	for pred := range derived {
+		old[pred] = e.db.Get(pred)
+	}
+	for pred, d := range commit {
+		e.db.Ensure(pred, d.Arity()).MergeDelta(d)
+	}
+	ev := eval.NewEvaluator(e.prog, e.strat, e.sem)
+	if err := ev.Evaluate(e.db); err != nil {
+		return nil, err
+	}
+	deltas := make(map[string]*relation.Relation)
+	for pred := range derived {
+		d := diff(old[pred], e.db.Get(pred))
+		if !d.Empty() {
+			deltas[pred] = d
+		}
+	}
+	return deltas, nil
+}
+
+// diff returns new − old as a signed count delta.
+func diff(old, new *relation.Relation) *relation.Relation {
+	out := relation.New(new.Arity())
+	new.Each(func(row relation.Row) {
+		if c := row.Count - old.Count(row.Tuple); c != 0 {
+			out.Add(row.Tuple, c)
+		}
+	})
+	old.Each(func(row relation.Row) {
+		if new.Count(row.Tuple) == 0 {
+			out.Add(row.Tuple, -row.Count)
+		}
+	})
+	return out
+}
+
+// Semantics returns the engine's semantics.
+func (e *Engine) Semantics() eval.Semantics { return e.sem }

@@ -1,0 +1,291 @@
+// Package dred implements the paper's Delete-and-Rederive (DRed)
+// algorithm (Section 7) for incremental maintenance of general recursive
+// views with stratified negation and aggregation, under set semantics.
+//
+// For each stratum, in increasing stratum order, three steps run:
+//
+//  1. Overestimate: a semi-naive fixpoint of δ⁻-rules deletes every tuple
+//     that has *any* derivation using a deleted tuple, evaluating the
+//     non-Δ subgoals over the old (pre-deletion) relations.
+//  2. Rederive: δ⁺(p) :- δ⁻(p) & s1ν & … & snν puts back overestimated
+//     tuples that still have a derivation in the new state, iterated to
+//     fixpoint.
+//  3. Insert: a semi-naive fixpoint propagates insertions over the new
+//     state.
+//
+// The engine also maintains views across view-definition changes:
+// AddRule/RemoveRule propagate the derivations a rule contributes exactly
+// like tuple-level changes (Section 7's rule insertion/deletion).
+package dred
+
+import (
+	"fmt"
+
+	"ivm/internal/datalog"
+	"ivm/internal/eval"
+	"ivm/internal/relation"
+	"ivm/internal/strata"
+)
+
+// Changes reports, per derived predicate, the tuples that left and
+// entered the view during one maintenance operation.
+type Changes struct {
+	Del map[string]*relation.Relation
+	Add map[string]*relation.Relation
+}
+
+// Stats describes the work of the most recent maintenance operation.
+type Stats struct {
+	// Overestimated counts tuples placed in δ⁻ overestimates (step 1).
+	Overestimated int
+	// Rederived counts overestimated tuples put back in step 2.
+	Rederived int
+	// Inserted counts tuples added by step 3.
+	Inserted int
+	// RuleFirings counts rule evaluations across all steps and strata.
+	RuleFirings int
+}
+
+// Engine maintains the materialization of a (possibly recursive) view
+// program under set semantics.
+type Engine struct {
+	prog  *datalog.Program
+	strat *strata.Stratification
+	db    *eval.DB
+	gts   map[eval.RuleLit]*eval.GroupTable
+
+	// LastStats reports the work of the most recent operation.
+	LastStats Stats
+}
+
+// New validates and stratifies prog, materializes it over the base
+// relations of base (cloned; multiplicities collapse to sets), and
+// returns a ready engine.
+func New(prog *datalog.Program, base *eval.DB) (*Engine, error) {
+	if err := datalog.Validate(prog); err != nil {
+		return nil, err
+	}
+	st, err := strata.Compute(prog)
+	if err != nil {
+		return nil, err
+	}
+	db := eval.NewDB()
+	for _, pred := range base.Preds() {
+		db.Put(pred, base.Get(pred).ToSet())
+	}
+	e := &Engine{prog: prog, strat: st, db: db}
+	if err := e.materialize(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func (e *Engine) materialize() error {
+	ev := eval.NewEvaluator(e.prog, e.strat, eval.Set)
+	if err := ev.Evaluate(e.db); err != nil {
+		return err
+	}
+	// DRed works on sets: collapse the per-stratum derivation counts the
+	// evaluator tracks for nonrecursive strata.
+	for pred := range e.prog.DerivedPreds() {
+		e.db.Put(pred, e.db.Get(pred).ToSet())
+	}
+	e.gts = ev.GroupTables
+	return nil
+}
+
+// Program returns the maintained view program.
+func (e *Engine) Program() *datalog.Program { return e.prog }
+
+// Relation returns the stored relation for pred (all counts 1), or nil.
+func (e *Engine) Relation(pred string) *relation.Relation { return e.db.Get(pred) }
+
+// DB exposes the engine's storage (read-only use).
+func (e *Engine) DB() *eval.DB { return e.db }
+
+// Apply maintains every view given base-relation changes (positive counts
+// insert, negative delete; multiplicities collapse to set transitions).
+// Deletions of absent tuples are rejected. The new materialization
+// contains t iff t has a derivation in the updated database (Theorem 7.1).
+func (e *Engine) Apply(baseDelta map[string]*relation.Relation) (*Changes, error) {
+	e.LastStats = Stats{}
+	derived := e.prog.DerivedPreds()
+	net := make(map[string]*relation.Relation)
+	del := make(map[string]*relation.Relation)
+	add := make(map[string]*relation.Relation)
+	for pred, d := range baseDelta {
+		if derived[pred] {
+			return nil, fmt.Errorf("dred: delta for derived predicate %s (only base relations may change)", pred)
+		}
+		stored := e.db.Ensure(pred, d.Arity())
+		if stored.Arity() >= 0 && d.Arity() >= 0 && stored.Arity() != d.Arity() {
+			return nil, fmt.Errorf("dred: delta for %s has arity %d, relation has arity %d", pred, d.Arity(), stored.Arity())
+		}
+		trans := relation.New(d.Arity())
+		var verr error
+		d.Each(func(row relation.Row) {
+			if verr != nil {
+				return
+			}
+			has := stored.Has(row.Tuple)
+			switch {
+			case row.Count > 0 && !has:
+				trans.Add(row.Tuple, 1)
+			case row.Count < 0:
+				if !has {
+					verr = fmt.Errorf("dred: deletion of absent tuple %s%s", pred, row.Tuple)
+					return
+				}
+				trans.Add(row.Tuple, -1)
+			}
+		})
+		if verr != nil {
+			return nil, verr
+		}
+		if trans.Empty() {
+			continue
+		}
+		net[pred] = trans
+		del[pred] = negPart(trans)
+		add[pred] = posPart(trans)
+	}
+	return e.propagate(del, add, net, nil, nil)
+}
+
+// AddRule extends the view definition with a new rule and incrementally
+// folds its derivations into the materialization. The rule's head must be
+// an existing derived predicate or a fresh one: turning a base relation
+// with stored facts into a derived predicate is rejected, since derived
+// relations are defined entirely by their rules (a rematerialization
+// would drop the facts).
+func (e *Engine) AddRule(r datalog.Rule) (*Changes, error) {
+	e.LastStats = Stats{}
+	if !e.prog.DerivedPreds()[r.Head.Pred] {
+		if stored := e.db.Get(r.Head.Pred); stored != nil && !stored.Empty() {
+			return nil, fmt.Errorf("dred: cannot add a rule for %s: it is a base relation with stored facts", r.Head.Pred)
+		}
+	}
+	newProg := e.prog.Clone()
+	newProg.Rules = append(newProg.Rules, r)
+	if err := datalog.Validate(newProg); err != nil {
+		return nil, err
+	}
+	st, err := strata.Compute(newProg)
+	if err != nil {
+		return nil, err
+	}
+	ri := len(newProg.Rules) - 1
+	e.prog, e.strat = newProg, st
+
+	// Seed: the new rule's derivations not yet in the view.
+	tmp := relation.New(len(r.Head.Args))
+	srcs, err := e.ruleSources(ri, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := eval.EvalRule(r, srcs, -1, tmp); err != nil {
+		return nil, err
+	}
+	stored := e.db.Ensure(r.Head.Pred, len(r.Head.Args))
+	seed := relation.New(len(r.Head.Args))
+	tmp.Each(func(row relation.Row) {
+		if row.Count > 0 && !stored.Has(row.Tuple) {
+			seed.Add(row.Tuple, 1)
+		}
+	})
+	seedAdd := map[string]*relation.Relation{r.Head.Pred: seed}
+	return e.propagate(map[string]*relation.Relation{}, map[string]*relation.Relation{},
+		make(map[string]*relation.Relation), nil, seedAdd)
+}
+
+// RemoveRule deletes rule index ri from the view definition and
+// incrementally removes the derivations only it supported.
+func (e *Engine) RemoveRule(ri int) (*Changes, error) {
+	e.LastStats = Stats{}
+	if ri < 0 || ri >= len(e.prog.Rules) {
+		return nil, fmt.Errorf("dred: rule index %d out of range", ri)
+	}
+	removed := e.prog.Rules[ri]
+
+	// Seed: every stored tuple the removed rule derives is a deletion
+	// candidate (step 2 rederives those the remaining rules support).
+	tmp := relation.New(len(removed.Head.Args))
+	srcs, err := e.ruleSources(ri, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := eval.EvalRule(removed, srcs, -1, tmp); err != nil {
+		return nil, err
+	}
+	stored := e.db.Ensure(removed.Head.Pred, len(removed.Head.Args))
+	seed := relation.New(len(removed.Head.Args))
+	tmp.Each(func(row relation.Row) {
+		if row.Count > 0 && stored.Has(row.Tuple) {
+			seed.Add(row.Tuple, 1)
+		}
+	})
+
+	newProg := e.prog.Clone()
+	newProg.Rules = append(newProg.Rules[:ri], newProg.Rules[ri+1:]...)
+	if err := datalog.Validate(newProg); err != nil {
+		return nil, err
+	}
+	st, err := strata.Compute(newProg)
+	if err != nil {
+		return nil, err
+	}
+	// Group tables are keyed by rule index: shift keys above ri.
+	gts := make(map[eval.RuleLit]*eval.GroupTable, len(e.gts))
+	for k, v := range e.gts {
+		switch {
+		case k.Rule == ri:
+			// dropped with the rule
+		case k.Rule > ri:
+			gts[eval.RuleLit{Rule: k.Rule - 1, Lit: k.Lit}] = v
+		default:
+			gts[k] = v
+		}
+	}
+	headPred := removed.Head.Pred
+	e.prog, e.strat, e.gts = newProg, st, gts
+
+	// The head predicate may have lost all its rules; it may even no
+	// longer be derived. Either way its stratum in the *new* program
+	// drives propagation; if it vanished as a derived predicate, treat
+	// its tuples as plain deletions seeded at its old location.
+	seedDel := map[string]*relation.Relation{headPred: seed}
+	if !e.prog.DerivedPreds()[headPred] {
+		// The predicate is no longer derived: its whole extension drains.
+		// propagate commits the negative net into storage and pushes the
+		// deletions through the higher strata.
+		net := map[string]*relation.Relation{headPred: seed.Negate()}
+		del := map[string]*relation.Relation{headPred: seed}
+		return e.propagate(del, map[string]*relation.Relation{}, net, nil, nil)
+	}
+	return e.propagate(map[string]*relation.Relation{}, map[string]*relation.Relation{},
+		make(map[string]*relation.Relation), seedDel, nil)
+}
+
+func negPart(r *relation.Relation) *relation.Relation {
+	out := relation.New(r.Arity())
+	r.Each(func(row relation.Row) {
+		if row.Count < 0 {
+			out.Add(row.Tuple, 1)
+		}
+	})
+	return out
+}
+
+func posPart(r *relation.Relation) *relation.Relation {
+	out := relation.New(r.Arity())
+	r.Each(func(row relation.Row) {
+		if row.Count > 0 {
+			out.Add(row.Tuple, 1)
+		}
+	})
+	return out
+}
+
+// GroupTables exposes the engine's GROUPBY materializations (read-only
+// use; explanation queries resolve aggregate subgoals through them).
+func (e *Engine) GroupTables() map[eval.RuleLit]*eval.GroupTable { return e.gts }

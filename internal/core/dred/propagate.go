@@ -1,0 +1,620 @@
+package dred
+
+import (
+	"ivm/internal/datalog"
+	"ivm/internal/eval"
+	"ivm/internal/relation"
+)
+
+// propagate runs the three DRed steps stratum by stratum.
+//
+// del/add hold, per predicate, the tuples already known to have left or
+// entered that predicate (initially: the base-relation changes); net holds
+// the same information as a signed relation and is what gets committed.
+// seedDel/seedAdd inject deletion candidates / insertions directly at a
+// derived predicate's own stratum (used by RemoveRule/AddRule).
+func (e *Engine) propagate(del, add, net map[string]*relation.Relation,
+	seedDel, seedAdd map[string]*relation.Relation) (*Changes, error) {
+
+	changes := &Changes{
+		Del: make(map[string]*relation.Relation),
+		Add: make(map[string]*relation.Relation),
+	}
+	pendingT := make(map[eval.RuleLit]*relation.Relation)
+	byStratum := e.strat.RulesByStratum(e.prog)
+
+	oldR := func(pred string) relation.Reader { return e.db.Ensure(pred, -1) }
+	newR := func(pred string) relation.Reader {
+		r := oldR(pred)
+		if n := net[pred]; n != nil {
+			return relation.Overlay(r, n)
+		}
+		return r
+	}
+	netOf := func(pred string) *relation.Relation {
+		n, ok := net[pred]
+		if !ok {
+			n = relation.New(e.db.Ensure(pred, -1).Arity())
+			net[pred] = n
+		}
+		return n
+	}
+
+	// getGT returns (building over the old state if needed) the group
+	// table for an aggregate literal.
+	getGT := func(key eval.RuleLit, g *datalog.Aggregate) (*eval.GroupTable, error) {
+		gt, ok := e.gts[key]
+		if !ok {
+			var err error
+			gt, err = eval.BuildGroupTable(g, oldR(g.Inner.Pred))
+			if err != nil {
+				return nil, err
+			}
+			e.gts[key] = gt
+		}
+		return gt, nil
+	}
+	// getDeltaT computes (once per key per operation) the ΔT of an
+	// aggregate subgoal from the net change of its grouped relation.
+	getDeltaT := func(key eval.RuleLit, g *datalog.Aggregate) (*relation.Relation, error) {
+		if dt, ok := pendingT[key]; ok {
+			return dt, nil
+		}
+		gt, err := getGT(key, g)
+		if err != nil {
+			return nil, err
+		}
+		nu := net[g.Inner.Pred]
+		if nu == nil || nu.Empty() {
+			dt := relation.New(gt.Rel().Arity())
+			pendingT[key] = dt
+			return dt, nil
+		}
+		dt, err := gt.ApplyDelta(nu, newR(g.Inner.Pred))
+		if err != nil {
+			return nil, err
+		}
+		pendingT[key] = dt
+		return dt, nil
+	}
+
+	// source resolves a non-Δ literal at the old or new version.
+	source := func(lit datalog.Literal, key eval.RuleLit, useNew bool) (eval.Source, error) {
+		switch lit.Kind {
+		case datalog.LitPositive, datalog.LitNegated:
+			if useNew {
+				return eval.Source{Rel: newR(lit.Atom.Pred)}, nil
+			}
+			return eval.Source{Rel: oldR(lit.Atom.Pred)}, nil
+		case datalog.LitAggregate:
+			gt, err := getGT(key, lit.Agg)
+			if err != nil {
+				return eval.Source{}, err
+			}
+			if useNew {
+				if dt := pendingT[key]; dt != nil {
+					return eval.Source{Rel: relation.Overlay(gt.Rel(), dt)}, nil
+				}
+			}
+			return eval.Source{Rel: gt.Rel()}, nil
+		default:
+			return eval.Source{}, nil
+		}
+	}
+
+	// evalStep evaluates one δ-rule: rule ri with literal deltaLit bound
+	// to img and every other literal at the old (steps 1) or new
+	// (steps 2/3) version, returning the derived tuples.
+	evalStep := func(ri, deltaLit int, img *relation.Relation, useNew bool) (*relation.Relation, error) {
+		rule := e.prog.Rules[ri]
+		srcs := make([]eval.Source, len(rule.Body))
+		for j, lit := range rule.Body {
+			if j == deltaLit {
+				srcs[j] = eval.Source{Rel: img, JoinDelta: lit.Kind == datalog.LitNegated}
+				continue
+			}
+			s, err := source(lit, eval.RuleLit{Rule: ri, Lit: j}, useNew)
+			if err != nil {
+				return nil, err
+			}
+			srcs[j] = s
+		}
+		out := relation.New(len(rule.Head.Args))
+		if err := eval.EvalRule(rule, srcs, deltaLit, out); err != nil {
+			return nil, err
+		}
+		e.LastStats.RuleFirings++
+		return out, nil
+	}
+
+	for s := 1; s <= e.strat.MaxStratum; s++ {
+		rules := byStratum[s]
+		if len(rules) == 0 {
+			continue
+		}
+		inStratum := make(map[string]bool)
+		for _, ri := range rules {
+			inStratum[e.prog.Rules[ri].Head.Pred] = true
+		}
+		delS := make(map[string]*relation.Relation)
+		readd := make(map[string]*relation.Relation)
+		addS := make(map[string]*relation.Relation)
+		for pred := range inStratum {
+			ar := e.db.Ensure(pred, -1).Arity()
+			delS[pred] = relation.New(ar)
+			readd[pred] = relation.New(ar)
+			addS[pred] = relation.New(ar)
+		}
+
+		// ---- Step 1: overestimate deletions. ----
+		roundDel := make(map[string]*relation.Relation)
+		for pred := range inStratum {
+			roundDel[pred] = relation.New(delS[pred].Arity())
+		}
+		foldDel := func(pred string, derived *relation.Relation) {
+			stored := e.db.Ensure(pred, -1)
+			derived.Each(func(row relation.Row) {
+				if row.Count > 0 && stored.Has(row.Tuple) && !delS[pred].Has(row.Tuple) {
+					delS[pred].Add(row.Tuple, 1)
+					netOf(pred).Add(row.Tuple, -1)
+					roundDel[pred].Add(row.Tuple, 1)
+				}
+			})
+		}
+		for _, ri := range rules {
+			rule := e.prog.Rules[ri]
+			for li, lit := range rule.Body {
+				img, err := e.deleteImage(lit, eval.RuleLit{Rule: ri, Lit: li}, inStratum, del, add, getDeltaT, oldR)
+				if err != nil {
+					return nil, err
+				}
+				if img == nil || img.Empty() {
+					continue
+				}
+				out, err := evalStep(ri, li, img, false)
+				if err != nil {
+					return nil, err
+				}
+				foldDel(rule.Head.Pred, out)
+			}
+		}
+		for pred := range inStratum {
+			if sd := seedDel[pred]; sd != nil {
+				foldDel(pred, sd)
+			}
+		}
+		for {
+			moved := false
+			cur := roundDel
+			roundDel = make(map[string]*relation.Relation)
+			for pred := range inStratum {
+				roundDel[pred] = relation.New(delS[pred].Arity())
+			}
+			for _, ri := range rules {
+				rule := e.prog.Rules[ri]
+				for li, lit := range rule.Body {
+					if lit.Kind != datalog.LitPositive || !inStratum[lit.Atom.Pred] {
+						continue
+					}
+					d := cur[lit.Atom.Pred]
+					if d == nil || d.Empty() {
+						continue
+					}
+					out, err := evalStep(ri, li, d, false)
+					if err != nil {
+						return nil, err
+					}
+					foldDel(rule.Head.Pred, out)
+				}
+			}
+			for pred := range inStratum {
+				if !roundDel[pred].Empty() {
+					moved = true
+				}
+			}
+			if !moved {
+				break
+			}
+		}
+		for pred := range inStratum {
+			e.LastStats.Overestimated += delS[pred].Len()
+		}
+
+		// ---- Step 2: rederive tuples with alternative derivations. ----
+		// Semi-naive: a first pass checks every overestimated tuple
+		// against the current new state; afterwards, only tuples whose
+		// readdition can enable further rederivations (through in-stratum
+		// subgoals) drive more rounds — work stays proportional to the
+		// overestimate, not rounds × candidates.
+		roundReadd := make(map[string]*relation.Relation)
+		for pred := range inStratum {
+			roundReadd[pred] = relation.New(delS[pred].Arity())
+		}
+		foldReadd := func(pred string, derived *relation.Relation, cand *relation.Relation) {
+			derived.Each(func(row relation.Row) {
+				if row.Count > 0 && cand.Has(row.Tuple) && !readd[pred].Has(row.Tuple) {
+					readd[pred].Add(row.Tuple, 1)
+					netOf(pred).Add(row.Tuple, 1)
+					roundReadd[pred].Add(row.Tuple, 1)
+				}
+			})
+		}
+		remaining := func(pred string) *relation.Relation {
+			cand := relation.New(delS[pred].Arity())
+			delS[pred].Each(func(row relation.Row) {
+				if !readd[pred].Has(row.Tuple) {
+					cand.Add(row.Tuple, 1)
+				}
+			})
+			return cand
+		}
+		// First pass: full candidate check over the new state.
+		for _, ri := range rules {
+			rule := e.prog.Rules[ri]
+			p := rule.Head.Pred
+			cand := remaining(p)
+			if cand.Empty() {
+				continue
+			}
+			derived, err := e.rederive(ri, cand, source)
+			if err != nil {
+				return nil, err
+			}
+			foldReadd(p, derived, cand)
+		}
+		// Delta rounds: newly readded tuples re-enable candidates whose
+		// derivations pass through them.
+		for {
+			moved := false
+			cur := roundReadd
+			roundReadd = make(map[string]*relation.Relation)
+			for pred := range inStratum {
+				roundReadd[pred] = relation.New(delS[pred].Arity())
+			}
+			for _, ri := range rules {
+				rule := e.prog.Rules[ri]
+				p := rule.Head.Pred
+				for li, lit := range rule.Body {
+					if lit.Kind != datalog.LitPositive || !inStratum[lit.Atom.Pred] {
+						continue
+					}
+					d := cur[lit.Atom.Pred]
+					if d == nil || d.Empty() {
+						continue
+					}
+					cand := remaining(p)
+					if cand.Empty() {
+						continue
+					}
+					derived, err := e.rederiveDelta(ri, li, d, cand, source)
+					if err != nil {
+						return nil, err
+					}
+					foldReadd(p, derived, cand)
+				}
+			}
+			for pred := range inStratum {
+				if !roundReadd[pred].Empty() {
+					moved = true
+				}
+			}
+			if !moved {
+				break
+			}
+		}
+		for pred := range inStratum {
+			e.LastStats.Rederived += readd[pred].Len()
+		}
+
+		// ---- Step 3: propagate insertions. ----
+		roundAdd := make(map[string]*relation.Relation)
+		for pred := range inStratum {
+			roundAdd[pred] = relation.New(addS[pred].Arity())
+		}
+		foldAdd := func(pred string, derived *relation.Relation) {
+			nr := newR(pred)
+			derived.Each(func(row relation.Row) {
+				if row.Count > 0 && !nr.Has(row.Tuple) {
+					addS[pred].Add(row.Tuple, 1)
+					netOf(pred).Add(row.Tuple, 1)
+					roundAdd[pred].Add(row.Tuple, 1)
+				}
+			})
+		}
+		for _, ri := range rules {
+			rule := e.prog.Rules[ri]
+			for li, lit := range rule.Body {
+				img, err := e.insertImage(lit, eval.RuleLit{Rule: ri, Lit: li}, inStratum, del, add, getDeltaT, newR)
+				if err != nil {
+					return nil, err
+				}
+				if img == nil || img.Empty() {
+					continue
+				}
+				out, err := evalStep(ri, li, img, true)
+				if err != nil {
+					return nil, err
+				}
+				foldAdd(rule.Head.Pred, out)
+			}
+		}
+		for pred := range inStratum {
+			if sa := seedAdd[pred]; sa != nil {
+				foldAdd(pred, sa)
+			}
+		}
+		for {
+			moved := false
+			cur := roundAdd
+			roundAdd = make(map[string]*relation.Relation)
+			for pred := range inStratum {
+				roundAdd[pred] = relation.New(addS[pred].Arity())
+			}
+			for _, ri := range rules {
+				rule := e.prog.Rules[ri]
+				for li, lit := range rule.Body {
+					if lit.Kind != datalog.LitPositive || !inStratum[lit.Atom.Pred] {
+						continue
+					}
+					d := cur[lit.Atom.Pred]
+					if d == nil || d.Empty() {
+						continue
+					}
+					out, err := evalStep(ri, li, d, true)
+					if err != nil {
+						return nil, err
+					}
+					foldAdd(rule.Head.Pred, out)
+				}
+			}
+			for pred := range inStratum {
+				if !roundAdd[pred].Empty() {
+					moved = true
+				}
+			}
+			if !moved {
+				break
+			}
+		}
+		for pred := range inStratum {
+			e.LastStats.Inserted += addS[pred].Len()
+		}
+
+		// ---- Finalize the stratum: expose net transitions upward. ----
+		for pred := range inStratum {
+			n := net[pred]
+			if n == nil || n.Empty() {
+				continue
+			}
+			dn, ap := negPart(n), posPart(n)
+			if !dn.Empty() {
+				del[pred] = dn
+				changes.Del[pred] = dn
+			}
+			if !ap.Empty() {
+				add[pred] = ap
+				changes.Add[pred] = ap
+			}
+		}
+	}
+
+	// Commit everything.
+	for pred, n := range net {
+		e.db.Ensure(pred, n.Arity()).MergeDelta(n)
+	}
+	for key, dt := range pendingT {
+		e.gts[key].Commit(dt)
+	}
+	return changes, nil
+}
+
+// deleteImage returns the δ⁻ image of a literal for step 1: the tuples
+// whose change can invalidate derivations through this subgoal.
+func (e *Engine) deleteImage(lit datalog.Literal, key eval.RuleLit, inStratum map[string]bool,
+	del, add map[string]*relation.Relation,
+	getDeltaT func(eval.RuleLit, *datalog.Aggregate) (*relation.Relation, error),
+	oldR func(string) relation.Reader) (*relation.Relation, error) {
+
+	switch lit.Kind {
+	case datalog.LitPositive:
+		if inStratum[lit.Atom.Pred] {
+			return nil, nil // driven by the in-stratum fixpoint
+		}
+		return del[lit.Atom.Pred], nil
+	case datalog.LitNegated:
+		// q gaining tuples makes ¬q lose them.
+		a := add[lit.Atom.Pred]
+		if a == nil || a.Empty() {
+			return nil, nil
+		}
+		img := relation.New(a.Arity())
+		q := oldR(lit.Atom.Pred)
+		a.Each(func(row relation.Row) {
+			if !q.Has(row.Tuple) {
+				img.Add(row.Tuple, 1)
+			}
+		})
+		return img, nil
+	case datalog.LitAggregate:
+		dt, err := getDeltaT(key, lit.Agg)
+		if err != nil {
+			return nil, err
+		}
+		return negPart(dt), nil
+	default:
+		return nil, nil
+	}
+}
+
+// insertImage returns the δ⁺ image of a literal for step 3.
+func (e *Engine) insertImage(lit datalog.Literal, key eval.RuleLit, inStratum map[string]bool,
+	del, add map[string]*relation.Relation,
+	getDeltaT func(eval.RuleLit, *datalog.Aggregate) (*relation.Relation, error),
+	newR func(string) relation.Reader) (*relation.Relation, error) {
+
+	switch lit.Kind {
+	case datalog.LitPositive:
+		if inStratum[lit.Atom.Pred] {
+			return nil, nil
+		}
+		return add[lit.Atom.Pred], nil
+	case datalog.LitNegated:
+		// q losing tuples makes ¬q gain them.
+		d := del[lit.Atom.Pred]
+		if d == nil || d.Empty() {
+			return nil, nil
+		}
+		img := relation.New(d.Arity())
+		q := newR(lit.Atom.Pred)
+		d.Each(func(row relation.Row) {
+			if !q.Has(row.Tuple) {
+				img.Add(row.Tuple, 1)
+			}
+		})
+		return img, nil
+	case datalog.LitAggregate:
+		dt, err := getDeltaT(key, lit.Agg)
+		if err != nil {
+			return nil, err
+		}
+		return posPart(dt), nil
+	default:
+		return nil, nil
+	}
+}
+
+// rederive evaluates rule ri restricted to the deletion candidates cand
+// over the new state: the fast path prepends the candidate set as an
+// extra subgoal matching the head pattern; rules whose heads contain
+// expressions fall back to full evaluation intersected with cand.
+func (e *Engine) rederive(ri int, cand *relation.Relation,
+	source func(datalog.Literal, eval.RuleLit, bool) (eval.Source, error)) (*relation.Relation, error) {
+
+	rule := e.prog.Rules[ri]
+	if headSimple(rule) {
+		aux := datalog.Rule{
+			Head: rule.Head,
+			Body: append([]datalog.Literal{{Kind: datalog.LitPositive, Atom: rule.Head}}, rule.Body...),
+		}
+		srcs := make([]eval.Source, len(aux.Body))
+		srcs[0] = eval.Source{Rel: cand}
+		for j, lit := range rule.Body {
+			s, err := source(lit, eval.RuleLit{Rule: ri, Lit: j}, true)
+			if err != nil {
+				return nil, err
+			}
+			srcs[j+1] = s
+		}
+		out := relation.New(len(rule.Head.Args))
+		if err := eval.EvalRule(aux, srcs, 0, out); err != nil {
+			return nil, err
+		}
+		e.LastStats.RuleFirings++
+		return out, nil
+	}
+
+	// Slow path: full evaluation over the new state.
+	srcs := make([]eval.Source, len(rule.Body))
+	for j, lit := range rule.Body {
+		s, err := source(lit, eval.RuleLit{Rule: ri, Lit: j}, true)
+		if err != nil {
+			return nil, err
+		}
+		srcs[j] = s
+	}
+	out := relation.New(len(rule.Head.Args))
+	if err := eval.EvalRule(rule, srcs, -1, out); err != nil {
+		return nil, err
+	}
+	e.LastStats.RuleFirings++
+	return out, nil
+}
+
+// rederiveDelta is the semi-naive variant of rederive: only derivations
+// that pass through the newly readded tuples d at body position li are
+// explored, restricted to the remaining candidates.
+func (e *Engine) rederiveDelta(ri, li int, d, cand *relation.Relation,
+	source func(datalog.Literal, eval.RuleLit, bool) (eval.Source, error)) (*relation.Relation, error) {
+
+	rule := e.prog.Rules[ri]
+	srcs := make([]eval.Source, len(rule.Body))
+	for j, lit := range rule.Body {
+		if j == li {
+			srcs[j] = eval.Source{Rel: d}
+			continue
+		}
+		s, err := source(lit, eval.RuleLit{Rule: ri, Lit: j}, true)
+		if err != nil {
+			return nil, err
+		}
+		srcs[j] = s
+	}
+	e.LastStats.RuleFirings++
+	if headSimple(rule) {
+		// Join the candidate set as an extra subgoal over the head
+		// pattern so non-candidate heads are cut early.
+		aux := datalog.Rule{
+			Head: rule.Head,
+			Body: append([]datalog.Literal{{Kind: datalog.LitPositive, Atom: rule.Head}}, rule.Body...),
+		}
+		auxSrcs := append([]eval.Source{{Rel: cand}}, srcs...)
+		out := relation.New(len(rule.Head.Args))
+		if err := eval.EvalRule(aux, auxSrcs, li+1, out); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	out := relation.New(len(rule.Head.Args))
+	if err := eval.EvalRule(rule, srcs, li, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// headSimple reports whether every head argument is a variable or
+// constant (no expressions), enabling the candidate-driven fast path.
+func headSimple(r datalog.Rule) bool {
+	for _, a := range r.Head.Args {
+		if _, ok := a.(datalog.Arith); ok {
+			return false
+		}
+	}
+	return true
+}
+
+// ruleSources resolves every literal of rule ri against the current
+// committed state (used to evaluate a whole rule outside propagate, e.g.
+// for AddRule/RemoveRule seeds). Aggregate subgoals get group tables
+// built on demand.
+func (e *Engine) ruleSources(ri int, net map[string]*relation.Relation, pendingT map[eval.RuleLit]*relation.Relation) ([]eval.Source, error) {
+	rule := e.prog.Rules[ri]
+	srcs := make([]eval.Source, len(rule.Body))
+	for li, lit := range rule.Body {
+		switch lit.Kind {
+		case datalog.LitPositive, datalog.LitNegated:
+			var r relation.Reader = e.db.Ensure(lit.Atom.Pred, -1)
+			if n := net[lit.Atom.Pred]; n != nil {
+				r = relation.Overlay(r, n)
+			}
+			srcs[li] = eval.Source{Rel: r}
+		case datalog.LitAggregate:
+			key := eval.RuleLit{Rule: ri, Lit: li}
+			gt, ok := e.gts[key]
+			if !ok {
+				var err error
+				gt, err = eval.BuildGroupTable(lit.Agg, e.db.Ensure(lit.Agg.Inner.Pred, -1))
+				if err != nil {
+					return nil, err
+				}
+				e.gts[key] = gt
+			}
+			var r relation.Reader = gt.Rel()
+			if dt := pendingT[key]; dt != nil {
+				r = relation.Overlay(r, dt)
+			}
+			srcs[li] = eval.Source{Rel: r}
+		case datalog.LitCondition:
+		}
+	}
+	return srcs, nil
+}

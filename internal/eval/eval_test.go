@@ -1,0 +1,411 @@
+package eval
+
+import (
+	"testing"
+
+	"ivm/internal/datalog"
+	"ivm/internal/parser"
+	"ivm/internal/relation"
+	"ivm/internal/strata"
+	"ivm/internal/value"
+)
+
+func parseProgram(t testing.TB, src string) (*datalog.Program, *strata.Stratification) {
+	t.Helper()
+	prog, err := parser.ParseRules(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := datalog.Validate(prog); err != nil {
+		t.Fatal(err)
+	}
+	st, err := strata.Compute(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, st
+}
+
+func loadDB(t testing.TB, src string) *DB {
+	t.Helper()
+	facts, err := parser.ParseDelta(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewDB()
+	for _, f := range facts {
+		db.Ensure(f.Pred, len(f.Tuple)).Add(f.Tuple, f.Count)
+	}
+	return db
+}
+
+func counts(r *relation.Relation) map[string]int64 {
+	out := make(map[string]int64)
+	r.Each(func(row relation.Row) {
+		key := ""
+		for i, v := range row.Tuple {
+			if i > 0 {
+				key += ","
+			}
+			key += v.String()
+		}
+		out[key] = row.Count
+	})
+	return out
+}
+
+func wantCounts(t *testing.T, r *relation.Relation, want map[string]int64) {
+	t.Helper()
+	got := counts(r)
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for k, c := range want {
+		if got[k] != c {
+			t.Fatalf("tuple %s: count %d, want %d (full %v)", k, got[k], c, got)
+		}
+	}
+}
+
+func TestEvalRuleCountsMultiply(t *testing.T) {
+	prog, _ := parseProgram(t, `hop(X,Y) :- link(X,Z), link(Z,Y).`)
+	link := relation.New(2)
+	link.Add(value.T("a", "b"), 2)
+	link.Add(value.T("b", "c"), 3)
+	out := relation.New(2)
+	err := EvalRule(prog.Rules[0], []Source{{Rel: link}, {Rel: link}}, -1, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCounts(t, out, map[string]int64{"a,c": 6})
+}
+
+func TestEvalRuleRepeatedVariables(t *testing.T) {
+	prog, _ := parseProgram(t, `loop(X) :- link(X,X).`)
+	link := relation.New(2)
+	link.Add(value.T("a", "a"), 1)
+	link.Add(value.T("a", "b"), 1)
+	out := relation.New(1)
+	if err := EvalRule(prog.Rules[0], []Source{{Rel: link}}, -1, out); err != nil {
+		t.Fatal(err)
+	}
+	wantCounts(t, out, map[string]int64{"a": 1})
+}
+
+func TestEvalRuleConstantsInBody(t *testing.T) {
+	prog, _ := parseProgram(t, `fromA(Y) :- link(a, Y).`)
+	link := relation.New(2)
+	link.Add(value.T("a", "b"), 1)
+	link.Add(value.T("x", "y"), 1)
+	out := relation.New(1)
+	if err := EvalRule(prog.Rules[0], []Source{{Rel: link}}, -1, out); err != nil {
+		t.Fatal(err)
+	}
+	wantCounts(t, out, map[string]int64{"b": 1})
+}
+
+func TestEvalRuleNegationFilter(t *testing.T) {
+	prog, _ := parseProgram(t, `only(X,Y) :- t(X,Y), !h(X,Y).`)
+	tRel := relation.New(2)
+	tRel.Add(value.T("a", "b"), 2)
+	tRel.Add(value.T("a", "c"), 1)
+	h := relation.New(2)
+	h.Add(value.T("a", "c"), 5)
+	out := relation.New(2)
+	if err := EvalRule(prog.Rules[0], []Source{{Rel: tRel}, {Rel: h}}, -1, out); err != nil {
+		t.Fatal(err)
+	}
+	wantCounts(t, out, map[string]int64{"a,b": 2})
+}
+
+func TestEvalRuleNegationJoinDelta(t *testing.T) {
+	// Δ(¬h) join mode: the negation's relation is a signed delta image.
+	prog, _ := parseProgram(t, `only(X,Y) :- t(X,Y), !h(X,Y).`)
+	tRel := relation.New(2)
+	tRel.Add(value.T("a", "b"), 1)
+	tRel.Add(value.T("a", "c"), 1)
+	dNotH := relation.New(2)
+	dNotH.Add(value.T("a", "b"), -1) // h(a,b) became true
+	out := relation.New(2)
+	srcs := []Source{{Rel: tRel}, {Rel: dNotH, JoinDelta: true}}
+	if err := EvalRule(prog.Rules[0], srcs, 1, out); err != nil {
+		t.Fatal(err)
+	}
+	wantCounts(t, out, map[string]int64{"a,b": -1})
+}
+
+func TestEvalRuleConditionsAndArithmetic(t *testing.T) {
+	prog, _ := parseProgram(t, `big(X, C*2) :- p(X, C), C > 2, C != 4.`)
+	p := relation.New(2)
+	p.Add(value.T("a", 1), 1)
+	p.Add(value.T("b", 3), 1)
+	p.Add(value.T("c", 4), 1)
+	p.Add(value.T("d", 9), 2)
+	out := relation.New(2)
+	if err := EvalRule(prog.Rules[0], []Source{{Rel: p}, {}, {}}, -1, out); err != nil {
+		t.Fatal(err)
+	}
+	wantCounts(t, out, map[string]int64{"b,6": 1, "d,18": 2})
+}
+
+func TestEvalRuleFirstLiteralOverride(t *testing.T) {
+	prog, _ := parseProgram(t, `hop(X,Y) :- link(X,Z), link(Z,Y).`)
+	link := relation.New(2)
+	link.Add(value.T("a", "b"), 1)
+	link.Add(value.T("b", "c"), 1)
+	delta := relation.New(2)
+	delta.Add(value.T("b", "c"), -1)
+	// Δ at position 1: hop(X,Y) :- link(X,Z), Δlink(Z,Y).
+	out := relation.New(2)
+	if err := EvalRule(prog.Rules[0], []Source{{Rel: link}, {Rel: delta}}, 1, out); err != nil {
+		t.Fatal(err)
+	}
+	wantCounts(t, out, map[string]int64{"a,c": -1})
+}
+
+func TestEvalRuleSourceCountMismatch(t *testing.T) {
+	prog, _ := parseProgram(t, `hop(X,Y) :- link(X,Z), link(Z,Y).`)
+	if err := EvalRule(prog.Rules[0], []Source{{Rel: relation.New(2)}}, -1, relation.New(2)); err == nil {
+		t.Fatal("source count mismatch must error")
+	}
+}
+
+func TestEvaluateNonrecursiveDuplicate(t *testing.T) {
+	prog, st := parseProgram(t, `
+		hop(X,Y)     :- link(X,Z), link(Z,Y).
+		tri_hop(X,Y) :- hop(X,Z), link(Z,Y).
+	`)
+	db := loadDB(t, `link(a,b). link(a,d). link(d,c). link(b,c). link(c,h). link(f,g).`)
+	ev := NewEvaluator(prog, st, Duplicate)
+	if err := ev.Evaluate(db); err != nil {
+		t.Fatal(err)
+	}
+	wantCounts(t, db.Get("hop"), map[string]int64{"a,c": 2, "d,h": 1, "b,h": 1})
+	wantCounts(t, db.Get("tri_hop"), map[string]int64{"a,h": 2})
+}
+
+func TestEvaluateSetSemanticsPerStratumCounts(t *testing.T) {
+	// Section 5.1: under set semantics, a stratum-2 predicate counts
+	// derivations treating stratum-1 tuples as count 1.
+	prog, st := parseProgram(t, `
+		hop(X,Y)     :- link(X,Z), link(Z,Y).
+		tri_hop(X,Y) :- hop(X,Z), link(Z,Y).
+	`)
+	db := loadDB(t, `link(a,b). link(a,d). link(d,c). link(b,c). link(c,h). link(f,g).`)
+	ev := NewEvaluator(prog, st, Set)
+	if err := ev.Evaluate(db); err != nil {
+		t.Fatal(err)
+	}
+	// hop(a,c) still has 2 derivations within its stratum...
+	wantCounts(t, db.Get("hop"), map[string]int64{"a,c": 2, "d,h": 1, "b,h": 1})
+	// ...but tri_hop(a,h) counts hop(a,c) once.
+	wantCounts(t, db.Get("tri_hop"), map[string]int64{"a,h": 1})
+}
+
+func TestEvaluateRecursiveTransitiveClosure(t *testing.T) {
+	prog, st := parseProgram(t, `
+		tc(X,Y) :- link(X,Y).
+		tc(X,Y) :- tc(X,Z), link(Z,Y).
+	`)
+	db := loadDB(t, `link(a,b). link(b,c). link(c,d).`)
+	ev := NewEvaluator(prog, st, Set)
+	if err := ev.Evaluate(db); err != nil {
+		t.Fatal(err)
+	}
+	wantCounts(t, db.Get("tc"), map[string]int64{
+		"a,b": 1, "a,c": 1, "a,d": 1, "b,c": 1, "b,d": 1, "c,d": 1,
+	})
+}
+
+func TestEvaluateRecursiveCycle(t *testing.T) {
+	prog, st := parseProgram(t, `
+		tc(X,Y) :- link(X,Y).
+		tc(X,Y) :- tc(X,Z), link(Z,Y).
+	`)
+	db := loadDB(t, `link(a,b). link(b,a).`)
+	ev := NewEvaluator(prog, st, Set)
+	if err := ev.Evaluate(db); err != nil {
+		t.Fatal(err)
+	}
+	wantCounts(t, db.Get("tc"), map[string]int64{
+		"a,b": 1, "b,a": 1, "a,a": 1, "b,b": 1,
+	})
+}
+
+func TestEvaluateMutualRecursion(t *testing.T) {
+	prog, st := parseProgram(t, `
+		even(X) :- zero(X).
+		even(Y) :- odd(X), succ(X,Y).
+		odd(Y)  :- even(X), succ(X,Y).
+	`)
+	db := loadDB(t, `zero(0). succ(0,1). succ(1,2). succ(2,3). succ(3,4).`)
+	ev := NewEvaluator(prog, st, Set)
+	if err := ev.Evaluate(db); err != nil {
+		t.Fatal(err)
+	}
+	wantCounts(t, db.Get("even"), map[string]int64{"0": 1, "2": 1, "4": 1})
+	wantCounts(t, db.Get("odd"), map[string]int64{"1": 1, "3": 1})
+}
+
+func TestEvaluateRecursiveDuplicateRejected(t *testing.T) {
+	prog, st := parseProgram(t, `
+		tc(X,Y) :- link(X,Y).
+		tc(X,Y) :- tc(X,Z), link(Z,Y).
+	`)
+	db := loadDB(t, `link(a,b).`)
+	ev := NewEvaluator(prog, st, Duplicate)
+	if err := ev.Evaluate(db); err != ErrRecursiveDuplicates {
+		t.Fatalf("err = %v, want ErrRecursiveDuplicates", err)
+	}
+}
+
+func TestEvaluateNegationAboveRecursion(t *testing.T) {
+	prog, st := parseProgram(t, `
+		tc(X,Y)      :- link(X,Y).
+		tc(X,Y)      :- tc(X,Z), link(Z,Y).
+		unreach(X,Y) :- node(X), node(Y), !tc(X,Y).
+	`)
+	db := loadDB(t, `link(a,b). node(a). node(b).`)
+	ev := NewEvaluator(prog, st, Set)
+	if err := ev.Evaluate(db); err != nil {
+		t.Fatal(err)
+	}
+	wantCounts(t, db.Get("unreach"), map[string]int64{
+		"a,a": 1, "b,a": 1, "b,b": 1,
+	})
+}
+
+func TestEvaluateMatchesNaiveOracle(t *testing.T) {
+	src := `
+		hop(X,Y)    :- link(X,Z), link(Z,Y).
+		tc(X,Y)     :- link(X,Y).
+		tc(X,Y)     :- tc(X,Z), link(Z,Y).
+		both(X,Y)   :- hop(X,Y), tc(X,Y).
+		lonely(X,Y) :- tc(X,Y), !hop(X,Y).
+	`
+	prog, st := parseProgram(t, src)
+	facts := `link(a,b). link(b,c). link(c,a). link(c,d). link(d,e). link(a,e).`
+	db1 := loadDB(t, facts)
+	ev := NewEvaluator(prog, st, Set)
+	if err := ev.Evaluate(db1); err != nil {
+		t.Fatal(err)
+	}
+	db2 := loadDB(t, facts)
+	if err := NaiveEvaluate(prog, st, db2); err != nil {
+		t.Fatal(err)
+	}
+	for pred := range prog.DerivedPreds() {
+		if !relation.EqualAsSets(db1.Get(pred), db2.Get(pred)) {
+			t.Fatalf("%s: semi-naive %v vs naive %v", pred, db1.Get(pred), db2.Get(pred))
+		}
+	}
+}
+
+func TestTrackCountsOffCollapsesToSets(t *testing.T) {
+	prog, st := parseProgram(t, `hop(X,Y) :- link(X,Z), link(Z,Y).`)
+	db := loadDB(t, `link(a,b). link(a,d). link(d,c). link(b,c).`)
+	ev := NewEvaluator(prog, st, Duplicate)
+	ev.TrackCounts = false
+	if err := ev.Evaluate(db); err != nil {
+		t.Fatal(err)
+	}
+	wantCounts(t, db.Get("hop"), map[string]int64{"a,c": 1})
+}
+
+func TestGroupTableBuildAndDeltas(t *testing.T) {
+	prog, _ := parseProgram(t, `m(S,M) :- groupby(u(S,C), [S], M = min(C)).`)
+	g := prog.Rules[0].Body[0].Agg
+
+	u := relation.New(2)
+	u.Add(value.T("a", 5), 1)
+	u.Add(value.T("a", 3), 1)
+	u.Add(value.T("b", 7), 1)
+
+	gt, err := BuildGroupTable(g, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCounts(t, gt.Rel(), map[string]int64{"a,3": 1, "b,7": 1})
+
+	// Insert a new minimum for a; delete b entirely; create group c.
+	du := relation.New(2)
+	du.Add(value.T("a", 1), 1)
+	du.Add(value.T("b", 7), -1)
+	du.Add(value.T("c", 9), 1)
+	uNew := relation.Overlay(u, du)
+	dt, err := gt.ApplyDelta(du, uNew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCounts(t, dt, map[string]int64{"a,3": -1, "a,1": 1, "b,7": -1, "c,9": 1})
+	gt.Commit(dt)
+	u.MergeDelta(du)
+	wantCounts(t, gt.Rel(), map[string]int64{"a,1": 1, "c,9": 1})
+
+	// Now delete the minimum of a: rescan path must find 3 … wait, 3 is
+	// still present (we only inserted 1); removing 1 rescans to 3.
+	du2 := relation.New(2)
+	du2.Add(value.T("a", 1), -1)
+	dt2, err := gt.ApplyDelta(du2, relation.Overlay(u, du2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCounts(t, dt2, map[string]int64{"a,1": -1, "a,3": 1})
+	gt.Commit(dt2)
+	u.MergeDelta(du2)
+
+	// Unchanged aggregate emits nothing (delete a non-extremal member).
+	u.Add(value.T("a", 99), 1)
+	du3 := relation.New(2)
+	du3.Add(value.T("a", 99), -1)
+	dt3, err := gt.ApplyDelta(du3, relation.Overlay(u, du3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dt3.Len() != 0 {
+		t.Fatalf("unchanged group must emit no ΔT: %v", dt3)
+	}
+	gt.Commit(dt3)
+}
+
+func TestGroupTableConstPatternFilters(t *testing.T) {
+	prog, _ := parseProgram(t, `m(S,M) :- groupby(u(S,k,C), [S], M = sum(C)).`)
+	g := prog.Rules[0].Body[0].Agg
+	u := relation.New(3)
+	u.Add(value.T("a", "k", 5), 1)
+	u.Add(value.T("a", "other", 100), 1) // filtered by the constant
+	gt, err := BuildGroupTable(g, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCounts(t, gt.Rel(), map[string]int64{"a,5": 1})
+}
+
+func TestGroupTableDuplicateMultiplicities(t *testing.T) {
+	prog, _ := parseProgram(t, `m(S,M) :- groupby(u(S,C), [S], M = count(C)).`)
+	g := prog.Rules[0].Body[0].Agg
+	u := relation.New(2)
+	u.Add(value.T("a", 5), 3) // three duplicates
+	gt, err := BuildGroupTable(g, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCounts(t, gt.Rel(), map[string]int64{"a,3": 1})
+}
+
+func TestEvaluateWithAggregate(t *testing.T) {
+	prog, st := parseProgram(t, `
+		m(S, M)   :- groupby(u(S, C), [S], M = sum(C)).
+		big(S)    :- m(S, M), M > 10.
+	`)
+	db := loadDB(t, `u(a, 5). u(a, 7). u(b, 2).`)
+	ev := NewEvaluator(prog, st, Set)
+	if err := ev.Evaluate(db); err != nil {
+		t.Fatal(err)
+	}
+	wantCounts(t, db.Get("m"), map[string]int64{"a,12": 1, "b,2": 1})
+	wantCounts(t, db.Get("big"), map[string]int64{"a": 1})
+	if len(ev.GroupTables) != 1 {
+		t.Fatalf("group tables: %d", len(ev.GroupTables))
+	}
+}

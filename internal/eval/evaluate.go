@@ -1,0 +1,303 @@
+package eval
+
+import (
+	"fmt"
+
+	"ivm/internal/datalog"
+	"ivm/internal/relation"
+	"ivm/internal/strata"
+)
+
+// RuleLit addresses one body literal of one program rule; it keys the
+// group tables an Evaluator builds for aggregate subgoals.
+type RuleLit struct {
+	Rule, Lit int
+}
+
+// Evaluator computes the materialization of a validated, stratified
+// program bottom-up, stratum by stratum. Nonrecursive strata are
+// evaluated in a single pass with derivation counting; recursive strata
+// run a semi-naive fixpoint under set semantics (counting recursive views
+// may not terminate — the paper restricts counting to nonrecursive views).
+type Evaluator struct {
+	prog  *datalog.Program
+	strat *strata.Stratification
+	sem   Semantics
+
+	// TrackCounts, when false, collapses every derived relation to its
+	// set image after evaluation — the "duplicate elimination without
+	// counting" baseline of Section 5 used to measure counting overhead.
+	TrackCounts bool
+
+	// RecursiveCounts enables duplicate-semantics evaluation of recursive
+	// strata via counted semi-naive fixpoints ([GKM92]): count(t) becomes
+	// the number of derivation trees, finite only on acyclic derivations.
+	// Divergent strata return *ErrCountsDiverge after MaxIterations.
+	RecursiveCounts bool
+
+	// MaxIterations bounds counted recursive fixpoints (0 = the package
+	// default).
+	MaxIterations int
+
+	// GroupTables holds the GROUPBY materializations built during
+	// Evaluate, keyed by (rule index, literal index). Maintenance engines
+	// adopt these to run Algorithm 6.1 incrementally.
+	GroupTables map[RuleLit]*GroupTable
+}
+
+// NewEvaluator builds an evaluator. The program must already validate.
+func NewEvaluator(prog *datalog.Program, st *strata.Stratification, sem Semantics) *Evaluator {
+	return &Evaluator{
+		prog:        prog,
+		strat:       st,
+		sem:         sem,
+		TrackCounts: true,
+		GroupTables: make(map[RuleLit]*GroupTable),
+	}
+}
+
+// ErrRecursiveDuplicates is returned when duplicate semantics is requested
+// for a recursive program: recursive counts can be infinite (Section 8).
+var ErrRecursiveDuplicates = fmt.Errorf("eval: duplicate semantics is not supported for recursive programs (counts may be infinite)")
+
+// source returns the reader for a subgoal over pred: under set semantics
+// lower-stratum relations are consumed as set images (Section 5.1).
+func (e *Evaluator) source(db *DB, pred string) relation.Reader {
+	r := db.rel(pred)
+	if e.sem == Set {
+		return relation.SetImage(r)
+	}
+	return r
+}
+
+// Evaluate materializes every derived predicate of the program into db
+// (which supplies the base relations). Derived relations already in db
+// are replaced.
+func (e *Evaluator) Evaluate(db *DB) error {
+	byStratum := e.strat.RulesByStratum(e.prog)
+	// Reset derived relations.
+	for pred := range e.prog.DerivedPreds() {
+		db.Put(pred, relation.New(arityOf(e.prog, pred)))
+	}
+	for s := 1; s <= e.strat.MaxStratum; s++ {
+		rules := byStratum[s]
+		if len(rules) == 0 {
+			continue
+		}
+		recursive := false
+		for _, ri := range rules {
+			if e.strat.Recursive[e.prog.Rules[ri].Head.Pred] {
+				recursive = true
+				break
+			}
+		}
+		var err error
+		switch {
+		case recursive && e.sem == Duplicate && e.RecursiveCounts:
+			err = e.evalRecursiveStratumCounted(db, s, rules)
+		case recursive && e.sem == Duplicate:
+			return ErrRecursiveDuplicates
+		case recursive:
+			err = e.evalRecursiveStratum(db, s, rules)
+		default:
+			err = e.evalFlatStratum(db, rules)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if !e.TrackCounts {
+		for pred := range e.prog.DerivedPreds() {
+			db.Put(pred, db.rel(pred).ToSet())
+		}
+	}
+	return nil
+}
+
+// sources resolves every literal of rule ri against db, building group
+// tables for aggregate subgoals. inStratum optionally overrides readers
+// for same-stratum predicates (semi-naive fixpoints pass the working
+// relations); it may be nil.
+func (e *Evaluator) sources(db *DB, ri int, inStratum map[string]relation.Reader) ([]Source, error) {
+	rule := e.prog.Rules[ri]
+	srcs := make([]Source, len(rule.Body))
+	for li, lit := range rule.Body {
+		switch lit.Kind {
+		case datalog.LitPositive, datalog.LitNegated:
+			if r, ok := inStratum[lit.Atom.Pred]; ok {
+				srcs[li] = Source{Rel: r}
+			} else {
+				srcs[li] = Source{Rel: e.source(db, lit.Atom.Pred)}
+			}
+		case datalog.LitAggregate:
+			key := RuleLit{ri, li}
+			gt, ok := e.GroupTables[key]
+			if !ok {
+				var err error
+				gt, err = BuildGroupTable(lit.Agg, e.source(db, lit.Agg.Inner.Pred))
+				if err != nil {
+					return nil, err
+				}
+				e.GroupTables[key] = gt
+			}
+			srcs[li] = Source{Rel: gt.Rel()}
+		case datalog.LitCondition:
+			// no relation
+		}
+	}
+	return srcs, nil
+}
+
+// evalFlatStratum evaluates a nonrecursive stratum in one pass, with
+// full derivation counting.
+func (e *Evaluator) evalFlatStratum(db *DB, rules []int) error {
+	for _, ri := range rules {
+		rule := e.prog.Rules[ri]
+		out := db.Ensure(rule.Head.Pred, len(rule.Head.Args))
+		srcs, err := e.sources(db, ri, nil)
+		if err != nil {
+			return err
+		}
+		if err := EvalRule(rule, srcs, -1, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// evalRecursiveStratum runs a semi-naive fixpoint over the stratum's
+// rules under set semantics: every derived tuple is stored with count 1;
+// per round, each rule is re-evaluated once per same-stratum body literal
+// with that literal restricted to the previous round's delta.
+func (e *Evaluator) evalRecursiveStratum(db *DB, s int, rules []int) error {
+	inStratum := make(map[string]bool)
+	for _, ri := range rules {
+		inStratum[e.prog.Rules[ri].Head.Pred] = true
+	}
+
+	// Working relations (the stratum's predicates start empty).
+	work := make(map[string]relation.Reader)
+	for pred := range inStratum {
+		work[pred] = db.rel(pred)
+	}
+
+	collect := func(tmp *relation.Relation, pred string, delta *relation.Relation) {
+		full := db.rel(pred)
+		tmp.Each(func(row relation.Row) {
+			if row.Count > 0 && !full.Has(row.Tuple) {
+				full.Add(row.Tuple, 1)
+				delta.Add(row.Tuple, 1)
+			}
+		})
+	}
+
+	// Seed round: evaluate every rule against the (empty) stratum
+	// relations — this covers all derivations not using in-stratum
+	// predicates (the base cases).
+	delta := make(map[string]*relation.Relation)
+	for pred := range inStratum {
+		delta[pred] = relation.New(arityOf(e.prog, pred))
+	}
+	for _, ri := range rules {
+		rule := e.prog.Rules[ri]
+		srcs, err := e.sources(db, ri, work)
+		if err != nil {
+			return err
+		}
+		tmp := relation.New(len(rule.Head.Args))
+		if err := EvalRule(rule, srcs, -1, tmp); err != nil {
+			return err
+		}
+		collect(tmp, rule.Head.Pred, delta[rule.Head.Pred])
+	}
+
+	for {
+		advanced := false
+		for _, d := range delta {
+			if !d.Empty() {
+				advanced = true
+				break
+			}
+		}
+		if !advanced {
+			return nil
+		}
+		next := make(map[string]*relation.Relation)
+		for pred := range inStratum {
+			next[pred] = relation.New(arityOf(e.prog, pred))
+		}
+		for _, ri := range rules {
+			rule := e.prog.Rules[ri]
+			for li, lit := range rule.Body {
+				if lit.Kind != datalog.LitPositive || !inStratum[lit.Atom.Pred] {
+					continue
+				}
+				d := delta[lit.Atom.Pred]
+				if d.Empty() {
+					continue
+				}
+				srcs, err := e.sources(db, ri, work)
+				if err != nil {
+					return err
+				}
+				srcs[li] = Source{Rel: d}
+				tmp := relation.New(len(rule.Head.Args))
+				if err := EvalRule(rule, srcs, li, tmp); err != nil {
+					return err
+				}
+				collect(tmp, rule.Head.Pred, next[rule.Head.Pred])
+			}
+		}
+		delta = next
+	}
+}
+
+// NaiveEvaluate evaluates the program by naive fixpoint iteration under
+// set semantics — slow but obviously correct; used as a test oracle.
+func NaiveEvaluate(prog *datalog.Program, st *strata.Stratification, db *DB) error {
+	for pred := range prog.DerivedPreds() {
+		db.Put(pred, relation.New(arityOf(prog, pred)))
+	}
+	byStratum := st.RulesByStratum(prog)
+	for s := 1; s <= st.MaxStratum; s++ {
+		rules := byStratum[s]
+		for {
+			changed := false
+			for _, ri := range rules {
+				rule := prog.Rules[ri]
+				srcs := make([]Source, len(rule.Body))
+				for li, lit := range rule.Body {
+					switch lit.Kind {
+					case datalog.LitPositive, datalog.LitNegated:
+						srcs[li] = Source{Rel: relation.SetImage(db.rel(lit.Atom.Pred))}
+					case datalog.LitAggregate:
+						gt, err := BuildGroupTable(lit.Agg, relation.SetImage(db.rel(lit.Agg.Inner.Pred)))
+						if err != nil {
+							return err
+						}
+						srcs[li] = Source{Rel: gt.Rel()}
+					}
+				}
+				tmp := relation.New(len(rule.Head.Args))
+				if err := EvalRule(rule, srcs, -1, tmp); err != nil {
+					return err
+				}
+				full := db.rel(rule.Head.Pred)
+				var cerr error
+				tmp.Each(func(row relation.Row) {
+					if cerr == nil && row.Count > 0 && !full.Has(row.Tuple) {
+						full.Add(row.Tuple, 1)
+						changed = true
+					}
+				})
+				if cerr != nil {
+					return cerr
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,302 @@
+package eval
+
+import (
+	"fmt"
+
+	"ivm/internal/agg"
+	"ivm/internal/datalog"
+	"ivm/internal/relation"
+	"ivm/internal/value"
+)
+
+// GroupTable materializes one GROUPBY subgoal: the relation T over
+// (groupVars..., result) with one tuple per non-empty group, plus the
+// per-group incremental aggregate state needed to run Algorithm 6.1.
+// A group whose aggregate cannot be updated incrementally (MIN/MAX losing
+// their extremum) is rebuilt by rescanning the grouped relation restricted
+// to that group — the paper's fallback for non-incrementally-computable
+// cases.
+type GroupTable struct {
+	g         *datalog.Aggregate
+	groupCols []int // position of each grouping var in the inner atom (first occurrence)
+	groups    map[string]*groupEntry
+	rel       *relation.Relation // committed T
+	// undo holds pre-ApplyDelta snapshots of touched groups until Commit
+	// or Rollback resolves the pending delta.
+	undo map[string]undoEntry
+}
+
+type groupEntry struct {
+	groupVals value.Tuple
+	state     agg.State
+	cur       value.Tuple // current T tuple (nil if group empty)
+}
+
+// undoEntry snapshots one group before an uncommitted ApplyDelta touched
+// it, so Rollback can restore the table if maintenance aborts.
+type undoEntry struct {
+	existed   bool
+	groupVals value.Tuple
+	state     agg.State
+	cur       value.Tuple
+}
+
+// BuildGroupTable computes the GROUPBY relation for g over u.
+func BuildGroupTable(g *datalog.Aggregate, u relation.Reader) (*GroupTable, error) {
+	cols, err := groupColumns(g)
+	if err != nil {
+		return nil, err
+	}
+	t := &GroupTable{
+		g:         g,
+		groupCols: cols,
+		groups:    make(map[string]*groupEntry),
+		rel:       relation.New(len(g.GroupBy) + 1),
+	}
+	var ferr error
+	u.Each(func(row relation.Row) {
+		if ferr != nil {
+			return
+		}
+		ferr = t.fold(row)
+	})
+	if ferr != nil {
+		return nil, ferr
+	}
+	// Materialize T.
+	for _, e := range t.groups {
+		if v, ok := e.state.Result(); ok {
+			e.cur = append(e.groupVals.Clone(), v)
+			t.rel.Add(e.cur, 1)
+		}
+	}
+	t.dropEmpty()
+	return t, nil
+}
+
+// Rel returns the committed T relation. Callers must treat it as
+// read-only; it advances only through Commit.
+func (t *GroupTable) Rel() *relation.Relation { return t.rel }
+
+// Agg returns the subgoal this table materializes.
+func (t *GroupTable) Agg() *datalog.Aggregate { return t.g }
+
+// fold routes one grouped-relation row into its group's state: positive
+// counts Add, negative counts Remove. A group whose state can no longer
+// answer exactly is marked for rescan (state == nil) and further rows for
+// it are ignored until the rescan rebuilds it.
+func (t *GroupTable) fold(row relation.Row) error {
+	gv, av, ok, err := t.match(row.Tuple)
+	if err != nil || !ok {
+		return err
+	}
+	e := t.entry(gv)
+	if e.state == nil {
+		return nil // pending rescan; the rescan sees the full new relation
+	}
+	if row.Count > 0 {
+		return e.state.Add(av, row.Count)
+	}
+	if row.Count < 0 {
+		rescan, err := e.state.Remove(av, -row.Count)
+		if err != nil {
+			return err
+		}
+		if rescan {
+			e.state = nil // rebuild from the grouped relation later
+		}
+	}
+	return nil
+}
+
+// match checks row against the inner atom pattern; on success it returns
+// the grouping values and the aggregated expression's value.
+func (t *GroupTable) match(tuple value.Tuple) (gv value.Tuple, av value.Value, ok bool, err error) {
+	b := newBinding()
+	ok, bound := matchPattern(t.g.Inner.Args, tuple, b)
+	if !ok {
+		return nil, value.Value{}, false, nil
+	}
+	defer undoBind(b, bound)
+	gv = make(value.Tuple, len(t.g.GroupBy))
+	for i, v := range t.g.GroupBy {
+		val, found := b.lookup(string(v))
+		if !found {
+			return nil, value.Value{}, false, fmt.Errorf("eval: grouping variable %s unbound by %s", v, t.g.Inner)
+		}
+		gv[i] = val
+	}
+	av, err = evalTerm(t.g.Arg, b)
+	if err != nil {
+		return nil, value.Value{}, false, err
+	}
+	return gv, av, true, nil
+}
+
+func (t *GroupTable) entry(gv value.Tuple) *groupEntry {
+	k := gv.Key()
+	e, ok := t.groups[k]
+	if !ok {
+		st, err := agg.New(t.g.Func)
+		if err != nil {
+			panic(err) // function validated at program validation time
+		}
+		e = &groupEntry{groupVals: gv.Clone(), state: st}
+		t.groups[k] = e
+	}
+	return e
+}
+
+func (t *GroupTable) dropEmpty() {
+	for k, e := range t.groups {
+		if e.cur == nil {
+			if _, ok := e.state.Result(); !ok {
+				delete(t.groups, k)
+			}
+		}
+	}
+}
+
+// ApplyDelta runs Algorithm 6.1: for every group touched by du it updates
+// the group's state (rescanning uNew when the aggregate is not
+// incrementally computable downward) and emits ΔT — the old group tuple
+// with count −1 and the new one with +1 whenever the aggregate changed.
+//
+// The committed relation (Rel) is untouched until Commit(ΔT) is called, so
+// callers can read old T, ΔT, and new T (= Overlay(Rel, ΔT)) while
+// evaluating delta rules. ApplyDelta must be followed by exactly one
+// Commit before the next ApplyDelta.
+func (t *GroupTable) ApplyDelta(du relation.Reader, uNew relation.Reader) (*relation.Relation, error) {
+	if t.undo == nil {
+		t.undo = make(map[string]undoEntry)
+	}
+	dirty := make(map[string]bool)
+	var ferr error
+	du.Each(func(row relation.Row) {
+		if ferr != nil {
+			return
+		}
+		gv, _, ok, err := t.match(row.Tuple)
+		if err != nil {
+			ferr = err
+			return
+		}
+		if !ok {
+			return
+		}
+		k := gv.Key()
+		if _, snapped := t.undo[k]; !snapped {
+			ue := undoEntry{groupVals: gv.Clone()}
+			if e, exists := t.groups[k]; exists {
+				ue.existed = true
+				if e.state != nil {
+					ue.state = e.state.Clone()
+				}
+				ue.cur = e.cur
+			}
+			t.undo[k] = ue
+		}
+		dirty[k] = true
+		ferr = t.fold(row)
+	})
+	if ferr != nil {
+		return nil, ferr
+	}
+
+	deltaT := relation.New(len(t.g.GroupBy) + 1)
+	for k := range dirty {
+		e := t.groups[k]
+		if e.state == nil {
+			if err := t.rescan(e, uNew); err != nil {
+				return nil, err
+			}
+		}
+		var next value.Tuple
+		if v, ok := e.state.Result(); ok {
+			next = append(e.groupVals.Clone(), v)
+		}
+		switch {
+		case e.cur == nil && next == nil:
+			delete(t.groups, k)
+		case e.cur != nil && next != nil && e.cur.Equal(next):
+			// unchanged
+		default:
+			if e.cur != nil {
+				deltaT.Add(e.cur, -1)
+			}
+			if next != nil {
+				deltaT.Add(next, 1)
+			}
+			e.cur = next
+			if next == nil {
+				delete(t.groups, k)
+			}
+		}
+	}
+	return deltaT, nil
+}
+
+// rescan rebuilds a group's state from the new grouped relation.
+func (t *GroupTable) rescan(e *groupEntry, uNew relation.Reader) error {
+	st, err := agg.New(t.g.Func)
+	if err != nil {
+		return err
+	}
+	e.state = st
+	for _, row := range uNew.Lookup(t.groupCols, e.groupVals) {
+		gv, av, ok, err := t.match(row.Tuple)
+		if err != nil {
+			return err
+		}
+		if !ok || !gv.Equal(e.groupVals) {
+			continue
+		}
+		if row.Count > 0 {
+			if err := st.Add(av, row.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Commit folds a previously returned ΔT into the committed relation and
+// discards the undo snapshots.
+func (t *GroupTable) Commit(deltaT *relation.Relation) {
+	t.rel.MergeDelta(deltaT)
+	t.undo = nil
+}
+
+// Rollback restores the group states to their last committed values,
+// undoing an ApplyDelta whose maintenance round aborted. The committed
+// relation was never touched, so only group states and cached tuples
+// revert.
+func (t *GroupTable) Rollback() {
+	for k, ue := range t.undo {
+		if !ue.existed {
+			delete(t.groups, k)
+			continue
+		}
+		t.groups[k] = &groupEntry{groupVals: ue.groupVals, state: ue.state, cur: ue.cur}
+	}
+	t.undo = nil
+}
+
+// groupColumns locates each grouping variable's first position in the
+// inner atom.
+func groupColumns(g *datalog.Aggregate) ([]int, error) {
+	cols := make([]int, len(g.GroupBy))
+	for i, v := range g.GroupBy {
+		cols[i] = -1
+		for j, a := range g.Inner.Args {
+			if av, ok := a.(datalog.Var); ok && av == v {
+				cols[i] = j
+				break
+			}
+		}
+		if cols[i] < 0 {
+			return nil, fmt.Errorf("eval: grouping variable %s not found in %s", v, g.Inner)
+		}
+	}
+	return cols, nil
+}

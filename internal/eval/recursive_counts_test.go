@@ -1,0 +1,62 @@
+package eval
+
+import (
+	"testing"
+
+	"ivm/internal/value"
+)
+
+func TestRecursiveCountsDiamond(t *testing.T) {
+	prog, st := parseProgram(t, `
+		tc(X,Y) :- link(X,Y).
+		tc(X,Y) :- tc(X,Z), link(Z,Y).
+	`)
+	// Diamond: a→b, a→c, b→d, c→d — two paths a⇝d.
+	db := loadDB(t, `link(a,b). link(a,c). link(b,d). link(c,d).`)
+	ev := NewEvaluator(prog, st, Duplicate)
+	ev.RecursiveCounts = true
+	if err := ev.Evaluate(db); err != nil {
+		t.Fatal(err)
+	}
+	wantCounts(t, db.Get("tc"), map[string]int64{
+		"a,b": 1, "a,c": 1, "b,d": 1, "c,d": 1, "a,d": 2,
+	})
+}
+
+func TestRecursiveCountsLongChainWithShortcuts(t *testing.T) {
+	// Chain 0→1→2→3 plus shortcut edges 0→2 and 1→3: path counts follow
+	// a Fibonacci-like recurrence.
+	prog, st := parseProgram(t, `
+		tc(X,Y) :- link(X,Y).
+		tc(X,Y) :- tc(X,Z), link(Z,Y).
+	`)
+	db := loadDB(t, `link(0,1). link(1,2). link(2,3). link(0,2). link(1,3).`)
+	ev := NewEvaluator(prog, st, Duplicate)
+	ev.RecursiveCounts = true
+	if err := ev.Evaluate(db); err != nil {
+		t.Fatal(err)
+	}
+	// paths 0⇝3: 0-1-2-3, 0-2-3, 0-1-3 → 3
+	if got := db.Get("tc").Count(value.T(int64(0), int64(3))); got != 3 {
+		t.Fatalf("tc(0,3) = %d, want 3: %v", got, db.Get("tc"))
+	}
+	// paths 0⇝2: direct, via 1 → 2
+	if got := db.Get("tc").Count(value.T(int64(0), int64(2))); got != 2 {
+		t.Fatalf("tc(0,2) = %d, want 2", got)
+	}
+}
+
+func TestRecursiveCountsDivergeOnCycle(t *testing.T) {
+	prog, st := parseProgram(t, `
+		tc(X,Y) :- link(X,Y).
+		tc(X,Y) :- tc(X,Z), link(Z,Y).
+	`)
+	db := loadDB(t, `link(a,b). link(b,a).`)
+	ev := NewEvaluator(prog, st, Duplicate)
+	ev.RecursiveCounts = true
+	ev.MaxIterations = 50
+	err := ev.Evaluate(db)
+	if _, ok := err.(*ErrCountsDiverge); !ok {
+		t.Fatalf("err = %v, want ErrCountsDiverge", err)
+	}
+}

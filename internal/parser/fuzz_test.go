@@ -1,0 +1,56 @@
+package parser
+
+import "testing"
+
+// FuzzParse checks the Datalog parser never panics and that accepted
+// programs re-parse from their rendered form (round-trip stability).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`hop(X,Y) :- link(X,Z), link(Z,Y).`,
+		`p(a). p(b) * 3.`,
+		`only(X,Y) :- t(X,Y), !h(X,Y).`,
+		`m(S,M) :- groupby(u(S,C), [S], M = min(C)).`,
+		`big(X) :- p(X,C), C > 5, C != 42.`,
+		`cost(S,D,C1+C2) :- l(S,I,C1), l(I,D,C2).`,
+		`+x(1). -y("str").`,
+		"% comment\np(a).",
+		`p("esc\n\t\"q\"").`,
+		`weird(_, X, 1.5e3) :- q(_, X).`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		res, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Accepted rules must render and re-parse to the same text.
+		rendered := res.Program.String()
+		res2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("re-parse of rendered program failed: %v\n%s", err, rendered)
+		}
+		if res2.Program.String() != rendered {
+			t.Fatalf("unstable render:\n%s\nvs\n%s", rendered, res2.Program.String())
+		}
+	})
+}
+
+// FuzzParseDelta checks the delta-script parser never panics.
+func FuzzParseDelta(f *testing.F) {
+	f.Add(`+link(a,b). -link(b,c) * 2.`)
+	f.Add(`p(1,2.5,"x").`)
+	f.Fuzz(func(t *testing.T, src string) {
+		_, _ = ParseDelta(src)
+	})
+}
+
+// FuzzParseGoal checks the goal parser never panics.
+func FuzzParseGoal(f *testing.F) {
+	f.Add(`hop(a, X)`)
+	f.Add(`p(X, X, 3).`)
+	f.Fuzz(func(t *testing.T, src string) {
+		_, _ = ParseGoal(src)
+	})
+}

@@ -1,0 +1,272 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"ivm/internal/datalog"
+	"ivm/internal/value"
+)
+
+func mustParse(t *testing.T, src string) *Result {
+	t.Helper()
+	res, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return res
+}
+
+func TestParseFacts(t *testing.T) {
+	res := mustParse(t, `
+		link(a, b).
+		link(a, b).         % duplicate accumulates at the caller
+		edge(1, 2.5, "hi there").
+		flag().
+		neg(-3).
+	`)
+	if len(res.Facts) != 5 {
+		t.Fatalf("facts: %d", len(res.Facts))
+	}
+	f := res.Facts[2]
+	if f.Pred != "edge" || !f.Tuple.Equal(value.T(1, 2.5, "hi there")) {
+		t.Fatalf("edge fact: %v %v", f.Pred, f.Tuple)
+	}
+	if len(res.Facts[3].Tuple) != 0 {
+		t.Fatal("zero-arity fact")
+	}
+	if !res.Facts[4].Tuple.Equal(value.T(-3)) {
+		t.Fatalf("negative constant: %v", res.Facts[4].Tuple)
+	}
+}
+
+func TestParseFactMultiplicity(t *testing.T) {
+	res := mustParse(t, `p(a) * 4. q(b) * -2.`)
+	if res.Facts[0].Count != 4 || res.Facts[1].Count != -2 {
+		t.Fatalf("counts: %d %d", res.Facts[0].Count, res.Facts[1].Count)
+	}
+}
+
+func TestParseRuleBasic(t *testing.T) {
+	res := mustParse(t, `hop(X, Y) :- link(X, Z), link(Z, Y).`)
+	if len(res.Program.Rules) != 1 {
+		t.Fatal("one rule")
+	}
+	r := res.Program.Rules[0]
+	if r.Head.Pred != "hop" || len(r.Body) != 2 {
+		t.Fatalf("rule shape: %v", r)
+	}
+	if r.String() != "hop(X, Y) :- link(X, Z), link(Z, Y)." {
+		t.Fatalf("round trip: %q", r.String())
+	}
+}
+
+func TestAmpersandConjunction(t *testing.T) {
+	res := mustParse(t, `hop(X,Y) :- link(X,Z) & link(Z,Y).`)
+	if len(res.Program.Rules[0].Body) != 2 {
+		t.Fatal("& conjunction")
+	}
+}
+
+func TestParseNegation(t *testing.T) {
+	res := mustParse(t, `
+		a(X) :- t(X), !h(X).
+		b(X) :- t(X), not h(X).
+	`)
+	for i, r := range res.Program.Rules {
+		if r.Body[1].Kind != datalog.LitNegated || r.Body[1].Atom.Pred != "h" {
+			t.Fatalf("rule %d: %v", i, r)
+		}
+	}
+}
+
+func TestNotAsPredicateName(t *testing.T) {
+	res := mustParse(t, `a(X) :- not(X).`)
+	lit := res.Program.Rules[0].Body[0]
+	if lit.Kind != datalog.LitPositive || lit.Atom.Pred != "not" {
+		t.Fatalf("'not(' must parse as a predicate: %v", lit)
+	}
+}
+
+func TestParseGroupBy(t *testing.T) {
+	res := mustParse(t, `mch(S,D,M) :- groupby(hop(S,D,C), [S, D], M = min(C)).`)
+	lit := res.Program.Rules[0].Body[0]
+	if lit.Kind != datalog.LitAggregate {
+		t.Fatalf("kind: %v", lit.Kind)
+	}
+	g := lit.Agg
+	if g.Inner.Pred != "hop" || len(g.GroupBy) != 2 || g.Result != "M" || g.Func != datalog.AggMin {
+		t.Fatalf("groupby: %v", g)
+	}
+	if g.String() != "groupby(hop(S, D, C), [S, D], M = min(C))" {
+		t.Fatalf("render: %q", g.String())
+	}
+}
+
+func TestParseGroupByEmptyVars(t *testing.T) {
+	res := mustParse(t, `total(N) :- groupby(sale(I, P), [], N = sum(P)).`)
+	g := res.Program.Rules[0].Body[0].Agg
+	if len(g.GroupBy) != 0 || g.Func != datalog.AggSum {
+		t.Fatalf("groupby: %v", g)
+	}
+}
+
+func TestParseArithmeticHead(t *testing.T) {
+	res := mustParse(t, `hop(S,D,C1+C2*2) :- link(S,I,C1), link(I,D,C2).`)
+	h := res.Program.Rules[0].Head
+	a, ok := h.Args[2].(datalog.Arith)
+	if !ok || a.Op != datalog.OpAdd {
+		t.Fatalf("head expr: %v", h.Args[2])
+	}
+	// Precedence: C1 + (C2*2)
+	r, ok := a.Right.(datalog.Arith)
+	if !ok || r.Op != datalog.OpMul {
+		t.Fatalf("precedence: %v", a)
+	}
+}
+
+func TestParseConditions(t *testing.T) {
+	res := mustParse(t, `
+		big(X)  :- p(X, C), C > 5.
+		near(X) :- p(X, C), C <= 2 + 1.
+		odd(X)  :- p(X, C), C != 0.
+		same(X) :- p(X, C), C = X.
+		ne2(X)  :- p(X, C), C <> 1.
+	`)
+	ops := []datalog.CmpOp{datalog.CmpGt, datalog.CmpLe, datalog.CmpNe, datalog.CmpEq, datalog.CmpNe}
+	for i, r := range res.Program.Rules {
+		lit := r.Body[1]
+		if lit.Kind != datalog.LitCondition || lit.Cond.Op != ops[i] {
+			t.Fatalf("rule %d: %v", i, lit)
+		}
+	}
+}
+
+func TestParseDeltaScript(t *testing.T) {
+	facts, err := ParseDelta(`
+		+link(a, f).
+		-link(a, b).
+		link(x, y).        % unsigned means insert
+		-link(q, r) * 3.
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := []int64{1, -1, 1, -3}
+	for i, f := range facts {
+		if f.Count != counts[i] {
+			t.Fatalf("fact %d count = %d, want %d", i, f.Count, counts[i])
+		}
+	}
+}
+
+func TestParseDeltaRejectsRules(t *testing.T) {
+	if _, err := ParseDelta(`p(X) :- q(X).`); err == nil {
+		t.Fatal("rules must be rejected in delta scripts")
+	}
+}
+
+func TestParseRulesRejectsFacts(t *testing.T) {
+	if _, err := ParseRules(`p(a).`); err == nil {
+		t.Fatal("facts must be rejected by ParseRules")
+	}
+}
+
+func TestSignedFactOutsideDeltaRejected(t *testing.T) {
+	if _, err := Parse(`+p(a).`); err == nil {
+		t.Fatal("+fact only valid in delta scripts")
+	}
+}
+
+func TestComments(t *testing.T) {
+	res := mustParse(t, `
+		% percent comment
+		# hash comment
+		// slash comment
+		p(a). // trailing
+	`)
+	if len(res.Facts) != 1 {
+		t.Fatalf("facts: %d", len(res.Facts))
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	res := mustParse(t, `p("a\nb\t\"q\"\\").`)
+	if res.Facts[0].Tuple[0].Str() != "a\nb\t\"q\"\\" {
+		t.Fatalf("escapes: %q", res.Facts[0].Tuple[0].Str())
+	}
+}
+
+func TestFloatLiterals(t *testing.T) {
+	res := mustParse(t, `p(1.5). q(2e3). r(1.5e-2).`)
+	if res.Facts[0].Tuple[0].Float() != 1.5 ||
+		res.Facts[1].Tuple[0].Float() != 2000 ||
+		res.Facts[2].Tuple[0].Float() != 0.015 {
+		t.Fatalf("floats: %v %v %v", res.Facts[0].Tuple, res.Facts[1].Tuple, res.Facts[2].Tuple)
+	}
+}
+
+func TestSyntaxErrorsCarryPosition(t *testing.T) {
+	cases := []string{
+		`p(a`,        // unterminated args
+		`p(a) q(b).`, // missing terminator
+		`p(a) :- .`,  // empty body
+		`p("unterminated`,
+		`p(a) :- q(b)`, // missing dot
+		`:- q(b).`,     // missing head
+		`p(a) * x.`,    // non-integer multiplicity
+		`p(a]`,         // stray bracket
+	}
+	for _, src := range cases {
+		_, err := Parse(src)
+		if err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+			continue
+		}
+		if se, ok := err.(*SyntaxError); ok {
+			if se.Line < 1 || se.Col < 1 {
+				t.Errorf("Parse(%q): bad position %d:%d", src, se.Line, se.Col)
+			}
+		}
+	}
+}
+
+func TestErrorMessageReadable(t *testing.T) {
+	_, err := Parse("p(a) :-\n  q(b\n")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "parse error at ") {
+		t.Fatalf("message: %v", err)
+	}
+}
+
+func TestVariableLexing(t *testing.T) {
+	res := mustParse(t, `p(X, _y, Abc, abc) :- q(X, _y, Abc, abc).`)
+	args := res.Program.Rules[0].Head.Args
+	if _, ok := args[0].(datalog.Var); !ok {
+		t.Error("X is a variable")
+	}
+	if _, ok := args[1].(datalog.Var); !ok {
+		t.Error("_y is a variable")
+	}
+	if _, ok := args[2].(datalog.Var); !ok {
+		t.Error("Abc is a variable")
+	}
+	if _, ok := args[3].(datalog.Const); !ok {
+		t.Error("abc is a constant")
+	}
+}
+
+func TestProgramRoundTrip(t *testing.T) {
+	src := `only_tri_hop(X, Y) :- tri_hop(X, Y), !hop(X, Y).
+min_cost_hop(S, D, M) :- groupby(hop(S, D, C), [S, D], M = min(C)).
+big(X) :- p(X, C), C > 5.
+`
+	res := mustParse(t, src)
+	rendered := res.Program.String()
+	res2 := mustParse(t, rendered)
+	if res2.Program.String() != rendered {
+		t.Fatalf("round trip unstable:\n%s\nvs\n%s", rendered, res2.Program.String())
+	}
+}

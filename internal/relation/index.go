@@ -1,0 +1,86 @@
+package relation
+
+import (
+	"strconv"
+
+	"ivm/internal/value"
+)
+
+// index is a hash index over a subset of columns. Buckets map the key of
+// the projected subtuple to the rows currently matching it. Indexes are
+// maintained incrementally once built (see idxAdd).
+type index struct {
+	cols    []int
+	buckets map[string][]Row
+}
+
+func colsSig(cols []int) string {
+	b := make([]byte, 0, 3*len(cols))
+	for _, c := range cols {
+		b = strconv.AppendInt(b, int64(c), 10)
+		b = append(b, ',')
+	}
+	return string(b)
+}
+
+func projKey(t value.Tuple, cols []int) string {
+	sub := make(value.Tuple, len(cols))
+	for i, c := range cols {
+		sub[i] = t[c]
+	}
+	return sub.Key()
+}
+
+// Lookup returns all rows whose projection on cols equals key's tuple
+// values. An index on cols is built on first use and kept up to date by
+// subsequent Add/Delete calls.
+func (r *Relation) Lookup(cols []int, keyVals value.Tuple) []Row {
+	sig := colsSig(cols)
+	if r.idx == nil {
+		r.idx = make(map[string]*index)
+	}
+	ix, ok := r.idx[sig]
+	if !ok {
+		ix = &index{cols: cols, buckets: make(map[string][]Row)}
+		for _, row := range r.rows {
+			k := projKey(row.Tuple, cols)
+			ix.buckets[k] = append(ix.buckets[k], row)
+		}
+		r.idx[sig] = ix
+	}
+	return ix.buckets[keyVals.Key()]
+}
+
+// idxAdd keeps existing indexes in sync with a count change of delta on t.
+// Rows are stored denormalized in buckets, so we rewrite the bucket entry.
+func (r *Relation) idxAdd(t value.Tuple, delta int64) {
+	if r.idx == nil {
+		return
+	}
+	for _, ix := range r.idx {
+		k := projKey(t, ix.cols)
+		bucket := ix.buckets[k]
+		found := false
+		tk := t.Key()
+		out := bucket[:0]
+		for _, row := range bucket {
+			if row.Key() == tk {
+				found = true
+				nc := row.Count + delta
+				if nc != 0 {
+					out = append(out, Row{Tuple: row.Tuple, Count: nc, key: tk})
+				}
+				continue
+			}
+			out = append(out, row)
+		}
+		if !found && delta != 0 {
+			out = append(out, Row{Tuple: t, Count: delta, key: tk})
+		}
+		if len(out) == 0 {
+			delete(ix.buckets, k)
+		} else {
+			ix.buckets[k] = out
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package relation
+
+import "ivm/internal/value"
+
+// Reader is the read-only access interface rule evaluation uses. Besides
+// *Relation itself, cheap composable views implement it: Overlay presents
+// "base ⊎ delta" without materializing it (so maintenance can see the new
+// state of a relation while the stored state is still old), and SetView
+// presents the set image (all counts 1) used when deriving higher strata
+// under set semantics (paper Section 5.1).
+type Reader interface {
+	// Arity returns the relation arity (-1 if unknown).
+	Arity() int
+	// Len estimates the number of distinct tuples (used by join-order
+	// heuristics; views may approximate).
+	Len() int
+	// Count returns the signed count of t (0 if absent).
+	Count(t value.Tuple) int64
+	// Has reports whether t is present with positive count.
+	Has(t value.Tuple) bool
+	// Each visits every row (unspecified order).
+	Each(f func(Row))
+	// Lookup returns rows whose projection on cols matches keyVals.
+	Lookup(cols []int, keyVals value.Tuple) []Row
+}
+
+var (
+	_ Reader = (*Relation)(nil)
+	_ Reader = (*overlay)(nil)
+	_ Reader = (*setView)(nil)
+)
+
+// Materialize copies any Reader into a fresh *Relation.
+func Materialize(r Reader) *Relation {
+	out := New(r.Arity())
+	r.Each(func(row Row) { out.Add(row.Tuple, row.Count) })
+	return out
+}
+
+// overlay is the non-materialized base ⊎ delta view.
+type overlay struct {
+	base  Reader
+	delta Reader
+}
+
+// Overlay returns a Reader presenting base ⊎ delta (Section 3's union)
+// without copying either. Rows whose combined count is zero vanish.
+// If delta is nil or empty, base itself is returned.
+func Overlay(base Reader, delta Reader) Reader {
+	if delta == nil {
+		return base
+	}
+	if d, ok := delta.(*Relation); ok && d.Empty() {
+		return base
+	}
+	return &overlay{base: base, delta: delta}
+}
+
+func (o *overlay) Len() int {
+	// Upper bound: deltas may cancel base rows.
+	return o.base.Len() + o.delta.Len()
+}
+
+func (o *overlay) Arity() int {
+	if a := o.base.Arity(); a >= 0 {
+		return a
+	}
+	return o.delta.Arity()
+}
+
+func (o *overlay) Count(t value.Tuple) int64 {
+	return o.base.Count(t) + o.delta.Count(t)
+}
+
+func (o *overlay) Has(t value.Tuple) bool { return o.Count(t) > 0 }
+
+func (o *overlay) Each(f func(Row)) {
+	// Snapshot the delta once so base rows are patched with O(1) map
+	// probes on cached keys instead of per-row key re-encoding.
+	dm := make(map[string]int64)
+	o.delta.Each(func(row Row) { dm[row.Key()] = row.Count })
+	o.base.Each(func(row Row) {
+		if c := row.Count + dm[row.Key()]; c != 0 {
+			f(Row{Tuple: row.Tuple, Count: c, key: row.key})
+		}
+	})
+	o.delta.Each(func(row Row) {
+		if o.base.Count(row.Tuple) == 0 && row.Count != 0 {
+			f(row)
+		}
+	})
+}
+
+func (o *overlay) Lookup(cols []int, keyVals value.Tuple) []Row {
+	base := o.base.Lookup(cols, keyVals)
+	del := o.delta.Lookup(cols, keyVals)
+	if len(del) == 0 {
+		return base
+	}
+	dm := make(map[string]int64, len(del))
+	for _, row := range del {
+		dm[row.Key()] = row.Count
+	}
+	out := make([]Row, 0, len(base)+len(del))
+	for _, row := range base {
+		k := row.Key()
+		if d, ok := dm[k]; ok {
+			delete(dm, k) // mark as merged
+			if c := row.Count + d; c != 0 {
+				out = append(out, Row{Tuple: row.Tuple, Count: c, key: row.key})
+			}
+			continue
+		}
+		out = append(out, row)
+	}
+	if len(dm) > 0 {
+		for _, row := range del {
+			if d, ok := dm[row.Key()]; ok && d != 0 {
+				out = append(out, row)
+			}
+		}
+	}
+	return out
+}
+
+// setView presents the set image of a reader: positive-count tuples with
+// count 1, everything else absent.
+type setView struct {
+	r Reader
+}
+
+// SetImage returns a Reader showing r's set image (every positive-count
+// tuple with count 1). Used to implement the per-stratum count convention
+// of Section 5.1 under set semantics.
+func SetImage(r Reader) Reader {
+	if sv, ok := r.(*setView); ok {
+		return sv
+	}
+	return &setView{r: r}
+}
+
+func (s *setView) Arity() int { return s.r.Arity() }
+
+func (s *setView) Len() int { return s.r.Len() }
+
+func (s *setView) Count(t value.Tuple) int64 {
+	if s.r.Count(t) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func (s *setView) Has(t value.Tuple) bool { return s.r.Has(t) }
+
+func (s *setView) Each(f func(Row)) {
+	s.r.Each(func(row Row) {
+		if row.Count > 0 {
+			f(Row{Tuple: row.Tuple, Count: 1, key: row.key})
+		}
+	})
+}
+
+func (s *setView) Lookup(cols []int, keyVals value.Tuple) []Row {
+	rows := s.r.Lookup(cols, keyVals)
+	out := make([]Row, 0, len(rows))
+	for _, row := range rows {
+		if row.Count > 0 {
+			out = append(out, Row{Tuple: row.Tuple, Count: 1, key: row.key})
+		}
+	}
+	return out
+}

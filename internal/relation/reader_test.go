@@ -1,0 +1,151 @@
+package relation
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ivm/internal/value"
+)
+
+func TestOverlayBasics(t *testing.T) {
+	base := rel(row(2, "a"), row(1, "b"))
+	delta := rel(row(-2, "a"), row(1, "c"), row(1, "b"))
+	o := Overlay(base, delta)
+
+	if o.Count(value.T("a")) != 0 || o.Has(value.T("a")) {
+		t.Error("a cancels")
+	}
+	if o.Count(value.T("b")) != 2 {
+		t.Error("b = 2")
+	}
+	if o.Count(value.T("c")) != 1 {
+		t.Error("c = 1")
+	}
+
+	got := Materialize(o)
+	want := UnionPlus(base, delta)
+	if !Equal(got, want) {
+		t.Fatalf("Each mismatch: %v vs %v", got, want)
+	}
+}
+
+func TestOverlayNilAndEmptyDelta(t *testing.T) {
+	base := rel(row(1, "a"))
+	if Overlay(base, nil) != Reader(base) {
+		t.Error("nil delta returns base")
+	}
+	if Overlay(base, New(1)) != Reader(base) {
+		t.Error("empty delta returns base")
+	}
+}
+
+func TestOverlayLookup(t *testing.T) {
+	base := New(2)
+	base.Add(value.T("a", "b"), 1)
+	base.Add(value.T("a", "c"), 1)
+	delta := New(2)
+	delta.Add(value.T("a", "b"), -1) // delete
+	delta.Add(value.T("a", "d"), 1)  // insert
+	o := Overlay(base, delta)
+
+	rows := o.Lookup([]int{0}, value.T("a"))
+	got := make(map[string]int64)
+	for _, rw := range rows {
+		got[rw.Tuple.Key()] = rw.Count
+	}
+	if len(got) != 2 {
+		t.Fatalf("lookup: %v", got)
+	}
+	if got[value.T("a", "c").Key()] != 1 || got[value.T("a", "d").Key()] != 1 {
+		t.Fatalf("lookup contents: %v", got)
+	}
+}
+
+func TestOverlayComposes(t *testing.T) {
+	base := rel(row(1, "a"))
+	d1 := rel(row(1, "b"))
+	d2 := rel(row(-1, "a"))
+	o := Overlay(Overlay(base, d1), d2)
+	if o.Has(value.T("a")) || !o.Has(value.T("b")) {
+		t.Error("stacked overlays")
+	}
+	if Materialize(o).Len() != 1 {
+		t.Error("materialized stacked overlay")
+	}
+}
+
+func TestSetImage(t *testing.T) {
+	base := rel(row(5, "a"), row(1, "b"))
+	s := SetImage(base)
+	if s.Count(value.T("a")) != 1 {
+		t.Error("counts collapse to 1")
+	}
+	if s.Count(value.T("zzz")) != 0 {
+		t.Error("absent stays 0")
+	}
+	if SetImage(s) != s {
+		t.Error("SetImage is idempotent (no double wrap)")
+	}
+	m := Materialize(s)
+	if m.TotalCount() != 2 || m.Len() != 2 {
+		t.Errorf("materialized set image: %v", m)
+	}
+	// Lookup collapses too.
+	base2 := New(2)
+	base2.Add(value.T("a", "b"), 7)
+	rows := SetImage(base2).Lookup([]int{0}, value.T("a"))
+	if len(rows) != 1 || rows[0].Count != 1 {
+		t.Errorf("set lookup: %v", rows)
+	}
+}
+
+func TestSetImageOverOverlay(t *testing.T) {
+	base := rel(row(2, "a"))
+	delta := rel(row(-1, "a"), row(3, "b"))
+	s := SetImage(Overlay(base, delta))
+	if s.Count(value.T("a")) != 1 || s.Count(value.T("b")) != 1 {
+		t.Error("set of overlay")
+	}
+}
+
+// TestOverlayQuick checks Overlay ≡ UnionPlus on random inputs for Count,
+// Has, Each and Lookup.
+func TestOverlayQuick(t *testing.T) {
+	f := func(a, b []struct {
+		K uint8
+		C int8
+	}) bool {
+		base, delta := New(1), New(1)
+		for _, x := range a {
+			base.Add(value.T(int64(x.K%10)), int64(x.C))
+		}
+		for _, x := range b {
+			delta.Add(value.T(int64(x.K%10)), int64(x.C))
+		}
+		o := Overlay(base, delta)
+		want := UnionPlus(base, delta)
+		if !Equal(Materialize(o), want) {
+			return false
+		}
+		for k := int64(0); k < 10; k++ {
+			if o.Count(value.T(k)) != want.Count(value.T(k)) {
+				return false
+			}
+			if o.Has(value.T(k)) != want.Has(value.T(k)) {
+				return false
+			}
+			lr := o.Lookup([]int{0}, value.T(k))
+			wc := want.Count(value.T(k))
+			switch {
+			case wc == 0 && len(lr) != 0:
+				return false
+			case wc != 0 && (len(lr) != 1 || lr[0].Count != wc):
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,288 @@
+// Package relation implements counted relations: multisets of tuples where
+// each tuple carries a signed derivation count, exactly the representation
+// of Section 3 of Gupta/Mumick/Subrahmanian (SIGMOD 1993).
+//
+// Positive counts are numbers of alternative derivations (or multiset
+// multiplicities); in delta relations, negative counts denote deleted
+// derivations. The ⊎ operator (UnionPlus / MergeDelta) adds counts and drops
+// tuples whose counts cancel to zero. Joins multiply counts.
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ivm/internal/value"
+)
+
+// Row pairs a tuple with its signed derivation count.
+type Row struct {
+	Tuple value.Tuple
+	Count int64
+	// key caches the tuple's canonical encoding when the row came out of
+	// a relation; Key() falls back to computing it.
+	key string
+}
+
+// Key returns the row's canonical tuple encoding, cached when the row
+// was produced by a Relation.
+func (r Row) Key() string {
+	if r.key != "" {
+		return r.key
+	}
+	return r.Tuple.Key()
+}
+
+// Relation is a counted relation. The zero value is not usable; call New.
+// A Relation never stores a row with Count == 0.
+type Relation struct {
+	arity int
+	rows  map[string]Row
+	idx   map[string]*index // lazy hash indexes, keyed by column signature
+}
+
+// New returns an empty relation with the given arity. Arity -1 means
+// "unknown until the first insert" (useful for generic plumbing).
+func New(arity int) *Relation {
+	return &Relation{arity: arity, rows: make(map[string]Row)}
+}
+
+// FromRows builds a relation from rows, merging duplicate tuples' counts.
+func FromRows(arity int, rows []Row) *Relation {
+	r := New(arity)
+	for _, row := range rows {
+		r.Add(row.Tuple, row.Count)
+	}
+	return r
+}
+
+// FromTuples builds a relation where each listed tuple has count 1
+// (repeats accumulate).
+func FromTuples(arity int, tuples ...value.Tuple) *Relation {
+	r := New(arity)
+	for _, t := range tuples {
+		r.Add(t, 1)
+	}
+	return r
+}
+
+// Arity returns the relation's arity (-1 if still unknown).
+func (r *Relation) Arity() int { return r.arity }
+
+// Len returns the number of distinct tuples (not the sum of counts).
+func (r *Relation) Len() int { return len(r.rows) }
+
+// TotalCount returns the sum of all counts (the multiset cardinality).
+func (r *Relation) TotalCount() int64 {
+	var n int64
+	for _, row := range r.rows {
+		n += row.Count
+	}
+	return n
+}
+
+// Empty reports whether the relation has no tuples.
+func (r *Relation) Empty() bool { return len(r.rows) == 0 }
+
+// Count returns the stored count for t (0 if absent).
+func (r *Relation) Count(t value.Tuple) int64 {
+	return r.rows[t.Key()].Count
+}
+
+// Has reports whether t is present with a positive count. This is the
+// truth test used for negated subgoals: a tuple is "true" iff count > 0.
+func (r *Relation) Has(t value.Tuple) bool {
+	return r.rows[t.Key()].Count > 0
+}
+
+// Add merges (t, count) into the relation, removing the tuple if the
+// resulting count is zero. Adding with count 0 is a no-op.
+func (r *Relation) Add(t value.Tuple, count int64) {
+	if count == 0 {
+		return
+	}
+	if r.arity < 0 {
+		r.arity = len(t)
+	} else if len(t) != r.arity {
+		panic(fmt.Sprintf("relation: arity mismatch: tuple %v into arity-%d relation", t, r.arity))
+	}
+	k := t.Key()
+	row, ok := r.rows[k]
+	if !ok {
+		r.rows[k] = Row{Tuple: t, Count: count, key: k}
+		r.idxAdd(t, count)
+		return
+	}
+	nc := row.Count + count
+	if nc == 0 {
+		delete(r.rows, k)
+	} else {
+		row.Count = nc
+		r.rows[k] = row
+	}
+	r.idxAdd(t, count)
+}
+
+// Set forces the count of t to exactly count (removing it when 0).
+func (r *Relation) Set(t value.Tuple, count int64) {
+	cur := r.rows[t.Key()].Count
+	r.Add(t, count-cur)
+}
+
+// Delete removes the tuple entirely regardless of count.
+func (r *Relation) Delete(t value.Tuple) {
+	k := t.Key()
+	row, ok := r.rows[k]
+	if !ok {
+		return
+	}
+	delete(r.rows, k)
+	r.idxAdd(t, -row.Count)
+}
+
+// Each calls f for every row. Iteration order is unspecified. f must not
+// mutate the relation.
+func (r *Relation) Each(f func(Row)) {
+	for _, row := range r.rows {
+		f(row)
+	}
+}
+
+// Rows returns all rows in unspecified order.
+func (r *Relation) Rows() []Row {
+	out := make([]Row, 0, len(r.rows))
+	for _, row := range r.rows {
+		out = append(out, row)
+	}
+	return out
+}
+
+// SortedRows returns rows ordered lexicographically by tuple — handy for
+// deterministic output and golden tests.
+func (r *Relation) SortedRows() []Row {
+	out := r.Rows()
+	sort.Slice(out, func(i, j int) bool { return out[i].Tuple.Compare(out[j].Tuple) < 0 })
+	return out
+}
+
+// Clone returns a deep-enough copy (tuples are immutable and shared).
+// Indexes are not copied.
+func (r *Relation) Clone() *Relation {
+	c := New(r.arity)
+	for k, row := range r.rows {
+		c.rows[k] = row
+	}
+	return c
+}
+
+// MergeDelta folds delta into r using the ⊎ operator of Section 3:
+// counts add, zero-count tuples vanish. r is modified in place.
+func (r *Relation) MergeDelta(delta *Relation) {
+	for _, row := range delta.rows {
+		r.Add(row.Tuple, row.Count)
+	}
+}
+
+// UnionPlus returns a ⊎ b as a fresh relation, leaving both inputs intact.
+func UnionPlus(a, b *Relation) *Relation {
+	out := a.Clone()
+	out.MergeDelta(b)
+	return out
+}
+
+// Negate returns a copy of r with all counts sign-flipped (the deletion
+// image of a relation).
+func (r *Relation) Negate() *Relation {
+	out := New(r.arity)
+	for k, row := range r.rows {
+		out.rows[k] = Row{Tuple: row.Tuple, Count: -row.Count, key: k}
+	}
+	return out
+}
+
+// ToSet returns the set image of r: every tuple with positive count maps
+// to count 1 (tuples with non-positive counts are dropped). This is the
+// set(·) function of Algorithm 4.1 statement (2).
+func (r *Relation) ToSet() *Relation {
+	out := New(r.arity)
+	for k, row := range r.rows {
+		if row.Count > 0 {
+			out.rows[k] = Row{Tuple: row.Tuple, Count: 1, key: k}
+		}
+	}
+	return out
+}
+
+// SetDiff returns set(a) − set(b) as a signed delta: tuples in a but not b
+// get +1, tuples in b but not a get −1. This implements statement (2) of
+// Algorithm 4.1 (the cascade delta under set semantics).
+func SetDiff(a, b *Relation) *Relation {
+	out := New(pickArity(a, b))
+	for k, row := range a.rows {
+		if row.Count > 0 && b.rows[k].Count <= 0 {
+			out.rows[k] = Row{Tuple: row.Tuple, Count: 1, key: k}
+		}
+	}
+	for k, row := range b.rows {
+		if row.Count > 0 && a.rows[k].Count <= 0 {
+			out.rows[k] = Row{Tuple: row.Tuple, Count: -1, key: k}
+		}
+	}
+	return out
+}
+
+// Equal reports whether two relations contain exactly the same tuples with
+// the same counts.
+func Equal(a, b *Relation) bool {
+	if len(a.rows) != len(b.rows) {
+		return false
+	}
+	for k, row := range a.rows {
+		if b.rows[k].Count != row.Count {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualAsSets reports whether a and b have the same positive-count tuples.
+func EqualAsSets(a, b *Relation) bool {
+	for k, row := range a.rows {
+		if row.Count > 0 && b.rows[k].Count <= 0 {
+			return false
+		}
+	}
+	for k, row := range b.rows {
+		if row.Count > 0 && a.rows[k].Count <= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func pickArity(a, b *Relation) int {
+	if a.arity >= 0 {
+		return a.arity
+	}
+	return b.arity
+}
+
+// String renders the relation like the paper: {ab 2, mn -1} with tuples in
+// sorted order.
+func (r *Relation) String() string {
+	rows := r.SortedRows()
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, row := range rows {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(row.Tuple.String())
+		if row.Count != 1 {
+			fmt.Fprintf(&sb, " %d", row.Count)
+		}
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}

@@ -1,0 +1,119 @@
+// Package sqlview translates a subset of SQL view definitions — the form
+// the paper itself uses in Example 1.1 — into the engine's Datalog
+// programs. Supported:
+//
+//	CREATE TABLE link(s, d);
+//	CREATE VIEW hop(s, d) AS
+//	    SELECT r1.s, r2.d FROM link r1, link r2 WHERE r1.d = r2.s;
+//	CREATE VIEW mch(s, d, m) AS
+//	    SELECT s, d, MIN(c) FROM hop GROUP BY s, d HAVING MIN(c) < 100;
+//	CREATE VIEW only_tri_hop(s, d) AS
+//	    SELECT t.s, t.d FROM tri_hop t
+//	    WHERE NOT EXISTS (SELECT * FROM hop h WHERE h.s = t.s AND h.d = t.d);
+//	CREATE VIEW v(x) AS SELECT a FROM p UNION SELECT b FROM q;
+//	INSERT INTO link VALUES ('a', 'b'), ('b', 'c');
+//
+// Joins become conjunctive rules (variables unified through equality
+// predicates), NOT EXISTS becomes safe negation, GROUP BY + an aggregate
+// becomes a GROUPBY subgoal (with an auxiliary rule for the join part),
+// UNION becomes multiple rules, and INSERT statements become facts.
+package sqlview
+
+import "ivm/internal/value"
+
+// Script is a parsed SQL script.
+type Script struct {
+	// Tables maps declared base tables to their column names.
+	Tables map[string][]string
+	// Views holds the view definitions in declaration order.
+	Views []ViewDef
+	// Facts holds rows from INSERT statements.
+	Facts []Fact
+}
+
+// Fact is one inserted row.
+type Fact struct {
+	Table string
+	Row   []value.Value
+}
+
+// ViewDef is one CREATE VIEW statement.
+type ViewDef struct {
+	Name    string
+	Cols    []string // declared column names ("" entries filled from aliases)
+	Selects []Select // UNION branches
+}
+
+// Select is one SELECT block.
+type Select struct {
+	Distinct bool
+	Items    []SelItem
+	From     []TableRef
+	Where    []Cond
+	GroupBy  []ColRef
+	Having   []Cond
+}
+
+// SelItem is one projection item.
+type SelItem struct {
+	Expr  Expr
+	Alias string
+}
+
+// TableRef is one FROM entry.
+type TableRef struct {
+	Table string
+	Alias string // defaults to Table
+}
+
+// ColRef names a column, optionally qualified by a table alias.
+type ColRef struct {
+	Qualifier string
+	Col       string
+}
+
+// Expr is a scalar SQL expression.
+type Expr interface{ isExpr() }
+
+// ColExpr references a column.
+type ColExpr struct{ Ref ColRef }
+
+// LitExpr is a literal constant.
+type LitExpr struct{ Val value.Value }
+
+// BinExpr is arithmetic.
+type BinExpr struct {
+	Op          byte // '+', '-', '*', '/'
+	Left, Right Expr
+}
+
+// AggExpr is an aggregate call; Arg == nil means COUNT(*).
+type AggExpr struct {
+	Fn  string // MIN MAX SUM COUNT AVG VARIANCE (lower-cased by parser)
+	Arg Expr
+}
+
+func (ColExpr) isExpr() {}
+func (LitExpr) isExpr() {}
+func (BinExpr) isExpr() {}
+func (AggExpr) isExpr() {}
+
+// CondKind discriminates WHERE conjuncts.
+type CondKind uint8
+
+const (
+	// CondCmp is expr <op> expr.
+	CondCmp CondKind = iota
+	// CondNotExists is NOT EXISTS (subselect).
+	CondNotExists
+)
+
+// Cond is one conjunct of a WHERE/HAVING clause.
+type Cond struct {
+	Kind CondKind
+	// CondCmp:
+	Op          string // = != < <= > >=
+	Left, Right Expr
+	// CondNotExists:
+	Sub *Select
+}

@@ -1,0 +1,25 @@
+package sqlview
+
+import "testing"
+
+// FuzzSQLParse checks the SQL parser and translator never panic.
+func FuzzSQLParse(f *testing.F) {
+	seeds := []string{
+		`CREATE TABLE link(s, d);`,
+		`CREATE TABLE t(a,b); CREATE VIEW v(a) AS SELECT a FROM t WHERE b = 1;`,
+		`INSERT INTO t VALUES ('a', 2), (3.5, 'x');`,
+		`CREATE TABLE h(s,d,c); CREATE VIEW m(s,m) AS SELECT s, MIN(c) FROM h GROUP BY s HAVING MIN(c) > 2;`,
+		`CREATE TABLE p(x); CREATE TABLE q(x); CREATE VIEW u(x) AS SELECT x FROM p UNION SELECT x FROM q;`,
+		`CREATE TABLE a(x); CREATE VIEW v(x) AS SELECT x FROM a WHERE NOT EXISTS (SELECT * FROM a b WHERE b.x = a.x);`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		script, err := Parse(src)
+		if err != nil {
+			return
+		}
+		_, _ = Translate(script)
+	})
+}

@@ -1,0 +1,168 @@
+package sqlview
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tInt
+	tFloat
+	tString
+	tPunct // single/double character punctuation, text in tok.text
+)
+
+type tok struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+// Error reports an SQL parse problem with its position.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("sql parse error at %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (l *lexer) errf(format string, args ...any) error {
+	return &Error{Line: l.line, Col: l.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) advance(n int) {
+	for i := 0; i < n && l.pos < len(l.src); i++ {
+		if l.src[l.pos] == '\n' {
+			l.line++
+			l.col = 1
+		} else {
+			l.col++
+		}
+		l.pos++
+	}
+}
+
+func (l *lexer) skip() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance(1)
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.advance(1)
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (l *lexer) next() (tok, error) {
+	l.skip()
+	line, col := l.line, l.col
+	mk := func(k tokKind, text string) tok { return tok{kind: k, text: text, line: line, col: col} }
+	if l.pos >= len(l.src) {
+		return mk(tEOF, ""), nil
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '(', ')', ',', ';', '*', '+', '-', '/', '.':
+		l.advance(1)
+		return mk(tPunct, string(c)), nil
+	case '=':
+		l.advance(1)
+		return mk(tPunct, "="), nil
+	case '<':
+		if l.pos+1 < len(l.src) && (l.src[l.pos+1] == '=' || l.src[l.pos+1] == '>') {
+			t := l.src[l.pos : l.pos+2]
+			l.advance(2)
+			if t == "<>" {
+				return mk(tPunct, "!="), nil
+			}
+			return mk(tPunct, t), nil
+		}
+		l.advance(1)
+		return mk(tPunct, "<"), nil
+	case '>':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+			l.advance(2)
+			return mk(tPunct, ">="), nil
+		}
+		l.advance(1)
+		return mk(tPunct, ">"), nil
+	case '!':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+			l.advance(2)
+			return mk(tPunct, "!="), nil
+		}
+		return tok{}, l.errf("unexpected '!'")
+	case '\'':
+		l.advance(1)
+		var sb strings.Builder
+		for l.pos < len(l.src) {
+			ch := l.src[l.pos]
+			if ch == '\'' {
+				// '' escapes a quote
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+					sb.WriteByte('\'')
+					l.advance(2)
+					continue
+				}
+				l.advance(1)
+				return mk(tString, sb.String()), nil
+			}
+			sb.WriteByte(ch)
+			l.advance(1)
+		}
+		return tok{}, l.errf("unterminated string literal")
+	}
+	if c >= '0' && c <= '9' {
+		start := l.pos
+		isFloat := false
+		for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+			l.advance(1)
+		}
+		if l.pos+1 < len(l.src) && l.src[l.pos] == '.' && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' {
+			isFloat = true
+			l.advance(1)
+			for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+				l.advance(1)
+			}
+		}
+		if isFloat {
+			return mk(tFloat, l.src[start:l.pos]), nil
+		}
+		return mk(tInt, l.src[start:l.pos]), nil
+	}
+	if unicode.IsLetter(rune(c)) || c == '_' {
+		start := l.pos
+		for l.pos < len(l.src) {
+			ch := l.src[l.pos]
+			if unicode.IsLetter(rune(ch)) || unicode.IsDigit(rune(ch)) || ch == '_' {
+				l.advance(1)
+				continue
+			}
+			break
+		}
+		return mk(tIdent, l.src[start:l.pos]), nil
+	}
+	return tok{}, l.errf("unexpected character %q", c)
+}

@@ -1,0 +1,600 @@
+package sqlview
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ivm/internal/value"
+)
+
+type parser struct {
+	lex    *lexer
+	tok    tok
+	peeked *tok
+}
+
+// Parse parses an SQL script (CREATE TABLE / CREATE VIEW / INSERT
+// statements separated by ';').
+func Parse(src string) (*Script, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	s := &Script{Tables: make(map[string][]string)}
+	for p.tok.kind != tEOF {
+		if p.isPunct(";") { // stray semicolons
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		kw, err := p.keyword()
+		if err != nil {
+			return nil, err
+		}
+		switch kw {
+		case "create":
+			if err := p.create(s); err != nil {
+				return nil, err
+			}
+		case "insert":
+			if err := p.insert(s); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errf("expected CREATE or INSERT, got %q", kw)
+		}
+	}
+	return s, nil
+}
+
+func (p *parser) advance() error {
+	if p.peeked != nil {
+		p.tok = *p.peeked
+		p.peeked = nil
+		return nil
+	}
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) peek() (tok, error) {
+	if p.peeked == nil {
+		t, err := p.lex.next()
+		if err != nil {
+			return tok{}, err
+		}
+		p.peeked = &t
+	}
+	return *p.peeked, nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &Error{Line: p.tok.line, Col: p.tok.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) isPunct(s string) bool { return p.tok.kind == tPunct && p.tok.text == s }
+
+func (p *parser) isKeyword(kw string) bool {
+	return p.tok.kind == tIdent && strings.EqualFold(p.tok.text, kw)
+}
+
+// keyword consumes the current identifier and returns it lower-cased.
+func (p *parser) keyword() (string, error) {
+	if p.tok.kind != tIdent {
+		return "", p.errf("expected a keyword, got %q", p.tok.text)
+	}
+	kw := strings.ToLower(p.tok.text)
+	return kw, p.advance()
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.isKeyword(kw) {
+		return p.errf("expected %s, got %q", strings.ToUpper(kw), p.tok.text)
+	}
+	return p.advance()
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.isPunct(s) {
+		return p.errf("expected %q, got %q", s, p.tok.text)
+	}
+	return p.advance()
+}
+
+// ident consumes an identifier, lower-casing it (the engine's constants
+// and predicates are case-insensitive SQL identifiers).
+func (p *parser) ident() (string, error) {
+	if p.tok.kind != tIdent {
+		return "", p.errf("expected an identifier, got %q", p.tok.text)
+	}
+	name := strings.ToLower(p.tok.text)
+	return name, p.advance()
+}
+
+func (p *parser) create(s *Script) error {
+	kw, err := p.keyword()
+	if err != nil {
+		return err
+	}
+	switch kw {
+	case "table":
+		name, err := p.ident()
+		if err != nil {
+			return err
+		}
+		cols, err := p.columnList()
+		if err != nil {
+			return err
+		}
+		if _, dup := s.Tables[name]; dup {
+			return p.errf("table %s declared twice", name)
+		}
+		s.Tables[name] = cols
+		return p.expectPunct(";")
+	case "view":
+		name, err := p.ident()
+		if err != nil {
+			return err
+		}
+		v := ViewDef{Name: name}
+		if p.isPunct("(") {
+			cols, err := p.columnList()
+			if err != nil {
+				return err
+			}
+			v.Cols = cols
+		}
+		if err := p.expectKeyword("as"); err != nil {
+			return err
+		}
+		for {
+			sel, err := p.selectStmt()
+			if err != nil {
+				return err
+			}
+			v.Selects = append(v.Selects, *sel)
+			if p.isKeyword("union") {
+				if err := p.advance(); err != nil {
+					return err
+				}
+				if p.isKeyword("all") {
+					if err := p.advance(); err != nil {
+						return err
+					}
+				}
+				continue
+			}
+			break
+		}
+		s.Views = append(s.Views, v)
+		return p.expectPunct(";")
+	default:
+		return p.errf("expected TABLE or VIEW after CREATE, got %q", kw)
+	}
+}
+
+func (p *parser) columnList() ([]string, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var cols []string
+	for {
+		c, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		// Ignore an optional type name (CREATE TABLE t(x int, ...)).
+		if p.tok.kind == tIdent && !p.isPunct(",") {
+			switch strings.ToLower(p.tok.text) {
+			case "int", "integer", "bigint", "float", "double", "real", "text", "varchar", "char", "string":
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		cols = append(cols, c)
+		if p.isPunct(",") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		return cols, p.expectPunct(")")
+	}
+}
+
+func (p *parser) insert(s *Script) error {
+	if err := p.expectKeyword("into"); err != nil {
+		return err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return err
+	}
+	if err := p.expectKeyword("values"); err != nil {
+		return err
+	}
+	for {
+		if err := p.expectPunct("("); err != nil {
+			return err
+		}
+		var row []value.Value
+		for {
+			v, err := p.literalValue()
+			if err != nil {
+				return err
+			}
+			row = append(row, v)
+			if p.isPunct(",") {
+				if err := p.advance(); err != nil {
+					return err
+				}
+				continue
+			}
+			break
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return err
+		}
+		s.Facts = append(s.Facts, Fact{Table: table, Row: row})
+		if p.isPunct(",") {
+			if err := p.advance(); err != nil {
+				return err
+			}
+			continue
+		}
+		break
+	}
+	return p.expectPunct(";")
+}
+
+func (p *parser) literalValue() (value.Value, error) {
+	neg := false
+	if p.isPunct("-") {
+		neg = true
+		if err := p.advance(); err != nil {
+			return value.Value{}, err
+		}
+	}
+	switch p.tok.kind {
+	case tInt:
+		n, err := strconv.ParseInt(p.tok.text, 10, 64)
+		if err != nil {
+			return value.Value{}, p.errf("bad integer %q", p.tok.text)
+		}
+		if neg {
+			n = -n
+		}
+		return value.NewInt(n), p.advance()
+	case tFloat:
+		f, err := strconv.ParseFloat(p.tok.text, 64)
+		if err != nil {
+			return value.Value{}, p.errf("bad float %q", p.tok.text)
+		}
+		if neg {
+			f = -f
+		}
+		return value.NewFloat(f), p.advance()
+	case tString:
+		if neg {
+			return value.Value{}, p.errf("cannot negate a string")
+		}
+		return value.NewString(p.tok.text), p.advance()
+	default:
+		return value.Value{}, p.errf("expected a literal, got %q", p.tok.text)
+	}
+}
+
+func (p *parser) selectStmt() (*Select, error) {
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	sel := &Select{}
+	if p.isKeyword("distinct") {
+		sel.Distinct = true
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	// projection
+	if p.isPunct("*") {
+		// SELECT * is only allowed in EXISTS subqueries; represented by an
+		// empty item list.
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	} else {
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			item := SelItem{Expr: e}
+			if p.isKeyword("as") {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				a, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				item.Alias = a
+			}
+			sel.Items = append(sel.Items, item)
+			if p.isPunct(",") {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	for {
+		table, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		tr := TableRef{Table: table, Alias: table}
+		if p.tok.kind == tIdent && !p.reservedHere() {
+			a, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			tr.Alias = a
+		}
+		sel.From = append(sel.From, tr)
+		if p.isPunct(",") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if p.isKeyword("where") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		conds, err := p.conds()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = conds
+	}
+	if p.isKeyword("group") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			ref, err := p.colRef()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, ref)
+			if p.isPunct(",") {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			break
+		}
+	}
+	if p.isKeyword("having") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		conds, err := p.conds()
+		if err != nil {
+			return nil, err
+		}
+		sel.Having = conds
+	}
+	return sel, nil
+}
+
+// reservedHere reports whether the current identifier is a clause keyword
+// (so a bare identifier after a table name is an alias only when it is
+// not one of these).
+func (p *parser) reservedHere() bool {
+	switch strings.ToLower(p.tok.text) {
+	case "where", "group", "having", "union", "on", "order", "select", "from", "as":
+		return true
+	}
+	return false
+}
+
+func (p *parser) conds() ([]Cond, error) {
+	var out []Cond
+	for {
+		c, err := p.cond()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+		if p.isKeyword("and") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		return out, nil
+	}
+}
+
+func (p *parser) cond() (Cond, error) {
+	if p.isKeyword("not") {
+		if err := p.advance(); err != nil {
+			return Cond{}, err
+		}
+		if err := p.expectKeyword("exists"); err != nil {
+			return Cond{}, err
+		}
+		if err := p.expectPunct("("); err != nil {
+			return Cond{}, err
+		}
+		sub, err := p.selectStmt()
+		if err != nil {
+			return Cond{}, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return Cond{}, err
+		}
+		return Cond{Kind: CondNotExists, Sub: sub}, nil
+	}
+	left, err := p.expr()
+	if err != nil {
+		return Cond{}, err
+	}
+	if p.tok.kind != tPunct {
+		return Cond{}, p.errf("expected a comparison operator, got %q", p.tok.text)
+	}
+	op := p.tok.text
+	switch op {
+	case "=", "!=", "<", "<=", ">", ">=":
+	default:
+		return Cond{}, p.errf("expected a comparison operator, got %q", op)
+	}
+	if err := p.advance(); err != nil {
+		return Cond{}, err
+	}
+	right, err := p.expr()
+	if err != nil {
+		return Cond{}, err
+	}
+	return Cond{Kind: CondCmp, Op: op, Left: left, Right: right}, nil
+}
+
+func (p *parser) colRef() (ColRef, error) {
+	name, err := p.ident()
+	if err != nil {
+		return ColRef{}, err
+	}
+	if p.isPunct(".") {
+		if err := p.advance(); err != nil {
+			return ColRef{}, err
+		}
+		col, err := p.ident()
+		if err != nil {
+			return ColRef{}, err
+		}
+		return ColRef{Qualifier: name, Col: col}, nil
+	}
+	return ColRef{Col: name}, nil
+}
+
+var aggFuncs = map[string]bool{
+	"min": true, "max": true, "sum": true, "count": true, "avg": true, "variance": true,
+}
+
+func (p *parser) expr() (Expr, error) {
+	left, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.isPunct("+") || p.isPunct("-") {
+		op := p.tok.text[0]
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = BinExpr{Op: op, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	left, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for p.isPunct("*") || p.isPunct("/") {
+		op := p.tok.text[0]
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.primary()
+		if err != nil {
+			return nil, err
+		}
+		left = BinExpr{Op: op, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) primary() (Expr, error) {
+	switch {
+	case p.tok.kind == tIdent:
+		name := strings.ToLower(p.tok.text)
+		nt, err := p.peek()
+		if err != nil {
+			return nil, err
+		}
+		if aggFuncs[name] && nt.kind == tPunct && nt.text == "(" {
+			if err := p.advance(); err != nil { // func name
+				return nil, err
+			}
+			if err := p.advance(); err != nil { // '('
+				return nil, err
+			}
+			if p.isPunct("*") {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				if err := p.expectPunct(")"); err != nil {
+					return nil, err
+				}
+				if name != "count" {
+					return nil, p.errf("%s(*) is not valid (only COUNT(*))", strings.ToUpper(name))
+				}
+				return AggExpr{Fn: name}, nil
+			}
+			arg, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return AggExpr{Fn: name, Arg: arg}, nil
+		}
+		ref, err := p.colRef()
+		if err != nil {
+			return nil, err
+		}
+		return ColExpr{Ref: ref}, nil
+	case p.tok.kind == tInt || p.tok.kind == tFloat || p.tok.kind == tString || p.isPunct("-"):
+		v, err := p.literalValue()
+		if err != nil {
+			return nil, err
+		}
+		return LitExpr{Val: v}, nil
+	case p.isPunct("("):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expectPunct(")")
+	default:
+		return nil, p.errf("expected an expression, got %q", p.tok.text)
+	}
+}

@@ -1,0 +1,696 @@
+package sqlview
+
+import (
+	"fmt"
+	"strings"
+
+	"ivm/internal/datalog"
+	"ivm/internal/value"
+)
+
+// Result is the output of translating a script.
+type Result struct {
+	Program *datalog.Program
+	// RequiresSet is true when any view uses SELECT DISTINCT, which is
+	// only honored under set semantics.
+	RequiresSet bool
+	// Schemas maps every table and view to its column names.
+	Schemas map[string][]string
+	// AuxPreds lists the internal helper predicates generated for
+	// GROUP BY joins; front ends typically hide them from users.
+	AuxPreds []string
+}
+
+// TranslateError reports a semantic translation problem.
+type TranslateError struct {
+	View string
+	Msg  string
+}
+
+func (e *TranslateError) Error() string {
+	if e.View == "" {
+		return "sqlview: " + e.Msg
+	}
+	return fmt.Sprintf("sqlview: view %s: %s", e.View, e.Msg)
+}
+
+// Translate converts a parsed SQL script into a Datalog program. INSERT
+// facts remain on the script for the caller to load.
+func Translate(s *Script) (*Result, error) {
+	res := &Result{
+		Program: &datalog.Program{},
+		Schemas: make(map[string][]string, len(s.Tables)),
+	}
+	for t, cols := range s.Tables {
+		res.Schemas[t] = cols
+	}
+	for _, f := range s.Facts {
+		cols, ok := s.Tables[f.Table]
+		if !ok {
+			return nil, &TranslateError{Msg: fmt.Sprintf("INSERT into undeclared table %s", f.Table)}
+		}
+		if len(f.Row) != len(cols) {
+			return nil, &TranslateError{Msg: fmt.Sprintf("INSERT into %s has %d values, table has %d columns", f.Table, len(f.Row), len(cols))}
+		}
+	}
+	for _, v := range s.Views {
+		if _, dup := res.Schemas[v.Name]; dup {
+			return nil, &TranslateError{View: v.Name, Msg: "name already declared"}
+		}
+		cols, err := viewColumns(v)
+		if err != nil {
+			return nil, err
+		}
+		for i, sel := range v.Selects {
+			if sel.Distinct {
+				res.RequiresSet = true
+			}
+			tr := &selTranslator{view: v.Name, schemas: res.Schemas, auxTag: fmt.Sprintf("%s__g%d", v.Name, i)}
+			before := len(res.Program.Rules)
+			if err := tr.translate(sel, v.Name, cols, res.Program); err != nil {
+				return nil, err
+			}
+			for _, r := range res.Program.Rules[before:] {
+				if r.Head.Pred == tr.auxTag {
+					res.AuxPreds = append(res.AuxPreds, tr.auxTag)
+					break
+				}
+			}
+		}
+		res.Schemas[v.Name] = cols
+	}
+	return res, nil
+}
+
+// viewColumns determines a view's column names from its declaration or
+// its first SELECT's aliases/column names.
+func viewColumns(v ViewDef) ([]string, error) {
+	if len(v.Selects) == 0 {
+		return nil, &TranslateError{View: v.Name, Msg: "no SELECT"}
+	}
+	first := v.Selects[0]
+	if len(first.Items) == 0 {
+		return nil, &TranslateError{View: v.Name, Msg: "SELECT * is only allowed inside EXISTS subqueries"}
+	}
+	for _, sel := range v.Selects {
+		if len(sel.Items) != len(first.Items) {
+			return nil, &TranslateError{View: v.Name, Msg: "UNION branches project different column counts"}
+		}
+	}
+	if v.Cols != nil {
+		if len(v.Cols) != len(first.Items) {
+			return nil, &TranslateError{View: v.Name, Msg: fmt.Sprintf("declares %d columns but SELECT projects %d", len(v.Cols), len(first.Items))}
+		}
+		return v.Cols, nil
+	}
+	cols := make([]string, len(first.Items))
+	for i, item := range first.Items {
+		switch {
+		case item.Alias != "":
+			cols[i] = item.Alias
+		default:
+			if ce, ok := item.Expr.(ColExpr); ok {
+				cols[i] = ce.Ref.Col
+			} else {
+				return nil, &TranslateError{View: v.Name, Msg: fmt.Sprintf("column %d needs an alias (AS name)", i+1)}
+			}
+		}
+	}
+	return cols, nil
+}
+
+// node identifies one column position of one FROM entry.
+type node struct{ table, col int }
+
+// selTranslator translates one SELECT block into one or two rules.
+type selTranslator struct {
+	view    string
+	schemas map[string][]string
+	auxTag  string
+
+	from    []TableRef
+	colsOf  [][]string // column names per FROM entry
+	parent  map[node]node
+	constOf map[node]*value.Value // root → forced constant
+	varOf   map[node]string       // root → assigned variable
+	nextVar int
+}
+
+func (t *selTranslator) errf(format string, args ...any) error {
+	return &TranslateError{View: t.view, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (t *selTranslator) translate(sel Select, headPred string, headCols []string, prog *datalog.Program) error {
+	// Resolve FROM entries.
+	t.from = sel.From
+	t.colsOf = make([][]string, len(sel.From))
+	seen := map[string]bool{}
+	for i, tr := range sel.From {
+		cols, ok := t.schemas[tr.Table]
+		if !ok {
+			return t.errf("unknown table or view %s", tr.Table)
+		}
+		if seen[tr.Alias] {
+			return t.errf("duplicate alias %s", tr.Alias)
+		}
+		seen[tr.Alias] = true
+		t.colsOf[i] = cols
+	}
+	t.parent = make(map[node]node)
+	t.constOf = make(map[node]*value.Value)
+	t.varOf = make(map[node]string)
+
+	// Partition WHERE conjuncts.
+	var filters []Cond
+	var negations []Cond
+	for _, c := range sel.Where {
+		switch c.Kind {
+		case CondNotExists:
+			negations = append(negations, c)
+		case CondCmp:
+			if c.Op == "=" {
+				lc, lok := c.Left.(ColExpr)
+				rc, rok := c.Right.(ColExpr)
+				switch {
+				case lok && rok:
+					ln, err := t.resolve(lc.Ref)
+					if err != nil {
+						return err
+					}
+					rn, err := t.resolve(rc.Ref)
+					if err != nil {
+						return err
+					}
+					t.union(ln, rn)
+					continue
+				case lok:
+					if lit, ok := c.Right.(LitExpr); ok {
+						if err := t.bindConst(lc.Ref, lit.Val); err != nil {
+							return err
+						}
+						continue
+					}
+				case rok:
+					if lit, ok := c.Left.(LitExpr); ok {
+						if err := t.bindConst(rc.Ref, lit.Val); err != nil {
+							return err
+						}
+						continue
+					}
+				}
+			}
+			filters = append(filters, c)
+		}
+	}
+
+	// Body atoms.
+	var body []datalog.Literal
+	for i, tr := range sel.From {
+		args := make([]datalog.Term, len(t.colsOf[i]))
+		for c := range t.colsOf[i] {
+			args[c] = t.term(node{i, c})
+		}
+		body = append(body, datalog.Literal{
+			Kind: datalog.LitPositive,
+			Atom: datalog.Atom{Pred: tr.Table, Args: args},
+		})
+	}
+	// Comparison filters.
+	for _, c := range filters {
+		lit, err := t.condLiteral(c)
+		if err != nil {
+			return err
+		}
+		body = append(body, lit)
+	}
+	// NOT EXISTS → negation.
+	for _, c := range negations {
+		lit, err := t.negation(c.Sub)
+		if err != nil {
+			return err
+		}
+		body = append(body, lit)
+	}
+
+	if len(sel.GroupBy) > 0 || hasAgg(sel) {
+		return t.aggregateRules(sel, headPred, body, prog)
+	}
+	if len(sel.Having) > 0 {
+		return t.errf("HAVING requires GROUP BY")
+	}
+
+	// Plain rule.
+	head := datalog.Atom{Pred: headPred, Args: make([]datalog.Term, len(sel.Items))}
+	for i, item := range sel.Items {
+		term, err := t.exprTerm(item.Expr)
+		if err != nil {
+			return err
+		}
+		head.Args[i] = term
+	}
+	prog.Rules = append(prog.Rules, datalog.Rule{Head: head, Body: body})
+	return nil
+}
+
+func hasAgg(sel Select) bool {
+	for _, item := range sel.Items {
+		if containsAgg(item.Expr) {
+			return true
+		}
+	}
+	for _, c := range sel.Having {
+		if c.Kind == CondCmp && (containsAgg(c.Left) || containsAgg(c.Right)) {
+			return true
+		}
+	}
+	return false
+}
+
+func containsAgg(e Expr) bool {
+	switch x := e.(type) {
+	case AggExpr:
+		return true
+	case BinExpr:
+		return containsAgg(x.Left) || containsAgg(x.Right)
+	}
+	return false
+}
+
+// aggregateRules emits the auxiliary join rule and the GROUPBY rule:
+//
+//	view__gN(G1..Gk, AggArg) :- <join body>.
+//	view(...)               :- groupby(view__gN(G1..Gk, C), [G1..Gk], M = fn(C)), <having>.
+func (t *selTranslator) aggregateRules(sel Select, headPred string, body []datalog.Literal, prog *datalog.Program) error {
+	// Locate the single aggregate among the select items.
+	aggIdx := -1
+	var agg AggExpr
+	for i, item := range sel.Items {
+		if containsAgg(item.Expr) {
+			ae, ok := item.Expr.(AggExpr)
+			if !ok {
+				return t.errf("aggregates must be top-level select items (no arithmetic around them)")
+			}
+			if aggIdx >= 0 {
+				return t.errf("at most one aggregate per SELECT is supported")
+			}
+			aggIdx = i
+			agg = ae
+		}
+	}
+	if aggIdx < 0 {
+		return t.errf("GROUP BY without an aggregate in the select list")
+	}
+	if len(sel.GroupBy) == 0 && len(sel.Items) > 1 {
+		return t.errf("non-aggregate select items require GROUP BY")
+	}
+
+	// Resolve grouping columns to their classes.
+	groupRoots := make([]node, len(sel.GroupBy))
+	for i, ref := range sel.GroupBy {
+		n, err := t.resolve(ref)
+		if err != nil {
+			return err
+		}
+		groupRoots[i] = t.find(n)
+	}
+
+	// Non-aggregate select items must be grouping columns.
+	itemGroup := make([]int, len(sel.Items)) // select item → group index (or -1 for the aggregate)
+	for i, item := range sel.Items {
+		if i == aggIdx {
+			itemGroup[i] = -1
+			continue
+		}
+		ce, ok := item.Expr.(ColExpr)
+		if !ok {
+			return t.errf("select item %d must be a grouping column or the aggregate", i+1)
+		}
+		n, err := t.resolve(ce.Ref)
+		if err != nil {
+			return err
+		}
+		root := t.find(n)
+		found := -1
+		for g, gr := range groupRoots {
+			if gr == root {
+				found = g
+				break
+			}
+		}
+		if found < 0 {
+			return t.errf("select item %s is not in GROUP BY", ce.Ref.Col)
+		}
+		itemGroup[i] = found
+	}
+
+	// Aux rule: view__gN(G1..Gk, AggArg) :- body.
+	auxArgs := make([]datalog.Term, 0, len(groupRoots)+1)
+	for _, gr := range groupRoots {
+		auxArgs = append(auxArgs, t.term(gr))
+	}
+	var argTerm datalog.Term
+	if agg.Arg == nil { // COUNT(*)
+		argTerm = datalog.Const{Value: value.NewInt(1)}
+	} else {
+		at, err := t.exprTerm(agg.Arg)
+		if err != nil {
+			return err
+		}
+		argTerm = at
+	}
+	auxArgs = append(auxArgs, argTerm)
+	prog.Rules = append(prog.Rules, datalog.Rule{
+		Head: datalog.Atom{Pred: t.auxTag, Args: auxArgs},
+		Body: body,
+	})
+
+	// Main rule over the aux predicate.
+	groupVars := make([]datalog.Var, len(groupRoots))
+	innerArgs := make([]datalog.Term, 0, len(groupRoots)+1)
+	for i := range groupRoots {
+		groupVars[i] = datalog.Var(fmt.Sprintf("G%d", i))
+		innerArgs = append(innerArgs, groupVars[i])
+	}
+	cVar := datalog.Var("C")
+	innerArgs = append(innerArgs, cVar)
+	resVar := datalog.Var("M")
+	gLit := datalog.Literal{Kind: datalog.LitAggregate, Agg: &datalog.Aggregate{
+		Inner:   datalog.Atom{Pred: t.auxTag, Args: innerArgs},
+		GroupBy: groupVars,
+		Result:  resVar,
+		Func:    datalog.AggFunc(agg.Fn),
+		Arg:     cVar,
+	}}
+	mainBody := []datalog.Literal{gLit}
+
+	// HAVING conditions: grouping columns → G vars, the aggregate → M.
+	for _, c := range sel.Having {
+		if c.Kind != CondCmp {
+			return t.errf("only comparisons are supported in HAVING")
+		}
+		l, err := t.havingTerm(c.Left, agg, groupRoots, groupVars, resVar)
+		if err != nil {
+			return err
+		}
+		r, err := t.havingTerm(c.Right, agg, groupRoots, groupVars, resVar)
+		if err != nil {
+			return err
+		}
+		op, err := cmpOp(c.Op)
+		if err != nil {
+			return t.errf("%v", err)
+		}
+		mainBody = append(mainBody, datalog.Literal{Kind: datalog.LitCondition,
+			Cond: &datalog.Condition{Op: op, Left: l, Right: r}})
+	}
+
+	head := datalog.Atom{Pred: headPred, Args: make([]datalog.Term, len(sel.Items))}
+	for i := range sel.Items {
+		if itemGroup[i] < 0 {
+			head.Args[i] = resVar
+		} else {
+			head.Args[i] = groupVars[itemGroup[i]]
+		}
+	}
+	prog.Rules = append(prog.Rules, datalog.Rule{Head: head, Body: mainBody})
+	return nil
+}
+
+// havingTerm translates a HAVING expression into the main rule's scope.
+func (t *selTranslator) havingTerm(e Expr, agg AggExpr, groupRoots []node, groupVars []datalog.Var, resVar datalog.Var) (datalog.Term, error) {
+	switch x := e.(type) {
+	case AggExpr:
+		if x.Fn != agg.Fn {
+			return nil, t.errf("HAVING aggregate %s must match the select's %s", strings.ToUpper(x.Fn), strings.ToUpper(agg.Fn))
+		}
+		return resVar, nil
+	case LitExpr:
+		return datalog.Const{Value: x.Val}, nil
+	case ColExpr:
+		n, err := t.resolve(x.Ref)
+		if err != nil {
+			return nil, err
+		}
+		root := t.find(n)
+		for g, gr := range groupRoots {
+			if gr == root {
+				return groupVars[g], nil
+			}
+		}
+		return nil, t.errf("HAVING column %s is not in GROUP BY", x.Ref.Col)
+	case BinExpr:
+		l, err := t.havingTerm(x.Left, agg, groupRoots, groupVars, resVar)
+		if err != nil {
+			return nil, err
+		}
+		r, err := t.havingTerm(x.Right, agg, groupRoots, groupVars, resVar)
+		if err != nil {
+			return nil, err
+		}
+		return datalog.Arith{Op: arithOp(x.Op), Left: l, Right: r}, nil
+	default:
+		return nil, t.errf("unsupported HAVING expression")
+	}
+}
+
+// negation turns a NOT EXISTS subquery into a safe negated atom: the
+// subquery must range over a single table with every column constrained
+// by equality to an outer expression or literal.
+func (t *selTranslator) negation(sub *Select) (datalog.Literal, error) {
+	if len(sub.From) != 1 {
+		return datalog.Literal{}, t.errf("NOT EXISTS subqueries must use a single table")
+	}
+	if len(sub.GroupBy) > 0 || len(sub.Having) > 0 {
+		return datalog.Literal{}, t.errf("NOT EXISTS subqueries cannot aggregate")
+	}
+	inner := sub.From[0]
+	cols, ok := t.schemas[inner.Table]
+	if !ok {
+		return datalog.Literal{}, t.errf("unknown table or view %s", inner.Table)
+	}
+	colIdx := make(map[string]int, len(cols))
+	for i, c := range cols {
+		colIdx[c] = i
+	}
+	args := make([]datalog.Term, len(cols))
+	for _, c := range sub.Where {
+		if c.Kind != CondCmp || c.Op != "=" {
+			return datalog.Literal{}, t.errf("NOT EXISTS subqueries support only equality conditions")
+		}
+		innerRef, outer, ok := t.splitInnerOuter(c, inner.Alias, colIdx)
+		if !ok {
+			return datalog.Literal{}, t.errf("each NOT EXISTS condition must equate a subquery column with an outer expression")
+		}
+		term, err := t.exprTerm(outer)
+		if err != nil {
+			return datalog.Literal{}, err
+		}
+		i := colIdx[innerRef.Col]
+		if args[i] != nil {
+			return datalog.Literal{}, t.errf("column %s of the NOT EXISTS subquery is constrained twice", innerRef.Col)
+		}
+		args[i] = term
+	}
+	for i, a := range args {
+		if a == nil {
+			return datalog.Literal{}, t.errf("column %s of the NOT EXISTS subquery must be constrained (safe negation needs every column bound)", cols[i])
+		}
+	}
+	return datalog.Literal{Kind: datalog.LitNegated, Atom: datalog.Atom{Pred: inner.Table, Args: args}}, nil
+}
+
+// splitInnerOuter splits an equality condition into (inner column, outer
+// expression) if exactly one side references the subquery table.
+func (t *selTranslator) splitInnerOuter(c Cond, innerAlias string, colIdx map[string]int) (ColRef, Expr, bool) {
+	isInner := func(e Expr) (ColRef, bool) {
+		ce, ok := e.(ColExpr)
+		if !ok {
+			return ColRef{}, false
+		}
+		if ce.Ref.Qualifier == innerAlias {
+			return ce.Ref, true
+		}
+		if ce.Ref.Qualifier == "" {
+			if _, ok := colIdx[ce.Ref.Col]; ok {
+				// Unqualified: prefer the inner table if the column exists
+				// there and nowhere in the outer scope.
+				if _, err := t.resolve(ce.Ref); err != nil {
+					return ce.Ref, true
+				}
+			}
+		}
+		return ColRef{}, false
+	}
+	if ref, ok := isInner(c.Left); ok {
+		if _, also := isInner(c.Right); !also {
+			return ref, c.Right, true
+		}
+		return ColRef{}, nil, false
+	}
+	if ref, ok := isInner(c.Right); ok {
+		if _, also := isInner(c.Left); !also {
+			return ref, c.Left, true
+		}
+	}
+	return ColRef{}, nil, false
+}
+
+// ---- column resolution and union-find ----
+
+// resolve maps a column reference to its FROM node.
+func (t *selTranslator) resolve(ref ColRef) (node, error) {
+	if ref.Qualifier != "" {
+		for i, tr := range t.from {
+			if tr.Alias == ref.Qualifier {
+				for c, col := range t.colsOf[i] {
+					if col == ref.Col {
+						return node{i, c}, nil
+					}
+				}
+				return node{}, t.errf("table %s has no column %s", ref.Qualifier, ref.Col)
+			}
+		}
+		return node{}, t.errf("unknown table alias %s", ref.Qualifier)
+	}
+	found := node{-1, -1}
+	for i := range t.from {
+		for c, col := range t.colsOf[i] {
+			if col == ref.Col {
+				if found.table >= 0 {
+					return node{}, t.errf("column %s is ambiguous", ref.Col)
+				}
+				found = node{i, c}
+			}
+		}
+	}
+	if found.table < 0 {
+		return node{}, t.errf("unknown column %s", ref.Col)
+	}
+	return found, nil
+}
+
+func (t *selTranslator) find(n node) node {
+	p, ok := t.parent[n]
+	if !ok || p == n {
+		return n
+	}
+	root := t.find(p)
+	t.parent[n] = root
+	return root
+}
+
+func (t *selTranslator) union(a, b node) {
+	ra, rb := t.find(a), t.find(b)
+	if ra == rb {
+		return
+	}
+	t.parent[ra] = rb
+	// Merge constant bindings.
+	if cv := t.constOf[ra]; cv != nil {
+		if other := t.constOf[rb]; other == nil {
+			t.constOf[rb] = cv
+		}
+		delete(t.constOf, ra)
+	}
+}
+
+func (t *selTranslator) bindConst(ref ColRef, v value.Value) error {
+	n, err := t.resolve(ref)
+	if err != nil {
+		return err
+	}
+	root := t.find(n)
+	t.constOf[root] = &v
+	return nil
+}
+
+// term returns the datalog term for a column node: its class constant if
+// bound, otherwise the class variable.
+func (t *selTranslator) term(n node) datalog.Term {
+	root := t.find(n)
+	if cv := t.constOf[root]; cv != nil {
+		return datalog.Const{Value: *cv}
+	}
+	v, ok := t.varOf[root]
+	if !ok {
+		v = fmt.Sprintf("V%d", t.nextVar)
+		t.nextVar++
+		t.varOf[root] = v
+	}
+	return datalog.Var(v)
+}
+
+// exprTerm translates a scalar expression into a datalog term.
+func (t *selTranslator) exprTerm(e Expr) (datalog.Term, error) {
+	switch x := e.(type) {
+	case ColExpr:
+		n, err := t.resolve(x.Ref)
+		if err != nil {
+			return nil, err
+		}
+		return t.term(n), nil
+	case LitExpr:
+		return datalog.Const{Value: x.Val}, nil
+	case BinExpr:
+		l, err := t.exprTerm(x.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := t.exprTerm(x.Right)
+		if err != nil {
+			return nil, err
+		}
+		return datalog.Arith{Op: arithOp(x.Op), Left: l, Right: r}, nil
+	case AggExpr:
+		return nil, t.errf("aggregate outside GROUP BY context")
+	default:
+		return nil, t.errf("unsupported expression")
+	}
+}
+
+func (t *selTranslator) condLiteral(c Cond) (datalog.Literal, error) {
+	l, err := t.exprTerm(c.Left)
+	if err != nil {
+		return datalog.Literal{}, err
+	}
+	r, err := t.exprTerm(c.Right)
+	if err != nil {
+		return datalog.Literal{}, err
+	}
+	op, err := cmpOp(c.Op)
+	if err != nil {
+		return datalog.Literal{}, t.errf("%v", err)
+	}
+	return datalog.Literal{Kind: datalog.LitCondition, Cond: &datalog.Condition{Op: op, Left: l, Right: r}}, nil
+}
+
+func cmpOp(op string) (datalog.CmpOp, error) {
+	switch op {
+	case "=":
+		return datalog.CmpEq, nil
+	case "!=":
+		return datalog.CmpNe, nil
+	case "<":
+		return datalog.CmpLt, nil
+	case "<=":
+		return datalog.CmpLe, nil
+	case ">":
+		return datalog.CmpGt, nil
+	case ">=":
+		return datalog.CmpGe, nil
+	}
+	return 0, fmt.Errorf("unknown comparison %q", op)
+}
+
+func arithOp(op byte) datalog.ArithOp {
+	switch op {
+	case '+':
+		return datalog.OpAdd
+	case '-':
+		return datalog.OpSub
+	case '*':
+		return datalog.OpMul
+	default:
+		return datalog.OpDiv
+	}
+}

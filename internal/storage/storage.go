@@ -1,0 +1,226 @@
+// Package storage persists databases (relations with derivation counts)
+// and view programs: gob snapshots for full state, and an append-only,
+// length-prefixed delta log that can be replayed on top of a snapshot —
+// the usual checkpoint + log pairing.
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"ivm/internal/eval"
+	"ivm/internal/relation"
+	"ivm/internal/value"
+)
+
+// scalar is the gob-encodable image of a value.Value.
+type scalar struct {
+	Kind uint8
+	I    int64
+	F    float64
+	S    string
+}
+
+func toScalar(v value.Value) scalar {
+	switch v.Kind() {
+	case value.Int:
+		return scalar{Kind: 0, I: v.Int()}
+	case value.Float:
+		return scalar{Kind: 1, F: v.Float()}
+	default:
+		return scalar{Kind: 2, S: v.Str()}
+	}
+}
+
+func (s scalar) value() (value.Value, error) {
+	switch s.Kind {
+	case 0:
+		return value.NewInt(s.I), nil
+	case 1:
+		return value.NewFloat(s.F), nil
+	case 2:
+		return value.NewString(s.S), nil
+	default:
+		return value.Value{}, fmt.Errorf("storage: unknown scalar kind %d", s.Kind)
+	}
+}
+
+// row is the gob-encodable image of one counted tuple.
+type row struct {
+	Tuple []scalar
+	Count int64
+}
+
+// snapshot is the on-disk image of a database plus its view program.
+type snapshot struct {
+	Version   int
+	Program   string
+	Relations map[string][]row
+}
+
+const snapshotVersion = 1
+
+// Save writes a gob snapshot of db (every relation, with counts) and the
+// program text to w.
+func Save(w io.Writer, db *eval.DB, program string) error {
+	snap := snapshot{
+		Version:   snapshotVersion,
+		Program:   program,
+		Relations: make(map[string][]row),
+	}
+	for _, pred := range db.Preds() {
+		rel := db.Get(pred)
+		rows := make([]row, 0, rel.Len())
+		for _, r := range rel.SortedRows() {
+			t := make([]scalar, len(r.Tuple))
+			for i, v := range r.Tuple {
+				t[i] = toScalar(v)
+			}
+			rows = append(rows, row{Tuple: t, Count: r.Count})
+		}
+		snap.Relations[pred] = rows
+	}
+	return gob.NewEncoder(w).Encode(&snap)
+}
+
+// Load reads a snapshot, returning the database and the program text.
+func Load(r io.Reader) (*eval.DB, string, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, "", fmt.Errorf("storage: decoding snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, "", fmt.Errorf("storage: unsupported snapshot version %d", snap.Version)
+	}
+	db := eval.NewDB()
+	for pred, rows := range snap.Relations {
+		var rel *relation.Relation
+		for _, rw := range rows {
+			t := make(value.Tuple, len(rw.Tuple))
+			for i, s := range rw.Tuple {
+				v, err := s.value()
+				if err != nil {
+					return nil, "", err
+				}
+				t[i] = v
+			}
+			if rel == nil {
+				rel = relation.New(len(t))
+			}
+			rel.Add(t, rw.Count)
+		}
+		if rel == nil {
+			rel = relation.New(-1)
+		}
+		db.Put(pred, rel)
+	}
+	return db, snap.Program, nil
+}
+
+// SaveFile writes a snapshot to path (atomically via a temp file + rename).
+func SaveFile(path string, db *eval.DB, program string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err := Save(bw, db, program); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile reads a snapshot from path.
+func LoadFile(path string) (*eval.DB, string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, "", err
+	}
+	defer f.Close()
+	return Load(bufio.NewReader(f))
+}
+
+// Log is an append-only log of delta scripts (the textual +fact/-fact
+// form). Records are length-prefixed so partially written tails are
+// detected and ignored on replay.
+type Log struct {
+	f *os.File
+}
+
+// OpenLog opens (creating if needed) a delta log for appending.
+func OpenLog(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &Log{f: f}, nil
+}
+
+// Append durably appends one delta script.
+func (l *Log) Append(script string) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(script)))
+	if _, err := l.f.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := l.f.WriteString(script); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}
+
+// Replay invokes fn for every complete record from the start of the log.
+// A truncated final record terminates replay without error (it was never
+// acknowledged).
+func (l *Log) Replay(fn func(script string) error) error {
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	r := bufio.NewReader(l.f)
+	for {
+		var hdr [4]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return nil // truncated header: ignore tail
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil // truncated record: ignore tail
+		}
+		if err := fn(string(buf)); err != nil {
+			return err
+		}
+	}
+}
+
+// Truncate discards all logged records — called after a snapshot is
+// taken, since the snapshot supersedes the log (checkpointing).
+func (l *Log) Truncate() error {
+	if err := l.f.Truncate(0); err != nil {
+		return err
+	}
+	_, err := l.f.Seek(0, io.SeekStart)
+	return err
+}
+
+// Close closes the underlying file.
+func (l *Log) Close() error { return l.f.Close() }

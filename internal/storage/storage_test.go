@@ -1,0 +1,167 @@
+package storage
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ivm/internal/eval"
+	"ivm/internal/relation"
+	"ivm/internal/value"
+)
+
+func sampleDB() *eval.DB {
+	db := eval.NewDB()
+	link := relation.New(2)
+	link.Add(value.T("a", "b"), 1)
+	link.Add(value.T("b", "c"), 3)
+	db.Put("link", link)
+	hop := relation.New(3)
+	hop.Add(value.T("a", 2.5, int64(7)), 2)
+	db.Put("hop", hop)
+	db.Put("empty", relation.New(1))
+	return db
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	db := sampleDB()
+	var buf bytes.Buffer
+	if err := Save(&buf, db, "hop(X,Y) :- link(X,Z), link(Z,Y)."); err != nil {
+		t.Fatal(err)
+	}
+	got, prog, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog != "hop(X,Y) :- link(X,Z), link(Z,Y)." {
+		t.Fatalf("program: %q", prog)
+	}
+	for _, pred := range []string{"link", "hop"} {
+		if !relation.Equal(db.Get(pred), got.Get(pred)) {
+			t.Fatalf("%s: %v vs %v", pred, db.Get(pred), got.Get(pred))
+		}
+	}
+	if got.Get("empty") == nil || got.Get("empty").Len() != 0 {
+		t.Fatal("empty relation must survive")
+	}
+}
+
+func TestSnapshotFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.gob")
+	if err := SaveFile(path, sampleDB(), "p."); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("temp file must be renamed away")
+	}
+	db, prog, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog != "p." || db.Get("link").Count(value.T("b", "c")) != 3 {
+		t.Fatal("file round trip")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, _, err := Load(bytes.NewBufferString("not a gob stream")); err == nil {
+		t.Fatal("garbage must be rejected")
+	}
+}
+
+func TestLogAppendReplay(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "delta.log")
+	l, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scripts := []string{"+link(a,b).", "-link(a,b).", "+link(x,y). +link(y,z)."}
+	for _, s := range scripts {
+		if err := l.Append(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	var got []string
+	if err := l2.Replay(func(s string) error {
+		got = append(got, s)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != scripts[0] || got[2] != scripts[2] {
+		t.Fatalf("replay: %v", got)
+	}
+}
+
+func TestLogIgnoresTruncatedTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "delta.log")
+	l, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append("+p(a)."); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	// Simulate a crash mid-append: a header promising more bytes than
+	// exist.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0, 0, 0, 200, 'x', 'y'})
+	f.Close()
+
+	l2, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	var got []string
+	if err := l2.Replay(func(s string) error { got = append(got, s); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != "+p(a)." {
+		t.Fatalf("replay with torn tail: %v", got)
+	}
+}
+
+func TestReplayThenAppendContinues(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "delta.log")
+	l, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append("+a(1)."); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Replay(func(string) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	// O_APPEND writes still go to the end after a replay seek.
+	if err := l.Append("+b(2)."); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	if err := l.Replay(func(s string) error { got = append(got, s); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("replay: %v", got)
+	}
+}

@@ -1,0 +1,354 @@
+// Package value defines the scalar value model used throughout the engine:
+// typed constants (int64, float64, string) with total ordering, hashing and
+// arithmetic. Tuples are fixed-arity sequences of values with a canonical
+// encoding suitable for use as map keys.
+package value
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind identifies the dynamic type of a Value.
+type Kind uint8
+
+const (
+	// Int is a 64-bit signed integer value.
+	Int Kind = iota
+	// Float is a 64-bit IEEE-754 value.
+	Float
+	// String is an immutable UTF-8 string value.
+	String
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Int:
+		return "int"
+	case Float:
+		return "float"
+	case String:
+		return "string"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a scalar database value. The zero Value is the integer 0.
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+}
+
+// NewInt returns an integer Value.
+func NewInt(i int64) Value { return Value{kind: Int, i: i} }
+
+// NewFloat returns a floating-point Value.
+func NewFloat(f float64) Value { return Value{kind: Float, f: f} }
+
+// NewString returns a string Value.
+func NewString(s string) Value { return Value{kind: String, s: s} }
+
+// Kind reports the dynamic type of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// Int returns the integer payload. It panics if v is not an Int.
+func (v Value) Int() int64 {
+	if v.kind != Int {
+		panic("value: Int() on " + v.kind.String())
+	}
+	return v.i
+}
+
+// Float returns the float payload, converting an Int transparently.
+// It panics if v is a String.
+func (v Value) Float() float64 {
+	switch v.kind {
+	case Float:
+		return v.f
+	case Int:
+		return float64(v.i)
+	}
+	panic("value: Float() on " + v.kind.String())
+}
+
+// Str returns the string payload. It panics if v is not a String.
+func (v Value) Str() string {
+	if v.kind != String {
+		panic("value: Str() on " + v.kind.String())
+	}
+	return v.s
+}
+
+// IsNumeric reports whether v is an Int or Float.
+func (v Value) IsNumeric() bool { return v.kind == Int || v.kind == Float }
+
+// Equal reports whether two values are identical (same kind and payload).
+// Int 1 and Float 1.0 are not Equal; use Compare for numeric comparison.
+func (v Value) Equal(o Value) bool {
+	if v.kind != o.kind {
+		return false
+	}
+	switch v.kind {
+	case Int:
+		return v.i == o.i
+	case Float:
+		return v.f == o.f
+	default:
+		return v.s == o.s
+	}
+}
+
+// Compare imposes a total order over values: numerics sort before strings
+// and compare numerically across Int/Float; strings compare bytewise.
+// The result is -1, 0, or +1.
+func (v Value) Compare(o Value) int {
+	vn, on := v.IsNumeric(), o.IsNumeric()
+	switch {
+	case vn && on:
+		a, b := v.Float(), o.Float()
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		}
+		// Equal as floats: break ties by kind so ordering is total and
+		// consistent with Equal (Int 1 != Float 1).
+		return int(v.kind) - int(o.kind)
+	case vn:
+		return -1
+	case on:
+		return 1
+	default:
+		return strings.Compare(v.s, o.s)
+	}
+}
+
+// String renders v in the surface syntax: integers and floats as literals,
+// strings bare when they look like identifiers, quoted otherwise.
+func (v Value) String() string {
+	switch v.kind {
+	case Int:
+		return strconv.FormatInt(v.i, 10)
+	case Float:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	default:
+		if isIdent(v.s) {
+			return v.s
+		}
+		return strconv.Quote(v.s)
+	}
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z':
+		case r >= 'A' && r <= 'Z':
+			if i == 0 {
+				return false // would parse as a variable
+			}
+		case r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	c := s[0]
+	return c >= 'a' && c <= 'z' || c == '_'
+}
+
+// appendKey appends a canonical, injective encoding of v to b.
+func (v Value) appendKey(b []byte) []byte {
+	switch v.kind {
+	case Int:
+		b = append(b, 'i')
+		b = strconv.AppendInt(b, v.i, 10)
+	case Float:
+		b = append(b, 'f')
+		b = strconv.AppendUint(b, math.Float64bits(v.f), 16)
+	default:
+		b = append(b, 's')
+		b = strconv.AppendInt(b, int64(len(v.s)), 10)
+		b = append(b, ':')
+		b = append(b, v.s...)
+	}
+	return b
+}
+
+// Arithmetic errors.
+type ArithError struct{ Op, Detail string }
+
+func (e *ArithError) Error() string { return "value: " + e.Op + ": " + e.Detail }
+
+func numeric2(op string, a, b Value) (Value, Value, error) {
+	if !a.IsNumeric() || !b.IsNumeric() {
+		return Value{}, Value{}, &ArithError{op, fmt.Sprintf("non-numeric operand (%s, %s)", a.Kind(), b.Kind())}
+	}
+	return a, b, nil
+}
+
+// Add returns a+b with Int+Int staying Int and any Float promoting.
+func Add(a, b Value) (Value, error) {
+	if _, _, err := numeric2("add", a, b); err != nil {
+		return Value{}, err
+	}
+	if a.kind == Int && b.kind == Int {
+		return NewInt(a.i + b.i), nil
+	}
+	return NewFloat(a.Float() + b.Float()), nil
+}
+
+// Sub returns a-b under the same promotion rules as Add.
+func Sub(a, b Value) (Value, error) {
+	if _, _, err := numeric2("sub", a, b); err != nil {
+		return Value{}, err
+	}
+	if a.kind == Int && b.kind == Int {
+		return NewInt(a.i - b.i), nil
+	}
+	return NewFloat(a.Float() - b.Float()), nil
+}
+
+// Mul returns a*b under the same promotion rules as Add.
+func Mul(a, b Value) (Value, error) {
+	if _, _, err := numeric2("mul", a, b); err != nil {
+		return Value{}, err
+	}
+	if a.kind == Int && b.kind == Int {
+		return NewInt(a.i * b.i), nil
+	}
+	return NewFloat(a.Float() * b.Float()), nil
+}
+
+// Div returns a/b; integer division truncates, division by zero errors.
+func Div(a, b Value) (Value, error) {
+	if _, _, err := numeric2("div", a, b); err != nil {
+		return Value{}, err
+	}
+	if a.kind == Int && b.kind == Int {
+		if b.i == 0 {
+			return Value{}, &ArithError{"div", "integer division by zero"}
+		}
+		return NewInt(a.i / b.i), nil
+	}
+	d := b.Float()
+	if d == 0 {
+		return Value{}, &ArithError{"div", "float division by zero"}
+	}
+	return NewFloat(a.Float() / d), nil
+}
+
+// Tuple is a fixed-arity sequence of values. Tuples are treated as
+// immutable once constructed.
+type Tuple []Value
+
+// Key returns a canonical injective string encoding of t, usable as a map
+// key. Distinct tuples always produce distinct keys.
+func (t Tuple) Key() string {
+	b := make([]byte, 0, 16*len(t))
+	for _, v := range t {
+		b = v.appendKey(b)
+		b = append(b, '|')
+	}
+	return string(b)
+}
+
+// AppendKey appends t's canonical encoding to b and returns the extended
+// slice, avoiding the string allocation of Key when a scratch buffer is
+// available.
+func (t Tuple) AppendKey(b []byte) []byte {
+	for _, v := range t {
+		b = v.appendKey(b)
+		b = append(b, '|')
+	}
+	return b
+}
+
+// Equal reports element-wise equality.
+func (t Tuple) Equal(o Tuple) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		if !t[i].Equal(o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Compare orders tuples lexicographically; shorter tuples sort first on ties.
+func (t Tuple) Compare(o Tuple) int {
+	n := min(len(t), len(o))
+	for i := 0; i < n; i++ {
+		if c := t[i].Compare(o[i]); c != 0 {
+			return c
+		}
+	}
+	return len(t) - len(o)
+}
+
+// Clone returns an independent copy of t.
+func (t Tuple) Clone() Tuple {
+	c := make(Tuple, len(t))
+	copy(c, t)
+	return c
+}
+
+// Project returns the subtuple at the given column positions.
+func (t Tuple) Project(cols []int) Tuple {
+	p := make(Tuple, len(cols))
+	for i, c := range cols {
+		p[i] = t[c]
+	}
+	return p
+}
+
+// String renders the tuple as "(v1, v2, ...)".
+func (t Tuple) String() string {
+	var sb strings.Builder
+	sb.WriteByte('(')
+	for i, v := range t {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(v.String())
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// T is a convenience constructor turning Go scalars into a Tuple.
+// Supported argument types: int, int64, float64, string, Value.
+func T(vals ...any) Tuple {
+	t := make(Tuple, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case int:
+			t[i] = NewInt(int64(x))
+		case int64:
+			t[i] = NewInt(x)
+		case float64:
+			t[i] = NewFloat(x)
+		case string:
+			t[i] = NewString(x)
+		case Value:
+			t[i] = x
+		default:
+			panic(fmt.Sprintf("value.T: unsupported type %T", v))
+		}
+	}
+	return t
+}

@@ -1,0 +1,245 @@
+package value
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+	}{
+		{NewInt(7), Int},
+		{NewFloat(3.5), Float},
+		{NewString("x"), String},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("%v: kind = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	if NewInt(42).Int() != 42 {
+		t.Error("Int accessor")
+	}
+	if NewFloat(2.5).Float() != 2.5 {
+		t.Error("Float accessor")
+	}
+	if NewInt(3).Float() != 3.0 {
+		t.Error("Int promotes through Float()")
+	}
+	if NewString("hi").Str() != "hi" {
+		t.Error("Str accessor")
+	}
+}
+
+func TestAccessorPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Int on string", func() { NewString("x").Int() })
+	mustPanic("Float on string", func() { NewString("x").Float() })
+	mustPanic("Str on int", func() { NewInt(1).Str() })
+}
+
+func TestEqual(t *testing.T) {
+	if !NewInt(1).Equal(NewInt(1)) {
+		t.Error("1 == 1")
+	}
+	if NewInt(1).Equal(NewFloat(1)) {
+		t.Error("Int 1 must not Equal Float 1.0 (Equal is identity, not numeric)")
+	}
+	if NewString("a").Equal(NewString("b")) {
+		t.Error("a != b")
+	}
+	if NewInt(1).Equal(NewString("1")) {
+		t.Error("cross-kind")
+	}
+}
+
+func TestCompareTotalOrder(t *testing.T) {
+	vals := []Value{
+		NewInt(-5), NewInt(0), NewInt(3), NewFloat(-5.5), NewFloat(0),
+		NewFloat(2.5), NewString(""), NewString("a"), NewString("zz"),
+	}
+	// Antisymmetry + transitivity via sort then pairwise check.
+	sort.Slice(vals, func(i, j int) bool { return vals[i].Compare(vals[j]) < 0 })
+	for i := 0; i < len(vals); i++ {
+		for j := 0; j < len(vals); j++ {
+			c := vals[i].Compare(vals[j])
+			switch {
+			case i < j && c > 0:
+				t.Fatalf("order violated at %v vs %v", vals[i], vals[j])
+			case i > j && c < 0:
+				t.Fatalf("order violated at %v vs %v", vals[i], vals[j])
+			}
+			if c != -vals[j].Compare(vals[i]) {
+				t.Fatalf("antisymmetry violated at %v vs %v", vals[i], vals[j])
+			}
+		}
+	}
+	// Numerics sort before strings.
+	if NewInt(999).Compare(NewString("")) >= 0 {
+		t.Error("numerics must sort before strings")
+	}
+}
+
+func TestCompareNumericCrossKind(t *testing.T) {
+	if NewInt(2).Compare(NewFloat(2.5)) >= 0 {
+		t.Error("2 < 2.5")
+	}
+	if NewFloat(2.5).Compare(NewInt(3)) >= 0 {
+		t.Error("2.5 < 3")
+	}
+	// Equal numerically: ordering falls back to kind but stays consistent.
+	a, b := NewInt(2), NewFloat(2)
+	if a.Compare(b) == 0 {
+		t.Error("Int 2 vs Float 2.0 must not compare equal (Equal is false)")
+	}
+	if a.Compare(b) != -b.Compare(a) {
+		t.Error("tie-break must be antisymmetric")
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	check := func(got Value, err error, want Value) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	v, err := Add(NewInt(2), NewInt(3))
+	check(v, err, NewInt(5))
+	v, err = Add(NewInt(2), NewFloat(0.5))
+	check(v, err, NewFloat(2.5))
+	v, err = Sub(NewInt(2), NewInt(5))
+	check(v, err, NewInt(-3))
+	v, err = Mul(NewFloat(1.5), NewInt(4))
+	check(v, err, NewFloat(6))
+	v, err = Div(NewInt(7), NewInt(2))
+	check(v, err, NewInt(3)) // integer division truncates
+	v, err = Div(NewFloat(7), NewInt(2))
+	check(v, err, NewFloat(3.5))
+}
+
+func TestArithmeticErrors(t *testing.T) {
+	if _, err := Add(NewString("x"), NewInt(1)); err == nil {
+		t.Error("string + int must error")
+	}
+	if _, err := Div(NewInt(1), NewInt(0)); err == nil {
+		t.Error("integer division by zero must error")
+	}
+	if _, err := Div(NewFloat(1), NewFloat(0)); err == nil {
+		t.Error("float division by zero must error")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := map[string]Value{
+		"7":        NewInt(7),
+		"-3":       NewInt(-3),
+		"2.5":      NewFloat(2.5),
+		"abc":      NewString("abc"),
+		`"Abc"`:    NewString("Abc"), // would parse as a variable → quoted
+		`"a b"`:    NewString("a b"),
+		`"9lives"`: NewString("9lives"),
+	}
+	for want, v := range cases {
+		if v.String() != want {
+			t.Errorf("%#v.String() = %q, want %q", v, v.String(), want)
+		}
+	}
+}
+
+func TestTupleKeyInjective(t *testing.T) {
+	// Tricky near-collisions.
+	pairs := [][2]Tuple{
+		{T("ab", "c"), T("a", "bc")},
+		{T("a|b"), T("a", "b")},
+		{T(1, 2), T(12)},
+		{T(1), T(1.0)},
+		{T("1"), T(1)},
+		{T(), T("")},
+	}
+	for _, p := range pairs {
+		if p[0].Key() == p[1].Key() {
+			t.Errorf("key collision: %v vs %v", p[0], p[1])
+		}
+	}
+	if !T(1, "a").Equal(T(1, "a")) || T(1, "a").Key() != T(1, "a").Key() {
+		t.Error("identical tuples must share keys")
+	}
+}
+
+func TestTupleKeyQuick(t *testing.T) {
+	f := func(a1, b1 int64, a2, b2 string) bool {
+		t1 := T(a1, a2)
+		t2 := T(b1, b2)
+		return (t1.Key() == t2.Key()) == t1.Equal(t2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTupleCompare(t *testing.T) {
+	if T(1, 2).Compare(T(1, 3)) >= 0 {
+		t.Error("(1,2) < (1,3)")
+	}
+	if T(1).Compare(T(1, 0)) >= 0 {
+		t.Error("shorter sorts first on ties")
+	}
+	if T(2).Compare(T(1, 9)) <= 0 {
+		t.Error("(2) > (1,9)")
+	}
+	if T("a", 1).Compare(T("a", 1)) != 0 {
+		t.Error("equal tuples compare 0")
+	}
+}
+
+func TestTupleProjectCloneString(t *testing.T) {
+	tu := T("a", 1, 2.5)
+	p := tu.Project([]int{2, 0})
+	if !p.Equal(T(2.5, "a")) {
+		t.Errorf("project: %v", p)
+	}
+	c := tu.Clone()
+	c[0] = NewString("z")
+	if !tu[0].Equal(NewString("a")) {
+		t.Error("clone must be independent")
+	}
+	if tu.String() != "(a, 1, 2.5)" {
+		t.Errorf("String: %q", tu.String())
+	}
+}
+
+func TestFloatKeyHandlesSpecials(t *testing.T) {
+	a := T(math.Inf(1))
+	b := T(math.Inf(-1))
+	if a.Key() == b.Key() {
+		t.Error("±Inf must not collide")
+	}
+}
+
+func TestTConstructorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("T with unsupported type must panic")
+		}
+	}()
+	T([]int{1})
+}

@@ -1,0 +1,696 @@
+// Package ivm is an incremental view maintenance engine for relational /
+// deductive databases, implementing the two algorithms of Gupta, Mumick &
+// Subrahmanian, "Maintaining Views Incrementally" (SIGMOD 1993):
+//
+//   - the counting algorithm for nonrecursive views (with stratified
+//     negation and aggregation, under set or SQL duplicate semantics),
+//     which stores the number of alternative derivations of every view
+//     tuple and computes exactly the tuples inserted into or deleted from
+//     each view; and
+//   - the DRed (Delete and Rederive) algorithm for general recursive
+//     views (set semantics), which deletes an overestimate, rederives the
+//     survivors, and propagates insertions — and also maintains views
+//     when rules are added to or removed from the view definition.
+//
+// Views are defined in an extended Datalog dialect:
+//
+//	db := ivm.NewDatabase()
+//	db.MustLoad(`link(a,b). link(b,c). link(b,e). link(a,d). link(d,c).`)
+//	v, err := db.Materialize(`hop(X,Y) :- link(X,Z), link(Z,Y).`)
+//	changes, err := v.Apply(ivm.NewUpdate().Delete("link", "a", "b"))
+//
+// The strategy is chosen automatically (counting for nonrecursive
+// programs, DRed for recursive ones) and can be forced with WithStrategy.
+package ivm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"ivm/internal/baseline/pf"
+	"ivm/internal/baseline/recompute"
+	"ivm/internal/core/counting"
+	"ivm/internal/core/dred"
+	"ivm/internal/datalog"
+	"ivm/internal/eval"
+	"ivm/internal/parser"
+	"ivm/internal/relation"
+	"ivm/internal/storage"
+	"ivm/internal/strata"
+	"ivm/internal/value"
+)
+
+// Value is a scalar database value (int64, float64, or string).
+type Value = value.Value
+
+// Tuple is a fixed-arity sequence of values.
+type Tuple = value.Tuple
+
+// Row pairs a tuple with its signed derivation count.
+type Row = relation.Row
+
+// T builds a Tuple from Go scalars (int, int64, float64, string, Value).
+func T(vals ...any) Tuple { return value.T(vals...) }
+
+// Int, Float and Str build scalar values.
+func Int(i int64) Value     { return value.NewInt(i) }
+func Float(f float64) Value { return value.NewFloat(f) }
+func Str(s string) Value    { return value.NewString(s) }
+
+// Semantics selects set vs SQL duplicate (multiset) semantics.
+type Semantics = eval.Semantics
+
+const (
+	// SetSemantics treats every relation as a set (counts still track
+	// per-stratum derivations internally, Section 5.1 of the paper).
+	SetSemantics = eval.Set
+	// DuplicateSemantics is SQL multiset semantics; view counts are true
+	// multiplicities. Nonrecursive programs only.
+	DuplicateSemantics = eval.Duplicate
+)
+
+// Strategy selects the maintenance algorithm.
+type Strategy int
+
+const (
+	// Auto uses Counting for nonrecursive programs and DRed for
+	// recursive ones — the paper's recommendation.
+	Auto Strategy = iota
+	// Counting uses Algorithm 4.1 (nonrecursive views only).
+	Counting
+	// DRed uses the Delete-and-Rederive algorithm (set semantics).
+	DRed
+	// Recompute re-evaluates views from scratch on every change (the
+	// non-incremental baseline).
+	Recompute
+	// PF uses the fragmented Propagation/Filtration-style baseline.
+	PF
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Auto:
+		return "auto"
+	case Counting:
+		return "counting"
+	case DRed:
+		return "dred"
+	case Recompute:
+		return "recompute"
+	case PF:
+		return "pf"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Database holds base (edb) relations. Materialize snapshots the current
+// base state into a Views instance; subsequent changes must flow through
+// Views.Apply so the views stay consistent.
+type Database struct {
+	base *eval.DB
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database { return &Database{base: eval.NewDB()} }
+
+// Load parses and inserts ground facts, e.g. `link(a,b). link(b,c).`.
+// Facts may carry multiplicities: `link(a,b) * 3.`.
+func (d *Database) Load(src string) error {
+	facts, err := parser.ParseDelta(src)
+	if err != nil {
+		return err
+	}
+	for _, f := range facts {
+		d.base.Ensure(f.Pred, len(f.Tuple)).Add(f.Tuple, f.Count)
+	}
+	return nil
+}
+
+// MustLoad is Load that panics on error (for tests and examples).
+func (d *Database) MustLoad(src string) {
+	if err := d.Load(src); err != nil {
+		panic(err)
+	}
+}
+
+// Insert adds one base tuple with count 1.
+func (d *Database) Insert(pred string, vals ...any) {
+	t := value.T(vals...)
+	d.base.Ensure(pred, len(t)).Add(t, 1)
+}
+
+// InsertTuple adds a base tuple with an explicit count.
+func (d *Database) InsertTuple(pred string, t Tuple, count int64) {
+	d.base.Ensure(pred, len(t)).Add(t, count)
+}
+
+// Rows returns the stored rows of a base relation, sorted.
+func (d *Database) Rows(pred string) []Row {
+	r := d.base.Get(pred)
+	if r == nil {
+		return nil
+	}
+	return r.SortedRows()
+}
+
+// Views is a set of materialized views maintained incrementally over a
+// snapshot of a Database.
+type Views struct {
+	cfg        config
+	strategy   Strategy // resolved (never Auto)
+	programSrc string
+	// hidden marks internal auxiliary predicates (e.g. the GROUP BY join
+	// helpers the SQL front end generates) that are filtered out of
+	// user-facing change sets.
+	hidden map[string]bool
+
+	// mu serializes maintenance operations against reads: Apply, AddRule,
+	// RemoveRule and Save take the write lock; Rows, Count, Has and Query
+	// take the read lock, so concurrent readers are safe while updates
+	// are applied atomically.
+	mu sync.RWMutex
+
+	// handlers are the OnChange subscriptions, keyed by predicate ("" =
+	// every predicate). Invoked after the lock is released.
+	handlers map[string][]func(pred string, inserted, deleted []Row)
+
+	c  *counting.Engine
+	dr *dred.Engine
+	rc *recompute.Engine
+	pf *pf.Engine
+}
+
+type config struct {
+	strategy        Strategy
+	semantics       Semantics
+	disableSetOpt   bool
+	fragmentTuples  bool
+	recursiveCounts bool
+	maxIterations   int
+}
+
+// Option configures Materialize.
+type Option func(*config)
+
+// WithStrategy forces a maintenance strategy.
+func WithStrategy(s Strategy) Option { return func(c *config) { c.strategy = s } }
+
+// WithSemantics selects set or duplicate semantics (default: set).
+func WithSemantics(s Semantics) Option { return func(c *config) { c.semantics = s } }
+
+// WithoutSetOptimization disables statement (2) of Algorithm 4.1 (the
+// set-semantics cascade cut) — exposed for the ablation experiments.
+func WithoutSetOptimization() Option { return func(c *config) { c.disableSetOpt = true } }
+
+// WithTupleFragmentation makes the PF baseline propagate one tuple per
+// pass (its most fragmented schedule).
+func WithTupleFragmentation() Option { return func(c *config) { c.fragmentTuples = true } }
+
+// WithRecursiveCounting lets the counting strategy maintain recursive
+// views ([GKM92]; the paper's Section 8). Requires duplicate semantics
+// and WithStrategy(Counting): count(t) becomes the number of derivation
+// trees, which is finite only on acyclic derivations — materialization
+// and updates fail with a divergence error (after maxIterations fixpoint
+// rounds; 0 = default) when a derivation cycle appears, leaving the views
+// unchanged. Auto keeps selecting DRed for recursive programs, the
+// paper's recommendation.
+func WithRecursiveCounting(maxIterations int) Option {
+	return func(c *config) {
+		c.recursiveCounts = true
+		c.maxIterations = maxIterations
+	}
+}
+
+// Materialize parses the program (rules; facts are loaded into the
+// database first), validates and stratifies it, materializes every view
+// over the current base state, and returns the maintained Views.
+func (d *Database) Materialize(programSrc string, opts ...Option) (*Views, error) {
+	res, err := parser.Parse(programSrc)
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range res.Facts {
+		d.base.Ensure(f.Pred, len(f.Tuple)).Add(f.Tuple, f.Count)
+	}
+	return d.MaterializeProgram(res.Program, programSrc, opts...)
+}
+
+// MaterializeProgram is Materialize for an already parsed program.
+func (d *Database) MaterializeProgram(prog *datalog.Program, programSrc string, opts ...Option) (*Views, error) {
+	cfg := config{strategy: Auto, semantics: SetSemantics}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if err := datalog.Validate(prog); err != nil {
+		return nil, err
+	}
+	st, err := strata.Compute(prog)
+	if err != nil {
+		return nil, err
+	}
+	strategy := cfg.strategy
+	if strategy == Auto {
+		strategy = Counting
+		for pred := range prog.DerivedPreds() {
+			if st.Recursive[pred] {
+				strategy = DRed
+				break
+			}
+		}
+	}
+	v := &Views{cfg: cfg, strategy: strategy, programSrc: programSrc}
+	switch strategy {
+	case Counting:
+		eng, err := counting.NewWithConfig(prog, d.base, counting.Config{
+			Semantics:      cfg.semantics,
+			DisableSetOpt:  cfg.disableSetOpt,
+			AllowRecursion: cfg.recursiveCounts,
+			MaxIterations:  cfg.maxIterations,
+		})
+		if err != nil {
+			return nil, err
+		}
+		v.c = eng
+	case DRed:
+		if cfg.semantics == DuplicateSemantics {
+			return nil, fmt.Errorf("ivm: DRed requires set semantics")
+		}
+		eng, err := dred.New(prog, d.base)
+		if err != nil {
+			return nil, err
+		}
+		v.dr = eng
+	case Recompute:
+		eng, err := recompute.New(prog, d.base, cfg.semantics)
+		if err != nil {
+			return nil, err
+		}
+		v.rc = eng
+	case PF:
+		if cfg.semantics == DuplicateSemantics {
+			return nil, fmt.Errorf("ivm: the PF baseline requires set semantics")
+		}
+		eng, err := pf.New(prog, d.base)
+		if err != nil {
+			return nil, err
+		}
+		eng.FragmentTuples = cfg.fragmentTuples
+		v.pf = eng
+	default:
+		return nil, fmt.Errorf("ivm: unknown strategy %v", strategy)
+	}
+	return v, nil
+}
+
+// Strategy returns the resolved maintenance strategy.
+func (v *Views) Strategy() Strategy { return v.strategy }
+
+// Semantics returns the view semantics.
+func (v *Views) Semantics() Semantics { return v.cfg.semantics }
+
+// ProgramSource returns the program text the views were built from.
+func (v *Views) ProgramSource() string { return v.programSrc }
+
+// Program returns the parsed, possibly rule-edited view program.
+func (v *Views) Program() *datalog.Program {
+	switch {
+	case v.c != nil:
+		return v.c.Program()
+	case v.dr != nil:
+		return v.dr.Program()
+	case v.rc != nil:
+		return v.rc.Program()
+	default:
+		return v.pf.Program()
+	}
+}
+
+func (v *Views) relation(pred string) *relation.Relation {
+	switch {
+	case v.c != nil:
+		return v.c.Relation(pred)
+	case v.dr != nil:
+		return v.dr.Relation(pred)
+	case v.rc != nil:
+		return v.rc.Relation(pred)
+	default:
+		return v.pf.Relation(pred)
+	}
+}
+
+func (v *Views) db() *eval.DB {
+	switch {
+	case v.c != nil:
+		return v.c.DB()
+	case v.dr != nil:
+		return v.dr.DB()
+	case v.rc != nil:
+		return v.rc.DB()
+	default:
+		return v.pf.DB()
+	}
+}
+
+// Rows returns the stored rows of a (base or derived) relation, sorted
+// lexicographically. Derived rows carry derivation counts.
+func (v *Views) Rows(pred string) []Row {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	r := v.relation(pred)
+	if r == nil {
+		return nil
+	}
+	return r.SortedRows()
+}
+
+// Count returns the derivation count of the given tuple (0 if absent).
+func (v *Views) Count(pred string, vals ...any) int64 {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	r := v.relation(pred)
+	if r == nil {
+		return 0
+	}
+	return r.Count(value.T(vals...))
+}
+
+// Has reports whether the tuple is in the (base or derived) relation.
+func (v *Views) Has(pred string, vals ...any) bool {
+	return v.Count(pred, vals...) > 0
+}
+
+// Apply maintains every view under the update and returns the per-view
+// changes. The update's deletions must refer to stored tuples.
+func (v *Views) Apply(u *Update) (*ChangeSet, error) {
+	cs, err := v.applyLocked(u)
+	if err != nil {
+		return nil, err
+	}
+	v.notify(cs)
+	return cs, nil
+}
+
+func (v *Views) applyLocked(u *Update) (*ChangeSet, error) {
+	if u.err != nil {
+		return nil, u.err
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	deltas := u.deltas()
+	var cs *ChangeSet
+	switch {
+	case v.c != nil:
+		full, err := v.c.Apply(deltas)
+		if err != nil {
+			return nil, err
+		}
+		cs = changeSetFromDeltas(full)
+	case v.dr != nil:
+		ch, err := v.dr.Apply(deltas)
+		if err != nil {
+			return nil, err
+		}
+		cs = changeSetFromChanges(ch.Del, ch.Add)
+	case v.rc != nil:
+		full, err := v.rc.Apply(deltas)
+		if err != nil {
+			return nil, err
+		}
+		cs = changeSetFromDeltas(full)
+	default:
+		ch, err := v.pf.Apply(deltas)
+		if err != nil {
+			return nil, err
+		}
+		cs = changeSetFromChanges(ch.Del, ch.Add)
+	}
+	for pred := range v.hidden {
+		delete(cs.perPred, pred)
+	}
+	return cs, nil
+}
+
+// OnChange subscribes fn to changes of pred ("" subscribes to every
+// derived predicate) — the paper's active-database application (Section
+// 1: "a rule may fire when a particular tuple is inserted into a view").
+// fn runs synchronously after each successful Apply/AddRule/RemoveRule
+// that changed pred, outside the Views lock, with the inserted and
+// deleted rows (deleted counts reported positive). Handlers may read the
+// Views but must not Apply from within the callback of the same
+// goroutine's Apply call chain.
+func (v *Views) OnChange(pred string, fn func(pred string, inserted, deleted []Row)) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.handlers == nil {
+		v.handlers = make(map[string][]func(string, []Row, []Row))
+	}
+	v.handlers[pred] = append(v.handlers[pred], fn)
+}
+
+// notify fires the OnChange handlers for a change set. Called without
+// the write lock held; handler slices are snapshotted under the read
+// lock so registrations are race-free.
+func (v *Views) notify(cs *ChangeSet) {
+	if cs == nil {
+		return
+	}
+	v.mu.RLock()
+	if len(v.handlers) == 0 {
+		v.mu.RUnlock()
+		return
+	}
+	type firing struct {
+		pred     string
+		ins, del []Row
+		fns      []func(string, []Row, []Row)
+	}
+	var firings []firing
+	for _, pred := range cs.Preds() {
+		var fns []func(string, []Row, []Row)
+		fns = append(fns, v.handlers[pred]...)
+		fns = append(fns, v.handlers[""]...)
+		if len(fns) == 0 {
+			continue
+		}
+		firings = append(firings, firing{pred, cs.Inserted(pred), cs.Deleted(pred), fns})
+	}
+	v.mu.RUnlock()
+	for _, f := range firings {
+		for _, fn := range f.fns {
+			fn(f.pred, f.ins, f.del)
+		}
+	}
+}
+
+// ApplyScript parses a delta script (`+link(a,b). -link(b,c).`) and
+// applies it.
+func (v *Views) ApplyScript(src string) (*ChangeSet, error) {
+	u, err := ParseUpdate(src)
+	if err != nil {
+		return nil, err
+	}
+	return v.Apply(u)
+}
+
+// AddRule extends the view definition (DRed strategy only; Section 7's
+// rule insertion maintenance).
+func (v *Views) AddRule(ruleSrc string) (*ChangeSet, error) {
+	cs, err := v.addRuleLocked(ruleSrc)
+	if err != nil {
+		return nil, err
+	}
+	v.notify(cs)
+	return cs, nil
+}
+
+func (v *Views) addRuleLocked(ruleSrc string) (*ChangeSet, error) {
+	if v.dr == nil {
+		return nil, fmt.Errorf("ivm: AddRule requires the DRed strategy (have %v)", v.strategy)
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	prog, err := parser.ParseRules(ruleSrc)
+	if err != nil {
+		return nil, err
+	}
+	if len(prog.Rules) != 1 {
+		return nil, fmt.Errorf("ivm: AddRule expects exactly one rule, got %d", len(prog.Rules))
+	}
+	ch, err := v.dr.AddRule(prog.Rules[0])
+	if err != nil {
+		return nil, err
+	}
+	return changeSetFromChanges(ch.Del, ch.Add), nil
+}
+
+// RemoveRule removes rule index ri (as listed by Program) from the view
+// definition (DRed strategy only).
+func (v *Views) RemoveRule(ri int) (*ChangeSet, error) {
+	cs, err := v.removeRuleLocked(ri)
+	if err != nil {
+		return nil, err
+	}
+	v.notify(cs)
+	return cs, nil
+}
+
+func (v *Views) removeRuleLocked(ri int) (*ChangeSet, error) {
+	if v.dr == nil {
+		return nil, fmt.Errorf("ivm: RemoveRule requires the DRed strategy (have %v)", v.strategy)
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	ch, err := v.dr.RemoveRule(ri)
+	if err != nil {
+		return nil, err
+	}
+	return changeSetFromChanges(ch.Del, ch.Add), nil
+}
+
+// CountingStats returns the last counting-engine statistics.
+func (v *Views) CountingStats() (counting.Stats, bool) {
+	if v.c == nil {
+		return counting.Stats{}, false
+	}
+	return v.c.LastStats, true
+}
+
+// DRedStats returns the last DRed-engine statistics.
+func (v *Views) DRedStats() (dred.Stats, bool) {
+	if v.dr == nil {
+		return dred.Stats{}, false
+	}
+	return v.dr.LastStats, true
+}
+
+// PFStats returns the last PF-baseline statistics.
+func (v *Views) PFStats() (pf.Stats, bool) {
+	if v.pf == nil {
+		return pf.Stats{}, false
+	}
+	return v.pf.LastStats, true
+}
+
+// Save snapshots the views' storage (base + derived relations with
+// counts) and program text to path.
+func (v *Views) Save(path string) error {
+	if v.pf != nil {
+		return fmt.Errorf("ivm: Save is not supported for the PF baseline")
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return storage.SaveFile(path, v.db(), v.programSrc)
+}
+
+// LoadViews restores a snapshot saved by Views.Save, rematerializing the
+// views over the restored base relations.
+func LoadViews(path string, opts ...Option) (*Views, error) {
+	db, programSrc, err := storage.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	res, err := parser.Parse(programSrc)
+	if err != nil {
+		return nil, err
+	}
+	d := NewDatabase()
+	derived := res.Program.DerivedPreds()
+	for _, pred := range db.Preds() {
+		if !derived[pred] {
+			d.base.Put(pred, db.Get(pred))
+		}
+	}
+	return d.MaterializeProgram(res.Program, programSrc, opts...)
+}
+
+// ChangeSet maps derived predicates to the signed count deltas an update
+// produced (positive counts inserted derivations, negative deleted).
+type ChangeSet struct {
+	perPred map[string]*relation.Relation
+}
+
+func changeSetFromDeltas(m map[string]*relation.Relation) *ChangeSet {
+	return &ChangeSet{perPred: m}
+}
+
+func changeSetFromChanges(del, add map[string]*relation.Relation) *ChangeSet {
+	per := make(map[string]*relation.Relation)
+	for pred, d := range del {
+		n, ok := per[pred]
+		if !ok {
+			n = relation.New(d.Arity())
+			per[pred] = n
+		}
+		n.MergeDelta(d.Negate())
+	}
+	for pred, a := range add {
+		n, ok := per[pred]
+		if !ok {
+			n = relation.New(a.Arity())
+			per[pred] = n
+		}
+		n.MergeDelta(a)
+	}
+	for pred, n := range per {
+		if n.Empty() {
+			delete(per, pred)
+		}
+	}
+	return &ChangeSet{perPred: per}
+}
+
+// Preds returns the predicates with changes, sorted.
+func (c *ChangeSet) Preds() []string {
+	out := make([]string, 0, len(c.perPred))
+	for p := range c.perPred {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Delta returns the signed rows for pred, sorted (nil if unchanged).
+func (c *ChangeSet) Delta(pred string) []Row {
+	r := c.perPred[pred]
+	if r == nil {
+		return nil
+	}
+	return r.SortedRows()
+}
+
+// Inserted returns the tuples whose counts increased for pred.
+func (c *ChangeSet) Inserted(pred string) []Row {
+	var out []Row
+	for _, row := range c.Delta(pred) {
+		if row.Count > 0 {
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// Deleted returns the tuples whose counts decreased for pred (counts are
+// reported positive).
+func (c *ChangeSet) Deleted(pred string) []Row {
+	var out []Row
+	for _, row := range c.Delta(pred) {
+		if row.Count < 0 {
+			out = append(out, Row{Tuple: row.Tuple, Count: -row.Count})
+		}
+	}
+	return out
+}
+
+// Empty reports whether no view changed.
+func (c *ChangeSet) Empty() bool { return len(c.perPred) == 0 }
+
+// String renders the change set in the paper's Δ notation.
+func (c *ChangeSet) String() string {
+	s := ""
+	for _, pred := range c.Preds() {
+		s += fmt.Sprintf("Δ(%s) = %s\n", pred, c.perPred[pred])
+	}
+	return s
+}

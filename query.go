@@ -1,0 +1,101 @@
+package ivm
+
+import (
+	"ivm/internal/datalog"
+	"ivm/internal/parser"
+	"ivm/internal/relation"
+	"ivm/internal/value"
+)
+
+// QueryResult is one match of a query goal: the matched row plus the
+// values bound to each variable of the goal.
+type QueryResult struct {
+	Row      Row
+	Bindings map[string]Value
+}
+
+// Query matches a single goal pattern against a stored (base or derived)
+// relation and returns the matching rows with their variable bindings:
+//
+//	results, err := v.Query(`hop(a, X)`)        // all hops from a
+//	results, err := v.Query(`link(X, X)`)       // self-loops
+//	results, err := v.Query(`min_cost_hop(a, b, M)`)
+//
+// Upper-case identifiers are variables (repeated variables must agree),
+// lower-case identifiers, numbers and strings are constants. Rows carry
+// the stored derivation counts.
+func (v *Views) Query(goal string) ([]QueryResult, error) {
+	a, err := parser.ParseGoal(goal)
+	if err != nil {
+		return nil, err
+	}
+	// Lookup may build an index lazily (a write); take the write lock.
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	rel := v.relation(a.Pred)
+	if rel == nil {
+		return nil, nil
+	}
+	return matchGoal(a, rel), nil
+}
+
+// matchGoal enumerates rel rows matching the atom pattern.
+func matchGoal(a datalog.Atom, rel *relation.Relation) []QueryResult {
+	// Bound columns (constants) drive an index lookup when present.
+	var cols []int
+	var key value.Tuple
+	for i, t := range a.Args {
+		if c, ok := t.(datalog.Const); ok {
+			cols = append(cols, i)
+			key = append(key, c.Value)
+		}
+	}
+	var rows []Row
+	if len(cols) > 0 {
+		rows = rel.Lookup(cols, key)
+	} else {
+		rows = rel.Rows()
+	}
+
+	var out []QueryResult
+	for _, row := range rows {
+		if len(row.Tuple) != len(a.Args) {
+			continue
+		}
+		bind := make(map[string]Value)
+		ok := true
+		for i, t := range a.Args {
+			switch x := t.(type) {
+			case datalog.Const:
+				if !x.Value.Equal(row.Tuple[i]) {
+					ok = false
+				}
+			case datalog.Var:
+				if prev, seen := bind[string(x)]; seen {
+					if !prev.Equal(row.Tuple[i]) {
+						ok = false
+					}
+				} else {
+					bind[string(x)] = row.Tuple[i]
+				}
+			}
+			if !ok {
+				break
+			}
+		}
+		if ok {
+			out = append(out, QueryResult{Row: row, Bindings: bind})
+		}
+	}
+	// Deterministic order for callers and tests.
+	sortQueryResults(out)
+	return out
+}
+
+func sortQueryResults(rs []QueryResult) {
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j].Row.Tuple.Compare(rs[j-1].Row.Tuple) < 0; j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+}
