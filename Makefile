@@ -1,0 +1,39 @@
+# Mirrors .github/workflows/ci.yml: `make ci` runs exactly what CI runs.
+
+GO ?= go
+
+.PHONY: all build vet fmt fmt-check test race bench bench-smoke ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+# Fails (like CI) if any file needs reformatting.
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needs to be run on:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+test:
+	$(GO) test -count=1 ./...
+
+race:
+	$(GO) test -race -count=1 ./...
+
+# Full benchmark run (slow; use bench-smoke for a compile-and-run check).
+bench:
+	$(GO) test -bench=. -run '^$$' ./...
+
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...
+	$(GO) run ./cmd/ivmbench -scale smoke
+
+ci: build vet fmt-check test race bench-smoke

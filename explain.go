@@ -2,6 +2,8 @@ package ivm
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"ivm/internal/datalog"
 	"ivm/internal/eval"
@@ -90,7 +92,28 @@ func (v *Views) Explain(goal string) ([]Derivation, error) {
 			out = append(out, d)
 		}
 	}
+	// Derivation enumeration walks hash relations, so within a rule the
+	// match order is unspecified; sort for deterministic output.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].RuleIndex != out[j].RuleIndex {
+			return out[i].RuleIndex < out[j].RuleIndex
+		}
+		return derivationKey(out[i]) < derivationKey(out[j])
+	})
 	return out, nil
+}
+
+// derivationKey canonically encodes a derivation's ground subgoals for
+// ordering.
+func derivationKey(d Derivation) string {
+	var sb strings.Builder
+	for _, g := range d.Subgoals {
+		sb.WriteString(g.Pred)
+		sb.WriteByte('(')
+		sb.WriteString(g.Tuple.Key())
+		sb.WriteString(");")
+	}
+	return sb.String()
 }
 
 // explainState returns the storage, semantics and group tables of the

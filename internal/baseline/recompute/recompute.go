@@ -20,6 +20,10 @@ type Engine struct {
 	strat *strata.Stratification
 	sem   eval.Semantics
 	db    *eval.DB
+
+	// Parallelism is the worker count the per-Apply re-evaluations use
+	// (<= 1 sequential). Set it before the first Apply.
+	Parallelism int
 }
 
 // New validates prog and computes the initial materialization.
@@ -108,6 +112,7 @@ func (e *Engine) Apply(baseDelta map[string]*relation.Relation) (map[string]*rel
 		e.db.Ensure(pred, d.Arity()).MergeDelta(d)
 	}
 	ev := eval.NewEvaluator(e.prog, e.strat, e.sem)
+	ev.Parallelism = e.Parallelism
 	if err := ev.Evaluate(e.db); err != nil {
 		return nil, err
 	}

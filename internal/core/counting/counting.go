@@ -59,6 +59,11 @@ type Config struct {
 	AllowRecursion bool
 	// MaxIterations bounds recursive count fixpoints (0 = default).
 	MaxIterations int
+	// Parallelism is the number of worker goroutines used to evaluate the
+	// delta rules of a stratum (Δ1..Δn over all rules, which are mutually
+	// independent) concurrently, and to hash-partition large single-rule
+	// joins. <= 1 evaluates sequentially; results are identical either way.
+	Parallelism int
 }
 
 // Engine maintains the materialization of a nonrecursive view program.
@@ -76,8 +81,10 @@ type Engine struct {
 	// fixpoints) and their iteration budget.
 	allowRecursion bool
 	maxIter        int
-	db             *eval.DB
-	gts            map[eval.RuleLit]*eval.GroupTable
+	// par is the worker count for delta-rule batches (<= 1 sequential).
+	par int
+	db  *eval.DB
+	gts map[eval.RuleLit]*eval.GroupTable
 
 	// LastStats reports the work of the most recent Apply.
 	LastStats Stats
@@ -132,13 +139,15 @@ func NewWithConfig(prog *datalog.Program, base *eval.DB, cfg Config) (*Engine, e
 	ev := eval.NewEvaluator(prog, st, sem)
 	ev.RecursiveCounts = cfg.AllowRecursion
 	ev.MaxIterations = cfg.MaxIterations
+	ev.Parallelism = cfg.Parallelism
 	if err := ev.Evaluate(db); err != nil {
 		return nil, err
 	}
 	return &Engine{
 		prog: prog, strat: st, sem: sem, reportSet: reportSet,
 		allowRecursion: cfg.AllowRecursion, maxIter: cfg.MaxIterations,
-		db: db, gts: ev.GroupTables,
+		par: cfg.Parallelism,
+		db:  db, gts: ev.GroupTables,
 	}, nil
 }
 
@@ -261,11 +270,16 @@ func (e *Engine) Apply(baseDelta map[string]*relation.Relation) (map[string]*rel
 				break
 			}
 		}
-		if recursive {
+		switch {
+		case recursive:
 			if err := e.applyRecursiveStratum(s, byStratum[s], cascade, pendingT, perPred); err != nil {
 				return fail(err)
 			}
-		} else {
+		case e.par > 1:
+			if err := e.applyStratumParallel(byStratum[s], cascade, pendingT, perPred); err != nil {
+				return fail(err)
+			}
+		default:
 			for _, ri := range byStratum[s] {
 				if err := e.applyRule(ri, cascade, pendingT, perPred); err != nil {
 					return fail(err)
@@ -331,6 +345,87 @@ func (e *Engine) Apply(baseDelta map[string]*relation.Relation) (map[string]*rel
 // changed subgoal, accumulating Δ(head) into perPred.
 func (e *Engine) applyRule(ri int, cascade map[string]*relation.Relation, pendingT map[eval.RuleLit]*relation.Relation, perPred map[string]*relation.Relation) error {
 	rule := e.prog.Rules[ri]
+	litDelta, err := e.deltaImages(ri, cascade, pendingT)
+	if err != nil {
+		return err
+	}
+	changed := false
+	for _, d := range litDelta {
+		if d != nil {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		return nil
+	}
+
+	dp, ok := perPred[rule.Head.Pred]
+	if !ok {
+		dp = relation.New(len(rule.Head.Args))
+		perPred[rule.Head.Pred] = dp
+	}
+
+	for i := range litDelta {
+		if litDelta[i] == nil {
+			continue
+		}
+		srcs := e.deltaSources(ri, litDelta, i, cascade, pendingT)
+		if err := eval.EvalRule(rule, srcs, i, dp); err != nil {
+			return err
+		}
+		e.LastStats.DeltaRulesEvaluated++
+	}
+	return nil
+}
+
+// applyStratumParallel evaluates all delta rules of a nonrecursive
+// stratum as one batch over the worker pool. The Δ images and group-table
+// updates are computed sequentially up front (they memoize into shared
+// maps); every Δi(r) evaluation then writes a private output, and the
+// outputs are ⊎-merged into perPred in task order — identical to the
+// sequential accumulation because ⊎ is commutative.
+func (e *Engine) applyStratumParallel(rules []int, cascade map[string]*relation.Relation, pendingT map[eval.RuleLit]*relation.Relation, perPred map[string]*relation.Relation) error {
+	var tasks []eval.Task
+	for _, ri := range rules {
+		rule := e.prog.Rules[ri]
+		litDelta, err := e.deltaImages(ri, cascade, pendingT)
+		if err != nil {
+			return err
+		}
+		for i := range litDelta {
+			if litDelta[i] == nil {
+				continue
+			}
+			tasks = append(tasks, eval.Task{
+				Rule:     rule,
+				Srcs:     e.deltaSources(ri, litDelta, i, cascade, pendingT),
+				FirstLit: i,
+				Out:      relation.New(len(rule.Head.Args)),
+			})
+		}
+	}
+	if err := eval.RunBatch(tasks, e.par); err != nil {
+		return err
+	}
+	for _, t := range tasks {
+		pred := t.Rule.Head.Pred
+		dp, ok := perPred[pred]
+		if !ok {
+			dp = relation.New(len(t.Rule.Head.Args))
+			perPred[pred] = dp
+		}
+		dp.MergeDelta(t.Out)
+		e.LastStats.DeltaRulesEvaluated++
+	}
+	return nil
+}
+
+// deltaImages computes the per-literal Δ images of rule ri (nil =
+// subgoal unchanged), updating group tables as a side effect. Must run
+// sequentially: it memoizes into pendingT.
+func (e *Engine) deltaImages(ri int, cascade map[string]*relation.Relation, pendingT map[eval.RuleLit]*relation.Relation) ([]*relation.Relation, error) {
+	rule := e.prog.Rules[ri]
 	n := len(rule.Body)
 
 	// Per-literal Δ images (nil = subgoal unchanged).
@@ -358,13 +453,13 @@ func (e *Engine) applyRule(ri int, cascade map[string]*relation.Relation, pendin
 			if !done {
 				gt, ok := e.gts[key]
 				if !ok {
-					return fmt.Errorf("counting: internal error: no group table for rule %d literal %d", ri, li)
+					return nil, fmt.Errorf("counting: internal error: no group table for rule %d literal %d", ri, li)
 				}
 				uNew := relation.Overlay(e.old(inner), cd)
 				var err error
 				dt, err = gt.ApplyDelta(cd, uNew)
 				if err != nil {
-					return err
+					return nil, err
 				}
 				pendingT[key] = dt
 			}
@@ -373,42 +468,25 @@ func (e *Engine) applyRule(ri int, cascade map[string]*relation.Relation, pendin
 			}
 		}
 	}
+	return litDelta, nil
+}
 
-	changed := false
-	for _, d := range litDelta {
-		if d != nil {
-			changed = true
-			break
-		}
-	}
-	if !changed {
-		return nil
-	}
-
-	dp, ok := perPred[rule.Head.Pred]
-	if !ok {
-		dp = relation.New(len(rule.Head.Args))
-		perPred[rule.Head.Pred] = dp
-	}
-
-	for i := 0; i < n; i++ {
-		if litDelta[i] == nil {
+// deltaSources builds the source list of delta rule Δi(r) per Definition
+// 4.1: position i reads the Δ image, earlier positions the new state,
+// later positions the old state. Reads shared state only — safe to call
+// before fanning the evaluations out to workers.
+func (e *Engine) deltaSources(ri int, litDelta []*relation.Relation, i int, cascade map[string]*relation.Relation, pendingT map[eval.RuleLit]*relation.Relation) []eval.Source {
+	rule := e.prog.Rules[ri]
+	n := len(rule.Body)
+	srcs := make([]eval.Source, n)
+	for j := 0; j < n; j++ {
+		if j == i {
+			srcs[j] = eval.Source{Rel: litDelta[i], JoinDelta: rule.Body[i].Kind == datalog.LitNegated}
 			continue
 		}
-		srcs := make([]eval.Source, n)
-		for j := 0; j < n; j++ {
-			if j == i {
-				srcs[j] = eval.Source{Rel: litDelta[i], JoinDelta: rule.Body[i].Kind == datalog.LitNegated}
-				continue
-			}
-			srcs[j] = e.sideSource(rule.Body[j], eval.RuleLit{Rule: ri, Lit: j}, cascade, pendingT, j < i)
-		}
-		if err := eval.EvalRule(rule, srcs, i, dp); err != nil {
-			return err
-		}
-		e.LastStats.DeltaRulesEvaluated++
+		srcs[j] = e.sideSource(rule.Body[j], eval.RuleLit{Rule: ri, Lit: j}, cascade, pendingT, j < i)
 	}
-	return nil
+	return srcs
 }
 
 // sideSource resolves a non-Δ-position literal: positions before the Δ

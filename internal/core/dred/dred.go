@@ -46,6 +46,15 @@ type Stats struct {
 	RuleFirings int
 }
 
+// Config carries the engine's tuning knobs.
+type Config struct {
+	// Parallelism is the number of worker goroutines used for the δ-rule
+	// batches of the step-1 overestimate and step-3 insertion fixpoints
+	// (and for hash-partitioning large single-rule joins). <= 1 runs
+	// sequentially; the maintained views are identical either way.
+	Parallelism int
+}
+
 // Engine maintains the materialization of a (possibly recursive) view
 // program under set semantics.
 type Engine struct {
@@ -53,6 +62,8 @@ type Engine struct {
 	strat *strata.Stratification
 	db    *eval.DB
 	gts   map[eval.RuleLit]*eval.GroupTable
+	// par is the worker count for δ-rule batches (<= 1 sequential).
+	par int
 
 	// LastStats reports the work of the most recent operation.
 	LastStats Stats
@@ -62,6 +73,11 @@ type Engine struct {
 // relations of base (cloned; multiplicities collapse to sets), and
 // returns a ready engine.
 func New(prog *datalog.Program, base *eval.DB) (*Engine, error) {
+	return NewWithConfig(prog, base, Config{})
+}
+
+// NewWithConfig is New with tuning knobs.
+func NewWithConfig(prog *datalog.Program, base *eval.DB, cfg Config) (*Engine, error) {
 	if err := datalog.Validate(prog); err != nil {
 		return nil, err
 	}
@@ -73,7 +89,7 @@ func New(prog *datalog.Program, base *eval.DB) (*Engine, error) {
 	for _, pred := range base.Preds() {
 		db.Put(pred, base.Get(pred).ToSet())
 	}
-	e := &Engine{prog: prog, strat: st, db: db}
+	e := &Engine{prog: prog, strat: st, db: db, par: cfg.Parallelism}
 	if err := e.materialize(); err != nil {
 		return nil, err
 	}
@@ -82,6 +98,7 @@ func New(prog *datalog.Program, base *eval.DB) (*Engine, error) {
 
 func (e *Engine) materialize() error {
 	ev := eval.NewEvaluator(e.prog, e.strat, eval.Set)
+	ev.Parallelism = e.par
 	if err := ev.Evaluate(e.db); err != nil {
 		return err
 	}

@@ -102,10 +102,12 @@ func (e *Engine) propagate(del, add, net map[string]*relation.Relation,
 		}
 	}
 
-	// evalStep evaluates one δ-rule: rule ri with literal deltaLit bound
-	// to img and every other literal at the old (steps 1) or new
-	// (steps 2/3) version, returning the derived tuples.
-	evalStep := func(ri, deltaLit int, img *relation.Relation, useNew bool) (*relation.Relation, error) {
+	// stepTask assembles one δ-rule evaluation: rule ri with literal
+	// deltaLit bound to img and every other literal at the old (step 1)
+	// or new (steps 2/3) version. Sources are resolved immediately (they
+	// touch shared group-table state); the join itself runs via
+	// eval.EvalRule — directly or as part of a parallel batch.
+	stepTask := func(ri, deltaLit int, img *relation.Relation, useNew bool) (eval.Task, error) {
 		rule := e.prog.Rules[ri]
 		srcs := make([]eval.Source, len(rule.Body))
 		for j, lit := range rule.Body {
@@ -115,16 +117,44 @@ func (e *Engine) propagate(del, add, net map[string]*relation.Relation,
 			}
 			s, err := source(lit, eval.RuleLit{Rule: ri, Lit: j}, useNew)
 			if err != nil {
-				return nil, err
+				return eval.Task{}, err
 			}
 			srcs[j] = s
 		}
-		out := relation.New(len(rule.Head.Args))
-		if err := eval.EvalRule(rule, srcs, deltaLit, out); err != nil {
+		return eval.Task{
+			Rule: rule, Srcs: srcs, FirstLit: deltaLit,
+			Out: relation.New(len(rule.Head.Args)),
+		}, nil
+	}
+
+	// evalStep evaluates one δ-rule sequentially, returning the derived
+	// tuples.
+	evalStep := func(ri, deltaLit int, img *relation.Relation, useNew bool) (*relation.Relation, error) {
+		t, err := stepTask(ri, deltaLit, img, useNew)
+		if err != nil {
+			return nil, err
+		}
+		if err := eval.EvalRule(t.Rule, t.Srcs, t.FirstLit, t.Out); err != nil {
 			return nil, err
 		}
 		e.LastStats.RuleFirings++
-		return out, nil
+		return t.Out, nil
+	}
+
+	// runSteps evaluates a batch of prepared δ-rule tasks across the
+	// worker pool (the tasks of one pass are independent: folds are
+	// deferred until the whole batch finished, then run in task order —
+	// confluent, because deferred effects re-enter through the in-stratum
+	// Δ images of the following fixpoint rounds).
+	runSteps := func(tasks []eval.Task, folds []func(*relation.Relation)) error {
+		if err := eval.RunBatch(tasks, e.par); err != nil {
+			return err
+		}
+		e.LastStats.RuleFirings += len(tasks)
+		for k := range tasks {
+			folds[k](tasks[k].Out)
+		}
+		return nil
 	}
 
 	for s := 1; s <= e.strat.MaxStratum; s++ {
@@ -161,21 +191,48 @@ func (e *Engine) propagate(del, add, net map[string]*relation.Relation,
 				}
 			})
 		}
-		for _, ri := range rules {
-			rule := e.prog.Rules[ri]
-			for li, lit := range rule.Body {
-				img, err := e.deleteImage(lit, eval.RuleLit{Rule: ri, Lit: li}, inStratum, del, add, getDeltaT, oldR)
-				if err != nil {
-					return nil, err
+		if e.par > 1 {
+			var tasks []eval.Task
+			var folds []func(*relation.Relation)
+			for _, ri := range rules {
+				rule := e.prog.Rules[ri]
+				for li, lit := range rule.Body {
+					img, err := e.deleteImage(lit, eval.RuleLit{Rule: ri, Lit: li}, inStratum, del, add, getDeltaT, oldR)
+					if err != nil {
+						return nil, err
+					}
+					if img == nil || img.Empty() {
+						continue
+					}
+					t, err := stepTask(ri, li, img, false)
+					if err != nil {
+						return nil, err
+					}
+					pred := rule.Head.Pred
+					tasks = append(tasks, t)
+					folds = append(folds, func(out *relation.Relation) { foldDel(pred, out) })
 				}
-				if img == nil || img.Empty() {
-					continue
+			}
+			if err := runSteps(tasks, folds); err != nil {
+				return nil, err
+			}
+		} else {
+			for _, ri := range rules {
+				rule := e.prog.Rules[ri]
+				for li, lit := range rule.Body {
+					img, err := e.deleteImage(lit, eval.RuleLit{Rule: ri, Lit: li}, inStratum, del, add, getDeltaT, oldR)
+					if err != nil {
+						return nil, err
+					}
+					if img == nil || img.Empty() {
+						continue
+					}
+					out, err := evalStep(ri, li, img, false)
+					if err != nil {
+						return nil, err
+					}
+					foldDel(rule.Head.Pred, out)
 				}
-				out, err := evalStep(ri, li, img, false)
-				if err != nil {
-					return nil, err
-				}
-				foldDel(rule.Head.Pred, out)
 			}
 		}
 		for pred := range inStratum {
@@ -190,21 +247,48 @@ func (e *Engine) propagate(del, add, net map[string]*relation.Relation,
 			for pred := range inStratum {
 				roundDel[pred] = relation.New(delS[pred].Arity())
 			}
-			for _, ri := range rules {
-				rule := e.prog.Rules[ri]
-				for li, lit := range rule.Body {
-					if lit.Kind != datalog.LitPositive || !inStratum[lit.Atom.Pred] {
-						continue
+			if e.par > 1 {
+				var tasks []eval.Task
+				var folds []func(*relation.Relation)
+				for _, ri := range rules {
+					rule := e.prog.Rules[ri]
+					for li, lit := range rule.Body {
+						if lit.Kind != datalog.LitPositive || !inStratum[lit.Atom.Pred] {
+							continue
+						}
+						d := cur[lit.Atom.Pred]
+						if d == nil || d.Empty() {
+							continue
+						}
+						t, err := stepTask(ri, li, d, false)
+						if err != nil {
+							return nil, err
+						}
+						pred := rule.Head.Pred
+						tasks = append(tasks, t)
+						folds = append(folds, func(out *relation.Relation) { foldDel(pred, out) })
 					}
-					d := cur[lit.Atom.Pred]
-					if d == nil || d.Empty() {
-						continue
+				}
+				if err := runSteps(tasks, folds); err != nil {
+					return nil, err
+				}
+			} else {
+				for _, ri := range rules {
+					rule := e.prog.Rules[ri]
+					for li, lit := range rule.Body {
+						if lit.Kind != datalog.LitPositive || !inStratum[lit.Atom.Pred] {
+							continue
+						}
+						d := cur[lit.Atom.Pred]
+						if d == nil || d.Empty() {
+							continue
+						}
+						out, err := evalStep(ri, li, d, false)
+						if err != nil {
+							return nil, err
+						}
+						foldDel(rule.Head.Pred, out)
 					}
-					out, err := evalStep(ri, li, d, false)
-					if err != nil {
-						return nil, err
-					}
-					foldDel(rule.Head.Pred, out)
 				}
 			}
 			for pred := range inStratum {
@@ -321,21 +405,48 @@ func (e *Engine) propagate(del, add, net map[string]*relation.Relation,
 				}
 			})
 		}
-		for _, ri := range rules {
-			rule := e.prog.Rules[ri]
-			for li, lit := range rule.Body {
-				img, err := e.insertImage(lit, eval.RuleLit{Rule: ri, Lit: li}, inStratum, del, add, getDeltaT, newR)
-				if err != nil {
-					return nil, err
+		if e.par > 1 {
+			var tasks []eval.Task
+			var folds []func(*relation.Relation)
+			for _, ri := range rules {
+				rule := e.prog.Rules[ri]
+				for li, lit := range rule.Body {
+					img, err := e.insertImage(lit, eval.RuleLit{Rule: ri, Lit: li}, inStratum, del, add, getDeltaT, newR)
+					if err != nil {
+						return nil, err
+					}
+					if img == nil || img.Empty() {
+						continue
+					}
+					t, err := stepTask(ri, li, img, true)
+					if err != nil {
+						return nil, err
+					}
+					pred := rule.Head.Pred
+					tasks = append(tasks, t)
+					folds = append(folds, func(out *relation.Relation) { foldAdd(pred, out) })
 				}
-				if img == nil || img.Empty() {
-					continue
+			}
+			if err := runSteps(tasks, folds); err != nil {
+				return nil, err
+			}
+		} else {
+			for _, ri := range rules {
+				rule := e.prog.Rules[ri]
+				for li, lit := range rule.Body {
+					img, err := e.insertImage(lit, eval.RuleLit{Rule: ri, Lit: li}, inStratum, del, add, getDeltaT, newR)
+					if err != nil {
+						return nil, err
+					}
+					if img == nil || img.Empty() {
+						continue
+					}
+					out, err := evalStep(ri, li, img, true)
+					if err != nil {
+						return nil, err
+					}
+					foldAdd(rule.Head.Pred, out)
 				}
-				out, err := evalStep(ri, li, img, true)
-				if err != nil {
-					return nil, err
-				}
-				foldAdd(rule.Head.Pred, out)
 			}
 		}
 		for pred := range inStratum {
@@ -350,21 +461,48 @@ func (e *Engine) propagate(del, add, net map[string]*relation.Relation,
 			for pred := range inStratum {
 				roundAdd[pred] = relation.New(addS[pred].Arity())
 			}
-			for _, ri := range rules {
-				rule := e.prog.Rules[ri]
-				for li, lit := range rule.Body {
-					if lit.Kind != datalog.LitPositive || !inStratum[lit.Atom.Pred] {
-						continue
+			if e.par > 1 {
+				var tasks []eval.Task
+				var folds []func(*relation.Relation)
+				for _, ri := range rules {
+					rule := e.prog.Rules[ri]
+					for li, lit := range rule.Body {
+						if lit.Kind != datalog.LitPositive || !inStratum[lit.Atom.Pred] {
+							continue
+						}
+						d := cur[lit.Atom.Pred]
+						if d == nil || d.Empty() {
+							continue
+						}
+						t, err := stepTask(ri, li, d, true)
+						if err != nil {
+							return nil, err
+						}
+						pred := rule.Head.Pred
+						tasks = append(tasks, t)
+						folds = append(folds, func(out *relation.Relation) { foldAdd(pred, out) })
 					}
-					d := cur[lit.Atom.Pred]
-					if d == nil || d.Empty() {
-						continue
+				}
+				if err := runSteps(tasks, folds); err != nil {
+					return nil, err
+				}
+			} else {
+				for _, ri := range rules {
+					rule := e.prog.Rules[ri]
+					for li, lit := range rule.Body {
+						if lit.Kind != datalog.LitPositive || !inStratum[lit.Atom.Pred] {
+							continue
+						}
+						d := cur[lit.Atom.Pred]
+						if d == nil || d.Empty() {
+							continue
+						}
+						out, err := evalStep(ri, li, d, true)
+						if err != nil {
+							return nil, err
+						}
+						foldAdd(rule.Head.Pred, out)
 					}
-					out, err := evalStep(ri, li, d, true)
-					if err != nil {
-						return nil, err
-					}
-					foldAdd(rule.Head.Pred, out)
 				}
 			}
 			for pred := range inStratum {

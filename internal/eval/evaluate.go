@@ -39,6 +39,13 @@ type Evaluator struct {
 	// default).
 	MaxIterations int
 
+	// Parallelism is the number of worker goroutines used to evaluate the
+	// independent rules of a stratum (and the rounds of a semi-naive
+	// fixpoint) concurrently. Values <= 1 evaluate sequentially. Results
+	// are identical either way: workers write private buffers that are
+	// ⊎-merged deterministically.
+	Parallelism int
+
 	// GroupTables holds the GROUPBY materializations built during
 	// Evaluate, keyed by (rule index, literal index). Maintenance engines
 	// adopt these to run Algorithm 6.1 incrementally.
@@ -149,8 +156,14 @@ func (e *Evaluator) sources(db *DB, ri int, inStratum map[string]relation.Reader
 }
 
 // evalFlatStratum evaluates a nonrecursive stratum in one pass, with
-// full derivation counting.
+// full derivation counting. Stratum numbers strictly increase along
+// every cross-component dependency edge (see strata.computeSN), so the
+// rules of a flat stratum never read each other's heads and can be
+// evaluated concurrently.
 func (e *Evaluator) evalFlatStratum(db *DB, rules []int) error {
+	if e.Parallelism > 1 {
+		return e.evalFlatStratumParallel(db, rules)
+	}
 	for _, ri := range rules {
 		rule := e.prog.Rules[ri]
 		out := db.Ensure(rule.Head.Pred, len(rule.Head.Args))
@@ -161,6 +174,34 @@ func (e *Evaluator) evalFlatStratum(db *DB, rules []int) error {
 		if err := EvalRule(rule, srcs, -1, out); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// evalFlatStratumParallel is evalFlatStratum over a worker pool: sources
+// (including group-table builds, which memoize into e.GroupTables) are
+// resolved sequentially up front, each rule evaluates into a private
+// output, and the outputs are merged in rule order.
+func (e *Evaluator) evalFlatStratumParallel(db *DB, rules []int) error {
+	tasks := make([]Task, 0, len(rules))
+	for _, ri := range rules {
+		rule := e.prog.Rules[ri]
+		db.Ensure(rule.Head.Pred, len(rule.Head.Args))
+		srcs, err := e.sources(db, ri, nil)
+		if err != nil {
+			return err
+		}
+		tasks = append(tasks, Task{
+			Rule: rule, Srcs: srcs, FirstLit: -1,
+			Out: relation.New(len(rule.Head.Args)),
+		})
+	}
+	if err := RunBatch(tasks, e.Parallelism); err != nil {
+		return err
+	}
+	for k, ri := range rules {
+		rule := e.prog.Rules[ri]
+		db.Ensure(rule.Head.Pred, len(rule.Head.Args)).MergeDelta(tasks[k].Out)
 	}
 	return nil
 }
@@ -193,22 +234,31 @@ func (e *Evaluator) evalRecursiveStratum(db *DB, s int, rules []int) error {
 
 	// Seed round: evaluate every rule against the (empty) stratum
 	// relations — this covers all derivations not using in-stratum
-	// predicates (the base cases).
+	// predicates (the base cases). Each round's evaluations are
+	// independent (they read the working relations and write private
+	// outputs), so they form a batch that RunBatch may spread over
+	// workers; the folds run sequentially afterwards, in task order.
 	delta := make(map[string]*relation.Relation)
 	for pred := range inStratum {
 		delta[pred] = relation.New(arityOf(e.prog, pred))
 	}
+	seed := make([]Task, 0, len(rules))
 	for _, ri := range rules {
 		rule := e.prog.Rules[ri]
 		srcs, err := e.sources(db, ri, work)
 		if err != nil {
 			return err
 		}
-		tmp := relation.New(len(rule.Head.Args))
-		if err := EvalRule(rule, srcs, -1, tmp); err != nil {
-			return err
-		}
-		collect(tmp, rule.Head.Pred, delta[rule.Head.Pred])
+		seed = append(seed, Task{
+			Rule: rule, Srcs: srcs, FirstLit: -1,
+			Out: relation.New(len(rule.Head.Args)),
+		})
+	}
+	if err := RunBatch(seed, e.Parallelism); err != nil {
+		return err
+	}
+	for _, t := range seed {
+		collect(t.Out, t.Rule.Head.Pred, delta[t.Rule.Head.Pred])
 	}
 
 	for {
@@ -226,6 +276,7 @@ func (e *Evaluator) evalRecursiveStratum(db *DB, s int, rules []int) error {
 		for pred := range inStratum {
 			next[pred] = relation.New(arityOf(e.prog, pred))
 		}
+		var round []Task
 		for _, ri := range rules {
 			rule := e.prog.Rules[ri]
 			for li, lit := range rule.Body {
@@ -241,12 +292,17 @@ func (e *Evaluator) evalRecursiveStratum(db *DB, s int, rules []int) error {
 					return err
 				}
 				srcs[li] = Source{Rel: d}
-				tmp := relation.New(len(rule.Head.Args))
-				if err := EvalRule(rule, srcs, li, tmp); err != nil {
-					return err
-				}
-				collect(tmp, rule.Head.Pred, next[rule.Head.Pred])
+				round = append(round, Task{
+					Rule: rule, Srcs: srcs, FirstLit: li,
+					Out: relation.New(len(rule.Head.Args)),
+				})
 			}
+		}
+		if err := RunBatch(round, e.Parallelism); err != nil {
+			return err
+		}
+		for _, t := range round {
+			collect(t.Out, t.Rule.Head.Pred, next[t.Rule.Head.Pred])
 		}
 		delta = next
 	}

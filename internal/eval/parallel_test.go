@@ -1,0 +1,147 @@
+package eval
+
+import (
+	"fmt"
+	"testing"
+
+	"ivm/internal/relation"
+	"ivm/internal/value"
+)
+
+// chainDB builds a link relation big enough to cross minPartitionRows so
+// the partitioned path actually engages.
+func chainDB(t testing.TB, n int) *DB {
+	t.Helper()
+	db := NewDB()
+	link := db.Ensure("link", 2)
+	for i := 0; i < n; i++ {
+		link.Add(value.T(fmt.Sprintf("n%d", i%40), fmt.Sprintf("n%d", (i*7+3)%40)), int64(1+i%2))
+	}
+	return db
+}
+
+// TestParallelEvaluateMatchesSequential: full materialization with a
+// worker pool must be tuple- and count-identical to sequential, across
+// flat joins, negation, aggregation, and recursion.
+func TestParallelEvaluateMatchesSequential(t *testing.T) {
+	programs := []string{
+		`hop(X,Y) :- link(X,Z), link(Z,Y).
+		 tri(X,Y) :- hop(X,Z), link(Z,Y).`,
+		`hop(X,Y) :- link(X,Z), link(Z,Y).
+		 only(X,Y) :- link(X,Y), !hop(X,Y).`,
+		`deg(X,C) :- groupby(link(X,Y), [X], C = count(Y)).
+		 busy(X) :- deg(X,C), C > 2.`,
+		`path(X,Y) :- link(X,Y).
+		 path(X,Y) :- path(X,Z), link(Z,Y).`,
+	}
+	for pi, src := range programs {
+		for _, workers := range []int{2, 4, 8} {
+			prog, st := parseProgram(t, src)
+			db1 := chainDB(t, 300)
+			seq := NewEvaluator(prog, st, Set)
+			if err := seq.Evaluate(db1); err != nil {
+				t.Fatalf("prog %d seq: %v", pi, err)
+			}
+
+			prog2, st2 := parseProgram(t, src)
+			db2 := chainDB(t, 300)
+			par := NewEvaluator(prog2, st2, Set)
+			par.Parallelism = workers
+			if err := par.Evaluate(db2); err != nil {
+				t.Fatalf("prog %d workers=%d: %v", pi, workers, err)
+			}
+
+			for pred := range prog.DerivedPreds() {
+				if !relation.Equal(db1.rel(pred), db2.rel(pred)) {
+					t.Fatalf("prog %d workers=%d: %s diverges\nseq %s\npar %s",
+						pi, workers, pred, db1.rel(pred), db2.rel(pred))
+				}
+			}
+		}
+	}
+}
+
+// TestParallelDuplicateSemantics: derivation counts (not just tuple sets)
+// must survive the partition/merge round trip.
+func TestParallelDuplicateSemantics(t *testing.T) {
+	src := `hop(X,Y) :- link(X,Z), link(Z,Y).`
+	prog, st := parseProgram(t, src)
+	db1 := chainDB(t, 300)
+	seq := NewEvaluator(prog, st, Duplicate)
+	if err := seq.Evaluate(db1); err != nil {
+		t.Fatal(err)
+	}
+	prog2, st2 := parseProgram(t, src)
+	db2 := chainDB(t, 300)
+	par := NewEvaluator(prog2, st2, Duplicate)
+	par.Parallelism = 4
+	if err := par.Evaluate(db2); err != nil {
+		t.Fatal(err)
+	}
+	if !relation.Equal(db1.rel("hop"), db2.rel("hop")) {
+		t.Fatalf("duplicate counts diverge:\nseq %s\npar %s", db1.rel("hop"), db2.rel("hop"))
+	}
+}
+
+// TestEvalRuleParallelMatchesSequential exercises the intra-rule
+// partitioned path directly against plain EvalRule.
+func TestEvalRuleParallelMatchesSequential(t *testing.T) {
+	prog, _ := parseProgram(t, `hop(X,Y) :- link(X,Z), link(Z,Y).`)
+	link := relation.New(2)
+	for i := 0; i < 500; i++ {
+		link.Add(value.T(fmt.Sprintf("n%d", i%60), fmt.Sprintf("n%d", (i*11+5)%60)), int64(1+i%3))
+	}
+	srcs := []Source{{Rel: link}, {Rel: link}}
+
+	want := relation.New(2)
+	if err := EvalRule(prog.Rules[0], srcs, -1, want); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 3, 8} {
+		got := relation.New(2)
+		if err := EvalRuleParallel(prog.Rules[0], srcs, -1, got, workers); err != nil {
+			t.Fatal(err)
+		}
+		if !relation.Equal(want, got) {
+			t.Fatalf("workers=%d: partitioned eval diverges\nwant %s\ngot  %s", workers, want, got)
+		}
+	}
+}
+
+// TestRunBatchErrorDeterministic: the first error in task order wins,
+// regardless of scheduling.
+func TestRunBatchErrorDeterministic(t *testing.T) {
+	prog, _ := parseProgram(t, `hop(X,Y) :- link(X,Z), link(Z,Y).`)
+	link := relation.New(2)
+	link.Add(value.T("a", "b"), 1)
+	// A source-count mismatch makes EvalRule return an error.
+	mk := func(broken bool) Task {
+		srcs := []Source{{Rel: link}, {Rel: link}}
+		if broken {
+			srcs = srcs[:1]
+		}
+		return Task{Rule: prog.Rules[0], Srcs: srcs, FirstLit: -1, Out: relation.New(2)}
+	}
+	tasks := []Task{mk(false), mk(true), mk(true)}
+	err4 := RunBatch(tasks, 4)
+	err1 := RunBatch([]Task{mk(false), mk(true), mk(true)}, 1)
+	if (err4 == nil) != (err1 == nil) {
+		t.Fatalf("parallel err %v, sequential err %v", err4, err1)
+	}
+	if err4 != nil && err1 != nil && err4.Error() != err1.Error() {
+		t.Fatalf("parallel err %q, sequential err %q", err4, err1)
+	}
+}
+
+// TestWorkers pins the resolution rule: >=1 passes through, else auto.
+func TestWorkers(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Fatalf("Workers(3) = %d", Workers(3))
+	}
+	if Workers(1) != 1 {
+		t.Fatalf("Workers(1) = %d", Workers(1))
+	}
+	if Workers(0) < 1 || Workers(-5) < 1 {
+		t.Fatalf("auto workers must be >= 1")
+	}
+}

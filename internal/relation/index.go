@@ -34,29 +34,46 @@ func projKey(t value.Tuple, cols []int) string {
 // Lookup returns all rows whose projection on cols equals key's tuple
 // values. An index on cols is built on first use and kept up to date by
 // subsequent Add/Delete calls.
+//
+// Lookup is safe to call from concurrent readers (parallel rule
+// evaluation probes shared relations from many workers): the lazy index
+// build is guarded by idxMu with a read-locked fast path, so concurrent
+// Lookups never race even when they trigger the first build. Mutations
+// (Add/Delete) must still be externally serialized against readers.
 func (r *Relation) Lookup(cols []int, keyVals value.Tuple) []Row {
 	sig := colsSig(cols)
-	if r.idx == nil {
-		r.idx = make(map[string]*index)
-	}
-	ix, ok := r.idx[sig]
-	if !ok {
-		ix = &index{cols: cols, buckets: make(map[string][]Row)}
-		for _, row := range r.rows {
-			k := projKey(row.Tuple, cols)
-			ix.buckets[k] = append(ix.buckets[k], row)
+	r.idxMu.RLock()
+	ix := r.idx[sig]
+	r.idxMu.RUnlock()
+	if ix == nil {
+		r.idxMu.Lock()
+		if r.idx == nil {
+			r.idx = make(map[string]*index)
 		}
-		r.idx[sig] = ix
+		if ix = r.idx[sig]; ix == nil {
+			ix = &index{cols: cols, buckets: make(map[string][]Row)}
+			for _, row := range r.rows {
+				k := projKey(row.Tuple, cols)
+				ix.buckets[k] = append(ix.buckets[k], row)
+			}
+			r.idx[sig] = ix
+			r.hasIdx.Store(true)
+		}
+		r.idxMu.Unlock()
 	}
 	return ix.buckets[keyVals.Key()]
 }
 
 // idxAdd keeps existing indexes in sync with a count change of delta on t.
 // Rows are stored denormalized in buckets, so we rewrite the bucket entry.
+// Writers are serialized by contract, but idxMu is still taken so the
+// race detector stays clean if a stray reader overlaps a mutation.
 func (r *Relation) idxAdd(t value.Tuple, delta int64) {
-	if r.idx == nil {
+	if !r.hasIdx.Load() {
 		return
 	}
+	r.idxMu.Lock()
+	defer r.idxMu.Unlock()
 	for _, ix := range r.idx {
 		k := projKey(t, ix.cols)
 		bucket := ix.buckets[k]

@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"ivm/internal/value"
 )
@@ -36,10 +38,23 @@ func (r Row) Key() string {
 
 // Relation is a counted relation. The zero value is not usable; call New.
 // A Relation never stores a row with Count == 0.
+//
+// Concurrency: any number of goroutines may *read* a Relation
+// concurrently (Count/Has/Each/Lookup/Rows), including Lookups that
+// lazily build an index — the build is internally synchronized. Mutations
+// (Add/Set/Delete/MergeDelta) must not overlap reads or other mutations;
+// parallel evaluation therefore writes into per-worker Shards and merges.
 type Relation struct {
 	arity int
 	rows  map[string]Row
-	idx   map[string]*index // lazy hash indexes, keyed by column signature
+
+	// idx holds the lazy hash indexes, keyed by column signature. idxMu
+	// guards idx against concurrent lazy builds from reader goroutines;
+	// hasIdx lets the mutation hot path skip the lock entirely until the
+	// first index exists.
+	idx    map[string]*index
+	idxMu  sync.RWMutex
+	hasIdx atomic.Bool
 }
 
 // New returns an empty relation with the given arity. Arity -1 means

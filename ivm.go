@@ -25,7 +25,9 @@ package ivm
 
 import (
 	"fmt"
+	"os"
 	"sort"
+	"strconv"
 	"sync"
 
 	"ivm/internal/baseline/pf"
@@ -176,6 +178,9 @@ type Views struct {
 	// every predicate). Invoked after the lock is released.
 	handlers map[string][]func(pred string, inserted, deleted []Row)
 
+	// par is the resolved evaluation parallelism (>= 1).
+	par int
+
 	c  *counting.Engine
 	dr *dred.Engine
 	rc *recompute.Engine
@@ -189,7 +194,19 @@ type config struct {
 	fragmentTuples  bool
 	recursiveCounts bool
 	maxIterations   int
+	// parallelism: parallelismUnset until WithParallelism or the
+	// IVM_PARALLELISM environment variable resolves it.
+	parallelism int
 }
+
+// parallelismUnset marks a config whose parallelism was not chosen
+// explicitly; resolution then falls back to IVM_PARALLELISM, and finally
+// to sequential evaluation.
+const parallelismUnset = -1
+
+// AutoParallelism selects one evaluation worker per available CPU
+// (runtime.GOMAXPROCS) when passed to WithParallelism.
+const AutoParallelism = 0
 
 // Option configures Materialize.
 type Option func(*config)
@@ -207,6 +224,49 @@ func WithoutSetOptimization() Option { return func(c *config) { c.disableSetOpt 
 // WithTupleFragmentation makes the PF baseline propagate one tuple per
 // pass (its most fragmented schedule).
 func WithTupleFragmentation() Option { return func(c *config) { c.fragmentTuples = true } }
+
+// WithParallelism sets the number of worker goroutines used to evaluate
+// the independent delta rules of a stratum (and to hash-partition large
+// single-rule joins). n = AutoParallelism (0) uses one worker per
+// available CPU; n = 1 evaluates sequentially (the default); negative n
+// is treated as AutoParallelism. Maintained views and reported change
+// sets are bit-identical at every setting — workers write private
+// buffers that are ⊎-merged deterministically.
+//
+// Without this option, the IVM_PARALLELISM environment variable is
+// consulted ("auto" or a number; unset means sequential).
+func WithParallelism(n int) Option {
+	return func(c *config) {
+		if n < 0 {
+			n = AutoParallelism
+		}
+		c.parallelism = n
+	}
+}
+
+// resolveParallelism turns the configured (or environment-supplied)
+// parallelism into a concrete worker count.
+func resolveParallelism(c *config) int {
+	n := c.parallelism
+	if n == parallelismUnset {
+		env, ok := os.LookupEnv("IVM_PARALLELISM")
+		if !ok {
+			return 1
+		}
+		if env == "auto" {
+			return eval.Workers(AutoParallelism)
+		}
+		v, err := strconv.Atoi(env)
+		if err != nil {
+			return 1
+		}
+		n = v
+		if n < 0 {
+			n = AutoParallelism
+		}
+	}
+	return eval.Workers(n)
+}
 
 // WithRecursiveCounting lets the counting strategy maintain recursive
 // views ([GKM92]; the paper's Section 8). Requires duplicate semantics
@@ -239,10 +299,11 @@ func (d *Database) Materialize(programSrc string, opts ...Option) (*Views, error
 
 // MaterializeProgram is Materialize for an already parsed program.
 func (d *Database) MaterializeProgram(prog *datalog.Program, programSrc string, opts ...Option) (*Views, error) {
-	cfg := config{strategy: Auto, semantics: SetSemantics}
+	cfg := config{strategy: Auto, semantics: SetSemantics, parallelism: parallelismUnset}
 	for _, o := range opts {
 		o(&cfg)
 	}
+	par := resolveParallelism(&cfg)
 	if err := datalog.Validate(prog); err != nil {
 		return nil, err
 	}
@@ -260,7 +321,7 @@ func (d *Database) MaterializeProgram(prog *datalog.Program, programSrc string, 
 			}
 		}
 	}
-	v := &Views{cfg: cfg, strategy: strategy, programSrc: programSrc}
+	v := &Views{cfg: cfg, strategy: strategy, programSrc: programSrc, par: par}
 	switch strategy {
 	case Counting:
 		eng, err := counting.NewWithConfig(prog, d.base, counting.Config{
@@ -268,6 +329,7 @@ func (d *Database) MaterializeProgram(prog *datalog.Program, programSrc string, 
 			DisableSetOpt:  cfg.disableSetOpt,
 			AllowRecursion: cfg.recursiveCounts,
 			MaxIterations:  cfg.maxIterations,
+			Parallelism:    par,
 		})
 		if err != nil {
 			return nil, err
@@ -277,7 +339,7 @@ func (d *Database) MaterializeProgram(prog *datalog.Program, programSrc string, 
 		if cfg.semantics == DuplicateSemantics {
 			return nil, fmt.Errorf("ivm: DRed requires set semantics")
 		}
-		eng, err := dred.New(prog, d.base)
+		eng, err := dred.NewWithConfig(prog, d.base, dred.Config{Parallelism: par})
 		if err != nil {
 			return nil, err
 		}
@@ -287,6 +349,7 @@ func (d *Database) MaterializeProgram(prog *datalog.Program, programSrc string, 
 		if err != nil {
 			return nil, err
 		}
+		eng.Parallelism = par
 		v.rc = eng
 	case PF:
 		if cfg.semantics == DuplicateSemantics {
@@ -309,6 +372,9 @@ func (v *Views) Strategy() Strategy { return v.strategy }
 
 // Semantics returns the view semantics.
 func (v *Views) Semantics() Semantics { return v.cfg.semantics }
+
+// Parallelism returns the resolved evaluation worker count (>= 1).
+func (v *Views) Parallelism() int { return v.par }
 
 // ProgramSource returns the program text the views were built from.
 func (v *Views) ProgramSource() string { return v.programSrc }

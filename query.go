@@ -29,9 +29,11 @@ func (v *Views) Query(goal string) ([]QueryResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Lookup may build an index lazily (a write); take the write lock.
-	v.mu.Lock()
-	defer v.mu.Unlock()
+	// Lookup may build an index lazily, but that build is synchronized
+	// inside the relation package, so concurrent queries only need the
+	// read lock.
+	v.mu.RLock()
+	defer v.mu.RUnlock()
 	rel := v.relation(a.Pred)
 	if rel == nil {
 		return nil, nil
