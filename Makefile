@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race bench bench-smoke ci
+.PHONY: all build vet fmt fmt-check test race bench bench-smoke metrics ci
 
 all: build
 
@@ -36,4 +36,9 @@ bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...
 	$(GO) run ./cmd/ivmbench -scale smoke
 
-ci: build vet fmt-check test race bench-smoke
+# One experiment with metrics exposition — writes metrics.txt.
+metrics:
+	$(GO) run ./cmd/ivmbench -scale smoke -exp E1 -metrics metrics.txt
+	@echo "wrote metrics.txt"
+
+ci: build vet fmt-check test race bench-smoke metrics

@@ -43,6 +43,7 @@ func run() error {
 	logPath := flag.String("log", "", "append applied deltas to this replayable log")
 	repl := flag.Bool("repl", false, "interactive session after loading")
 	show := flag.String("show", "", "comma-separated predicates to print after loading and after each delta")
+	metricsFlag := flag.Bool("metrics", false, "print a metrics exposition (name value lines) before exiting")
 	flag.Parse()
 
 	var opts []ivm.Option
@@ -127,6 +128,13 @@ func run() error {
 		}
 	}
 
+	if *metricsFlag {
+		fmt.Fprintln(out, "-- metrics --")
+		if _, err := views.Metrics().WriteTo(out); err != nil {
+			return err
+		}
+	}
+
 	if *snapshotPath != "" {
 		if err := views.Save(*snapshotPath); err != nil {
 			return err
@@ -174,8 +182,8 @@ func runREPL(views *ivm.Views, apply func(string) error, in io.Reader, out io.Wr
   show <pred>      print a relation        query <goal>     e.g. query hop(a, X)
   explain <goal>   list a tuple's derivations                rules            list rules
   addrule <rule>   extend the definition   rmrule <index>   remove a rule
-  stats            last maintenance stats  help             this text
-  quit             exit`)
+  stats            last maintenance stats  metrics          cumulative metrics
+  help             this text               quit             exit`)
 	sc := bufio.NewScanner(in)
 	for {
 		fmt.Fprint(out, "ivm> ")
@@ -193,7 +201,7 @@ func runREPL(views *ivm.Views, apply func(string) error, in io.Reader, out io.Wr
 		case "quit", "exit":
 			return nil
 		case "help":
-			fmt.Fprintln(out, "enter deltas like '+p(a,b). -q(c).' or a command (show/query/rules/addrule/rmrule/stats/quit)")
+			fmt.Fprintln(out, "enter deltas like '+p(a,b). -q(c).' or a command (show/query/rules/addrule/rmrule/stats/metrics/quit)")
 		case "show":
 			if len(fields) != 2 {
 				fmt.Fprintln(out, "usage: show <pred>")
@@ -257,6 +265,8 @@ func runREPL(views *ivm.Views, apply func(string) error, in io.Reader, out io.Wr
 			}
 		case "stats":
 			printStats(out, views)
+		case "metrics":
+			_, err = views.Metrics().WriteTo(out)
 		default:
 			err = apply(line)
 		}

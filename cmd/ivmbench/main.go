@@ -22,7 +22,12 @@ import (
 func main() {
 	scaleFlag := flag.String("scale", "default", "experiment scale: smoke, default, or large")
 	expFlag := flag.String("exp", "", "comma-separated experiment ids to run (default: all)")
+	metricsPath := flag.String("metrics", "", `write a metrics exposition for the run to this file ("-" for stdout)`)
 	flag.Parse()
+
+	if *metricsPath != "" {
+		experiments.EnableMetrics()
+	}
 
 	var scale experiments.Scale
 	switch *scaleFlag {
@@ -69,4 +74,31 @@ func main() {
 	}
 	fmt.Println("E11 (Lemma 4.1 / Theorem 4.1 / Theorem 7.1 equivalence properties) runs as:")
 	fmt.Println("  go test -run 'TestProperty' .")
+
+	if *metricsPath != "" {
+		if err := writeMetrics(*metricsPath); err != nil {
+			fmt.Fprintf(os.Stderr, "ivmbench: writing metrics: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeMetrics dumps the cross-experiment metrics snapshot as
+// "name value" lines.
+func writeMetrics(path string) error {
+	snap := experiments.MetricsSnapshot()
+	if path == "-" {
+		fmt.Println("-- metrics --")
+		_, err := snap.WriteTo(os.Stdout)
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := snap.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -12,10 +12,12 @@ package pf
 
 import (
 	"sort"
+	"time"
 
 	"ivm/internal/core/dred"
 	"ivm/internal/datalog"
 	"ivm/internal/eval"
+	"ivm/internal/metrics"
 	"ivm/internal/relation"
 )
 
@@ -32,6 +34,16 @@ type Stats struct {
 	RuleFirings   int
 }
 
+// Config carries the engine's observability hooks.
+type Config struct {
+	// Metrics, when non-nil, receives the pf_* counters and timings. The
+	// inner DRed engine is left unobserved so its per-pass work is not
+	// double-counted: the pf_* series already aggregates it.
+	Metrics *metrics.Registry
+	// Tracer, when non-nil, receives per-Apply trace events.
+	Tracer metrics.Tracer
+}
+
 // Engine maintains views by per-base-predicate (or per-tuple) change
 // propagation.
 type Engine struct {
@@ -41,17 +53,47 @@ type Engine struct {
 	// pass — the finest-grained (and most wasteful) PF schedule.
 	FragmentTuples bool
 
-	// LastStats reports the accumulated work of the most recent Apply.
-	LastStats Stats
+	// last holds the accumulated work counters of the most recent Apply,
+	// read via Stats(). Callers sharing the engine across goroutines must
+	// serialize Apply against Stats (ivm.Views does so under its RWMutex).
+	last Stats
+
+	// tracer and the resolved metric instruments; all nil-safe.
+	tracer        metrics.Tracer
+	mApplies      *metrics.Counter
+	mPasses       *metrics.Counter
+	mOverest      *metrics.Counter
+	mRederived    *metrics.Counter
+	mInserted     *metrics.Counter
+	mRuleFirings  *metrics.Counter
+	mApplySeconds *metrics.Histogram
 }
+
+// Stats returns the accumulated work counters of the most recent Apply.
+func (e *Engine) Stats() Stats { return e.last }
 
 // New materializes prog over base (set semantics).
 func New(prog *datalog.Program, base *eval.DB) (*Engine, error) {
+	return NewWithConfig(prog, base, Config{})
+}
+
+// NewWithConfig is New with observability hooks.
+func NewWithConfig(prog *datalog.Program, base *eval.DB, cfg Config) (*Engine, error) {
 	d, err := dred.New(prog, base)
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{d: d}, nil
+	e := &Engine{d: d, tracer: cfg.Tracer}
+	if r := cfg.Metrics; r != nil {
+		e.mApplies = r.Counter("pf_applies_total")
+		e.mPasses = r.Counter("pf_passes_total")
+		e.mOverest = r.Counter("pf_overestimated_total")
+		e.mRederived = r.Counter("pf_rederived_total")
+		e.mInserted = r.Counter("pf_inserted_total")
+		e.mRuleFirings = r.Counter("pf_rule_firings_total")
+		e.mApplySeconds = r.Histogram("pf_apply_seconds")
+	}
+	return e, nil
 }
 
 // Program returns the view program.
@@ -66,7 +108,15 @@ func (e *Engine) DB() *eval.DB { return e.d.DB() }
 // Apply propagates the batch fragmented into one pass per base predicate
 // (or per tuple with FragmentTuples), accumulating the net changes.
 func (e *Engine) Apply(baseDelta map[string]*relation.Relation) (*dred.Changes, error) {
-	e.LastStats = Stats{}
+	e.last = Stats{}
+	timing := e.tracer != nil || e.mApplySeconds != nil
+	var applyStart time.Time
+	if timing {
+		applyStart = time.Now()
+	}
+	if e.tracer != nil {
+		e.tracer.BatchStart("pf", len(baseDelta))
+	}
 	preds := make([]string, 0, len(baseDelta))
 	for p := range baseDelta {
 		preds = append(preds, p)
@@ -97,12 +147,12 @@ func (e *Engine) Apply(baseDelta map[string]*relation.Relation) (*dred.Changes, 
 		if err != nil {
 			return err
 		}
-		st := e.d.LastStats
-		e.LastStats.Passes++
-		e.LastStats.Overestimated += st.Overestimated
-		e.LastStats.Rederived += st.Rederived
-		e.LastStats.Inserted += st.Inserted
-		e.LastStats.RuleFirings += st.RuleFirings
+		st := e.d.Stats()
+		e.last.Passes++
+		e.last.Overestimated += st.Overestimated
+		e.last.Rederived += st.Rederived
+		e.last.Inserted += st.Inserted
+		e.last.RuleFirings += st.RuleFirings
 		fold(ch)
 		return nil
 	}
@@ -143,6 +193,19 @@ func (e *Engine) Apply(baseDelta map[string]*relation.Relation) (*dred.Changes, 
 		}
 		if a := posSide(n); !a.Empty() {
 			out.Add[pred] = a
+		}
+	}
+	e.mApplies.Inc()
+	e.mPasses.Add(int64(e.last.Passes))
+	e.mOverest.Add(int64(e.last.Overestimated))
+	e.mRederived.Add(int64(e.last.Rederived))
+	e.mInserted.Add(int64(e.last.Inserted))
+	e.mRuleFirings.Add(int64(e.last.RuleFirings))
+	if timing {
+		d := time.Since(applyStart)
+		e.mApplySeconds.Observe(d)
+		if e.tracer != nil {
+			e.tracer.BatchDone(d, len(out.Del)+len(out.Add))
 		}
 	}
 	return out, nil

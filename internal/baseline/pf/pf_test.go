@@ -104,12 +104,12 @@ func TestPFFragmentsWork(t *testing.T) {
 	if _, err := d.Apply(dm); err != nil {
 		t.Fatal(err)
 	}
-	if p.LastStats.Passes != 5 {
-		t.Fatalf("passes = %d, want 5", p.LastStats.Passes)
+	if p.Stats().Passes != 5 {
+		t.Fatalf("passes = %d, want 5", p.Stats().Passes)
 	}
-	if p.LastStats.RuleFirings <= d.LastStats.RuleFirings {
+	if p.Stats().RuleFirings <= d.Stats().RuleFirings {
 		t.Fatalf("PF should do more work: pf=%d dred=%d",
-			p.LastStats.RuleFirings, d.LastStats.RuleFirings)
+			p.Stats().RuleFirings, d.Stats().RuleFirings)
 	}
 }
 

@@ -7,9 +7,11 @@ package recompute
 
 import (
 	"fmt"
+	"time"
 
 	"ivm/internal/datalog"
 	"ivm/internal/eval"
+	"ivm/internal/metrics"
 	"ivm/internal/relation"
 	"ivm/internal/strata"
 )
@@ -24,6 +26,14 @@ type Engine struct {
 	// Parallelism is the worker count the per-Apply re-evaluations use
 	// (<= 1 sequential). Set it before the first Apply.
 	Parallelism int
+
+	// Metrics, when non-nil, receives the recompute_* counters and
+	// timings (and the eval_* series of the per-Apply re-evaluations).
+	// Set it before the first Apply.
+	Metrics *metrics.Registry
+	// Tracer, when non-nil, receives per-Apply trace events. Set it
+	// before the first Apply.
+	Tracer metrics.Tracer
 }
 
 // New validates prog and computes the initial materialization.
@@ -61,6 +71,14 @@ func (e *Engine) DB() *eval.DB { return e.db }
 // Apply merges the base changes and recomputes every view from scratch,
 // returning the count delta of each derived relation (diff of old vs new).
 func (e *Engine) Apply(baseDelta map[string]*relation.Relation) (map[string]*relation.Relation, error) {
+	timing := e.Tracer != nil || e.Metrics != nil
+	var applyStart time.Time
+	if timing {
+		applyStart = time.Now()
+	}
+	if e.Tracer != nil {
+		e.Tracer.BatchStart("recompute", len(baseDelta))
+	}
 	derived := e.prog.DerivedPreds()
 	commit := make(map[string]*relation.Relation)
 	for pred, d := range baseDelta {
@@ -113,6 +131,7 @@ func (e *Engine) Apply(baseDelta map[string]*relation.Relation) (map[string]*rel
 	}
 	ev := eval.NewEvaluator(e.prog, e.strat, e.sem)
 	ev.Parallelism = e.Parallelism
+	ev.Instr = eval.NewInstruments(e.Metrics)
 	if err := ev.Evaluate(e.db); err != nil {
 		return nil, err
 	}
@@ -121,6 +140,18 @@ func (e *Engine) Apply(baseDelta map[string]*relation.Relation) (map[string]*rel
 		d := diff(old[pred], e.db.Get(pred))
 		if !d.Empty() {
 			deltas[pred] = d
+		}
+	}
+	if r := e.Metrics; r != nil {
+		r.Counter("recompute_applies_total").Inc()
+	}
+	if timing {
+		d := time.Since(applyStart)
+		if r := e.Metrics; r != nil {
+			r.Histogram("recompute_apply_seconds").Observe(d)
+		}
+		if e.Tracer != nil {
+			e.Tracer.BatchDone(d, len(deltas))
 		}
 	}
 	return deltas, nil

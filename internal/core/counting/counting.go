@@ -15,9 +15,11 @@ package counting
 
 import (
 	"fmt"
+	"time"
 
 	"ivm/internal/datalog"
 	"ivm/internal/eval"
+	"ivm/internal/metrics"
 	"ivm/internal/relation"
 	"ivm/internal/strata"
 )
@@ -64,6 +66,12 @@ type Config struct {
 	// independent) concurrently, and to hash-partition large single-rule
 	// joins. <= 1 evaluates sequentially; results are identical either way.
 	Parallelism int
+	// Metrics, when non-nil, receives the engine's counters and timing
+	// histograms (counting_* and eval_* series). Nil disables collection.
+	Metrics *metrics.Registry
+	// Tracer, when non-nil, receives per-batch trace events. Nil costs a
+	// single pointer check per event site.
+	Tracer metrics.Tracer
 }
 
 // Engine maintains the materialization of a nonrecursive view program.
@@ -86,9 +94,29 @@ type Engine struct {
 	db  *eval.DB
 	gts map[eval.RuleLit]*eval.GroupTable
 
-	// LastStats reports the work of the most recent Apply.
-	LastStats Stats
+	// last holds the work counters of the most recent Apply. It is
+	// written only by Apply and read via Stats(); callers that share the
+	// engine across goroutines must serialize Apply against Stats (the
+	// public ivm.Views does so under its RWMutex).
+	last Stats
+
+	// tracer and the resolved metric instruments; all nil-safe.
+	tracer        metrics.Tracer
+	instr         *eval.Instruments
+	mApplies      *metrics.Counter
+	mDeltaRules   *metrics.Counter
+	mDeltaTuples  *metrics.Counter
+	mCascadeStops *metrics.Counter
+	mApplySeconds *metrics.Histogram
+	mStratumSecs  *metrics.Histogram
 }
+
+// Stats returns the work counters of the most recent Apply.
+func (e *Engine) Stats() Stats { return e.last }
+
+// observing reports whether any per-stratum timing consumer is active,
+// so the unobserved hot path skips clock reads entirely.
+func (e *Engine) observing() bool { return e.tracer != nil || e.mStratumSecs != nil }
 
 // New validates and stratifies prog, materializes its views over the base
 // relations in base (which is cloned; the engine owns its storage), and
@@ -136,19 +164,31 @@ func NewWithConfig(prog *datalog.Program, base *eval.DB, cfg Config) (*Engine, e
 			db.Put(pred, db.Get(pred).ToSet())
 		}
 	}
+	instr := eval.NewInstruments(cfg.Metrics)
 	ev := eval.NewEvaluator(prog, st, sem)
 	ev.RecursiveCounts = cfg.AllowRecursion
 	ev.MaxIterations = cfg.MaxIterations
 	ev.Parallelism = cfg.Parallelism
+	ev.Instr = instr
 	if err := ev.Evaluate(db); err != nil {
 		return nil, err
 	}
-	return &Engine{
+	e := &Engine{
 		prog: prog, strat: st, sem: sem, reportSet: reportSet,
 		allowRecursion: cfg.AllowRecursion, maxIter: cfg.MaxIterations,
 		par: cfg.Parallelism,
 		db:  db, gts: ev.GroupTables,
-	}, nil
+		tracer: cfg.Tracer, instr: instr,
+	}
+	if r := cfg.Metrics; r != nil {
+		e.mApplies = r.Counter("counting_applies_total")
+		e.mDeltaRules = r.Counter("counting_delta_rules_total")
+		e.mDeltaTuples = r.Counter("counting_delta_tuples_total")
+		e.mCascadeStops = r.Counter("counting_cascade_stops_total")
+		e.mApplySeconds = r.Histogram("counting_apply_seconds")
+		e.mStratumSecs = r.Histogram("counting_stratum_seconds")
+	}
+	return e, nil
 }
 
 // Semantics returns the external view semantics.
@@ -189,7 +229,15 @@ func (e *Engine) old(pred string) relation.Reader {
 // (Lemma 4.1's precondition); violations are rejected before any state
 // changes.
 func (e *Engine) Apply(baseDelta map[string]*relation.Relation) (map[string]*relation.Relation, error) {
-	e.LastStats = Stats{}
+	e.last = Stats{}
+	timing := e.observing() || e.mApplySeconds != nil
+	var batchStart time.Time
+	if timing {
+		batchStart = time.Now()
+	}
+	if e.tracer != nil {
+		e.tracer.BatchStart("counting", len(baseDelta))
+	}
 	derived := e.prog.DerivedPreds()
 	externalSet := e.sem == eval.Set || e.reportSet
 
@@ -262,6 +310,10 @@ func (e *Engine) Apply(baseDelta map[string]*relation.Relation) (map[string]*rel
 
 	byStratum := e.strat.RulesByStratum(e.prog)
 	for s := 1; s <= e.strat.MaxStratum; s++ {
+		var stratumStart time.Time
+		if timing {
+			stratumStart = time.Now()
+		}
 		perPred := make(map[string]*relation.Relation)
 		recursive := false
 		for _, ri := range byStratum[s] {
@@ -302,14 +354,14 @@ func (e *Engine) Apply(baseDelta map[string]*relation.Relation) (map[string]*rel
 				return fail(verr)
 			}
 			fullDeltas[pred] = dp
-			e.LastStats.DeltaTuples += dp.Len()
+			e.last.DeltaTuples += dp.Len()
 			switch {
 			case e.sem == eval.Set:
 				// Statement (2): Δ(P) = set(Pν) − set(P) is both what
 				// cascades and the externally visible change of a set view.
 				cd := setTransitions(stored, dp)
 				if cd.Empty() {
-					e.LastStats.CascadeStopped++
+					e.last.CascadeStopped++
 				} else {
 					cascade[pred] = cd
 					visible[pred] = cd
@@ -326,6 +378,13 @@ func (e *Engine) Apply(baseDelta map[string]*relation.Relation) (map[string]*rel
 				visible[pred] = dp
 			}
 		}
+		if timing {
+			d := time.Since(stratumStart)
+			e.mStratumSecs.Observe(d)
+			if e.tracer != nil {
+				e.tracer.StratumDone(s, d)
+			}
+		}
 	}
 
 	// Commit: base deltas, view deltas, group tables.
@@ -337,6 +396,17 @@ func (e *Engine) Apply(baseDelta map[string]*relation.Relation) (map[string]*rel
 	}
 	for key, dt := range pendingT {
 		e.gts[key].Commit(dt)
+	}
+	e.mApplies.Inc()
+	e.mDeltaRules.Add(int64(e.last.DeltaRulesEvaluated))
+	e.mDeltaTuples.Add(int64(e.last.DeltaTuples))
+	e.mCascadeStops.Add(int64(e.last.CascadeStopped))
+	if timing {
+		d := time.Since(batchStart)
+		e.mApplySeconds.Observe(d)
+		if e.tracer != nil {
+			e.tracer.BatchDone(d, len(visible))
+		}
 	}
 	return visible, nil
 }
@@ -371,10 +441,14 @@ func (e *Engine) applyRule(ri int, cascade map[string]*relation.Relation, pendin
 			continue
 		}
 		srcs := e.deltaSources(ri, litDelta, i, cascade, pendingT)
-		if err := eval.EvalRule(rule, srcs, i, dp); err != nil {
+		before := dp.Len()
+		if err := eval.EvalRuleInstr(rule, srcs, i, dp, e.instr); err != nil {
 			return err
 		}
-		e.LastStats.DeltaRulesEvaluated++
+		e.last.DeltaRulesEvaluated++
+		if e.tracer != nil {
+			e.tracer.RuleEvaluated(rule.Head.Pred, dp.Len()-before)
+		}
 	}
 	return nil
 }
@@ -405,7 +479,7 @@ func (e *Engine) applyStratumParallel(rules []int, cascade map[string]*relation.
 			})
 		}
 	}
-	if err := eval.RunBatch(tasks, e.par); err != nil {
+	if err := eval.RunBatchInstr(tasks, e.par, e.instr); err != nil {
 		return err
 	}
 	for _, t := range tasks {
@@ -416,7 +490,10 @@ func (e *Engine) applyStratumParallel(rules []int, cascade map[string]*relation.
 			perPred[pred] = dp
 		}
 		dp.MergeDelta(t.Out)
-		e.LastStats.DeltaRulesEvaluated++
+		e.last.DeltaRulesEvaluated++
+		if e.tracer != nil {
+			e.tracer.RuleEvaluated(pred, t.Out.Len())
+		}
 	}
 	return nil
 }

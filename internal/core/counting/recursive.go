@@ -128,10 +128,10 @@ func (e *Engine) applyRecursiveStratum(stratum int, rules []int,
 					}
 				}
 				out := relation.New(len(rule.Head.Args))
-				if err := eval.EvalRule(rule, srcs, li, out); err != nil {
+				if err := eval.EvalRuleInstr(rule, srcs, li, out, e.instr); err != nil {
 					return err
 				}
-				e.LastStats.DeltaRulesEvaluated++
+				e.last.DeltaRulesEvaluated++
 				next[rule.Head.Pred].MergeDelta(out)
 			}
 		}
@@ -219,10 +219,10 @@ func (e *Engine) applyRuleLowerOnly(ri int, inStratum map[string]bool,
 			}
 			srcs[j] = e.sideSource(lit, eval.RuleLit{Rule: ri, Lit: j}, cascade, pendingT, j < i)
 		}
-		if err := eval.EvalRule(rule, srcs, i, dp); err != nil {
+		if err := eval.EvalRuleInstr(rule, srcs, i, dp, e.instr); err != nil {
 			return err
 		}
-		e.LastStats.DeltaRulesEvaluated++
+		e.last.DeltaRulesEvaluated++
 	}
 	return nil
 }

@@ -23,6 +23,7 @@ import (
 
 	"ivm/internal/datalog"
 	"ivm/internal/eval"
+	"ivm/internal/metrics"
 	"ivm/internal/relation"
 	"ivm/internal/strata"
 )
@@ -44,6 +45,10 @@ type Stats struct {
 	Inserted int
 	// RuleFirings counts rule evaluations across all steps and strata.
 	RuleFirings int
+	// FixpointRounds counts semi-naive fixpoint rounds run across the
+	// step-1 overestimate, step-2 rederivation, and step-3 insertion
+	// loops of all strata.
+	FixpointRounds int
 }
 
 // Config carries the engine's tuning knobs.
@@ -53,6 +58,12 @@ type Config struct {
 	// (and for hash-partitioning large single-rule joins). <= 1 runs
 	// sequentially; the maintained views are identical either way.
 	Parallelism int
+	// Metrics, when non-nil, receives the engine's counters and timing
+	// histograms (dred_* and eval_* series). Nil disables collection.
+	Metrics *metrics.Registry
+	// Tracer, when non-nil, receives per-operation trace events. Nil
+	// costs a single pointer check per event site.
+	Tracer metrics.Tracer
 }
 
 // Engine maintains the materialization of a (possibly recursive) view
@@ -65,9 +76,32 @@ type Engine struct {
 	// par is the worker count for δ-rule batches (<= 1 sequential).
 	par int
 
-	// LastStats reports the work of the most recent operation.
-	LastStats Stats
+	// last holds the work counters of the most recent operation. It is
+	// written only by Apply/AddRule/RemoveRule and read via Stats();
+	// callers sharing the engine across goroutines must serialize
+	// maintenance against Stats (ivm.Views does so under its RWMutex).
+	last Stats
+
+	// tracer and the resolved metric instruments; all nil-safe.
+	tracer          metrics.Tracer
+	instr           *eval.Instruments
+	mOps            *metrics.Counter
+	mOverestimated  *metrics.Counter
+	mRederived      *metrics.Counter
+	mInserted       *metrics.Counter
+	mRuleFirings    *metrics.Counter
+	mFixpointRounds *metrics.Counter
+	mApplySeconds   *metrics.Histogram
+	mStepSecs       [3]*metrics.Histogram
 }
+
+// Stats returns the work counters of the most recent maintenance
+// operation (Apply, AddRule, or RemoveRule).
+func (e *Engine) Stats() Stats { return e.last }
+
+// observing reports whether any timing consumer is active, so the
+// unobserved hot path skips clock reads entirely.
+func (e *Engine) observing() bool { return e.tracer != nil || e.mApplySeconds != nil }
 
 // New validates and stratifies prog, materializes it over the base
 // relations of base (cloned; multiplicities collapse to sets), and
@@ -89,7 +123,22 @@ func NewWithConfig(prog *datalog.Program, base *eval.DB, cfg Config) (*Engine, e
 	for _, pred := range base.Preds() {
 		db.Put(pred, base.Get(pred).ToSet())
 	}
-	e := &Engine{prog: prog, strat: st, db: db, par: cfg.Parallelism}
+	e := &Engine{
+		prog: prog, strat: st, db: db, par: cfg.Parallelism,
+		tracer: cfg.Tracer, instr: eval.NewInstruments(cfg.Metrics),
+	}
+	if r := cfg.Metrics; r != nil {
+		e.mOps = r.Counter("dred_ops_total")
+		e.mOverestimated = r.Counter("dred_overestimated_total")
+		e.mRederived = r.Counter("dred_rederived_total")
+		e.mInserted = r.Counter("dred_inserted_total")
+		e.mRuleFirings = r.Counter("dred_rule_firings_total")
+		e.mFixpointRounds = r.Counter("dred_fixpoint_rounds_total")
+		e.mApplySeconds = r.Histogram("dred_apply_seconds")
+		e.mStepSecs[0] = r.Histogram("dred_step1_seconds")
+		e.mStepSecs[1] = r.Histogram("dred_step2_seconds")
+		e.mStepSecs[2] = r.Histogram("dred_step3_seconds")
+	}
 	if err := e.materialize(); err != nil {
 		return nil, err
 	}
@@ -99,6 +148,7 @@ func NewWithConfig(prog *datalog.Program, base *eval.DB, cfg Config) (*Engine, e
 func (e *Engine) materialize() error {
 	ev := eval.NewEvaluator(e.prog, e.strat, eval.Set)
 	ev.Parallelism = e.par
+	ev.Instr = e.instr
 	if err := ev.Evaluate(e.db); err != nil {
 		return err
 	}
@@ -125,7 +175,10 @@ func (e *Engine) DB() *eval.DB { return e.db }
 // Deletions of absent tuples are rejected. The new materialization
 // contains t iff t has a derivation in the updated database (Theorem 7.1).
 func (e *Engine) Apply(baseDelta map[string]*relation.Relation) (*Changes, error) {
-	e.LastStats = Stats{}
+	e.last = Stats{}
+	if e.tracer != nil {
+		e.tracer.BatchStart("dred", len(baseDelta))
+	}
 	derived := e.prog.DerivedPreds()
 	net := make(map[string]*relation.Relation)
 	del := make(map[string]*relation.Relation)
@@ -176,7 +229,10 @@ func (e *Engine) Apply(baseDelta map[string]*relation.Relation) (*Changes, error
 // relations are defined entirely by their rules (a rematerialization
 // would drop the facts).
 func (e *Engine) AddRule(r datalog.Rule) (*Changes, error) {
-	e.LastStats = Stats{}
+	e.last = Stats{}
+	if e.tracer != nil {
+		e.tracer.BatchStart("dred:add-rule", 1)
+	}
 	if !e.prog.DerivedPreds()[r.Head.Pred] {
 		if stored := e.db.Get(r.Head.Pred); stored != nil && !stored.Empty() {
 			return nil, fmt.Errorf("dred: cannot add a rule for %s: it is a base relation with stored facts", r.Head.Pred)
@@ -200,7 +256,7 @@ func (e *Engine) AddRule(r datalog.Rule) (*Changes, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := eval.EvalRule(r, srcs, -1, tmp); err != nil {
+	if err := eval.EvalRuleInstr(r, srcs, -1, tmp, e.instr); err != nil {
 		return nil, err
 	}
 	stored := e.db.Ensure(r.Head.Pred, len(r.Head.Args))
@@ -218,7 +274,10 @@ func (e *Engine) AddRule(r datalog.Rule) (*Changes, error) {
 // RemoveRule deletes rule index ri from the view definition and
 // incrementally removes the derivations only it supported.
 func (e *Engine) RemoveRule(ri int) (*Changes, error) {
-	e.LastStats = Stats{}
+	e.last = Stats{}
+	if e.tracer != nil {
+		e.tracer.BatchStart("dred:remove-rule", 1)
+	}
 	if ri < 0 || ri >= len(e.prog.Rules) {
 		return nil, fmt.Errorf("dred: rule index %d out of range", ri)
 	}
@@ -231,7 +290,7 @@ func (e *Engine) RemoveRule(ri int) (*Changes, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := eval.EvalRule(removed, srcs, -1, tmp); err != nil {
+	if err := eval.EvalRuleInstr(removed, srcs, -1, tmp, e.instr); err != nil {
 		return nil, err
 	}
 	stored := e.db.Ensure(removed.Head.Pred, len(removed.Head.Args))

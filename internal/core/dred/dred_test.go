@@ -78,7 +78,7 @@ func TestTCDeleteWithAlternativePath(t *testing.T) {
 		t.Fatalf("Del: %v", ch.Del["tc"])
 	}
 	// a⇝d was overestimated then rederived.
-	if e.LastStats.Rederived == 0 {
+	if e.Stats().Rederived == 0 {
 		t.Fatal("expected rederivations")
 	}
 }
@@ -132,7 +132,7 @@ func TestInsertionSemiNaive(t *testing.T) {
 	if ch.Add["tc"].Len() != 4 {
 		t.Fatalf("Add: %v", ch.Add["tc"])
 	}
-	if e.LastStats.Overestimated != 0 {
+	if e.Stats().Overestimated != 0 {
 		t.Fatal("pure insertion must not run deletions")
 	}
 }
@@ -511,7 +511,7 @@ func TestStatsShapeExample11(t *testing.T) {
 	if _, err := e.Apply(delta(t, `-link(a,b).`)); err != nil {
 		t.Fatal(err)
 	}
-	st := e.LastStats
+	st := e.Stats()
 	if st.Overestimated != 2 || st.Rederived != 1 || st.Inserted != 0 {
 		t.Fatalf("stats: %+v", st)
 	}

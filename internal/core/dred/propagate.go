@@ -1,6 +1,8 @@
 package dred
 
 import (
+	"time"
+
 	"ivm/internal/datalog"
 	"ivm/internal/eval"
 	"ivm/internal/relation"
@@ -15,6 +17,12 @@ import (
 // derived predicate's own stratum (used by RemoveRule/AddRule).
 func (e *Engine) propagate(del, add, net map[string]*relation.Relation,
 	seedDel, seedAdd map[string]*relation.Relation) (*Changes, error) {
+
+	timing := e.observing()
+	var opStart time.Time
+	if timing {
+		opStart = time.Now()
+	}
 
 	changes := &Changes{
 		Del: make(map[string]*relation.Relation),
@@ -134,10 +142,13 @@ func (e *Engine) propagate(del, add, net map[string]*relation.Relation,
 		if err != nil {
 			return nil, err
 		}
-		if err := eval.EvalRule(t.Rule, t.Srcs, t.FirstLit, t.Out); err != nil {
+		if err := eval.EvalRuleInstr(t.Rule, t.Srcs, t.FirstLit, t.Out, e.instr); err != nil {
 			return nil, err
 		}
-		e.LastStats.RuleFirings++
+		e.last.RuleFirings++
+		if e.tracer != nil {
+			e.tracer.RuleEvaluated(t.Rule.Head.Pred, t.Out.Len())
+		}
 		return t.Out, nil
 	}
 
@@ -147,11 +158,14 @@ func (e *Engine) propagate(del, add, net map[string]*relation.Relation,
 	// confluent, because deferred effects re-enter through the in-stratum
 	// Δ images of the following fixpoint rounds).
 	runSteps := func(tasks []eval.Task, folds []func(*relation.Relation)) error {
-		if err := eval.RunBatch(tasks, e.par); err != nil {
+		if err := eval.RunBatchInstr(tasks, e.par, e.instr); err != nil {
 			return err
 		}
-		e.LastStats.RuleFirings += len(tasks)
+		e.last.RuleFirings += len(tasks)
 		for k := range tasks {
+			if e.tracer != nil {
+				e.tracer.RuleEvaluated(tasks[k].Rule.Head.Pred, tasks[k].Out.Len())
+			}
 			folds[k](tasks[k].Out)
 		}
 		return nil
@@ -161,6 +175,10 @@ func (e *Engine) propagate(del, add, net map[string]*relation.Relation,
 		rules := byStratum[s]
 		if len(rules) == 0 {
 			continue
+		}
+		var stratumStart time.Time
+		if timing {
+			stratumStart = time.Now()
 		}
 		inStratum := make(map[string]bool)
 		for _, ri := range rules {
@@ -241,6 +259,7 @@ func (e *Engine) propagate(del, add, net map[string]*relation.Relation,
 			}
 		}
 		for {
+			e.last.FixpointRounds++
 			moved := false
 			cur := roundDel
 			roundDel = make(map[string]*relation.Relation)
@@ -301,7 +320,12 @@ func (e *Engine) propagate(del, add, net map[string]*relation.Relation,
 			}
 		}
 		for pred := range inStratum {
-			e.LastStats.Overestimated += delS[pred].Len()
+			e.last.Overestimated += delS[pred].Len()
+		}
+		var step2Start time.Time
+		if timing {
+			step2Start = time.Now()
+			e.mStepSecs[0].Observe(step2Start.Sub(stratumStart))
 		}
 
 		// ---- Step 2: rederive tuples with alternative derivations. ----
@@ -349,6 +373,7 @@ func (e *Engine) propagate(del, add, net map[string]*relation.Relation,
 		// Delta rounds: newly readded tuples re-enable candidates whose
 		// derivations pass through them.
 		for {
+			e.last.FixpointRounds++
 			moved := false
 			cur := roundReadd
 			roundReadd = make(map[string]*relation.Relation)
@@ -387,7 +412,12 @@ func (e *Engine) propagate(del, add, net map[string]*relation.Relation,
 			}
 		}
 		for pred := range inStratum {
-			e.LastStats.Rederived += readd[pred].Len()
+			e.last.Rederived += readd[pred].Len()
+		}
+		var step3Start time.Time
+		if timing {
+			step3Start = time.Now()
+			e.mStepSecs[1].Observe(step3Start.Sub(step2Start))
 		}
 
 		// ---- Step 3: propagate insertions. ----
@@ -455,6 +485,7 @@ func (e *Engine) propagate(del, add, net map[string]*relation.Relation,
 			}
 		}
 		for {
+			e.last.FixpointRounds++
 			moved := false
 			cur := roundAdd
 			roundAdd = make(map[string]*relation.Relation)
@@ -515,7 +546,14 @@ func (e *Engine) propagate(del, add, net map[string]*relation.Relation,
 			}
 		}
 		for pred := range inStratum {
-			e.LastStats.Inserted += addS[pred].Len()
+			e.last.Inserted += addS[pred].Len()
+		}
+		if timing {
+			now := time.Now()
+			e.mStepSecs[2].Observe(now.Sub(step3Start))
+			if e.tracer != nil {
+				e.tracer.StratumDone(s, now.Sub(stratumStart))
+			}
 		}
 
 		// ---- Finalize the stratum: expose net transitions upward. ----
@@ -542,6 +580,19 @@ func (e *Engine) propagate(del, add, net map[string]*relation.Relation,
 	}
 	for key, dt := range pendingT {
 		e.gts[key].Commit(dt)
+	}
+	e.mOps.Inc()
+	e.mOverestimated.Add(int64(e.last.Overestimated))
+	e.mRederived.Add(int64(e.last.Rederived))
+	e.mInserted.Add(int64(e.last.Inserted))
+	e.mRuleFirings.Add(int64(e.last.RuleFirings))
+	e.mFixpointRounds.Add(int64(e.last.FixpointRounds))
+	if timing {
+		d := time.Since(opStart)
+		e.mApplySeconds.Observe(d)
+		if e.tracer != nil {
+			e.tracer.BatchDone(d, len(changes.Del)+len(changes.Add))
+		}
 	}
 	return changes, nil
 }
@@ -644,10 +695,10 @@ func (e *Engine) rederive(ri int, cand *relation.Relation,
 			srcs[j+1] = s
 		}
 		out := relation.New(len(rule.Head.Args))
-		if err := eval.EvalRule(aux, srcs, 0, out); err != nil {
+		if err := eval.EvalRuleInstr(aux, srcs, 0, out, e.instr); err != nil {
 			return nil, err
 		}
-		e.LastStats.RuleFirings++
+		e.last.RuleFirings++
 		return out, nil
 	}
 
@@ -661,10 +712,10 @@ func (e *Engine) rederive(ri int, cand *relation.Relation,
 		srcs[j] = s
 	}
 	out := relation.New(len(rule.Head.Args))
-	if err := eval.EvalRule(rule, srcs, -1, out); err != nil {
+	if err := eval.EvalRuleInstr(rule, srcs, -1, out, e.instr); err != nil {
 		return nil, err
 	}
-	e.LastStats.RuleFirings++
+	e.last.RuleFirings++
 	return out, nil
 }
 
@@ -687,7 +738,7 @@ func (e *Engine) rederiveDelta(ri, li int, d, cand *relation.Relation,
 		}
 		srcs[j] = s
 	}
-	e.LastStats.RuleFirings++
+	e.last.RuleFirings++
 	if headSimple(rule) {
 		// Join the candidate set as an extra subgoal over the head
 		// pattern so non-candidate heads are cut early.
@@ -697,13 +748,13 @@ func (e *Engine) rederiveDelta(ri, li int, d, cand *relation.Relation,
 		}
 		auxSrcs := append([]eval.Source{{Rel: cand}}, srcs...)
 		out := relation.New(len(rule.Head.Args))
-		if err := eval.EvalRule(aux, auxSrcs, li+1, out); err != nil {
+		if err := eval.EvalRuleInstr(aux, auxSrcs, li+1, out, e.instr); err != nil {
 			return nil, err
 		}
 		return out, nil
 	}
 	out := relation.New(len(rule.Head.Args))
-	if err := eval.EvalRule(rule, srcs, li, out); err != nil {
+	if err := eval.EvalRuleInstr(rule, srcs, li, out, e.instr); err != nil {
 		return nil, err
 	}
 	return out, nil

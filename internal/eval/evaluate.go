@@ -46,6 +46,10 @@ type Evaluator struct {
 	// ⊎-merged deterministically.
 	Parallelism int
 
+	// Instr, when non-nil, collects low-level evaluation metrics (join
+	// probes, batch tasks, worker timings) during Evaluate.
+	Instr *Instruments
+
 	// GroupTables holds the GROUPBY materializations built during
 	// Evaluate, keyed by (rule index, literal index). Maintenance engines
 	// adopt these to run Algorithm 6.1 incrementally.
@@ -171,7 +175,7 @@ func (e *Evaluator) evalFlatStratum(db *DB, rules []int) error {
 		if err != nil {
 			return err
 		}
-		if err := EvalRule(rule, srcs, -1, out); err != nil {
+		if err := EvalRuleInstr(rule, srcs, -1, out, e.Instr); err != nil {
 			return err
 		}
 	}
@@ -196,7 +200,7 @@ func (e *Evaluator) evalFlatStratumParallel(db *DB, rules []int) error {
 			Out: relation.New(len(rule.Head.Args)),
 		})
 	}
-	if err := RunBatch(tasks, e.Parallelism); err != nil {
+	if err := RunBatchInstr(tasks, e.Parallelism, e.Instr); err != nil {
 		return err
 	}
 	for k, ri := range rules {
@@ -254,7 +258,7 @@ func (e *Evaluator) evalRecursiveStratum(db *DB, s int, rules []int) error {
 			Out: relation.New(len(rule.Head.Args)),
 		})
 	}
-	if err := RunBatch(seed, e.Parallelism); err != nil {
+	if err := RunBatchInstr(seed, e.Parallelism, e.Instr); err != nil {
 		return err
 	}
 	for _, t := range seed {
@@ -298,7 +302,7 @@ func (e *Evaluator) evalRecursiveStratum(db *DB, s int, rules []int) error {
 				})
 			}
 		}
-		if err := RunBatch(round, e.Parallelism); err != nil {
+		if err := RunBatchInstr(round, e.Parallelism, e.Instr); err != nil {
 			return err
 		}
 		for _, t := range round {

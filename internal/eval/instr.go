@@ -1,0 +1,39 @@
+package eval
+
+import "ivm/internal/metrics"
+
+// Instruments bundles the low-level evaluation instruments an engine
+// resolves once from its metrics registry and threads through rule
+// evaluation. All instruments are atomic, so workers of a parallel
+// batch update them directly. A nil *Instruments disables collection
+// entirely (one nil check per evaluation, none per probe).
+type Instruments struct {
+	// JoinProbes counts relation probes performed by joins: one per
+	// point lookup, index lookup, or full scan of a join-mode literal.
+	JoinProbes *metrics.Counter
+	// PartitionedJoins counts single-rule evaluations that were hash-
+	// partitioned across workers.
+	PartitionedJoins *metrics.Counter
+	// BatchTasks counts rule-evaluation tasks submitted to RunBatch.
+	BatchTasks *metrics.Counter
+	// TaskBusy observes per-task evaluation wall time (worker busy time).
+	TaskBusy *metrics.Histogram
+	// QueueWait observes, per task, the time between batch submission
+	// and a worker picking the task up.
+	QueueWait *metrics.Histogram
+}
+
+// NewInstruments resolves the evaluation instruments from r. A nil
+// registry yields nil (collection disabled).
+func NewInstruments(r *metrics.Registry) *Instruments {
+	if r == nil {
+		return nil
+	}
+	return &Instruments{
+		JoinProbes:       r.Counter("eval_join_probes_total"),
+		PartitionedJoins: r.Counter("eval_partitioned_joins_total"),
+		BatchTasks:       r.Counter("eval_batch_tasks_total"),
+		TaskBusy:         r.Histogram("eval_task_seconds"),
+		QueueWait:        r.Histogram("eval_queue_wait_seconds"),
+	}
+}

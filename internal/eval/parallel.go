@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ivm/internal/datalog"
 	"ivm/internal/relation"
@@ -51,18 +52,46 @@ type Task struct {
 }
 
 // RunBatch evaluates a batch of independent rule evaluations with up to
-// `workers` goroutines. With workers <= 1 the batch runs sequentially.
-// When the batch has fewer tasks than workers, the surplus workers are
-// spent partitioning individual tasks. The first error in task order is
-// returned (deterministically, regardless of scheduling).
+// `workers` goroutines, without instrumentation.
 func RunBatch(tasks []Task, workers int) error {
+	return RunBatchInstr(tasks, workers, nil)
+}
+
+// RunBatchInstr is RunBatch with instrumentation: task counts, per-task
+// busy time, and queue wait are recorded into in when non-nil. With
+// workers <= 1 the batch runs sequentially. When the batch has fewer
+// tasks than workers, the surplus workers are spent partitioning
+// individual tasks. The first error in task order is returned
+// (deterministically, regardless of scheduling).
+func RunBatchInstr(tasks []Task, workers int, in *Instruments) error {
 	if len(tasks) == 0 {
 		return nil
 	}
+	if in != nil {
+		in.BatchTasks.Add(int64(len(tasks)))
+	}
+	var submitted time.Time
+	if in != nil {
+		submitted = time.Now()
+	}
+	// timed wraps one task evaluation with queue-wait and busy-time
+	// observation; with in == nil it is a plain call.
+	timed := func(i int, eval func(t *Task) error) error {
+		t := &tasks[i]
+		if in == nil {
+			return eval(t)
+		}
+		start := time.Now()
+		in.QueueWait.Observe(start.Sub(submitted))
+		err := eval(t)
+		in.TaskBusy.Observe(time.Since(start))
+		return err
+	}
 	if workers <= 1 {
 		for i := range tasks {
-			t := &tasks[i]
-			if err := EvalRule(t.Rule, t.Srcs, t.FirstLit, t.Out); err != nil {
+			if err := timed(i, func(t *Task) error {
+				return EvalRuleInstr(t.Rule, t.Srcs, t.FirstLit, t.Out, in)
+			}); err != nil {
 				return err
 			}
 		}
@@ -78,8 +107,9 @@ func RunBatch(tasks []Task, workers int) error {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				t := &tasks[i]
-				errs[i] = EvalRuleParallel(t.Rule, t.Srcs, t.FirstLit, t.Out, per)
+				errs[i] = timed(i, func(t *Task) error {
+					return evalRuleParallel(t.Rule, t.Srcs, t.FirstLit, t.Out, per, in)
+				})
 			}(i)
 		}
 		wg.Wait()
@@ -96,8 +126,9 @@ func RunBatch(tasks []Task, workers int) error {
 					if i >= len(tasks) {
 						return
 					}
-					t := &tasks[i]
-					errs[i] = EvalRule(t.Rule, t.Srcs, t.FirstLit, t.Out)
+					errs[i] = timed(i, func(t *Task) error {
+						return EvalRuleInstr(t.Rule, t.Srcs, t.FirstLit, t.Out, in)
+					})
 				}
 			}()
 		}
@@ -117,12 +148,19 @@ func RunBatch(tasks []Task, workers int) error {
 // private shard; the shards are ⊎-merged into out in sorted key order.
 // Falls back to sequential EvalRule when no literal is worth splitting.
 func EvalRuleParallel(rule datalog.Rule, srcs []Source, firstLit int, out *relation.Relation, workers int) error {
+	return evalRuleParallel(rule, srcs, firstLit, out, workers, nil)
+}
+
+func evalRuleParallel(rule datalog.Rule, srcs []Source, firstLit int, out *relation.Relation, workers int, in *Instruments) error {
 	pl := -1
 	if workers > 1 {
 		pl = pickPartitionLit(rule, srcs, firstLit)
 	}
 	if pl < 0 {
-		return EvalRule(rule, srcs, firstLit, out)
+		return EvalRuleInstr(rule, srcs, firstLit, out, in)
+	}
+	if in != nil {
+		in.PartitionedJoins.Inc()
 	}
 	sh := relation.NewShards(len(rule.Head.Args), workers)
 	errs := make([]error, workers)
@@ -134,7 +172,7 @@ func EvalRuleParallel(rule datalog.Rule, srcs []Source, firstLit int, out *relat
 			ps := make([]Source, len(srcs))
 			copy(ps, srcs)
 			ps[pl].Rel = relation.PartitionView(srcs[pl].Rel, w, workers)
-			errs[w] = EvalRule(rule, ps, firstLit, sh.Shard(w))
+			errs[w] = EvalRuleInstr(rule, ps, firstLit, sh.Shard(w), in)
 		}(w)
 	}
 	wg.Wait()

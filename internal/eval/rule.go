@@ -36,6 +36,14 @@ type Source struct {
 // literals are ordered greedily, with filters (conditions, negations)
 // evaluated as soon as their variables are bound.
 func EvalRule(rule datalog.Rule, srcs []Source, firstLit int, out *relation.Relation) error {
+	return EvalRuleInstr(rule, srcs, firstLit, out, nil)
+}
+
+// EvalRuleInstr is EvalRule with instrumentation: join probes are
+// counted locally during the walk and flushed to in (if non-nil) in a
+// single atomic add afterwards, so the instrumented hot path differs
+// from the bare one only by a local integer increment per probe.
+func EvalRuleInstr(rule datalog.Rule, srcs []Source, firstLit int, out *relation.Relation, in *Instruments) error {
 	if len(srcs) != len(rule.Body) {
 		return fmt.Errorf("eval: rule has %d literals but %d sources given", len(rule.Body), len(srcs))
 	}
@@ -44,6 +52,7 @@ func EvalRule(rule datalog.Rule, srcs []Source, firstLit int, out *relation.Rela
 		return err
 	}
 
+	var probes int64
 	b := newBinding()
 	var walk func(step int, count int64) error
 	walk = func(step int, count int64) error {
@@ -79,6 +88,7 @@ func EvalRule(rule datalog.Rule, srcs []Source, firstLit int, out *relation.Rela
 			if err != nil {
 				return err
 			}
+			probes++
 			if !src.Rel.Has(t) {
 				return walk(step+1, count)
 			}
@@ -87,12 +97,17 @@ func EvalRule(rule datalog.Rule, srcs []Source, firstLit int, out *relation.Rela
 		default:
 			// Join: positive atoms, Δ-images of negations, aggregate images.
 			args := joinArgs(lit)
+			probes++
 			return joinLiteral(args, src.Rel, b, func(rowCount int64) error {
 				return walk(step+1, count*rowCount)
 			})
 		}
 	}
-	return walk(0, 1)
+	err = walk(0, 1)
+	if in != nil {
+		in.JoinProbes.Add(probes)
+	}
+	return err
 }
 
 // joinArgs returns the term pattern a join-mode literal exposes: the

@@ -17,6 +17,7 @@ import (
 	"ivm/internal/core/dred"
 	"ivm/internal/datalog"
 	"ivm/internal/eval"
+	"ivm/internal/metrics"
 	"ivm/internal/parser"
 	"ivm/internal/relation"
 	"ivm/internal/strata"
@@ -66,6 +67,26 @@ func (t *Table) Render() string {
 		line(row)
 	}
 	return sb.String()
+}
+
+// metricsReg, when non-nil, is threaded into every engine the helper
+// constructors below build, so one harness run accumulates a single
+// cross-experiment metrics snapshot.
+var metricsReg *metrics.Registry
+
+// EnableMetrics turns on metrics collection for engines built after the
+// call and returns the shared registry. Idempotent.
+func EnableMetrics() *metrics.Registry {
+	if metricsReg == nil {
+		metricsReg = metrics.NewRegistry()
+	}
+	return metricsReg
+}
+
+// MetricsSnapshot returns the current state of the shared registry
+// (empty if EnableMetrics was never called).
+func MetricsSnapshot() metrics.Snapshot {
+	return metricsReg.Snapshot()
 }
 
 // MustRules parses a rule program, panicking on error (experiment
@@ -158,7 +179,8 @@ func ratio(a, b time.Duration) string {
 
 // CountingEngine materializes prog over link with the given semantics.
 func CountingEngine(progSrc string, db *eval.DB, sem eval.Semantics) *counting.Engine {
-	e, err := counting.New(MustRules(progSrc), db, sem)
+	e, err := counting.NewWithConfig(MustRules(progSrc), db,
+		counting.Config{Semantics: sem, Metrics: metricsReg})
 	if err != nil {
 		panic(err)
 	}
@@ -167,7 +189,7 @@ func CountingEngine(progSrc string, db *eval.DB, sem eval.Semantics) *counting.E
 
 // DRedEngine materializes prog over db.
 func DRedEngine(progSrc string, db *eval.DB) *dred.Engine {
-	e, err := dred.New(MustRules(progSrc), db)
+	e, err := dred.NewWithConfig(MustRules(progSrc), db, dred.Config{Metrics: metricsReg})
 	if err != nil {
 		panic(err)
 	}
@@ -180,12 +202,13 @@ func RecomputeEngine(progSrc string, db *eval.DB, sem eval.Semantics) *recompute
 	if err != nil {
 		panic(err)
 	}
+	e.Metrics = metricsReg
 	return e
 }
 
 // PFEngine materializes prog over db.
 func PFEngine(progSrc string, db *eval.DB, fragmentTuples bool) *pf.Engine {
-	e, err := pf.New(MustRules(progSrc), db)
+	e, err := pf.NewWithConfig(MustRules(progSrc), db, pf.Config{Metrics: metricsReg})
 	if err != nil {
 		panic(err)
 	}

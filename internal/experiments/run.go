@@ -141,9 +141,9 @@ func RunE3(s Scale) *Table {
 			}
 			return func() error {
 				_, err := e.Apply(DeltaOf(d))
-				fired = e.LastStats.DeltaRulesEvaluated
-				tuples = e.LastStats.DeltaTuples
-				stopped = e.LastStats.CascadeStopped
+				fired = e.Stats().DeltaRulesEvaluated
+				tuples = e.Stats().DeltaTuples
+				stopped = e.Stats().CascadeStopped
 				return err
 			}
 		})
@@ -331,7 +331,7 @@ func RunE8(s Scale) *Table {
 			if err != nil {
 				panic(err)
 			}
-			dred = append(dred, e8Sample{el, e.LastStats.Overestimated})
+			dred = append(dred, e8Sample{el, e.Stats().Overestimated})
 
 			r := RecomputeEngine(TCProgram, LinkDB(link.Clone()), eval.Set)
 			el, err = timeIt(func() error { _, err := r.Apply(DeltaOf(d)); return err })
@@ -413,7 +413,7 @@ func RunE9(s Scale) *Table {
 			warmDRed(e, d)
 			return func() error {
 				_, err := e.Apply(DeltaOf(d))
-				firings, reder = e.LastStats.RuleFirings, e.LastStats.Rederived
+				firings, reder = e.Stats().RuleFirings, e.Stats().Rederived
 				return err
 			}
 		})
@@ -440,7 +440,7 @@ func RunE9(s Scale) *Table {
 			}
 			return func() error {
 				_, err := e.Apply(DeltaOf(d))
-				firings, reder = e.LastStats.RuleFirings, e.LastStats.Rederived
+				firings, reder = e.Stats().RuleFirings, e.Stats().Rederived
 				return err
 			}
 		})
@@ -537,7 +537,7 @@ func RunE12(s Scale) *Table {
 			warmDRed(e, d) // apply + undo: warms the lazy indexes
 			return func() error {
 				_, err := e.Apply(DeltaOf(d))
-				over = e.LastStats.Overestimated
+				over = e.Stats().Overestimated
 				return err
 			}
 		})

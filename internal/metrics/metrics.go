@@ -1,0 +1,326 @@
+// Package metrics is a small, dependency-free observability substrate:
+// a thread-safe registry of named monotonic counters, gauges, and
+// fixed-bucket duration histograms, plus snapshot/exposition helpers.
+//
+// The package is built for hot-path use by the maintenance engines:
+//   - Counter/Gauge mutations are single atomic adds/stores;
+//   - Histogram.Observe is a bucket search over a fixed bound table plus
+//     three atomic adds (no locks, no allocation);
+//   - registry lookups (Registry.Counter etc.) take a lock, so callers
+//     resolve instruments once at construction time and hold pointers.
+//
+// Snapshot produces an immutable copy that can be read, diffed, or
+// rendered (expvar-style `name value` lines via WriteTo) without any
+// coordination with concurrent writers.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by d (d < 0 is ignored: counters are
+// monotonic).
+func (c *Counter) Add(d int64) {
+	if c == nil || d <= 0 {
+		return
+	}
+	c.v.Add(d)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// DefaultBuckets are the histogram upper bounds: decades from 10µs to
+// 10s — maintenance batches below 10µs land in the first bucket,
+// anything above 10s in the implicit +Inf bucket.
+var DefaultBuckets = []time.Duration{
+	10 * time.Microsecond,
+	100 * time.Microsecond,
+	time.Millisecond,
+	10 * time.Millisecond,
+	100 * time.Millisecond,
+	time.Second,
+	10 * time.Second,
+}
+
+// Histogram accumulates duration observations into fixed buckets.
+// Observations are lock-free; all fields are atomics.
+type Histogram struct {
+	bounds []time.Duration // sorted upper bounds; +Inf is implicit
+	counts []atomic.Int64  // len(bounds)+1, last = overflow
+	sum    atomic.Int64    // nanoseconds
+	n      atomic.Int64
+}
+
+func newHistogram(bounds []time.Duration) *Histogram {
+	h := &Histogram{bounds: bounds}
+	h.counts = make([]atomic.Int64, len(bounds)+1)
+	return h
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && d > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(int64(d))
+	h.n.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Load()
+}
+
+// Sum returns the total observed duration.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sum.Load())
+}
+
+// Registry is a thread-safe collection of named instruments. The zero
+// value is not usable; call NewRegistry.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (creating if needed) the counter named name.
+// A nil registry returns nil — every instrument method on a nil
+// instrument is a no-op, so disabled metrics cost one nil check.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns (creating if needed) the gauge named name.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns (creating if needed) the duration histogram named
+// name, with DefaultBuckets.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h, ok := r.histograms[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.histograms[name]; ok {
+		return h
+	}
+	h = newHistogram(DefaultBuckets)
+	r.histograms[name] = h
+	return h
+}
+
+// HistogramSnapshot is the immutable image of one histogram.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds; Counts has one extra entry for
+	// the overflow (+Inf) bucket. Counts are per-bucket, not cumulative.
+	Bounds []time.Duration
+	Counts []int64
+	Sum    time.Duration
+	Count  int64
+}
+
+// Snapshot is an immutable point-in-time copy of a registry. The zero
+// value behaves as an empty snapshot.
+type Snapshot struct {
+	Counters   map[string]int64
+	Gauges     map[string]int64
+	Histograms map[string]HistogramSnapshot
+}
+
+// Snapshot copies every instrument's current value. A nil registry
+// yields an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		hs := HistogramSnapshot{
+			Bounds: h.bounds, // bounds are immutable after construction
+			Counts: make([]int64, len(h.counts)),
+			Sum:    h.Sum(),
+			Count:  h.Count(),
+		}
+		for i := range h.counts {
+			hs.Counts[i] = h.counts[i].Load()
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// Counter returns the snapshotted value of a counter (0 if absent).
+func (s Snapshot) Counter(name string) int64 { return s.Counters[name] }
+
+// Gauge returns the snapshotted value of a gauge (0 if absent).
+func (s Snapshot) Gauge(name string) int64 { return s.Gauges[name] }
+
+// WriteTo renders the snapshot as sorted expvar-style `name value`
+// lines. Histograms expand to `<name>_count`, `<name>_sum_ns`, and one
+// `<name>_le_<bound>` line per bucket (cumulative counts, Prometheus
+// style; the overflow bucket is `<name>_le_inf`).
+func (s Snapshot) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	emit := func(name string, value int64) error {
+		n, err := fmt.Fprintf(w, "%s %d\n", name, value)
+		total += int64(n)
+		return err
+	}
+	names := make([]string, 0, len(s.Counters)+len(s.Gauges))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		v, ok := s.Counters[name]
+		if !ok {
+			v = s.Gauges[name]
+		}
+		if err := emit(name, v); err != nil {
+			return total, err
+		}
+	}
+	hnames := make([]string, 0, len(s.Histograms))
+	for name := range s.Histograms {
+		hnames = append(hnames, name)
+	}
+	sort.Strings(hnames)
+	for _, name := range hnames {
+		h := s.Histograms[name]
+		if err := emit(name+"_count", h.Count); err != nil {
+			return total, err
+		}
+		if err := emit(name+"_sum_ns", int64(h.Sum)); err != nil {
+			return total, err
+		}
+		cum := int64(0)
+		for i, c := range h.Counts {
+			cum += c
+			label := "inf"
+			if i < len(h.Bounds) {
+				label = h.Bounds[i].String()
+			}
+			if err := emit(fmt.Sprintf("%s_le_%s", name, label), cum); err != nil {
+				return total, err
+			}
+		}
+	}
+	return total, nil
+}

@@ -278,8 +278,11 @@ func containsAgg(e Expr) bool {
 
 // aggregateRules emits the auxiliary join rule and the GROUPBY rule:
 //
-//	view__gN(G1..Gk, AggArg) :- <join body>.
-//	view(...)               :- groupby(view__gN(G1..Gk, C), [G1..Gk], M = fn(C)), <having>.
+//	view__gN(G1..Gk, R1..Rm, AggArg) :- <join body>.
+//	view(...) :- groupby(view__gN(G1..Gk, R1..Rm, C), [G1..Gk], M = fn(C)), <having>.
+//
+// The R columns are the body variables not already in the head; they keep
+// each source row a distinct aux tuple (see below).
 func (t *selTranslator) aggregateRules(sel Select, headPred string, body []datalog.Literal, prog *datalog.Program) error {
 	// Locate the single aggregate among the select items.
 	aggIdx := -1
@@ -343,10 +346,20 @@ func (t *selTranslator) aggregateRules(sel Select, headPred string, body []datal
 		itemGroup[i] = found
 	}
 
-	// Aux rule: view__gN(G1..Gk, AggArg) :- body.
+	// Aux rule: view__gN(G1..Gk, R1..Rm, AggArg) :- body. The R columns
+	// carry every remaining body variable so distinct source rows stay
+	// distinct in the aux relation. Without them, set semantics collapses
+	// rows that agree on (grouping columns, aggregate argument) and
+	// COUNT/SUM/AVG undercount — COUNT(*)'s constant argument would fold a
+	// whole group into one row.
 	auxArgs := make([]datalog.Term, 0, len(groupRoots)+1)
+	inHead := map[datalog.Var]bool{}
 	for _, gr := range groupRoots {
-		auxArgs = append(auxArgs, t.term(gr))
+		tm := t.term(gr)
+		auxArgs = append(auxArgs, tm)
+		if v, ok := tm.(datalog.Var); ok {
+			inHead[v] = true
+		}
 	}
 	var argTerm datalog.Term
 	if agg.Arg == nil { // COUNT(*)
@@ -358,6 +371,22 @@ func (t *selTranslator) aggregateRules(sel Select, headPred string, body []datal
 		}
 		argTerm = at
 	}
+	if v, ok := argTerm.(datalog.Var); ok {
+		inHead[v] = true
+	}
+	rowCols := 0
+	for _, lit := range body {
+		if lit.Kind != datalog.LitPositive {
+			continue
+		}
+		for _, a := range lit.Atom.Args {
+			if v, ok := a.(datalog.Var); ok && !inHead[v] {
+				inHead[v] = true
+				auxArgs = append(auxArgs, v)
+				rowCols++
+			}
+		}
+	}
 	auxArgs = append(auxArgs, argTerm)
 	prog.Rules = append(prog.Rules, datalog.Rule{
 		Head: datalog.Atom{Pred: t.auxTag, Args: auxArgs},
@@ -366,10 +395,13 @@ func (t *selTranslator) aggregateRules(sel Select, headPred string, body []datal
 
 	// Main rule over the aux predicate.
 	groupVars := make([]datalog.Var, len(groupRoots))
-	innerArgs := make([]datalog.Term, 0, len(groupRoots)+1)
+	innerArgs := make([]datalog.Term, 0, len(auxArgs))
 	for i := range groupRoots {
 		groupVars[i] = datalog.Var(fmt.Sprintf("G%d", i))
 		innerArgs = append(innerArgs, groupVars[i])
+	}
+	for i := 0; i < rowCols; i++ {
+		innerArgs = append(innerArgs, datalog.Var(fmt.Sprintf("R%d", i)))
 	}
 	cVar := datalog.Var("C")
 	innerArgs = append(innerArgs, cVar)

@@ -60,17 +60,23 @@ type snapshot struct {
 	Version   int
 	Program   string
 	Relations map[string][]row
+	// Hidden lists internal auxiliary predicates (version 2+) that the
+	// front end filters out of user-facing change sets — e.g. the helper
+	// predicates SQL GROUP BY translation generates. Version-1 snapshots
+	// decode with an empty list (gob leaves absent fields zero).
+	Hidden []string
 }
 
-const snapshotVersion = 1
+const snapshotVersion = 2
 
-// Save writes a gob snapshot of db (every relation, with counts) and the
-// program text to w.
-func Save(w io.Writer, db *eval.DB, program string) error {
+// Save writes a gob snapshot of db (every relation, with counts), the
+// program text, and the hidden-predicate set to w.
+func Save(w io.Writer, db *eval.DB, program string, hidden []string) error {
 	snap := snapshot{
 		Version:   snapshotVersion,
 		Program:   program,
 		Relations: make(map[string][]row),
+		Hidden:    append([]string(nil), hidden...),
 	}
 	for _, pred := range db.Preds() {
 		rel := db.Get(pred)
@@ -87,14 +93,16 @@ func Save(w io.Writer, db *eval.DB, program string) error {
 	return gob.NewEncoder(w).Encode(&snap)
 }
 
-// Load reads a snapshot, returning the database and the program text.
-func Load(r io.Reader) (*eval.DB, string, error) {
+// Load reads a snapshot, returning the database, the program text, and
+// the hidden-predicate set. Both version-1 (no hidden set) and version-2
+// snapshots are accepted.
+func Load(r io.Reader) (*eval.DB, string, []string, error) {
 	var snap snapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
-		return nil, "", fmt.Errorf("storage: decoding snapshot: %w", err)
+		return nil, "", nil, fmt.Errorf("storage: decoding snapshot: %w", err)
 	}
-	if snap.Version != snapshotVersion {
-		return nil, "", fmt.Errorf("storage: unsupported snapshot version %d", snap.Version)
+	if snap.Version < 1 || snap.Version > snapshotVersion {
+		return nil, "", nil, fmt.Errorf("storage: unsupported snapshot version %d", snap.Version)
 	}
 	db := eval.NewDB()
 	for pred, rows := range snap.Relations {
@@ -104,7 +112,7 @@ func Load(r io.Reader) (*eval.DB, string, error) {
 			for i, s := range rw.Tuple {
 				v, err := s.value()
 				if err != nil {
-					return nil, "", err
+					return nil, "", nil, err
 				}
 				t[i] = v
 			}
@@ -118,18 +126,18 @@ func Load(r io.Reader) (*eval.DB, string, error) {
 		}
 		db.Put(pred, rel)
 	}
-	return db, snap.Program, nil
+	return db, snap.Program, snap.Hidden, nil
 }
 
 // SaveFile writes a snapshot to path (atomically via a temp file + rename).
-func SaveFile(path string, db *eval.DB, program string) error {
+func SaveFile(path string, db *eval.DB, program string, hidden []string) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
 	bw := bufio.NewWriter(f)
-	if err := Save(bw, db, program); err != nil {
+	if err := Save(bw, db, program, hidden); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err
@@ -147,10 +155,10 @@ func SaveFile(path string, db *eval.DB, program string) error {
 }
 
 // LoadFile reads a snapshot from path.
-func LoadFile(path string) (*eval.DB, string, error) {
+func LoadFile(path string) (*eval.DB, string, []string, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, "", err
+		return nil, "", nil, err
 	}
 	defer f.Close()
 	return Load(bufio.NewReader(f))

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"bytes"
+	"encoding/gob"
 	"os"
 	"path/filepath"
 	"testing"
@@ -27,15 +28,18 @@ func sampleDB() *eval.DB {
 func TestSnapshotRoundTrip(t *testing.T) {
 	db := sampleDB()
 	var buf bytes.Buffer
-	if err := Save(&buf, db, "hop(X,Y) :- link(X,Z), link(Z,Y)."); err != nil {
+	if err := Save(&buf, db, "hop(X,Y) :- link(X,Z), link(Z,Y).", []string{"aux_1", "aux_2"}); err != nil {
 		t.Fatal(err)
 	}
-	got, prog, err := Load(&buf)
+	got, prog, hidden, err := Load(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if prog != "hop(X,Y) :- link(X,Z), link(Z,Y)." {
 		t.Fatalf("program: %q", prog)
+	}
+	if len(hidden) != 2 || hidden[0] != "aux_1" || hidden[1] != "aux_2" {
+		t.Fatalf("hidden: %v", hidden)
 	}
 	for _, pred := range []string{"link", "hop"} {
 		if !relation.Equal(db.Get(pred), got.Get(pred)) {
@@ -50,24 +54,60 @@ func TestSnapshotRoundTrip(t *testing.T) {
 func TestSnapshotFileAtomic(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "snap.gob")
-	if err := SaveFile(path, sampleDB(), "p."); err != nil {
+	if err := SaveFile(path, sampleDB(), "p.", nil); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
 		t.Fatal("temp file must be renamed away")
 	}
-	db, prog, err := LoadFile(path)
+	db, prog, hidden, err := LoadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if prog != "p." || db.Get("link").Count(value.T("b", "c")) != 3 {
 		t.Fatal("file round trip")
 	}
+	if len(hidden) != 0 {
+		t.Fatalf("hidden: %v", hidden)
+	}
 }
 
 func TestLoadRejectsGarbage(t *testing.T) {
-	if _, _, err := Load(bytes.NewBufferString("not a gob stream")); err == nil {
+	if _, _, _, err := Load(bytes.NewBufferString("not a gob stream")); err == nil {
 		t.Fatal("garbage must be rejected")
+	}
+}
+
+func TestLoadAcceptsVersion1(t *testing.T) {
+	// Version-1 snapshots predate the hidden-predicate set; they must
+	// keep loading, with an empty hidden list.
+	var buf bytes.Buffer
+	snap := snapshot{Version: 1, Program: "p(X) :- q(X).", Relations: map[string][]row{
+		"q": {{Tuple: []scalar{{Kind: 0, I: 7}}, Count: 1}},
+	}}
+	if err := gob.NewEncoder(&buf).Encode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	db, prog, hidden, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog != "p(X) :- q(X)." || len(hidden) != 0 {
+		t.Fatalf("prog=%q hidden=%v", prog, hidden)
+	}
+	if db.Get("q").Count(value.T(int64(7))) != 1 {
+		t.Fatal("version-1 relations must load")
+	}
+}
+
+func TestLoadRejectsFutureVersion(t *testing.T) {
+	var buf bytes.Buffer
+	snap := snapshot{Version: snapshotVersion + 1, Program: "p."}
+	if err := gob.NewEncoder(&buf).Encode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := Load(&buf); err == nil {
+		t.Fatal("future snapshot version must be rejected")
 	}
 }
 

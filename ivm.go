@@ -36,6 +36,7 @@ import (
 	"ivm/internal/core/dred"
 	"ivm/internal/datalog"
 	"ivm/internal/eval"
+	"ivm/internal/metrics"
 	"ivm/internal/parser"
 	"ivm/internal/relation"
 	"ivm/internal/storage"
@@ -62,6 +63,22 @@ func Str(s string) Value    { return value.NewString(s) }
 
 // Semantics selects set vs SQL duplicate (multiset) semantics.
 type Semantics = eval.Semantics
+
+// Tracer receives maintenance trace events: batch start/end, per-stratum
+// completion, and per-rule evaluation. Implementations must be safe for
+// the goroutine running Apply; a nil tracer costs one pointer check per
+// event site. See FuncTracer for a closure-based implementation.
+type Tracer = metrics.Tracer
+
+// FuncTracer is a Tracer assembled from optional callbacks; nil fields
+// are skipped.
+type FuncTracer = metrics.FuncTracer
+
+// MetricsSnapshot is an immutable point-in-time copy of the views'
+// metric registry: monotonic counters, gauges, and duration histograms.
+// Render it with WriteTo (sorted `name value` lines) or read individual
+// series with Counter/Gauge.
+type MetricsSnapshot = metrics.Snapshot
 
 const (
 	// SetSemantics treats every relation as a set (counts still track
@@ -181,6 +198,10 @@ type Views struct {
 	// par is the resolved evaluation parallelism (>= 1).
 	par int
 
+	// reg collects the engines' counters and timing histograms; always
+	// non-nil for views built by MaterializeProgram/MaterializeSQL.
+	reg *metrics.Registry
+
 	c  *counting.Engine
 	dr *dred.Engine
 	rc *recompute.Engine
@@ -197,6 +218,17 @@ type config struct {
 	// parallelism: parallelismUnset until WithParallelism or the
 	// IVM_PARALLELISM environment variable resolves it.
 	parallelism int
+	tracer      metrics.Tracer
+}
+
+// newConfig applies opts over the shared defaults. Every front end
+// (Datalog and SQL) must build its config here so defaults cannot drift.
+func newConfig(opts []Option) config {
+	cfg := config{strategy: Auto, semantics: SetSemantics, parallelism: parallelismUnset}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
 }
 
 // parallelismUnset marks a config whose parallelism was not chosen
@@ -244,28 +276,33 @@ func WithParallelism(n int) Option {
 	}
 }
 
+// WithTracer subscribes t to maintenance trace events (batch start/end,
+// stratum completion, rule evaluations). A nil t leaves tracing off.
+func WithTracer(t Tracer) Option { return func(c *config) { c.tracer = t } }
+
 // resolveParallelism turns the configured (or environment-supplied)
-// parallelism into a concrete worker count.
-func resolveParallelism(c *config) int {
+// parallelism into a concrete worker count. A malformed IVM_PARALLELISM
+// value is an error, not a silent fallback to sequential evaluation.
+func resolveParallelism(c *config) (int, error) {
 	n := c.parallelism
 	if n == parallelismUnset {
 		env, ok := os.LookupEnv("IVM_PARALLELISM")
 		if !ok {
-			return 1
+			return 1, nil
 		}
 		if env == "auto" {
-			return eval.Workers(AutoParallelism)
+			return eval.Workers(AutoParallelism), nil
 		}
 		v, err := strconv.Atoi(env)
 		if err != nil {
-			return 1
+			return 0, fmt.Errorf("ivm: invalid IVM_PARALLELISM value %q (want \"auto\" or an integer)", env)
 		}
 		n = v
 		if n < 0 {
 			n = AutoParallelism
 		}
 	}
-	return eval.Workers(n)
+	return eval.Workers(n), nil
 }
 
 // WithRecursiveCounting lets the counting strategy maintain recursive
@@ -299,11 +336,11 @@ func (d *Database) Materialize(programSrc string, opts ...Option) (*Views, error
 
 // MaterializeProgram is Materialize for an already parsed program.
 func (d *Database) MaterializeProgram(prog *datalog.Program, programSrc string, opts ...Option) (*Views, error) {
-	cfg := config{strategy: Auto, semantics: SetSemantics, parallelism: parallelismUnset}
-	for _, o := range opts {
-		o(&cfg)
+	cfg := newConfig(opts)
+	par, err := resolveParallelism(&cfg)
+	if err != nil {
+		return nil, err
 	}
-	par := resolveParallelism(&cfg)
 	if err := datalog.Validate(prog); err != nil {
 		return nil, err
 	}
@@ -321,7 +358,8 @@ func (d *Database) MaterializeProgram(prog *datalog.Program, programSrc string, 
 			}
 		}
 	}
-	v := &Views{cfg: cfg, strategy: strategy, programSrc: programSrc, par: par}
+	reg := metrics.NewRegistry()
+	v := &Views{cfg: cfg, strategy: strategy, programSrc: programSrc, par: par, reg: reg}
 	switch strategy {
 	case Counting:
 		eng, err := counting.NewWithConfig(prog, d.base, counting.Config{
@@ -330,6 +368,8 @@ func (d *Database) MaterializeProgram(prog *datalog.Program, programSrc string, 
 			AllowRecursion: cfg.recursiveCounts,
 			MaxIterations:  cfg.maxIterations,
 			Parallelism:    par,
+			Metrics:        reg,
+			Tracer:         cfg.tracer,
 		})
 		if err != nil {
 			return nil, err
@@ -339,7 +379,11 @@ func (d *Database) MaterializeProgram(prog *datalog.Program, programSrc string, 
 		if cfg.semantics == DuplicateSemantics {
 			return nil, fmt.Errorf("ivm: DRed requires set semantics")
 		}
-		eng, err := dred.NewWithConfig(prog, d.base, dred.Config{Parallelism: par})
+		eng, err := dred.NewWithConfig(prog, d.base, dred.Config{
+			Parallelism: par,
+			Metrics:     reg,
+			Tracer:      cfg.tracer,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -350,12 +394,14 @@ func (d *Database) MaterializeProgram(prog *datalog.Program, programSrc string, 
 			return nil, err
 		}
 		eng.Parallelism = par
+		eng.Metrics = reg
+		eng.Tracer = cfg.tracer
 		v.rc = eng
 	case PF:
 		if cfg.semantics == DuplicateSemantics {
 			return nil, fmt.Errorf("ivm: the PF baseline requires set semantics")
 		}
-		eng, err := pf.New(prog, d.base)
+		eng, err := pf.NewWithConfig(prog, d.base, pf.Config{Metrics: reg, Tracer: cfg.tracer})
 		if err != nil {
 			return nil, err
 		}
@@ -615,45 +661,75 @@ func (v *Views) removeRuleLocked(ri int) (*ChangeSet, error) {
 	return changeSetFromChanges(ch.Del, ch.Add), nil
 }
 
-// CountingStats returns the last counting-engine statistics.
+// CountingStats returns the last counting-engine statistics. The
+// snapshot is taken under the views' read lock, so it is safe to call
+// concurrently with Apply.
 func (v *Views) CountingStats() (counting.Stats, bool) {
 	if v.c == nil {
 		return counting.Stats{}, false
 	}
-	return v.c.LastStats, true
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.c.Stats(), true
 }
 
-// DRedStats returns the last DRed-engine statistics.
+// DRedStats returns the last DRed-engine statistics, snapshotted under
+// the views' read lock.
 func (v *Views) DRedStats() (dred.Stats, bool) {
 	if v.dr == nil {
 		return dred.Stats{}, false
 	}
-	return v.dr.LastStats, true
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.dr.Stats(), true
 }
 
-// PFStats returns the last PF-baseline statistics.
+// PFStats returns the last PF-baseline statistics, snapshotted under the
+// views' read lock.
 func (v *Views) PFStats() (pf.Stats, bool) {
 	if v.pf == nil {
 		return pf.Stats{}, false
 	}
-	return v.pf.LastStats, true
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.pf.Stats(), true
+}
+
+// Metrics returns an immutable snapshot of every metric the views'
+// engines have recorded: cumulative counters (counting_*, dred_*, pf_*,
+// recompute_*, eval_*), gauges, and duration histograms. Counters are
+// cumulative across the views' lifetime, unlike the per-operation
+// *Stats accessors. The underlying instruments are atomic, so the
+// snapshot itself is race-free; taking it under the read lock
+// additionally orders it after any completed Apply.
+func (v *Views) Metrics() MetricsSnapshot {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.reg.Snapshot()
 }
 
 // Save snapshots the views' storage (base + derived relations with
-// counts) and program text to path.
+// counts), program text, and hidden-predicate set to path.
 func (v *Views) Save(path string) error {
 	if v.pf != nil {
 		return fmt.Errorf("ivm: Save is not supported for the PF baseline")
 	}
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	return storage.SaveFile(path, v.db(), v.programSrc)
+	var hidden []string
+	for pred := range v.hidden {
+		hidden = append(hidden, pred)
+	}
+	sort.Strings(hidden)
+	return storage.SaveFile(path, v.db(), v.programSrc, hidden)
 }
 
 // LoadViews restores a snapshot saved by Views.Save, rematerializing the
-// views over the restored base relations.
+// views over the restored base relations. The hidden-predicate set (the
+// auxiliary predicates of SQL-defined views) is restored with it, so
+// change sets stay filtered exactly as before the save.
 func LoadViews(path string, opts ...Option) (*Views, error) {
-	db, programSrc, err := storage.LoadFile(path)
+	db, programSrc, hidden, err := storage.LoadFile(path)
 	if err != nil {
 		return nil, err
 	}
@@ -668,7 +744,17 @@ func LoadViews(path string, opts ...Option) (*Views, error) {
 			d.base.Put(pred, db.Get(pred))
 		}
 	}
-	return d.MaterializeProgram(res.Program, programSrc, opts...)
+	v, err := d.MaterializeProgram(res.Program, programSrc, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if len(hidden) > 0 {
+		v.hidden = make(map[string]bool, len(hidden))
+		for _, p := range hidden {
+			v.hidden[p] = true
+		}
+	}
+	return v, nil
 }
 
 // ChangeSet maps derived predicates to the signed count deltas an update

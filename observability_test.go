@@ -1,0 +1,310 @@
+package ivm_test
+
+// Tests for the observability layer: the metrics registry surfaced via
+// Views.Metrics(), agreement between metric counters and the legacy
+// per-batch Stats, tracer hooks, and the race-safety of the stats
+// accessors (run with -race).
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ivm"
+)
+
+func TestCountingMetricsAgreeWithStats(t *testing.T) {
+	db := ivm.NewDatabase()
+	db.MustLoad(`link(a,b). link(b,c).`)
+	v, err := db.Materialize(`hop(X,Y) :- link(X,Z), link(Z,Y).`,
+		ivm.WithStrategy(ivm.Counting))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var rules, tuples int
+	for i := 0; i < 5; i++ {
+		if _, err := v.Apply(ivm.NewUpdate().Insert("link", "c", fmt.Sprintf("n%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		st, ok := v.CountingStats()
+		if !ok {
+			t.Fatal("counting stats expected")
+		}
+		rules += st.DeltaRulesEvaluated
+		tuples += st.DeltaTuples
+	}
+
+	m := v.Metrics()
+	if got := m.Counter("counting_applies_total"); got != 5 {
+		t.Fatalf("counting_applies_total = %d, want 5", got)
+	}
+	if got := m.Counter("counting_delta_rules_total"); got != int64(rules) {
+		t.Fatalf("counting_delta_rules_total = %d, Stats sum = %d", got, rules)
+	}
+	if got := m.Counter("counting_delta_tuples_total"); got != int64(tuples) {
+		t.Fatalf("counting_delta_tuples_total = %d, Stats sum = %d", got, tuples)
+	}
+	if hs, ok := m.Histograms["counting_apply_seconds"]; !ok || hs.Count != 5 {
+		t.Fatalf("counting_apply_seconds: %+v ok=%v", hs, ok)
+	}
+	if m.Counter("eval_join_probes_total") == 0 {
+		t.Fatal("join probes must be recorded")
+	}
+
+	// Text exposition includes the counting series.
+	var b strings.Builder
+	if _, err := m.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "counting_applies_total 5\n") {
+		t.Fatalf("exposition missing counter:\n%s", b.String())
+	}
+}
+
+func TestDRedMetricsAgreeWithStats(t *testing.T) {
+	db := ivm.NewDatabase()
+	db.MustLoad(`link(a,b). link(b,c). link(a,c).`)
+	v, err := db.Materialize(`
+		tc(X,Y) :- link(X,Y).
+		tc(X,Y) :- tc(X,Z), link(Z,Y).
+	`, ivm.WithStrategy(ivm.DRed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Apply(ivm.NewUpdate().Delete("link", "a", "b")); err != nil {
+		t.Fatal(err)
+	}
+	st, ok := v.DRedStats()
+	if !ok {
+		t.Fatal("dred stats expected")
+	}
+	m := v.Metrics()
+	if got := m.Counter("dred_ops_total"); got != 1 {
+		t.Fatalf("dred_ops_total = %d, want 1", got)
+	}
+	if got := m.Counter("dred_overestimated_total"); got != int64(st.Overestimated) {
+		t.Fatalf("dred_overestimated_total = %d, Stats = %d", got, st.Overestimated)
+	}
+	if got := m.Counter("dred_rule_firings_total"); got != int64(st.RuleFirings) {
+		t.Fatalf("dred_rule_firings_total = %d, Stats = %d", got, st.RuleFirings)
+	}
+	if got := m.Counter("dred_fixpoint_rounds_total"); got == 0 || got != int64(st.FixpointRounds) {
+		t.Fatalf("dred_fixpoint_rounds_total = %d, Stats = %d", got, st.FixpointRounds)
+	}
+	if hs := m.Histograms["dred_apply_seconds"]; hs.Count != 1 {
+		t.Fatalf("dred_apply_seconds count = %d", hs.Count)
+	}
+}
+
+func TestTracerReceivesBatchLifecycle(t *testing.T) {
+	var mu sync.Mutex
+	var events []string
+	tr := &ivm.FuncTracer{
+		OnBatchStart: func(strategy string, deltaPreds int) {
+			mu.Lock()
+			events = append(events, "start:"+strategy)
+			mu.Unlock()
+		},
+		OnStratumDone: func(stratum int, d time.Duration) {
+			mu.Lock()
+			events = append(events, fmt.Sprintf("stratum:%d", stratum))
+			mu.Unlock()
+		},
+		OnRuleEvaluated: func(rule string, tuples int) {
+			mu.Lock()
+			events = append(events, "rule:"+rule)
+			mu.Unlock()
+		},
+		OnBatchDone: func(d time.Duration, changedPreds int) {
+			mu.Lock()
+			events = append(events, "done")
+			mu.Unlock()
+		},
+	}
+
+	db := ivm.NewDatabase()
+	db.MustLoad(`link(a,b). link(b,c).`)
+	v, err := db.Materialize(`hop(X,Y) :- link(X,Z), link(Z,Y).`,
+		ivm.WithStrategy(ivm.Counting), ivm.WithTracer(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Apply(ivm.NewUpdate().Insert("link", "c", "d")); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(events) < 3 {
+		t.Fatalf("too few tracer events: %v", events)
+	}
+	if events[0] != "start:counting" {
+		t.Fatalf("first event %q, want start:counting", events[0])
+	}
+	if events[len(events)-1] != "done" {
+		t.Fatalf("last event %q, want done", events[len(events)-1])
+	}
+	var sawRule bool
+	for _, e := range events {
+		if e == "rule:hop" {
+			sawRule = true
+		}
+	}
+	if !sawRule {
+		t.Fatalf("no rule:hop event in %v", events)
+	}
+}
+
+// TestStatsAccessorsRaceDuringApply hammers Metrics() and the three
+// *Stats() accessors while a writer applies batches. Run with -race:
+// the accessors must read the engines' last-batch stats under the
+// Views lock, never concurrently with an Apply writing them.
+func TestStatsAccessorsRaceDuringApply(t *testing.T) {
+	db := ivm.NewDatabase()
+	for i := 0; i < 30; i++ {
+		db.Insert("link", fmt.Sprintf("n%d", i%10), fmt.Sprintf("n%d", (i*3+1)%10))
+	}
+	v, err := db.Materialize(`
+		hop(X,Y) :- link(X,Z), link(Z,Y).
+		tri(X,Y) :- hop(X,Z), link(Z,Y).
+	`, ivm.WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const readers = 6
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				v.CountingStats()
+				v.DRedStats()
+				v.PFStats()
+				m := v.Metrics()
+				_ = m.Counter("counting_applies_total")
+			}
+		}()
+	}
+
+	for round := 0; round < 80; round++ {
+		a, b := round%10, (round*7+3)%10
+		if _, err := v.Apply(ivm.NewUpdate().Insert("link", fmt.Sprintf("n%d", a), fmt.Sprintf("n%d", b))); err != nil {
+			stop.Store(true)
+			wg.Wait()
+			t.Fatal(err)
+		}
+		if _, err := v.Apply(ivm.NewUpdate().Delete("link", fmt.Sprintf("n%d", a), fmt.Sprintf("n%d", b))); err != nil {
+			stop.Store(true)
+			wg.Wait()
+			t.Fatal(err)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if got := v.Metrics().Counter("counting_applies_total"); got != 160 {
+		t.Fatalf("counting_applies_total = %d, want 160", got)
+	}
+}
+
+func TestSQLSnapshotRoundTripKeepsHiddenPreds(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "views.gob")
+
+	db := ivm.NewDatabase()
+	v, err := db.MaterializeSQL(`
+		CREATE TABLE link(s, d);
+		INSERT INTO link VALUES ('a','b');
+		CREATE VIEW deg(s, n) AS SELECT s, COUNT(*) AS n FROM link GROUP BY s;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	v2, err := ivm.LoadViews(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := v2.Apply(ivm.NewUpdate().Insert("link", "a", "c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.Empty() {
+		t.Fatal("group-by view must change")
+	}
+	for _, pred := range ch.Preds() {
+		if strings.HasPrefix(pred, "aux_") {
+			t.Fatalf("internal predicate leaked after reload: %v", ch.Preds())
+		}
+	}
+	if !v2.Has("deg", "a", int64(2)) {
+		t.Fatalf("deg after reload: %v", v2.Rows("deg"))
+	}
+}
+
+func TestApplyEmptyUpdate(t *testing.T) {
+	db := ivm.NewDatabase()
+	db.MustLoad(`link(a,b).`)
+	v, err := db.Materialize(`hop(X,Y) :- link(X,Z), link(Z,Y).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := v.Apply(ivm.NewUpdate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ch.Empty() || len(ch.Preds()) != 0 {
+		t.Fatalf("empty update must yield an empty change set: %v", ch.Preds())
+	}
+}
+
+func TestHiddenOnlyChangesYieldEmptyChangeSet(t *testing.T) {
+	db := ivm.NewDatabase()
+	v, err := db.MaterializeSQL(`
+		CREATE TABLE link(s, d);
+		INSERT INTO link VALUES ('a','b'), ('a','c');
+		CREATE VIEW deg(s, n) AS SELECT s, COUNT(*) AS n FROM link GROUP BY s;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Another row for an existing group changes the aux per-group helper
+	// predicates and the count; the visible change set must contain deg
+	// only — never the aux predicates backing it.
+	ch, err := v.Apply(ivm.NewUpdate().Insert("link", "a", "d"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pred := range ch.Preds() {
+		if pred != "deg" {
+			t.Fatalf("unexpected predicate in change set: %v", ch.Preds())
+		}
+	}
+}
+
+func TestInvalidParallelismEnvIsAnError(t *testing.T) {
+	t.Setenv("IVM_PARALLELISM", "4x")
+	db := ivm.NewDatabase()
+	db.MustLoad(`link(a,b).`)
+	if _, err := db.Materialize(`hop(X,Y) :- link(X,Z), link(Z,Y).`); err == nil {
+		t.Fatal("malformed IVM_PARALLELISM must surface as an error")
+	} else if !strings.Contains(err.Error(), "IVM_PARALLELISM") {
+		t.Fatalf("error should name the variable: %v", err)
+	}
+
+	t.Setenv("IVM_PARALLELISM", "auto")
+	if _, err := db.Materialize(`hop(X,Y) :- link(X,Z), link(Z,Y).`); err != nil {
+		t.Fatalf("auto must be accepted: %v", err)
+	}
+}

@@ -30,10 +30,7 @@ func (d *Database) MaterializeSQL(sqlSrc string, opts ...Option) (*Views, error)
 	if err != nil {
 		return nil, err
 	}
-	cfg := config{strategy: Auto, semantics: SetSemantics}
-	for _, o := range opts {
-		o(&cfg)
-	}
+	cfg := newConfig(opts)
 	if res.RequiresSet && cfg.semantics == DuplicateSemantics {
 		return nil, fmt.Errorf("ivm: SELECT DISTINCT views require set semantics")
 	}

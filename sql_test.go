@@ -163,3 +163,59 @@ func TestSQLErrorsSurface(t *testing.T) {
 		t.Fatal("syntax error must fail")
 	}
 }
+
+func TestSQLCountStarUnderSetSemantics(t *testing.T) {
+	// Regression: the COUNT(*) aux rule used to project the source row
+	// down to (group, 1), so under set semantics every row of a group
+	// collapsed to one aux tuple and the count froze at 1. The aux head
+	// now keeps the remaining body columns as row identity.
+	db := ivm.NewDatabase()
+	v, err := db.MaterializeSQL(`
+		CREATE TABLE link(s, d);
+		INSERT INTO link VALUES ('a','b');
+		CREATE VIEW deg(s, n) AS SELECT s, COUNT(*) AS n FROM link GROUP BY s;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Has("deg", "a", 1) {
+		t.Fatalf("deg: %v", v.Rows("deg"))
+	}
+	ch, err := v.Apply(ivm.NewUpdate().Insert("link", "a", "c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.Empty() || !v.Has("deg", "a", 2) {
+		t.Fatalf("deg after insert: %v (changes %v)", v.Rows("deg"), ch.Preds())
+	}
+	if _, err := v.Apply(ivm.NewUpdate().Delete("link", "a", "b")); err != nil {
+		t.Fatal(err)
+	}
+	if !v.Has("deg", "a", 1) {
+		t.Fatalf("deg after delete: %v", v.Rows("deg"))
+	}
+}
+
+func TestSQLSumWithRepeatedValues(t *testing.T) {
+	// Same collapse applied to SUM whenever two rows of a group agreed on
+	// the summed column.
+	db := ivm.NewDatabase()
+	v, err := db.MaterializeSQL(`
+		CREATE TABLE orders(id, cust, amt);
+		INSERT INTO orders VALUES (1, 'acme', 100), (2, 'acme', 100);
+		CREATE VIEW spend(cust, total) AS
+		  SELECT cust, SUM(amt) AS total FROM orders GROUP BY cust;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Has("spend", "acme", 200) {
+		t.Fatalf("spend: %v", v.Rows("spend"))
+	}
+	if _, err := v.Apply(ivm.NewUpdate().Insert("orders", 3, "acme", 100)); err != nil {
+		t.Fatal(err)
+	}
+	if !v.Has("spend", "acme", 300) {
+		t.Fatalf("spend after insert: %v", v.Rows("spend"))
+	}
+}
