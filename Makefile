@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race bench bench-smoke metrics ci
+.PHONY: all build vet fmt fmt-check test race bench bench-smoke metrics crash ci
 
 all: build
 
@@ -41,4 +41,9 @@ metrics:
 	$(GO) run ./cmd/ivmbench -scale smoke -exp E1 -metrics metrics.txt
 	@echo "wrote metrics.txt"
 
-ci: build vet fmt-check test race bench-smoke metrics
+# Fault-injection matrix: recovery after simulated crashes must match a
+# full recomputation in every case.
+crash:
+	$(GO) run ./cmd/ivmcrash
+
+ci: build vet fmt-check test race bench-smoke metrics crash

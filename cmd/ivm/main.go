@@ -9,8 +9,15 @@
 //
 // Each delta file (`+fact(...). -fact(...).`) is applied in order and the
 // resulting view changes are printed. With -repl, an interactive session
-// follows. With -snapshot, state is loaded from / saved to a snapshot
-// file, and -log appends every applied delta to a replayable log.
+// follows.
+//
+// Persistence: -store names a managed directory of checkpoints plus a
+// checksummed write-ahead log; every applied delta is durably logged
+// before it is acknowledged, and on restart the newest valid checkpoint
+// is loaded and the log replayed. -snapshot alone keeps the legacy
+// single-file save/load flow. The legacy -log flag maps onto a store at
+// <log>.store, migrating any existing snapshot and log contents on
+// first use.
 package main
 
 import (
@@ -40,7 +47,9 @@ func run() error {
 	strategyFlag := flag.String("strategy", "auto", "auto, counting, dred, recompute, or pf")
 	semanticsFlag := flag.String("semantics", "set", "set or duplicate")
 	snapshotPath := flag.String("snapshot", "", "snapshot file to load (if present) and save on exit")
-	logPath := flag.String("log", "", "append applied deltas to this replayable log")
+	storeDir := flag.String("store", "", "managed store directory (checkpoints + write-ahead log) for crash-safe persistence")
+	logPath := flag.String("log", "", "legacy delta log; now backed by a store at <log>.store")
+	groupCommit := flag.Bool("group-commit", false, "batch WAL fsyncs across concurrent appenders (requires -store)")
 	repl := flag.Bool("repl", false, "interactive session after loading")
 	show := flag.String("show", "", "comma-separated predicates to print after loading and after each delta")
 	metricsFlag := flag.Bool("metrics", false, "print a metrics exposition (name value lines) before exiting")
@@ -69,26 +78,30 @@ func run() error {
 		return fmt.Errorf("unknown semantics %q", *semanticsFlag)
 	}
 
-	views, err := loadViews(*programPath, *dataPath, *snapshotPath, opts)
+	if *groupCommit {
+		opts = append(opts, ivm.WithGroupCommit())
+	}
+
+	// The legacy -log flag maps onto a managed store next to the log
+	// file: the epoch protocol makes the old checkpoint-then-truncate
+	// crash window (which double-applied deltas on restart) impossible.
+	dir := *storeDir
+	if dir == "" && *logPath != "" {
+		dir = *logPath + ".store"
+		fmt.Printf("note: -log is now backed by the managed store %s\n", dir)
+	}
+
+	var views *ivm.Views
+	var err error
+	if dir != "" {
+		views, err = openStore(dir, *programPath, *dataPath, *snapshotPath, *logPath, opts)
+	} else {
+		views, err = loadViews(*programPath, *dataPath, *snapshotPath, opts)
+	}
 	if err != nil {
 		return err
 	}
-
-	var deltaLog *storage.Log
-	if *logPath != "" {
-		deltaLog, err = storage.OpenLog(*logPath)
-		if err != nil {
-			return err
-		}
-		defer deltaLog.Close()
-		// Replay any deltas logged after the last snapshot.
-		if err := deltaLog.Replay(func(script string) error {
-			_, err := views.ApplyScript(script)
-			return err
-		}); err != nil {
-			return fmt.Errorf("replaying %s: %w", *logPath, err)
-		}
-	}
+	defer views.Close()
 
 	out := io.Writer(os.Stdout)
 	fmt.Fprintf(out, "ivm: strategy=%v semantics=%v, %d rules\n",
@@ -96,15 +109,12 @@ func run() error {
 	showPreds := splitList(*show)
 	printPreds(out, views, showPreds)
 
+	// Store-bound views log each delta durably inside ApplyScript; by
+	// the time it returns, the change is both applied and fsynced.
 	apply := func(script string) error {
 		ch, err := views.ApplyScript(script)
 		if err != nil {
 			return err
-		}
-		if deltaLog != nil {
-			if err := deltaLog.Append(script); err != nil {
-				return err
-			}
 		}
 		fmt.Fprint(out, ch)
 		printPreds(out, views, showPreds)
@@ -135,19 +145,78 @@ func run() error {
 		}
 	}
 
-	if *snapshotPath != "" {
-		if err := views.Save(*snapshotPath); err != nil {
+	if storeBound, ok := views.Store(); ok {
+		// Checkpoint on clean exit so the next start loads a snapshot
+		// instead of replaying the whole WAL. A crash before (or during)
+		// this is fine: every acknowledged delta is already in the WAL,
+		// and the epoch protocol keeps a half-finished checkpoint from
+		// double-applying anything.
+		if err := views.Sync(); err != nil {
 			return err
 		}
-		// The snapshot supersedes the log: checkpoint and truncate.
-		if deltaLog != nil {
-			if err := deltaLog.Truncate(); err != nil {
-				return err
-			}
+		fmt.Printf("checkpointed store %s\n", storeBound)
+	} else if *snapshotPath != "" {
+		if err := views.Save(*snapshotPath); err != nil {
+			return err
 		}
 		fmt.Printf("saved snapshot to %s\n", *snapshotPath)
 	}
 	return nil
+}
+
+// openStore opens (or initializes) a managed store. An empty store is
+// seeded from -program/-data — or, for migration from the legacy
+// persistence flow, from an existing -snapshot file plus any deltas in
+// the legacy -log, which are folded into the first checkpoint and then
+// truncated. Once the store holds a checkpoint, the legacy files are
+// ignored: the store is the single source of truth.
+func openStore(dir, programPath, dataPath, snapshotPath, logPath string, opts []ivm.Option) (*ivm.Views, error) {
+	init := func() (*ivm.Views, error) {
+		v, err := loadViews(programPath, dataPath, snapshotPath, opts)
+		if err != nil {
+			return nil, err
+		}
+		if logPath != "" {
+			if _, err := os.Stat(logPath); err == nil {
+				l, err := storage.OpenLog(logPath)
+				if err != nil {
+					return nil, err
+				}
+				defer l.Close()
+				n := 0
+				if err := l.Replay(func(script string) error {
+					n++
+					_, err := v.ApplyScript(script)
+					return err
+				}); err != nil {
+					return nil, fmt.Errorf("migrating legacy log %s: %w", logPath, err)
+				}
+				if n > 0 {
+					fmt.Printf("migrated %d delta(s) from legacy log %s\n", n, logPath)
+				}
+			}
+		}
+		return v, nil
+	}
+	views, info, err := ivm.OpenStore(dir, init, opts...)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("store %s: %s\n", dir, info)
+	if info.Initialized && logPath != "" {
+		// The legacy log's contents are inside checkpoint epoch 1 now;
+		// leaving them behind would double-apply them on a downgrade.
+		if _, err := os.Stat(logPath); err == nil {
+			l, err := storage.OpenLog(logPath)
+			if err == nil {
+				if terr := l.Truncate(); terr != nil {
+					fmt.Fprintf(os.Stderr, "ivm: truncating legacy log %s: %v\n", logPath, terr)
+				}
+				l.Close()
+			}
+		}
+	}
+	return views, nil
 }
 
 func loadViews(programPath, dataPath, snapshotPath string, opts []ivm.Option) (*ivm.Views, error) {

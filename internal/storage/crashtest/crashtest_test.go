@@ -1,0 +1,15 @@
+package crashtest
+
+import "testing"
+
+func TestCrashMatrix(t *testing.T) {
+	for _, r := range Run() {
+		r := r
+		t.Run(r.Name, func(t *testing.T) {
+			if !r.OK {
+				t.Fatalf("%s\nfault:    %s\nrecovery: %s", r.Detail, r.Fault, r.Recovery)
+			}
+			t.Logf("fault: %s; recovery: %s", r.Fault, r.Recovery)
+		})
+	}
+}

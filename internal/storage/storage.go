@@ -6,16 +6,39 @@ package storage
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 
 	"ivm/internal/eval"
 	"ivm/internal/relation"
 	"ivm/internal/value"
 )
+
+// castagnoli is the CRC32C table shared by the delta log and the WAL.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+// Platforms whose directory handles reject Sync (some network
+// filesystems) report a benign error which callers may ignore; on a
+// normal POSIX filesystem the sync is required for durability of the
+// rename itself.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
 
 // scalar is the gob-encodable image of a value.Value.
 type scalar struct {
@@ -129,29 +152,89 @@ func Load(r io.Reader) (*eval.DB, string, []string, error) {
 	return db, snap.Program, snap.Hidden, nil
 }
 
-// SaveFile writes a snapshot to path (atomically via a temp file + rename).
+// snapFooterMagic marks a snapshot file carrying a whole-file CRC32C
+// footer (`magic | crc32c(body)`). The footer sits after the gob value,
+// where decoders never look, so snapshots stay readable by older code
+// and older snapshots (no footer) stay readable by newer code.
+var snapFooterMagic = [4]byte{'I', 'V', 'S', '1'}
+
+const snapFooterSize = 8
+
+// crcWriter tees writes into a running CRC32C.
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.crc = crc32.Update(c.crc, castagnoli, p[:n])
+	return n, err
+}
+
+// VerifySnapshotFile checks the whole-file checksum footer written by
+// SaveFile. Gob decoding alone misses in-place corruption that still
+// happens to parse — a flipped bit in a count, say. Legacy snapshots
+// without a footer pass; decoding is their only integrity check.
+func VerifySnapshotFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(data) < snapFooterSize || !bytes.Equal(data[len(data)-snapFooterSize:len(data)-4], snapFooterMagic[:]) {
+		return nil
+	}
+	body := data[:len(data)-snapFooterSize]
+	want := binary.BigEndian.Uint32(data[len(data)-4:])
+	if got := crc32.Checksum(body, castagnoli); got != want {
+		return fmt.Errorf("storage: snapshot %s checksum mismatch (%08x != %08x)", path, got, want)
+	}
+	return nil
+}
+
+// SaveFile writes a snapshot to path, atomically and durably: the temp
+// file is fsynced before the rename and the parent directory is fsynced
+// after it, so a crash at any point leaves either the old snapshot or
+// the complete new one — never a missing or empty file. A checksum
+// footer covers the whole body so in-place corruption is detected at
+// load time.
 func SaveFile(path string, db *eval.DB, program string, hidden []string) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
-	bw := bufio.NewWriter(f)
-	if err := Save(bw, db, program, hidden); err != nil {
+	fail := func(err error) error {
 		f.Close()
 		os.Remove(tmp)
 		return err
 	}
+	bw := bufio.NewWriter(f)
+	cw := &crcWriter{w: bw}
+	if err := Save(cw, db, program, hidden); err != nil {
+		return fail(err)
+	}
+	var footer [snapFooterSize]byte
+	copy(footer[:4], snapFooterMagic[:])
+	binary.BigEndian.PutUint32(footer[4:], cw.crc)
+	if _, err := bw.Write(footer[:]); err != nil {
+		return fail(err)
+	}
 	if err := bw.Flush(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(filepath.Dir(path))
 }
 
 // LoadFile reads a snapshot from path.
@@ -165,11 +248,15 @@ func LoadFile(path string) (*eval.DB, string, []string, error) {
 }
 
 // Log is an append-only log of delta scripts (the textual +fact/-fact
-// form). Records are length-prefixed so partially written tails are
-// detected and ignored on replay.
+// form). Each record is `[len u32][crc32c u32][payload]`; the length
+// lets replay detect partially written tails, the checksum lets it
+// reject corrupt records instead of feeding garbage to the parser.
 type Log struct {
 	f *os.File
 }
+
+// logHeaderSize is the per-record header: big-endian length + CRC32C.
+const logHeaderSize = 8
 
 // OpenLog opens (creating if needed) a delta log for appending.
 func OpenLog(path string) (*Log, error) {
@@ -180,54 +267,95 @@ func OpenLog(path string) (*Log, error) {
 	return &Log{f: f}, nil
 }
 
-// Append durably appends one delta script.
+// Append durably appends one delta script: a single write of
+// header+payload followed by fsync.
 func (l *Log) Append(script string) error {
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(script)))
-	if _, err := l.f.Write(hdr[:]); err != nil {
-		return err
-	}
-	if _, err := l.f.WriteString(script); err != nil {
+	rec := make([]byte, logHeaderSize+len(script))
+	binary.BigEndian.PutUint32(rec[0:4], uint32(len(script)))
+	binary.BigEndian.PutUint32(rec[4:8], crc32.Checksum([]byte(script), castagnoli))
+	copy(rec[logHeaderSize:], script)
+	if _, err := l.f.Write(rec); err != nil {
 		return err
 	}
 	return l.f.Sync()
 }
 
+// CorruptRecordError reports a record that is damaged in place: its
+// checksum fails (or its length header is absurd) even though the log
+// continues past it, so the damage cannot be a crash-truncated tail.
+type CorruptRecordError struct {
+	Offset int64
+	Reason string
+}
+
+func (e *CorruptRecordError) Error() string {
+	return fmt.Sprintf("storage: corrupt log record at offset %d: %s", e.Offset, e.Reason)
+}
+
 // Replay invokes fn for every complete record from the start of the log.
-// A truncated final record terminates replay without error (it was never
-// acknowledged).
+// A truncated or checksum-failing final record terminates replay without
+// error (a crash mid-append; the record was never acknowledged). A bad
+// record with further data behind it is in-place corruption and fails
+// loudly with a *CorruptRecordError. Record lengths are bounded by the
+// bytes actually remaining in the file, so a garbage header cannot force
+// a multi-gigabyte allocation.
 func (l *Log) Replay(fn func(script string) error) error {
+	size, err := l.f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return err
+	}
 	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
 		return err
 	}
 	r := bufio.NewReader(l.f)
-	for {
-		var hdr [4]byte
-		if _, err := io.ReadFull(r, hdr[:]); err != nil {
-			if err == io.EOF {
-				return nil
-			}
-			return nil // truncated header: ignore tail
+	offset := int64(0)
+	for offset < size {
+		if size-offset < logHeaderSize {
+			return nil // torn header: ignore tail
 		}
-		n := binary.BigEndian.Uint32(hdr[:])
+		var hdr [logHeaderSize]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return nil
+		}
+		n := int64(binary.BigEndian.Uint32(hdr[0:4]))
+		want := binary.BigEndian.Uint32(hdr[4:8])
+		if n > size-offset-logHeaderSize {
+			// The header promises more bytes than the file holds. If the
+			// record would end exactly at a torn tail this is a crashed
+			// append; a length that overshoots the file with no way to
+			// resync is indistinguishable, so both end replay here.
+			return nil
+		}
 		buf := make([]byte, n)
 		if _, err := io.ReadFull(r, buf); err != nil {
-			return nil // truncated record: ignore tail
+			return nil
+		}
+		end := offset + logHeaderSize + n
+		if got := crc32.Checksum(buf, castagnoli); got != want {
+			if end == size {
+				return nil // torn or corrupted final record: never acknowledged
+			}
+			return &CorruptRecordError{Offset: offset, Reason: fmt.Sprintf("crc mismatch (stored %08x, computed %08x)", want, got)}
 		}
 		if err := fn(string(buf)); err != nil {
 			return err
 		}
+		offset = end
 	}
+	return nil
 }
 
 // Truncate discards all logged records — called after a snapshot is
-// taken, since the snapshot supersedes the log (checkpointing).
+// taken, since the snapshot supersedes the log (checkpointing). The
+// truncation is fsynced so it cannot reorder after later writes.
 func (l *Log) Truncate() error {
 	if err := l.f.Truncate(0); err != nil {
 		return err
 	}
-	_, err := l.f.Seek(0, io.SeekStart)
-	return err
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	return l.f.Sync()
 }
 
 // Close closes the underlying file.

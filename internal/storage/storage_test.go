@@ -3,6 +3,7 @@ package storage
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -69,6 +70,46 @@ func TestSnapshotFileAtomic(t *testing.T) {
 	}
 	if len(hidden) != 0 {
 		t.Fatalf("hidden: %v", hidden)
+	}
+}
+
+func TestSnapshotChecksumFooter(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.gob")
+	if err := SaveFile(path, sampleDB(), "p.", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifySnapshotFile(path); err != nil {
+		t.Fatalf("fresh snapshot must verify: %v", err)
+	}
+	// In-place corruption that gob decoding might survive must still be
+	// caught by the whole-file checksum.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifySnapshotFile(path); err == nil {
+		t.Fatal("bit-flipped snapshot must fail verification")
+	}
+	// A legacy snapshot (no footer) passes verification; decoding is its
+	// only integrity check.
+	var buf bytes.Buffer
+	if err := Save(&buf, sampleDB(), "p.", nil); err != nil {
+		t.Fatal(err)
+	}
+	legacy := filepath.Join(dir, "legacy.gob")
+	if err := os.WriteFile(legacy, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifySnapshotFile(legacy); err != nil {
+		t.Fatalf("legacy snapshot must pass: %v", err)
+	}
+	if _, _, _, err := LoadFile(legacy); err != nil {
+		t.Fatalf("legacy snapshot must load: %v", err)
 	}
 }
 
@@ -176,6 +217,117 @@ func TestLogIgnoresTruncatedTail(t *testing.T) {
 	}
 	if len(got) != 1 || got[0] != "+p(a)." {
 		t.Fatalf("replay with torn tail: %v", got)
+	}
+}
+
+func TestReplayBoundsLengthHeader(t *testing.T) {
+	// A garbage header claiming ~4 GiB must not allocate 4 GiB: the
+	// length is bounded by the bytes actually present, and the tail is
+	// treated as torn.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "delta.log")
+	l, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append("+p(a)."); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0xff, 0xff, 0xff, 0xf0, 1, 2, 3, 4, 'j', 'u', 'n', 'k'})
+	f.Close()
+
+	l2, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	var got []string
+	if err := l2.Replay(func(s string) error { got = append(got, s); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != "+p(a)." {
+		t.Fatalf("replay: %v", got)
+	}
+}
+
+func TestReplayFailsLoudlyOnMidLogCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "delta.log")
+	l, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append("+p(a)."); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append("+p(b)."); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	// Flip a payload bit of the FIRST record: a later record exists, so
+	// this cannot be a torn tail and replay must fail loudly.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[logHeaderSize] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	err = l2.Replay(func(string) error { return nil })
+	var ce *CorruptRecordError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want CorruptRecordError, got %v", err)
+	}
+}
+
+func TestReplayDropsCorruptFinalRecord(t *testing.T) {
+	// A checksum failure on the very last record is indistinguishable
+	// from a torn append; it is dropped without error.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "delta.log")
+	l, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append("+p(a)."); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append("+p(b)."); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0x80
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	var got []string
+	if err := l2.Replay(func(s string) error { got = append(got, s); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != "+p(a)." {
+		t.Fatalf("replay: %v", got)
 	}
 }
 

@@ -1,0 +1,572 @@
+package storage
+
+// Store is the managed crash-recovery layer: a directory of
+// snapshot-<epoch>.gob checkpoints plus one checksummed, epoch-stamped
+// write-ahead log (wal.log). The durability protocol:
+//
+//   - Append writes {epoch, seq, len, crc32c, payload} in a single
+//     buffered write followed by fsync (optionally batched across
+//     concurrent appenders — group commit).
+//   - Checkpoint writes the snapshot to a temp file, fsyncs it, renames
+//     it into place, fsyncs the directory, bumps the epoch, and only
+//     then truncates (and fsyncs) the WAL. A crash anywhere in that
+//     sequence leaves either the old snapshot + a replayable WAL, or
+//     the new snapshot + stale-epoch WAL records that recovery skips —
+//     never a double apply.
+//   - OpenStore recovers: it loads the newest valid snapshot, then
+//     scans the WAL, replaying only records stamped with the snapshot's
+//     epoch; stale records are skipped, a torn tail is discarded, and a
+//     checksum-failing record stops the scan instead of feeding garbage
+//     to the parser.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"ivm/internal/eval"
+	"ivm/internal/metrics"
+)
+
+const (
+	walFileName = "wal.log"
+	snapPrefix  = "snapshot-"
+	snapSuffix  = ".gob"
+
+	// walHeaderSize is the fixed record header: epoch u64, seq u64,
+	// len u32, crc32c u32 (all big-endian). The checksum covers the
+	// first 20 header bytes plus the payload.
+	walHeaderSize = 24
+)
+
+// ErrStoreClosed is returned by operations on a closed Store.
+var ErrStoreClosed = errors.New("storage: store is closed")
+
+// StoreOptions tunes a Store.
+type StoreOptions struct {
+	// GroupCommit batches WAL fsyncs across concurrent appenders: each
+	// Append still blocks until its record is durable, but one fsync can
+	// cover many records. Recommended under concurrent writers; with a
+	// single writer it adds one goroutine handoff per append.
+	GroupCommit bool
+}
+
+// RecoveryInfo describes what OpenStore found on disk.
+type RecoveryInfo struct {
+	// Epoch of the snapshot recovery started from (0 when the store was
+	// empty).
+	Epoch uint64
+	// HasSnapshot reports whether any valid snapshot was found.
+	HasSnapshot bool
+	// Replayed counts WAL records from the current epoch handed to the
+	// caller for replay.
+	Replayed int
+	// SkippedStale counts WAL records from older epochs — evidence of a
+	// crash between a checkpoint rename and the WAL truncate.
+	SkippedStale int
+	// TornTail reports that an incomplete (or checksum-failing final)
+	// record was discarded — a crash mid-append; the record was never
+	// acknowledged.
+	TornTail bool
+	// CorruptRecords counts checksum failures with further data behind
+	// them: in-place corruption, not a torn tail. The scan stops at the
+	// first one; the tail after it is discarded.
+	CorruptRecords int
+	// BadSnapshots counts snapshot files that failed to decode and were
+	// set aside (renamed to .corrupt).
+	BadSnapshots int
+	// DiscardedBytes is the length of the WAL tail dropped by recovery
+	// (torn or corrupt).
+	DiscardedBytes int64
+}
+
+func (ri RecoveryInfo) String() string {
+	return fmt.Sprintf("epoch=%d snapshot=%v replayed=%d skipped_stale=%d torn_tail=%v corrupt=%d bad_snapshots=%d discarded_bytes=%d",
+		ri.Epoch, ri.HasSnapshot, ri.Replayed, ri.SkippedStale, ri.TornTail, ri.CorruptRecords, ri.BadSnapshots, ri.DiscardedBytes)
+}
+
+// Store owns a crash-recovery directory. Append and Checkpoint are safe
+// for concurrent appenders, but Checkpoint must not race Append for the
+// same logical state (callers serialize state mutation + Append under
+// their own lock, as ivm.Views does).
+type Store struct {
+	dir  string
+	opts StoreOptions
+
+	mu     sync.Mutex // serializes WAL writes, checkpoint, close
+	wal    *os.File
+	epoch  uint64
+	seq    uint64
+	closed bool
+
+	gc *groupCommitter
+
+	// recovery results; immutable after OpenStore.
+	info        RecoveryInfo
+	snapDB      *eval.DB
+	snapProgram string
+	snapHidden  []string
+	scripts     []string
+
+	// instruments; nil until AttachMetrics (nil instruments are no-ops).
+	mAppends, mAppendBytes, mFsyncs, mCheckpoints *metrics.Counter
+	hFsync, hCheckpoint                           *metrics.Histogram
+	gEpoch                                        *metrics.Gauge
+}
+
+func snapName(epoch uint64) string {
+	return fmt.Sprintf("%s%d%s", snapPrefix, epoch, snapSuffix)
+}
+
+// snapEpoch parses a snapshot filename, returning (epoch, true) on match.
+func snapEpoch(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, snapPrefix) || !strings.HasSuffix(name, snapSuffix) {
+		return 0, false
+	}
+	mid := name[len(snapPrefix) : len(name)-len(snapSuffix)]
+	e, err := strconv.ParseUint(mid, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return e, true
+}
+
+// OpenStore opens (creating if needed) the store directory and runs
+// recovery. The recovered snapshot and the WAL scripts to replay on top
+// of it are available via Snapshot and Scripts; Recovery reports what
+// was found.
+func OpenStore(dir string, opts StoreOptions) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, opts: opts}
+	if err := s.recoverSnapshots(); err != nil {
+		return nil, err
+	}
+	if err := s.recoverWAL(); err != nil {
+		if s.wal != nil {
+			s.wal.Close()
+		}
+		return nil, err
+	}
+	if opts.GroupCommit {
+		s.gc = newGroupCommitter(s.wal)
+		go s.gc.run()
+	}
+	return s, nil
+}
+
+// recoverSnapshots finds the newest decodable snapshot, sets aside
+// corrupt ones, and removes temp-file leftovers of partial checkpoints.
+func (s *Store) recoverSnapshots() error {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return err
+	}
+	var epochs []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			// A checkpoint died before its rename; the WAL still has
+			// everything the snapshot would have contained.
+			os.Remove(filepath.Join(s.dir, name))
+			continue
+		}
+		if ep, ok := snapEpoch(name); ok {
+			epochs = append(epochs, ep)
+		}
+	}
+	sort.Slice(epochs, func(i, j int) bool { return epochs[i] > epochs[j] })
+	for _, ep := range epochs {
+		path := filepath.Join(s.dir, snapName(ep))
+		err := VerifySnapshotFile(path)
+		var db *eval.DB
+		var program string
+		var hidden []string
+		if err == nil {
+			db, program, hidden, err = LoadFile(path)
+		}
+		if err != nil {
+			// Unreadable snapshot: set it aside (keep the evidence out of
+			// the next scan) and fall back to the previous epoch.
+			s.info.BadSnapshots++
+			os.Rename(path, path+".corrupt")
+			continue
+		}
+		s.snapDB, s.snapProgram, s.snapHidden = db, program, hidden
+		s.info.Epoch, s.info.HasSnapshot = ep, true
+		s.epoch = ep
+		break
+	}
+	return nil
+}
+
+// recoverWAL scans wal.log, collecting current-epoch scripts and
+// truncating any torn or corrupt tail so appends resume after the last
+// valid record.
+func (s *Store) recoverWAL() error {
+	wal, err := os.OpenFile(filepath.Join(s.dir, walFileName), os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	s.wal = wal
+	st, err := wal.Stat()
+	if err != nil {
+		return err
+	}
+	size := st.Size()
+	if _, err := wal.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	r := bufio.NewReader(wal)
+	var (
+		offset   int64
+		validEnd int64
+		hdr      [walHeaderSize]byte
+	)
+	for offset < size {
+		if size-offset < walHeaderSize {
+			s.info.TornTail = true
+			break
+		}
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			s.info.TornTail = true
+			break
+		}
+		epoch := binary.BigEndian.Uint64(hdr[0:8])
+		seq := binary.BigEndian.Uint64(hdr[8:16])
+		n := int64(binary.BigEndian.Uint32(hdr[16:20]))
+		want := binary.BigEndian.Uint32(hdr[20:24])
+		if n > size-offset-walHeaderSize {
+			// Record extends past EOF: a crashed append.
+			s.info.TornTail = true
+			break
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			s.info.TornTail = true
+			break
+		}
+		end := offset + walHeaderSize + n
+		crc := crc32.Checksum(hdr[0:20], castagnoli)
+		crc = crc32.Update(crc, castagnoli, payload)
+		if crc != want {
+			if end == size {
+				// Final record: indistinguishable from a torn append.
+				s.info.TornTail = true
+			} else {
+				s.info.CorruptRecords++
+			}
+			break
+		}
+		switch {
+		case epoch == s.epoch:
+			s.scripts = append(s.scripts, string(payload))
+			s.info.Replayed++
+		case epoch < s.epoch:
+			// Written before the snapshot we recovered from — the crash
+			// hit between a checkpoint rename and the WAL truncate.
+			s.info.SkippedStale++
+		default:
+			// A record newer than every readable snapshot: the snapshot
+			// covering the records truncated at that checkpoint is gone.
+			// Replaying onto older state would silently lose data.
+			wal.Close()
+			return fmt.Errorf("storage: wal record at offset %d has epoch %d but newest readable snapshot is epoch %d; state is not recoverable from this directory", offset, epoch, s.epoch)
+		}
+		if seq > s.seq {
+			s.seq = seq
+		}
+		offset = end
+		validEnd = end
+	}
+	if validEnd < size {
+		s.info.DiscardedBytes = size - validEnd
+		if err := wal.Truncate(validEnd); err != nil {
+			return err
+		}
+		if err := wal.Sync(); err != nil {
+			return err
+		}
+	}
+	// O_APPEND writes go to EOF regardless of the read offset.
+	return nil
+}
+
+// Recovery reports what OpenStore found.
+func (s *Store) Recovery() RecoveryInfo { return s.info }
+
+// Snapshot returns the recovered snapshot contents (ok=false when the
+// store held none). The returned DB is the store's own copy; callers
+// take ownership.
+func (s *Store) Snapshot() (db *eval.DB, program string, hidden []string, ok bool) {
+	return s.snapDB, s.snapProgram, s.snapHidden, s.info.HasSnapshot
+}
+
+// Scripts returns the WAL delta scripts to replay on top of the
+// snapshot, in append order.
+func (s *Store) Scripts() []string { return s.scripts }
+
+// Epoch returns the current checkpoint epoch.
+func (s *Store) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// AttachMetrics resolves the store's instruments against reg (nil-safe)
+// and publishes the recovery counters.
+func (s *Store) AttachMetrics(reg *metrics.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mAppends = reg.Counter("storage_wal_appends_total")
+	s.mAppendBytes = reg.Counter("storage_wal_append_bytes_total")
+	s.mFsyncs = reg.Counter("storage_wal_fsyncs_total")
+	s.mCheckpoints = reg.Counter("storage_checkpoints_total")
+	s.hFsync = reg.Histogram("storage_wal_fsync")
+	s.hCheckpoint = reg.Histogram("storage_checkpoint")
+	s.gEpoch = reg.Gauge("storage_epoch")
+	reg.Counter("storage_recovery_replayed_total").Add(int64(s.info.Replayed))
+	reg.Counter("storage_recovery_skipped_stale_total").Add(int64(s.info.SkippedStale))
+	reg.Counter("storage_recovery_corrupt_records_total").Add(int64(s.info.CorruptRecords))
+	s.gEpoch.Set(int64(s.epoch))
+	if s.gc != nil {
+		s.gc.setMetrics(s.mFsyncs, s.hFsync)
+	}
+}
+
+// encodeWALRecord renders one record; the CRC32C covers the header
+// (minus the crc field itself) and the payload.
+func encodeWALRecord(epoch, seq uint64, script string) []byte {
+	rec := make([]byte, walHeaderSize+len(script))
+	binary.BigEndian.PutUint64(rec[0:8], epoch)
+	binary.BigEndian.PutUint64(rec[8:16], seq)
+	binary.BigEndian.PutUint32(rec[16:20], uint32(len(script)))
+	copy(rec[walHeaderSize:], script)
+	crc := crc32.Checksum(rec[0:20], castagnoli)
+	crc = crc32.Update(crc, castagnoli, rec[walHeaderSize:])
+	binary.BigEndian.PutUint32(rec[20:24], crc)
+	return rec
+}
+
+// Append durably logs one delta script: it returns only after the
+// record is written and fsynced (possibly by a shared group commit).
+func (s *Store) Append(script string) error {
+	wait, err := s.AppendAsync(script)
+	if err != nil {
+		return err
+	}
+	return wait()
+}
+
+// AppendAsync writes the record (establishing its position in the log)
+// and returns a wait function that blocks until the record is durable.
+// Callers that serialize appends under their own lock can write inside
+// the critical section and wait outside it, letting group commit batch
+// the fsyncs.
+func (s *Store) AppendAsync(script string) (wait func() error, err error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrStoreClosed
+	}
+	s.seq++
+	seq := s.seq
+	rec := encodeWALRecord(s.epoch, seq, script)
+	if _, err := s.wal.Write(rec); err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	s.mAppends.Inc()
+	s.mAppendBytes.Add(int64(len(rec)))
+	if s.gc == nil {
+		start := time.Now()
+		err := s.wal.Sync()
+		s.hFsync.Observe(time.Since(start))
+		s.mFsyncs.Inc()
+		s.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		return func() error { return nil }, nil
+	}
+	s.mu.Unlock()
+	s.gc.noteAppended(seq)
+	return func() error { return s.gc.waitSynced(seq) }, nil
+}
+
+// Checkpoint writes a new snapshot epoch and truncates the WAL. The
+// sequence — fsync temp snapshot, rename, fsync directory, bump epoch,
+// truncate + fsync WAL — guarantees a crash at any point recovers to
+// exactly the checkpointed state plus later appends.
+func (s *Store) Checkpoint(db *eval.DB, program string, hidden []string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrStoreClosed
+	}
+	start := time.Now()
+	next := s.epoch + 1
+	if err := SaveFile(filepath.Join(s.dir, snapName(next)), db, program, hidden); err != nil {
+		return err
+	}
+	s.epoch = next
+	if err := s.wal.Truncate(0); err != nil {
+		return err
+	}
+	if err := s.wal.Sync(); err != nil {
+		return err
+	}
+	s.mCheckpoints.Inc()
+	s.hCheckpoint.Observe(time.Since(start))
+	s.gEpoch.Set(int64(s.epoch))
+	s.pruneLocked()
+	return nil
+}
+
+// pruneLocked removes snapshots older than the previous epoch (the
+// previous one is kept as a fallback against a newest-snapshot decode
+// failure). Best effort: pruning failures never fail a checkpoint.
+func (s *Store) pruneLocked() {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if ep, ok := snapEpoch(e.Name()); ok && ep+1 < s.epoch {
+			os.Remove(filepath.Join(s.dir, e.Name()))
+		}
+	}
+}
+
+// Close flushes and closes the WAL. Further operations fail with
+// ErrStoreClosed.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	if s.gc != nil {
+		s.gc.close()
+	}
+	if err := s.wal.Sync(); err != nil {
+		s.wal.Close()
+		return err
+	}
+	return s.wal.Close()
+}
+
+// groupCommitter batches WAL fsyncs: appenders note their sequence
+// number and wait; a dedicated goroutine fsyncs once per batch and
+// releases every appender the sync covered.
+type groupCommitter struct {
+	f    *os.File
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	appended uint64
+	synced   uint64
+	err      error
+	closed   bool
+	done     chan struct{}
+
+	fsyncs *metrics.Counter
+	hFsync *metrics.Histogram
+}
+
+func newGroupCommitter(f *os.File) *groupCommitter {
+	g := &groupCommitter{f: f, done: make(chan struct{})}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+func (g *groupCommitter) setMetrics(fsyncs *metrics.Counter, h *metrics.Histogram) {
+	g.mu.Lock()
+	g.fsyncs, g.hFsync = fsyncs, h
+	g.mu.Unlock()
+}
+
+func (g *groupCommitter) noteAppended(seq uint64) {
+	g.mu.Lock()
+	if seq > g.appended {
+		g.appended = seq
+	}
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+func (g *groupCommitter) waitSynced(seq uint64) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for g.err == nil && g.synced < seq && !g.closed {
+		g.cond.Wait()
+	}
+	if g.err != nil {
+		return g.err
+	}
+	if g.synced < seq {
+		return ErrStoreClosed
+	}
+	return nil
+}
+
+func (g *groupCommitter) run() {
+	g.mu.Lock()
+	for {
+		for !g.closed && g.appended == g.synced && g.err == nil {
+			g.cond.Wait()
+		}
+		if g.closed {
+			// Final drain: one last fsync covers everything written.
+			target := g.appended
+			g.mu.Unlock()
+			err := g.f.Sync()
+			g.mu.Lock()
+			if err == nil && g.err == nil {
+				g.synced = target
+			}
+			g.cond.Broadcast()
+			g.mu.Unlock()
+			close(g.done)
+			return
+		}
+		target := g.appended
+		fsyncs, h := g.fsyncs, g.hFsync
+		g.mu.Unlock()
+		start := time.Now()
+		err := g.f.Sync()
+		h.Observe(time.Since(start))
+		fsyncs.Inc()
+		g.mu.Lock()
+		if err != nil {
+			g.err = err
+		} else if target > g.synced {
+			g.synced = target
+		}
+		g.cond.Broadcast()
+	}
+}
+
+func (g *groupCommitter) close() {
+	g.mu.Lock()
+	g.closed = true
+	g.cond.Broadcast()
+	g.mu.Unlock()
+	<-g.done
+}

@@ -1,0 +1,360 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"ivm/internal/metrics"
+	"ivm/internal/value"
+)
+
+func openTestStore(t *testing.T, dir string, opts StoreOptions) *Store {
+	t.Helper()
+	s, err := OpenStore(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func walPath(dir string) string { return filepath.Join(dir, walFileName) }
+
+func TestStoreEmptyOpen(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, StoreOptions{})
+	defer s.Close()
+	if _, _, _, ok := s.Snapshot(); ok {
+		t.Fatal("empty store must have no snapshot")
+	}
+	if len(s.Scripts()) != 0 || s.Epoch() != 0 {
+		t.Fatalf("scripts=%v epoch=%d", s.Scripts(), s.Epoch())
+	}
+}
+
+func TestStoreAppendReopenReplay(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, StoreOptions{})
+	for i := 0; i < 5; i++ {
+		if err := s.Append(fmt.Sprintf("+p(%d).", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openTestStore(t, dir, StoreOptions{})
+	defer s2.Close()
+	if got := s2.Scripts(); len(got) != 5 || got[0] != "+p(0)." || got[4] != "+p(4)." {
+		t.Fatalf("scripts: %v", got)
+	}
+	info := s2.Recovery()
+	if info.SkippedStale != 0 || info.TornTail || info.CorruptRecords != 0 {
+		t.Fatalf("info: %v", info)
+	}
+}
+
+func TestStoreCheckpointSupersedesWAL(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, StoreOptions{})
+	if err := s.Append("+p(1)."); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(sampleDB(), "prog.", []string{"aux"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append("+p(2)."); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2 := openTestStore(t, dir, StoreOptions{})
+	defer s2.Close()
+	db, prog, hidden, ok := s2.Snapshot()
+	if !ok || prog != "prog." || len(hidden) != 1 || hidden[0] != "aux" {
+		t.Fatalf("snapshot: ok=%v prog=%q hidden=%v", ok, prog, hidden)
+	}
+	if db.Get("link").Count(value.T("b", "c")) != 3 {
+		t.Fatal("snapshot db contents")
+	}
+	if got := s2.Scripts(); len(got) != 1 || got[0] != "+p(2)." {
+		t.Fatalf("scripts: %v", got)
+	}
+	if s2.Epoch() != 1 {
+		t.Fatalf("epoch: %d", s2.Epoch())
+	}
+}
+
+func TestStoreSkipsStaleEpochRecords(t *testing.T) {
+	// Simulate a crash between the checkpoint rename and the WAL
+	// truncate: after Checkpoint, restore the pre-checkpoint WAL bytes.
+	dir := t.TempDir()
+	s := openTestStore(t, dir, StoreOptions{})
+	for i := 0; i < 3; i++ {
+		if err := s.Append(fmt.Sprintf("+p(%d).", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pre, err := os.ReadFile(walPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(sampleDB(), "prog.", nil); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if err := os.WriteFile(walPath(dir), pre, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openTestStore(t, dir, StoreOptions{})
+	defer s2.Close()
+	info := s2.Recovery()
+	if info.SkippedStale != 3 || info.Replayed != 0 {
+		t.Fatalf("info: %v", info)
+	}
+	if len(s2.Scripts()) != 0 {
+		t.Fatalf("stale records must not replay: %v", s2.Scripts())
+	}
+}
+
+func TestStoreTornTail(t *testing.T) {
+	for name, tail := range map[string][]byte{
+		"torn header":  {1, 2, 3},
+		"torn payload": encodeWALRecord(0, 99, "+p(x).")[:walHeaderSize+3],
+	} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			s := openTestStore(t, dir, StoreOptions{})
+			if err := s.Append("+p(1)."); err != nil {
+				t.Fatal(err)
+			}
+			s.Close()
+			f, err := os.OpenFile(walPath(dir), os.O_APPEND|os.O_WRONLY, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f.Write(tail)
+			f.Close()
+
+			s2 := openTestStore(t, dir, StoreOptions{})
+			defer s2.Close()
+			info := s2.Recovery()
+			if !info.TornTail || info.CorruptRecords != 0 {
+				t.Fatalf("%s: info: %v", name, info)
+			}
+			if got := s2.Scripts(); len(got) != 1 || got[0] != "+p(1)." {
+				t.Fatalf("%s: scripts: %v", name, got)
+			}
+			// The torn tail is truncated away, so appends resume cleanly.
+			if err := s2.Append("+p(2)."); err != nil {
+				t.Fatal(err)
+			}
+			s2.Close()
+			s3 := openTestStore(t, dir, StoreOptions{})
+			defer s3.Close()
+			if got := s3.Scripts(); len(got) != 2 || got[1] != "+p(2)." {
+				t.Fatalf("%s: after tail truncation: %v", name, got)
+			}
+		})
+	}
+}
+
+func TestStoreBitFlipStopsReplayLoudly(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, StoreOptions{})
+	for i := 0; i < 3; i++ {
+		if err := s.Append(fmt.Sprintf("+p(%d).", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	data, err := os.ReadFile(walPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload bit in the middle record.
+	recLen := walHeaderSize + len("+p(0).")
+	data[recLen+walHeaderSize] ^= 0x01
+	if err := os.WriteFile(walPath(dir), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openTestStore(t, dir, StoreOptions{})
+	defer s2.Close()
+	info := s2.Recovery()
+	if info.CorruptRecords != 1 {
+		t.Fatalf("info: %v", info)
+	}
+	if got := s2.Scripts(); len(got) != 1 || got[0] != "+p(0)." {
+		t.Fatalf("only the valid prefix may replay: %v", got)
+	}
+	if info.DiscardedBytes == 0 {
+		t.Fatal("discarded bytes must be reported")
+	}
+}
+
+func TestStoreMissingSnapshotForNewerEpochFails(t *testing.T) {
+	// WAL records stamped with an epoch newer than every readable
+	// snapshot mean the covering snapshot is gone (e.g. its directory
+	// entry was never synced); recovery must refuse rather than lose the
+	// records truncated at that checkpoint.
+	dir := t.TempDir()
+	s := openTestStore(t, dir, StoreOptions{})
+	if err := s.Checkpoint(sampleDB(), "prog.", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append("+p(1)."); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if err := os.Remove(filepath.Join(dir, snapName(1))); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := OpenStore(dir, StoreOptions{}); err == nil {
+		t.Fatal("recovery must fail when the snapshot covering the WAL epoch is missing")
+	} else if !strings.Contains(err.Error(), "not recoverable") {
+		t.Fatalf("error: %v", err)
+	}
+}
+
+func TestStoreFallsBackToPreviousSnapshot(t *testing.T) {
+	// A corrupt newest snapshot with a WAL that never reached its epoch:
+	// recovery falls back to the previous snapshot and replays.
+	dir := t.TempDir()
+	s := openTestStore(t, dir, StoreOptions{})
+	if err := s.Checkpoint(sampleDB(), "v1.", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append("+p(1)."); err != nil {
+		t.Fatal(err)
+	}
+	pre, err := os.ReadFile(walPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(sampleDB(), "v2.", nil); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// Corrupt snapshot-2 and restore the pre-checkpoint WAL (epoch-1
+	// records), as if the second checkpoint never became durable.
+	if err := os.WriteFile(filepath.Join(dir, snapName(2)), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(walPath(dir), pre, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openTestStore(t, dir, StoreOptions{})
+	defer s2.Close()
+	info := s2.Recovery()
+	if info.Epoch != 1 || info.BadSnapshots != 1 {
+		t.Fatalf("info: %v", info)
+	}
+	if _, prog, _, ok := s2.Snapshot(); !ok || prog != "v1." {
+		t.Fatalf("must fall back to snapshot 1 (prog=%q ok=%v)", prog, ok)
+	}
+	if got := s2.Scripts(); len(got) != 1 || got[0] != "+p(1)." {
+		t.Fatalf("scripts: %v", got)
+	}
+}
+
+func TestStorePartialRenameLeftoverIgnored(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, StoreOptions{})
+	if err := s.Checkpoint(sampleDB(), "prog.", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append("+p(1)."); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// A checkpoint that died before its rename leaves only a temp file.
+	tmp := filepath.Join(dir, snapName(2)+".tmp")
+	if err := os.WriteFile(tmp, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openTestStore(t, dir, StoreOptions{})
+	defer s2.Close()
+	if s2.Epoch() != 1 || len(s2.Scripts()) != 1 {
+		t.Fatalf("epoch=%d scripts=%v", s2.Epoch(), s2.Scripts())
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatal("temp leftovers must be removed")
+	}
+}
+
+func TestStorePrunesOldSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, StoreOptions{})
+	defer s.Close()
+	for i := 0; i < 4; i++ {
+		if err := s.Checkpoint(sampleDB(), "prog.", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for ep := uint64(1); ep <= 2; ep++ {
+		if _, err := os.Stat(filepath.Join(dir, snapName(ep))); !os.IsNotExist(err) {
+			t.Fatalf("snapshot %d must be pruned", ep)
+		}
+	}
+	for ep := uint64(3); ep <= 4; ep++ {
+		if _, err := os.Stat(filepath.Join(dir, snapName(ep))); err != nil {
+			t.Fatalf("snapshot %d must be kept: %v", ep, err)
+		}
+	}
+}
+
+func TestStoreGroupCommitConcurrentAppends(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, StoreOptions{GroupCommit: true})
+	reg := metrics.NewRegistry()
+	s.AttachMetrics(reg)
+	const writers, perWriter = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if err := s.Append(fmt.Sprintf("+p(%d,%d).", w, i)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counter("storage_wal_appends_total"); got != writers*perWriter {
+		t.Fatalf("appends counter: %d", got)
+	}
+
+	s2 := openTestStore(t, dir, StoreOptions{})
+	defer s2.Close()
+	if got := len(s2.Scripts()); got != writers*perWriter {
+		t.Fatalf("recovered %d of %d records", got, writers*perWriter)
+	}
+}
+
+func TestStoreAppendAfterCloseFails(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, StoreOptions{})
+	s.Close()
+	if err := s.Append("+p(1)."); err != ErrStoreClosed {
+		t.Fatalf("err: %v", err)
+	}
+	if err := s.Checkpoint(sampleDB(), "p.", nil); err != ErrStoreClosed {
+		t.Fatalf("err: %v", err)
+	}
+}

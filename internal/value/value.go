@@ -130,13 +130,21 @@ func (v Value) Compare(o Value) int {
 }
 
 // String renders v in the surface syntax: integers and floats as literals,
-// strings bare when they look like identifiers, quoted otherwise.
+// strings bare when they look like identifiers, quoted otherwise. Float
+// rendering is round-trip safe: a whole float like 5.0 prints as "5.0"
+// (never "5"), so reparsing the text yields a Float again, not an Int
+// with a different identity.
 func (v Value) String() string {
 	switch v.kind {
 	case Int:
 		return strconv.FormatInt(v.i, 10)
 	case Float:
-		return strconv.FormatFloat(v.f, 'g', -1, 64)
+		s := strconv.FormatFloat(v.f, 'g', -1, 64)
+		// NaN/±Inf have no literal syntax; leave them as-is for display.
+		if strings.IndexAny(s, ".eE") < 0 && !math.IsInf(v.f, 0) && !math.IsNaN(v.f) {
+			s += ".0"
+		}
+		return s
 	default:
 		if isIdent(v.s) {
 			return v.s
@@ -165,8 +173,10 @@ func isIdent(s string) bool {
 			return false
 		}
 	}
+	// A leading '_' (like a leading upper-case letter) would lex as a
+	// variable, so such strings must render quoted.
 	c := s[0]
-	return c >= 'a' && c <= 'z' || c == '_'
+	return c >= 'a' && c <= 'z'
 }
 
 // appendKey appends a canonical, injective encoding of v to b.

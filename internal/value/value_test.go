@@ -153,6 +153,10 @@ func TestValueString(t *testing.T) {
 		"7":        NewInt(7),
 		"-3":       NewInt(-3),
 		"2.5":      NewFloat(2.5),
+		"5.0":      NewFloat(5), // whole floats keep a ".0" so they reparse as floats
+		"-2.0":     NewFloat(-2),
+		"1e+21":    NewFloat(1e21),
+		"1e-07":    NewFloat(1e-7),
 		"abc":      NewString("abc"),
 		`"Abc"`:    NewString("Abc"), // would parse as a variable → quoted
 		`"a b"`:    NewString("a b"),

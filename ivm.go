@@ -28,6 +28,7 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 
 	"ivm/internal/baseline/pf"
@@ -202,6 +203,11 @@ type Views struct {
 	// non-nil for views built by MaterializeProgram/MaterializeSQL.
 	reg *metrics.Registry
 
+	// store, when non-nil, is the crash-recovery store the views are
+	// bound to (OpenStore): every Apply is durably logged to its WAL and
+	// Sync checkpoints into it.
+	store *storage.Store
+
 	c  *counting.Engine
 	dr *dred.Engine
 	rc *recompute.Engine
@@ -219,6 +225,8 @@ type config struct {
 	// IVM_PARALLELISM environment variable resolves it.
 	parallelism int
 	tracer      metrics.Tracer
+	// groupCommit batches WAL fsyncs for store-bound views (OpenStore).
+	groupCommit bool
 }
 
 // newConfig applies opts over the shared defaults. Every front end
@@ -279,6 +287,12 @@ func WithParallelism(n int) Option {
 // WithTracer subscribes t to maintenance trace events (batch start/end,
 // stratum completion, rule evaluations). A nil t leaves tracing off.
 func WithTracer(t Tracer) Option { return func(c *config) { c.tracer = t } }
+
+// WithGroupCommit makes a store-bound Views (OpenStore) batch WAL
+// fsyncs across concurrent Apply callers: each Apply still returns only
+// after its delta is durable, but one fsync can cover many deltas.
+// Ignored for views without a store.
+func WithGroupCommit() Option { return func(c *config) { c.groupCommit = true } }
 
 // resolveParallelism turns the configured (or environment-supplied)
 // parallelism into a concrete worker count. A malformed IVM_PARALLELISM
@@ -494,19 +508,35 @@ func (v *Views) Has(pred string, vals ...any) bool {
 }
 
 // Apply maintains every view under the update and returns the per-view
-// changes. The update's deletions must refer to stored tuples.
+// changes. The update's deletions must refer to stored tuples. For
+// store-bound views (OpenStore), the update is durably logged to the
+// WAL: Apply returns only after the record is fsynced (batched across
+// concurrent callers under WithGroupCommit). A logging failure is
+// returned as an error even though the in-memory views already applied
+// the update — the caller should Sync (checkpoint) or treat the store
+// as lost.
 func (v *Views) Apply(u *Update) (*ChangeSet, error) {
-	cs, err := v.applyLocked(u)
+	cs, wait, err := v.applyLocked(u)
 	if err != nil {
 		return nil, err
+	}
+	if wait != nil {
+		if err := wait(); err != nil {
+			return nil, fmt.Errorf("ivm: update applied in memory but not durably logged: %w", err)
+		}
 	}
 	v.notify(cs)
 	return cs, nil
 }
 
-func (v *Views) applyLocked(u *Update) (*ChangeSet, error) {
+// applyLocked applies the update under the write lock. The WAL record
+// is written inside the critical section — so the log order matches the
+// application order — but the returned wait function (which blocks on
+// the fsync) is called by Apply after the lock is released, letting
+// group commit batch fsyncs across concurrent appliers.
+func (v *Views) applyLocked(u *Update) (*ChangeSet, func() error, error) {
 	if u.err != nil {
-		return nil, u.err
+		return nil, nil, u.err
 	}
 	v.mu.Lock()
 	defer v.mu.Unlock()
@@ -516,32 +546,42 @@ func (v *Views) applyLocked(u *Update) (*ChangeSet, error) {
 	case v.c != nil:
 		full, err := v.c.Apply(deltas)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		cs = changeSetFromDeltas(full)
 	case v.dr != nil:
 		ch, err := v.dr.Apply(deltas)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		cs = changeSetFromChanges(ch.Del, ch.Add)
 	case v.rc != nil:
 		full, err := v.rc.Apply(deltas)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		cs = changeSetFromDeltas(full)
 	default:
 		ch, err := v.pf.Apply(deltas)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		cs = changeSetFromChanges(ch.Del, ch.Add)
 	}
 	for pred := range v.hidden {
 		delete(cs.perPred, pred)
 	}
-	return cs, nil
+	var wait func() error
+	if v.store != nil {
+		if script := u.String(); script != "" {
+			w, err := v.store.AppendAsync(script)
+			if err != nil {
+				return nil, nil, fmt.Errorf("ivm: update applied in memory but not durably logged: %w", err)
+			}
+			wait = w
+		}
+	}
+	return cs, wait, nil
 }
 
 // OnChange subscribes fn to changes of pred ("" subscribes to every
@@ -634,6 +674,9 @@ func (v *Views) addRuleLocked(ruleSrc string) (*ChangeSet, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := v.ruleEditCommittedLocked(); err != nil {
+		return nil, err
+	}
 	return changeSetFromChanges(ch.Del, ch.Add), nil
 }
 
@@ -658,7 +701,43 @@ func (v *Views) removeRuleLocked(ri int) (*ChangeSet, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := v.ruleEditCommittedLocked(); err != nil {
+		return nil, err
+	}
 	return changeSetFromChanges(ch.Del, ch.Add), nil
+}
+
+// ruleEditCommittedLocked runs after a successful AddRule/RemoveRule
+// (write lock held): the program text is regenerated from the edited
+// rule set so Save and checkpoints persist the views as they now are
+// (base facts already live in the database, so dropping fact clauses
+// from the text loses nothing). Store-bound views checkpoint
+// immediately — a WAL of delta scripts cannot express a rule change, so
+// the epoch is advanced instead of logging one.
+func (v *Views) ruleEditCommittedLocked() error {
+	var sb strings.Builder
+	for _, r := range v.Program().Rules {
+		sb.WriteString(r.String())
+		sb.WriteByte('\n')
+	}
+	v.programSrc = sb.String()
+	if v.store == nil {
+		return nil
+	}
+	if err := v.store.Checkpoint(v.db(), v.programSrc, v.hiddenLocked()); err != nil {
+		return fmt.Errorf("ivm: rule change applied in memory but checkpoint failed: %w", err)
+	}
+	return nil
+}
+
+// hiddenLocked returns the sorted hidden-predicate list (lock held).
+func (v *Views) hiddenLocked() []string {
+	hidden := make([]string, 0, len(v.hidden))
+	for pred := range v.hidden {
+		hidden = append(hidden, pred)
+	}
+	sort.Strings(hidden)
+	return hidden
 }
 
 // CountingStats returns the last counting-engine statistics. The
@@ -709,19 +788,15 @@ func (v *Views) Metrics() MetricsSnapshot {
 }
 
 // Save snapshots the views' storage (base + derived relations with
-// counts), program text, and hidden-predicate set to path.
+// counts), program text, and hidden-predicate set to path. The write is
+// atomic and durable (temp file fsync + rename + directory fsync).
 func (v *Views) Save(path string) error {
 	if v.pf != nil {
 		return fmt.Errorf("ivm: Save is not supported for the PF baseline")
 	}
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	var hidden []string
-	for pred := range v.hidden {
-		hidden = append(hidden, pred)
-	}
-	sort.Strings(hidden)
-	return storage.SaveFile(path, v.db(), v.programSrc, hidden)
+	return storage.SaveFile(path, v.db(), v.programSrc, v.hiddenLocked())
 }
 
 // LoadViews restores a snapshot saved by Views.Save, rematerializing the
@@ -733,6 +808,13 @@ func LoadViews(path string, opts ...Option) (*Views, error) {
 	if err != nil {
 		return nil, err
 	}
+	return viewsFromSnapshot(db, programSrc, hidden, opts)
+}
+
+// viewsFromSnapshot rematerializes views from decoded snapshot contents:
+// the non-derived relations seed a fresh database and the program is
+// parsed and materialized over it.
+func viewsFromSnapshot(db *eval.DB, programSrc string, hidden []string, opts []Option) (*Views, error) {
 	res, err := parser.Parse(programSrc)
 	if err != nil {
 		return nil, err
@@ -755,6 +837,163 @@ func LoadViews(path string, opts ...Option) (*Views, error) {
 		}
 	}
 	return v, nil
+}
+
+// RecoveryInfo describes what OpenStore found in the store directory.
+type RecoveryInfo struct {
+	// Epoch is the checkpoint epoch recovery started from.
+	Epoch uint64
+	// Replayed is the number of WAL delta scripts reapplied on top of
+	// the snapshot.
+	Replayed int
+	// SkippedStale counts WAL records from older epochs (a crash hit
+	// the window between checkpoint rename and WAL truncate; they are
+	// already in the snapshot and must not be double-applied).
+	SkippedStale int
+	// TornTail reports that an incomplete final record was discarded (a
+	// crash mid-append; the record was never acknowledged).
+	TornTail bool
+	// CorruptRecords counts checksum failures mid-log: in-place
+	// corruption. Replay stops at the first one, keeping the valid
+	// prefix instead of feeding garbage to the parser.
+	CorruptRecords int
+	// BadSnapshots counts snapshot files that failed to decode and were
+	// set aside (recovery fell back to an older epoch).
+	BadSnapshots int
+	// Initialized reports that the store was empty and init() built the
+	// initial views (checkpointed as epoch 1).
+	Initialized bool
+}
+
+func (ri RecoveryInfo) String() string {
+	if ri.Initialized {
+		return "initialized (epoch 1)"
+	}
+	s := fmt.Sprintf("epoch=%d replayed=%d", ri.Epoch, ri.Replayed)
+	if ri.SkippedStale > 0 {
+		s += fmt.Sprintf(" skipped_stale=%d", ri.SkippedStale)
+	}
+	if ri.TornTail {
+		s += " torn_tail"
+	}
+	if ri.CorruptRecords > 0 {
+		s += fmt.Sprintf(" corrupt_records=%d", ri.CorruptRecords)
+	}
+	if ri.BadSnapshots > 0 {
+		s += fmt.Sprintf(" bad_snapshots=%d", ri.BadSnapshots)
+	}
+	return s
+}
+
+// OpenStore opens (creating if needed) the crash-recovery store in dir
+// and restores views from it: the newest valid snapshot is loaded,
+// rematerialized, and the WAL delta scripts from its epoch are
+// replayed. When the store is empty, init is called to build the
+// initial views (e.g. from program and fact files) and the result is
+// immediately checkpointed. The returned views are store-bound: every
+// Apply is durably WAL-logged before it returns, rule edits checkpoint
+// a new epoch, and Sync checkpoints on demand. Options apply to the
+// rematerialization of a recovered program (and WithGroupCommit to the
+// WAL); init builds its views with whatever options it chooses.
+func OpenStore(dir string, init func() (*Views, error), opts ...Option) (*Views, RecoveryInfo, error) {
+	cfg := newConfig(opts)
+	st, err := storage.OpenStore(dir, storage.StoreOptions{GroupCommit: cfg.groupCommit})
+	if err != nil {
+		return nil, RecoveryInfo{}, err
+	}
+	si := st.Recovery()
+	info := RecoveryInfo{
+		Epoch:          si.Epoch,
+		Replayed:       si.Replayed,
+		SkippedStale:   si.SkippedStale,
+		TornTail:       si.TornTail,
+		CorruptRecords: si.CorruptRecords,
+		BadSnapshots:   si.BadSnapshots,
+	}
+	fail := func(err error) (*Views, RecoveryInfo, error) {
+		st.Close()
+		return nil, info, err
+	}
+	var v *Views
+	if db, programSrc, hidden, ok := st.Snapshot(); ok {
+		v, err = viewsFromSnapshot(db, programSrc, hidden, opts)
+		if err != nil {
+			return fail(err)
+		}
+		// Replay happens before the views are store-bound, so the
+		// scripts are not re-appended to the WAL they came from.
+		for i, script := range st.Scripts() {
+			if _, err := v.ApplyScript(script); err != nil {
+				return fail(fmt.Errorf("ivm: replaying WAL record %d: %w", i+1, err))
+			}
+		}
+	} else {
+		if init == nil {
+			return fail(fmt.Errorf("ivm: store %s is empty and no init function was provided", dir))
+		}
+		v, err = init()
+		if err != nil {
+			return fail(err)
+		}
+		if v.store != nil {
+			return fail(fmt.Errorf("ivm: init returned views already bound to a store"))
+		}
+		info.Initialized = true
+	}
+	if v.pf != nil {
+		return fail(fmt.Errorf("ivm: the PF baseline cannot be store-bound"))
+	}
+	v.mu.Lock()
+	st.AttachMetrics(v.reg)
+	if info.Initialized {
+		// Checkpoint immediately so a snapshot always exists: from here
+		// on every WAL record has an epoch-stamped snapshot beneath it.
+		if err := st.Checkpoint(v.db(), v.programSrc, v.hiddenLocked()); err != nil {
+			v.mu.Unlock()
+			return fail(err)
+		}
+	}
+	v.store = st
+	v.mu.Unlock()
+	return v, info, nil
+}
+
+// Sync checkpoints store-bound views: the full state (base + derived
+// relations, program text, hidden set) is written as a new snapshot
+// epoch — temp file fsync, rename, directory fsync — and only then is
+// the WAL truncated, so a crash anywhere in the sequence never
+// double-applies a delta.
+func (v *Views) Sync() error {
+	if v.store == nil {
+		return fmt.Errorf("ivm: Sync requires store-bound views (use OpenStore)")
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.store.Checkpoint(v.db(), v.programSrc, v.hiddenLocked())
+}
+
+// Store reports whether the views are bound to a crash-recovery store
+// and, if so, its directory.
+func (v *Views) Store() (dir string, ok bool) {
+	if v.store == nil {
+		return "", false
+	}
+	return v.store.Dir(), true
+}
+
+// Close releases the store binding (flushing and closing the WAL). It
+// does not checkpoint — call Sync first for a clean shutdown; skipping
+// it is safe and simply leaves recovery to replay the WAL. Views
+// without a store close as a no-op.
+func (v *Views) Close() error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.store == nil {
+		return nil
+	}
+	err := v.store.Close()
+	v.store = nil
+	return err
 }
 
 // ChangeSet maps derived predicates to the signed count deltas an update

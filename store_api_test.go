@@ -1,0 +1,348 @@
+package ivm_test
+
+// Store-bound views: the crash-recovery matrix at the public API level.
+// Every recovery path — snapshot only, snapshot+WAL, torn WAL tail,
+// stale-epoch records — must restore state tuple-and-count identical to
+// a full recomputation over the same base facts and update sequence.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"ivm"
+)
+
+const storeTestProgram = `
+	hop(X,Y)     :- link(X,Z), link(Z,Y).
+	tri_hop(X,Y) :- hop(X,Z), link(Z,Y).
+`
+
+const storeTestFacts = `link(a,b). link(b,c). link(b,e). link(a,d). link(d,c).`
+
+// storeInit builds the initial views for OpenStore.
+func storeInit(t *testing.T) func() (*ivm.Views, error) {
+	return func() (*ivm.Views, error) {
+		db := ivm.NewDatabase()
+		if err := db.Load(storeTestFacts); err != nil {
+			return nil, err
+		}
+		return db.Materialize(storeTestProgram)
+	}
+}
+
+// noInit fails the test if OpenStore falls back to initialization —
+// used when reopening a store that must already hold a snapshot.
+func noInit(t *testing.T) func() (*ivm.Views, error) {
+	return func() (*ivm.Views, error) {
+		t.Fatal("init must not run: the store already holds a snapshot")
+		return nil, nil
+	}
+}
+
+// groundTruth recomputes the views from scratch over the base facts
+// plus every script in order.
+func groundTruth(t *testing.T, scripts []string) *ivm.Views {
+	t.Helper()
+	db := ivm.NewDatabase()
+	db.MustLoad(storeTestFacts)
+	v, err := db.Materialize(storeTestProgram, ivm.WithStrategy(ivm.Recompute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range scripts {
+		if _, err := v.ApplyScript(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return v
+}
+
+// requireSameState asserts tuple-and-count identity on every predicate.
+func requireSameState(t *testing.T, got, want *ivm.Views) {
+	t.Helper()
+	for _, pred := range []string{"link", "hop", "tri_hop"} {
+		g, w := got.Rows(pred), want.Rows(pred)
+		if len(g) != len(w) {
+			t.Fatalf("%s: %d rows, want %d\ngot:  %v\nwant: %v", pred, len(g), len(w), g, w)
+		}
+		for i := range w {
+			if !g[i].Tuple.Equal(w[i].Tuple) || g[i].Count != w[i].Count {
+				t.Fatalf("%s row %d: %v ×%d, want %v ×%d", pred, i, g[i].Tuple, g[i].Count, w[i].Tuple, w[i].Count)
+			}
+		}
+	}
+}
+
+var storeTestScripts = []string{
+	"+link(c,f).",
+	"-link(a,b).",
+	"+link(e,a). +link(f,b).",
+	"-link(b,e). +link(a,b).",
+}
+
+func TestOpenStoreInitCheckpointAndWALReplay(t *testing.T) {
+	dir := t.TempDir()
+	v, info, err := ivm.OpenStore(dir, storeInit(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Initialized || info.Epoch != 0 {
+		t.Fatalf("info: %+v", info)
+	}
+	for _, s := range storeTestScripts {
+		if _, err := v.ApplyScript(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := v.Close(); err != nil { // no Sync: recovery must replay the WAL
+		t.Fatal(err)
+	}
+
+	v2, info, err := ivm.OpenStore(dir, noInit(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v2.Close()
+	if info.Epoch != 1 || info.Replayed != len(storeTestScripts) || info.SkippedStale != 0 {
+		t.Fatalf("info: %+v", info)
+	}
+	requireSameState(t, v2, groundTruth(t, storeTestScripts))
+}
+
+func TestOpenStoreSnapshotOnly(t *testing.T) {
+	dir := t.TempDir()
+	v, _, err := ivm.OpenStore(dir, storeInit(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range storeTestScripts {
+		if _, err := v.ApplyScript(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := v.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	v.Close()
+
+	v2, info, err := ivm.OpenStore(dir, noInit(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v2.Close()
+	if info.Replayed != 0 || info.Epoch != 2 {
+		t.Fatalf("info: %+v", info)
+	}
+	requireSameState(t, v2, groundTruth(t, storeTestScripts))
+}
+
+func TestOpenStoreTornTail(t *testing.T) {
+	dir := t.TempDir()
+	v, _, err := ivm.OpenStore(dir, storeInit(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range storeTestScripts {
+		if _, err := v.ApplyScript(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v.Close()
+	// A crash mid-append: garbage shorter than a record header.
+	f, err := os.OpenFile(filepath.Join(dir, "wal.log"), os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{9, 9, 9})
+	f.Close()
+
+	v2, info, err := ivm.OpenStore(dir, noInit(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v2.Close()
+	if !info.TornTail || info.Replayed != len(storeTestScripts) {
+		t.Fatalf("info: %+v", info)
+	}
+	requireSameState(t, v2, groundTruth(t, storeTestScripts))
+}
+
+func TestOpenStoreStaleEpochRecords(t *testing.T) {
+	dir := t.TempDir()
+	v, _, err := ivm.OpenStore(dir, storeInit(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range storeTestScripts {
+		if _, err := v.ApplyScript(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	walBytes, err := os.ReadFile(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	v.Close()
+	// Crash in the checkpoint-vs-truncate window: the snapshot rename
+	// was durable but the WAL truncate was not.
+	if err := os.WriteFile(filepath.Join(dir, "wal.log"), walBytes, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	v2, info, err := ivm.OpenStore(dir, noInit(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v2.Close()
+	if info.SkippedStale != len(storeTestScripts) || info.Replayed != 0 {
+		t.Fatalf("stale records must be skipped, not double-applied: %+v", info)
+	}
+	requireSameState(t, v2, groundTruth(t, storeTestScripts))
+}
+
+func TestOpenStoreGroupCommitConcurrentAppliers(t *testing.T) {
+	dir := t.TempDir()
+	v, _, err := ivm.OpenStore(dir, storeInit(t), ivm.WithGroupCommit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, perWriter = 6, 10
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				script := fmt.Sprintf("+link(w%d_%d, sink).", w, i)
+				if _, err := v.ApplyScript(script); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	v.Close()
+
+	v2, info, err := ivm.OpenStore(dir, noInit(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v2.Close()
+	if info.Replayed != writers*perWriter {
+		t.Fatalf("replayed %d of %d", info.Replayed, writers*perWriter)
+	}
+	// Insert-only scripts commute, so order differences cannot matter.
+	var all []string
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perWriter; i++ {
+			all = append(all, fmt.Sprintf("+link(w%d_%d, sink).", w, i))
+		}
+	}
+	requireSameState(t, v2, groundTruth(t, all))
+}
+
+func TestOpenStoreFloatDeltaIdentitySurvivesWAL(t *testing.T) {
+	// Regression for the 5.0-renders-as-5 bug: a float-valued delta
+	// logged through the WAL must recover as a float, not an int.
+	dir := t.TempDir()
+	v, _, err := ivm.OpenStore(dir, func() (*ivm.Views, error) {
+		db := ivm.NewDatabase()
+		return db.Materialize(`w(X, C) :- m(X, C), C > 1.0.`)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Apply(ivm.NewUpdate().Insert("m", "a", 5.0).Insert("m", "b", int64(3))); err != nil {
+		t.Fatal(err)
+	}
+	v.Close()
+
+	v2, _, err := ivm.OpenStore(dir, noInit(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v2.Close()
+	if v2.Count("m", "a", 5.0) != 1 || v2.Count("m", "a", int64(5)) != 0 {
+		t.Fatal("float 5.0 changed identity through the WAL")
+	}
+	if v2.Count("m", "b", int64(3)) != 1 {
+		t.Fatal("int 3 must stay an int")
+	}
+	// Deleting the float tuple by value must work after recovery.
+	if _, err := v2.Apply(ivm.NewUpdate().Delete("m", "a", 5.0)); err != nil {
+		t.Fatalf("delete of recovered float tuple: %v", err)
+	}
+}
+
+func TestOpenStoreRuleEditCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	v, _, err := ivm.OpenStore(dir, func() (*ivm.Views, error) {
+		db := ivm.NewDatabase()
+		db.MustLoad(`link(a,b). link(b,c). tunnel(c,d).`)
+		return db.Materialize(`
+			reach(X,Y) :- link(X,Y).
+			reach(X,Y) :- reach(X,Z), link(Z,Y).
+		`)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.AddRule(`reach(X,Y) :- tunnel(X,Y).`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.ApplyScript(`+tunnel(d,e).`); err != nil {
+		t.Fatal(err)
+	}
+	v.Close()
+
+	v2, info, err := ivm.OpenStore(dir, noInit(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v2.Close()
+	// The rule edit checkpointed (epoch 2); only the later delta replays.
+	if info.Epoch != 2 || info.Replayed != 1 {
+		t.Fatalf("info: %+v", info)
+	}
+	if len(v2.Program().Rules) != 3 {
+		t.Fatalf("rules: %v", v2.Program().Rules)
+	}
+	for _, want := range [][2]string{{"a", "c"}, {"c", "d"}, {"d", "e"}} {
+		if !v2.Has("reach", want[0], want[1]) {
+			t.Fatalf("reach(%s,%s) missing after recovery", want[0], want[1])
+		}
+	}
+}
+
+func TestOpenStoreMetricsExposition(t *testing.T) {
+	dir := t.TempDir()
+	v, _, err := ivm.OpenStore(dir, storeInit(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+	if _, err := v.ApplyScript("+link(x,y)."); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if _, err := v.Metrics().WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, series := range []string{"storage_wal_appends_total 1", "storage_checkpoints_total 1", "storage_wal_fsync_count"} {
+		if !strings.Contains(out, series) {
+			t.Fatalf("metrics exposition missing %q:\n%s", series, out)
+		}
+	}
+	if dirGot, ok := v.Store(); !ok || dirGot != dir {
+		t.Fatalf("Store() = %q, %v", dirGot, ok)
+	}
+}
