@@ -52,20 +52,24 @@ type crashCase struct {
 	// prepare builds the store in dir, acknowledges deltas, and injects
 	// the fault. It returns the scripts recovery must preserve.
 	prepare func(dir string) (expect []string, err error)
+	// reopen overrides how the case recovers after the fault (default:
+	// plain open). The bit-flip case uses it to assert the default open
+	// refuses mid-WAL corruption, then opts into repair.
+	reopen func(dir string) (*ivm.Views, ivm.RecoveryInfo, error)
 	// check validates the recovery report beyond state equality.
 	check func(dir string, info ivm.RecoveryInfo) error
 }
 
 func walPath(dir string) string { return filepath.Join(dir, "wal.log") }
 
-func open(dir string) (*ivm.Views, ivm.RecoveryInfo, error) {
+func open(dir string, opts ...ivm.Option) (*ivm.Views, ivm.RecoveryInfo, error) {
 	return ivm.OpenStore(dir, func() (*ivm.Views, error) {
 		db := ivm.NewDatabase()
 		if err := db.Load(baseFacts); err != nil {
 			return nil, err
 		}
 		return db.Materialize(program)
-	})
+	}, opts...)
 }
 
 // seed initializes the store and acknowledges scripts[:n], returning
@@ -204,6 +208,15 @@ var cases = []crashCase{
 			// the engine, so only scripts[0] survives.
 			off := int64(walHeader + len(scripts[0]) + walHeader + 1)
 			return scripts[:1], flipByte(walPath(dir), off)
+		},
+		reopen: func(dir string) (*ivm.Views, ivm.RecoveryInfo, error) {
+			// Acknowledged records sit behind the corruption, so the
+			// default open must refuse rather than silently discard them.
+			if v, _, err := open(dir); err == nil {
+				v.Close()
+				return nil, ivm.RecoveryInfo{}, fmt.Errorf("recovery must refuse mid-WAL corruption without the repair opt-in")
+			}
+			return open(dir, ivm.WithWALRepair())
 		},
 		check: func(dir string, info ivm.RecoveryInfo) error {
 			if info.CorruptRecords != 1 || info.Replayed != 1 {
@@ -353,7 +366,11 @@ func runCase(c crashCase) (res Result) {
 		res.Detail = "prepare: " + err.Error()
 		return res
 	}
-	v, info, err := open(dir)
+	reopen := c.reopen
+	if reopen == nil {
+		reopen = func(dir string) (*ivm.Views, ivm.RecoveryInfo, error) { return open(dir) }
+	}
+	v, info, err := reopen(dir)
 	if err != nil {
 		res.Detail = "recovery: " + err.Error()
 		return res

@@ -14,6 +14,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"unicode/utf8"
 
 	"ivm/internal/eval"
 	"ivm/internal/relation"
@@ -251,12 +252,21 @@ func LoadFile(path string) (*eval.DB, string, []string, error) {
 // form). Each record is `[len u32][crc32c u32][payload]`; the length
 // lets replay detect partially written tails, the checksum lets it
 // reject corrupt records instead of feeding garbage to the parser.
+// Replay also recognizes the legacy pre-checksum record format
+// (`[len u32][payload]`) so logs written before the format change
+// still migrate — Append always writes the current format, so a legacy
+// log must be replayed and truncated (as the cmd/ivm migration does)
+// before new records are appended to it.
 type Log struct {
 	f *os.File
 }
 
 // logHeaderSize is the per-record header: big-endian length + CRC32C.
-const logHeaderSize = 8
+// legacyLogHeaderSize is the pre-checksum header: length only.
+const (
+	logHeaderSize       = 8
+	legacyLogHeaderSize = 4
+)
 
 // OpenLog opens (creating if needed) a delta log for appending.
 func OpenLog(path string) (*Log, error) {
@@ -296,53 +306,112 @@ func (e *CorruptRecordError) Error() string {
 // A truncated or checksum-failing final record terminates replay without
 // error (a crash mid-append; the record was never acknowledged). A bad
 // record with further data behind it is in-place corruption and fails
-// loudly with a *CorruptRecordError. Record lengths are bounded by the
-// bytes actually remaining in the file, so a garbage header cannot force
-// a multi-gigabyte allocation.
+// loudly with a *CorruptRecordError, delivering no records. Record
+// lengths are bounded by the bytes actually remaining in the file, so a
+// garbage header cannot force a multi-gigabyte allocation.
+//
+// The record format is detected: when the current checksummed layout
+// yields no valid record from a non-empty file (or fails mid-file), the
+// legacy pre-checksum `[len u32][payload]` layout is tried, so logs
+// written before the format change still replay for migration.
 func (l *Log) Replay(fn func(script string) error) error {
-	size, err := l.f.Seek(0, io.SeekEnd)
-	if err != nil {
-		return err
-	}
 	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
 		return err
 	}
-	r := bufio.NewReader(l.f)
+	data, err := io.ReadAll(bufio.NewReader(l.f))
+	if err != nil {
+		return err
+	}
+	scripts, err := scanLog(data)
+	if err != nil {
+		return err
+	}
+	for _, s := range scripts {
+		if err := fn(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scanLog parses raw log bytes, detecting the record format. The
+// checksummed format is authoritative: one CRC-valid record proves it (a
+// legacy record passing the check by accident is a 2^-32 event). Only
+// when it yields nothing from a non-empty file — a single-record legacy
+// log reads as one overshooting header — or trips over mid-file
+// corruption — misaligned legacy records fail their CRCs — is the
+// legacy layout tried; it is accepted when records chain through the
+// file (modulo a torn tail) and every payload is text, which garbage
+// reinterpretations of checksummed records essentially never are (the
+// CRC bytes land inside the payload).
+func scanLog(data []byte) ([]string, error) {
+	scripts, err := scanChecksummedLog(data)
+	if len(scripts) > 0 {
+		return scripts, err
+	}
+	if len(data) > 0 {
+		if legacy, ok := scanLegacyLog(data); ok {
+			return legacy, nil
+		}
+	}
+	return scripts, err
+}
+
+func scanChecksummedLog(data []byte) ([]string, error) {
+	var scripts []string
+	size := int64(len(data))
 	offset := int64(0)
 	for offset < size {
 		if size-offset < logHeaderSize {
-			return nil // torn header: ignore tail
+			return scripts, nil // torn header: ignore tail
 		}
-		var hdr [logHeaderSize]byte
-		if _, err := io.ReadFull(r, hdr[:]); err != nil {
-			return nil
-		}
-		n := int64(binary.BigEndian.Uint32(hdr[0:4]))
-		want := binary.BigEndian.Uint32(hdr[4:8])
+		n := int64(binary.BigEndian.Uint32(data[offset:]))
+		want := binary.BigEndian.Uint32(data[offset+4:])
 		if n > size-offset-logHeaderSize {
 			// The header promises more bytes than the file holds. If the
 			// record would end exactly at a torn tail this is a crashed
 			// append; a length that overshoots the file with no way to
-			// resync is indistinguishable, so both end replay here.
-			return nil
+			// resync is indistinguishable, so both end the scan here.
+			return scripts, nil
 		}
-		buf := make([]byte, n)
-		if _, err := io.ReadFull(r, buf); err != nil {
-			return nil
-		}
+		payload := data[offset+logHeaderSize : offset+logHeaderSize+n]
 		end := offset + logHeaderSize + n
-		if got := crc32.Checksum(buf, castagnoli); got != want {
+		if got := crc32.Checksum(payload, castagnoli); got != want {
 			if end == size {
-				return nil // torn or corrupted final record: never acknowledged
+				return scripts, nil // torn or corrupted final record: never acknowledged
 			}
-			return &CorruptRecordError{Offset: offset, Reason: fmt.Sprintf("crc mismatch (stored %08x, computed %08x)", want, got)}
+			return scripts, &CorruptRecordError{Offset: offset, Reason: fmt.Sprintf("crc mismatch (stored %08x, computed %08x)", want, got)}
 		}
-		if err := fn(string(buf)); err != nil {
-			return err
-		}
+		scripts = append(scripts, string(payload))
 		offset = end
 	}
-	return nil
+	return scripts, nil
+}
+
+// scanLegacyLog parses the pre-checksum `[len u32][payload]` layout,
+// accepting it only when at least one complete record chains cleanly
+// (a final record overshooting EOF is a torn tail and is dropped) and
+// every payload is valid UTF-8 — legacy delta scripts are text.
+func scanLegacyLog(data []byte) ([]string, bool) {
+	var scripts []string
+	size := int64(len(data))
+	offset := int64(0)
+	for offset < size {
+		if size-offset < legacyLogHeaderSize {
+			break // torn header
+		}
+		n := int64(binary.BigEndian.Uint32(data[offset:]))
+		if n > size-offset-legacyLogHeaderSize {
+			break // torn tail
+		}
+		payload := data[offset+legacyLogHeaderSize : offset+legacyLogHeaderSize+n]
+		if !utf8.Valid(payload) {
+			return nil, false
+		}
+		scripts = append(scripts, string(payload))
+		offset += legacyLogHeaderSize + n
+	}
+	return scripts, len(scripts) > 0
 }
 
 // Truncate discards all logged records — called after a snapshot is

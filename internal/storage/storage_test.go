@@ -2,6 +2,7 @@ package storage
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"os"
@@ -355,5 +356,85 @@ func TestReplayThenAppendContinues(t *testing.T) {
 	}
 	if len(got) != 2 {
 		t.Fatalf("replay: %v", got)
+	}
+}
+
+// legacyLogBytes renders records in the pre-checksum `[len u32][payload]`
+// format the old Append wrote, for migration tests.
+func legacyLogBytes(scripts ...string) []byte {
+	var buf []byte
+	for _, s := range scripts {
+		var hdr [legacyLogHeaderSize]byte
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(s)))
+		buf = append(buf, hdr[:]...)
+		buf = append(buf, s...)
+	}
+	return buf
+}
+
+func TestReplayMigratesLegacyFormat(t *testing.T) {
+	// Logs written before the checksummed record format must still
+	// replay in full — a single-record legacy log is the trap case: read
+	// as the new format its header overshoots the file, which looks like
+	// a torn tail and used to migrate zero deltas without any error.
+	for name, scripts := range map[string][]string{
+		"single record": {"+link(a,b)."},
+		"multi record":  {"+link(a,b).", "-link(a,b).", "+link(x,y). +link(y,z)."},
+	} {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "delta.log")
+			if err := os.WriteFile(path, legacyLogBytes(scripts...), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			l, err := OpenLog(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l.Close()
+			var got []string
+			if err := l.Replay(func(s string) error { got = append(got, s); return nil }); err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(scripts) {
+				t.Fatalf("migrated %d of %d records: %v", len(got), len(scripts), got)
+			}
+			for i := range scripts {
+				if got[i] != scripts[i] {
+					t.Fatalf("record %d: %q, want %q", i, got[i], scripts[i])
+				}
+			}
+		})
+	}
+}
+
+func TestReplayLegacyFormatTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "delta.log")
+	data := legacyLogBytes("+p(a).", "+p(b).")
+	data = append(data, 0, 0, 0, 50, 'x') // crashed legacy append
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var got []string
+	if err := l.Replay(func(s string) error { got = append(got, s); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "+p(a)." || got[1] != "+p(b)." {
+		t.Fatalf("replay: %v", got)
+	}
+}
+
+func TestReplayEmptyLog(t *testing.T) {
+	l, err := OpenLog(filepath.Join(t.TempDir(), "delta.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Replay(func(string) error { t.Fatal("no records expected"); return nil }); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -59,6 +59,30 @@ type StoreOptions struct {
 	// cover many records. Recommended under concurrent writers; with a
 	// single writer it adds one goroutine handoff per append.
 	GroupCommit bool
+
+	// RepairCorruptWAL lets recovery discard a mid-log corrupt record
+	// and everything after it, keeping the valid prefix. Off by default:
+	// the discarded suffix holds acknowledged (fsynced) appends, so
+	// OpenStore instead fails with a *CorruptWALError and leaves the
+	// file untouched for inspection. Torn tails — records a crash cut
+	// short, never acknowledged — are always trimmed silently.
+	RepairCorruptWAL bool
+}
+
+// CorruptWALError reports a WAL record damaged in place: its checksum
+// fails even though further bytes follow, so the damage cannot be a
+// torn tail. Recovery refuses to proceed past it (the records behind it
+// were acknowledged) unless StoreOptions.RepairCorruptWAL opts in to
+// discarding the suffix.
+type CorruptWALError struct {
+	Path   string
+	Offset int64
+	Reason string
+}
+
+func (e *CorruptWALError) Error() string {
+	return fmt.Sprintf("storage: corrupt wal record in %s at offset %d: %s (acknowledged records follow the damage; re-open with RepairCorruptWAL to keep the valid prefix and discard the rest)",
+		e.Path, e.Offset, e.Reason)
 }
 
 // RecoveryInfo describes what OpenStore found on disk.
@@ -79,8 +103,10 @@ type RecoveryInfo struct {
 	// acknowledged.
 	TornTail bool
 	// CorruptRecords counts checksum failures with further data behind
-	// them: in-place corruption, not a torn tail. The scan stops at the
-	// first one; the tail after it is discarded.
+	// them: in-place corruption, not a torn tail. Nonzero only under
+	// StoreOptions.RepairCorruptWAL (the scan stops at the first one and
+	// the tail after it is discarded); without the opt-in, OpenStore
+	// fails with a *CorruptWALError instead.
 	CorruptRecords int
 	// BadSnapshots counts snapshot files that failed to decode and were
 	// set aside (renamed to .corrupt).
@@ -264,9 +290,19 @@ func (s *Store) recoverWAL() error {
 			if end == size {
 				// Final record: indistinguishable from a torn append.
 				s.info.TornTail = true
-			} else {
-				s.info.CorruptRecords++
+				break
 			}
+			if !s.opts.RepairCorruptWAL {
+				// Acknowledged records sit behind the damage; refuse to
+				// open (and leave the file untouched) rather than silently
+				// destroy them.
+				return &CorruptWALError{
+					Path:   filepath.Join(s.dir, walFileName),
+					Offset: offset,
+					Reason: fmt.Sprintf("crc mismatch (stored %08x, computed %08x)", want, crc),
+				}
+			}
+			s.info.CorruptRecords++
 			break
 		}
 		switch {
@@ -316,6 +352,17 @@ func (s *Store) Snapshot() (db *eval.DB, program string, hidden []string, ok boo
 // Scripts returns the WAL delta scripts to replay on top of the
 // snapshot, in append order.
 func (s *Store) Scripts() []string { return s.scripts }
+
+// Closed reports whether Close has been called. Callers that mutate
+// in-memory state before appending can pre-check so a closed store
+// rejects the whole operation instead of leaving memory ahead of the
+// log (a concurrent Close can still land between the check and the
+// append; AppendAsync then fails with ErrStoreClosed after the fact).
+func (s *Store) Closed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
 
 // Epoch returns the current checkpoint epoch.
 func (s *Store) Epoch() uint64 {
@@ -403,8 +450,14 @@ func (s *Store) AppendAsync(script string) (wait func() error, err error) {
 		}
 		return func() error { return nil }, nil
 	}
-	s.mu.Unlock()
+	// Register with the committer before releasing the store lock: Close
+	// marks the store closed under this same lock, so by the time it
+	// asks the committer to drain, every record that passed the closed
+	// check above has been noted and the final fsync covers it — a
+	// record that was durably written can then never be reported back to
+	// its appender as ErrStoreClosed.
 	s.gc.noteAppended(seq)
+	s.mu.Unlock()
 	return func() error { return s.gc.waitSynced(seq) }, nil
 }
 
@@ -538,7 +591,13 @@ func (g *groupCommitter) run() {
 			g.mu.Unlock()
 			err := g.f.Sync()
 			g.mu.Lock()
-			if err == nil && g.err == nil {
+			if err != nil {
+				// Waiters must see the real sync failure, not a generic
+				// ErrStoreClosed for a record that may not be durable.
+				if g.err == nil {
+					g.err = err
+				}
+			} else if g.err == nil {
 				g.synced = target
 			}
 			g.cond.Broadcast()

@@ -1,11 +1,13 @@
 package storage
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"ivm/internal/metrics"
@@ -164,7 +166,7 @@ func TestStoreTornTail(t *testing.T) {
 	}
 }
 
-func TestStoreBitFlipStopsReplayLoudly(t *testing.T) {
+func TestStoreBitFlipRefusesWithoutRepairOptIn(t *testing.T) {
 	dir := t.TempDir()
 	s := openTestStore(t, dir, StoreOptions{})
 	for i := 0; i < 3; i++ {
@@ -177,14 +179,33 @@ func TestStoreBitFlipStopsReplayLoudly(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Flip a payload bit in the middle record.
+	// Flip a payload bit in the middle record: acknowledged records sit
+	// behind the damage.
 	recLen := walHeaderSize + len("+p(0).")
 	data[recLen+walHeaderSize] ^= 0x01
 	if err := os.WriteFile(walPath(dir), data, 0o644); err != nil {
 		t.Fatal(err)
 	}
 
-	s2 := openTestStore(t, dir, StoreOptions{})
+	// Default recovery must fail loudly and leave the file untouched.
+	_, err = OpenStore(dir, StoreOptions{})
+	var ce *CorruptWALError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *CorruptWALError, got %v", err)
+	}
+	if ce.Offset != int64(recLen) {
+		t.Fatalf("corrupt offset %d, want %d", ce.Offset, recLen)
+	}
+	after, err := os.ReadFile(walPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(data) {
+		t.Fatalf("refusing recovery must not truncate the WAL (%d -> %d bytes)", len(data), len(after))
+	}
+
+	// The repair opt-in keeps the valid prefix and discards the rest.
+	s2 := openTestStore(t, dir, StoreOptions{RepairCorruptWAL: true})
 	defer s2.Close()
 	info := s2.Recovery()
 	if info.CorruptRecords != 1 {
@@ -344,6 +365,53 @@ func TestStoreGroupCommitConcurrentAppends(t *testing.T) {
 	defer s2.Close()
 	if got := len(s2.Scripts()); got != writers*perWriter {
 		t.Fatalf("recovered %d of %d records", got, writers*perWriter)
+	}
+}
+
+func TestStoreGroupCommitCloseNeverFailsDurableAppends(t *testing.T) {
+	// Race Close against concurrent AppendAsync callers: any append that
+	// passes the closed check has its record written, so its wait() must
+	// report success (the final drain's fsync covers it), and the record
+	// must be there on recovery. Before the fix, Close could capture the
+	// committer's high-water mark between an append's write and its
+	// registration, and a durable record was reported as ErrStoreClosed.
+	for round := 0; round < 25; round++ {
+		dir := t.TempDir()
+		s := openTestStore(t, dir, StoreOptions{GroupCommit: true})
+		const writers = 8
+		var acked atomic.Int64
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				<-start
+				wait, err := s.AppendAsync(fmt.Sprintf("+p(%d).", w))
+				if err != nil {
+					if err != ErrStoreClosed {
+						t.Errorf("append: %v", err)
+					}
+					return
+				}
+				if werr := wait(); werr != nil {
+					t.Errorf("a written record must not report failure on close: %v", werr)
+					return
+				}
+				acked.Add(1)
+			}(w)
+		}
+		close(start)
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		wg.Wait()
+
+		s2 := openTestStore(t, dir, StoreOptions{})
+		if got := int64(len(s2.Scripts())); got != acked.Load() {
+			t.Fatalf("round %d: recovered %d records, acknowledged %d", round, got, acked.Load())
+		}
+		s2.Close()
 	}
 }
 

@@ -140,7 +140,9 @@ func (v Value) String() string {
 		return strconv.FormatInt(v.i, 10)
 	case Float:
 		s := strconv.FormatFloat(v.f, 'g', -1, 64)
-		// NaN/±Inf have no literal syntax; leave them as-is for display.
+		// NaN/±Inf have no literal syntax and render for display only;
+		// store-bound Views.Apply rejects them since a logged record
+		// holding one could never replay.
 		if strings.IndexAny(s, ".eE") < 0 && !math.IsInf(v.f, 0) && !math.IsNaN(v.f) {
 			s += ".0"
 		}

@@ -57,6 +57,11 @@ type Row = relation.Row
 // T builds a Tuple from Go scalars (int, int64, float64, string, Value).
 func T(vals ...any) Tuple { return value.T(vals...) }
 
+// ErrStoreClosed is returned (wrapped) by Apply, Sync, and rule edits on
+// store-bound views after Close: the binding remains so durability is
+// never dropped silently. Match with errors.Is.
+var ErrStoreClosed = storage.ErrStoreClosed
+
 // Int, Float and Str build scalar values.
 func Int(i int64) Value     { return value.NewInt(i) }
 func Float(f float64) Value { return value.NewFloat(f) }
@@ -227,6 +232,9 @@ type config struct {
 	tracer      metrics.Tracer
 	// groupCommit batches WAL fsyncs for store-bound views (OpenStore).
 	groupCommit bool
+	// walRepair lets OpenStore discard a corrupt WAL suffix instead of
+	// refusing to recover (WithWALRepair).
+	walRepair bool
 }
 
 // newConfig applies opts over the shared defaults. Every front end
@@ -293,6 +301,14 @@ func WithTracer(t Tracer) Option { return func(c *config) { c.tracer = t } }
 // after its delta is durable, but one fsync can cover many deltas.
 // Ignored for views without a store.
 func WithGroupCommit() Option { return func(c *config) { c.groupCommit = true } }
+
+// WithWALRepair lets OpenStore recover past mid-WAL corruption by
+// discarding the corrupt record and everything after it; the valid
+// prefix is kept and RecoveryInfo.CorruptRecords reports the damage.
+// Without this opt-in, OpenStore fails with the corruption error and
+// leaves the WAL untouched, because the records behind the damage were
+// acknowledged as durable and would otherwise be silently lost.
+func WithWALRepair() Option { return func(c *config) { c.walRepair = true } }
 
 // resolveParallelism turns the configured (or environment-supplied)
 // parallelism into a concrete worker count. A malformed IVM_PARALLELISM
@@ -511,10 +527,12 @@ func (v *Views) Has(pred string, vals ...any) bool {
 // changes. The update's deletions must refer to stored tuples. For
 // store-bound views (OpenStore), the update is durably logged to the
 // WAL: Apply returns only after the record is fsynced (batched across
-// concurrent callers under WithGroupCommit). A logging failure is
-// returned as an error even though the in-memory views already applied
-// the update — the caller should Sync (checkpoint) or treat the store
-// as lost.
+// concurrent callers under WithGroupCommit), updates containing NaN or
+// ±Inf floats are rejected up front (they have no replayable literal
+// syntax), and after Close the error wraps ErrStoreClosed. A logging
+// failure is returned as an error even though the in-memory views
+// already applied the update — the caller should Sync (checkpoint) or
+// treat the store as lost.
 func (v *Views) Apply(u *Update) (*ChangeSet, error) {
 	cs, wait, err := v.applyLocked(u)
 	if err != nil {
@@ -540,6 +558,19 @@ func (v *Views) applyLocked(u *Update) (*ChangeSet, func() error, error) {
 	}
 	v.mu.Lock()
 	defer v.mu.Unlock()
+	if v.store != nil {
+		// Fail a closed store before touching memory, so the views do
+		// not run ahead of the log they can no longer write to.
+		if v.store.Closed() {
+			return nil, nil, fmt.Errorf("ivm: %w", storage.ErrStoreClosed)
+		}
+		// NaN/±Inf have no parseable literal syntax, so a WAL record
+		// containing one could never replay on recovery. Reject before
+		// touching memory: the views and the log must not diverge.
+		if fact, bad := u.nonFinite(); bad {
+			return nil, nil, fmt.Errorf("ivm: %s contains a non-finite float, which cannot be logged replayably; store-bound views reject NaN and ±Inf", fact)
+		}
+	}
 	deltas := u.deltas()
 	var cs *ChangeSet
 	switch {
@@ -854,8 +885,10 @@ type RecoveryInfo struct {
 	// crash mid-append; the record was never acknowledged).
 	TornTail bool
 	// CorruptRecords counts checksum failures mid-log: in-place
-	// corruption. Replay stops at the first one, keeping the valid
-	// prefix instead of feeding garbage to the parser.
+	// corruption. Nonzero only under WithWALRepair, where replay stops
+	// at the first one and keeps the valid prefix; without the opt-in,
+	// OpenStore fails on mid-log corruption instead of discarding
+	// acknowledged records.
 	CorruptRecords int
 	// BadSnapshots counts snapshot files that failed to decode and were
 	// set aside (recovery fell back to an older epoch).
@@ -897,7 +930,7 @@ func (ri RecoveryInfo) String() string {
 // WAL); init builds its views with whatever options it chooses.
 func OpenStore(dir string, init func() (*Views, error), opts ...Option) (*Views, RecoveryInfo, error) {
 	cfg := newConfig(opts)
-	st, err := storage.OpenStore(dir, storage.StoreOptions{GroupCommit: cfg.groupCommit})
+	st, err := storage.OpenStore(dir, storage.StoreOptions{GroupCommit: cfg.groupCommit, RepairCorruptWAL: cfg.walRepair})
 	if err != nil {
 		return nil, RecoveryInfo{}, err
 	}
@@ -981,19 +1014,19 @@ func (v *Views) Store() (dir string, ok bool) {
 	return v.store.Dir(), true
 }
 
-// Close releases the store binding (flushing and closing the WAL). It
-// does not checkpoint — call Sync first for a clean shutdown; skipping
-// it is safe and simply leaves recovery to replay the WAL. Views
-// without a store close as a no-op.
+// Close flushes and closes the store's WAL. It does not checkpoint —
+// call Sync first for a clean shutdown; skipping it is safe and simply
+// leaves recovery to replay the WAL. The views stay store-bound: a
+// later Apply or Sync fails with ErrStoreClosed rather than silently
+// continuing in memory without durability. Views without a store close
+// as a no-op, and closing twice is a no-op.
 func (v *Views) Close() error {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	if v.store == nil {
 		return nil
 	}
-	err := v.store.Close()
-	v.store = nil
-	return err
+	return v.store.Close()
 }
 
 // ChangeSet maps derived predicates to the signed count deltas an update

@@ -6,7 +6,9 @@ package ivm_test
 // a full recomputation over the same base facts and update sequence.
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -345,4 +347,106 @@ func TestOpenStoreMetricsExposition(t *testing.T) {
 	if dirGot, ok := v.Store(); !ok || dirGot != dir {
 		t.Fatalf("Store() = %q, %v", dirGot, ok)
 	}
+}
+
+func TestOpenStoreApplyAfterCloseFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	v, _, err := ivm.OpenStore(dir, storeInit(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The store binding must survive Close: a later Apply or Sync has to
+	// surface ErrStoreClosed instead of silently succeeding in memory
+	// with no WAL record behind it.
+	if _, err := v.ApplyScript("+link(x,y)."); !errors.Is(err, ivm.ErrStoreClosed) {
+		t.Fatalf("Apply after Close: %v, want ErrStoreClosed", err)
+	}
+	if err := v.Sync(); !errors.Is(err, ivm.ErrStoreClosed) {
+		t.Fatalf("Sync after Close: %v, want ErrStoreClosed", err)
+	}
+	if err := v.Close(); err != nil {
+		t.Fatalf("second Close must be a no-op: %v", err)
+	}
+	if _, ok := v.Store(); !ok {
+		t.Fatal("Store() must still report the binding after Close")
+	}
+}
+
+func TestOpenStoreRejectsNonFiniteFloats(t *testing.T) {
+	dir := t.TempDir()
+	v, _, err := ivm.OpenStore(dir, func() (*ivm.Views, error) {
+		db := ivm.NewDatabase()
+		return db.Materialize(`w(X, C) :- m(X, C), C > 1.0.`)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+	// NaN/±Inf have no parseable literal syntax, so a WAL record holding
+	// one could never replay; store-bound views must reject the update
+	// before applying it in memory.
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if _, err := v.Apply(ivm.NewUpdate().Insert("m", "a", bad)); err == nil {
+			t.Fatalf("store-bound Apply must reject %v", bad)
+		}
+		if rows := v.Rows("m"); len(rows) != 0 {
+			t.Fatalf("rejected update must not mutate state: m = %v", rows)
+		}
+	}
+	// Finite floats stay accepted.
+	if _, err := v.Apply(ivm.NewUpdate().Insert("m", "a", 2.5)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Memory-only views (no store) keep accepting non-finite floats.
+	db := ivm.NewDatabase()
+	mem, err := db.Materialize(`w(X, C) :- m(X, C), C > 1.0.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mem.Apply(ivm.NewUpdate().Insert("m", "a", math.Inf(1))); err != nil {
+		t.Fatalf("memory-only views must accept non-finite floats: %v", err)
+	}
+}
+
+func TestOpenStoreWALRepairOptIn(t *testing.T) {
+	dir := t.TempDir()
+	v, _, err := ivm.OpenStore(dir, storeInit(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range storeTestScripts {
+		if _, err := v.ApplyScript(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v.Close()
+	// Flip a byte inside the second record's payload: mid-WAL corruption
+	// with acknowledged records behind it.
+	wal := filepath.Join(dir, "wal.log")
+	data, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const walHeader = 24
+	data[walHeader+len(storeTestScripts[0])+walHeader+1] ^= 0x20
+	if err := os.WriteFile(wal, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, err := ivm.OpenStore(dir, noInit(t)); err == nil {
+		t.Fatal("OpenStore must refuse mid-WAL corruption without WithWALRepair")
+	}
+	v2, info, err := ivm.OpenStore(dir, noInit(t), ivm.WithWALRepair())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v2.Close()
+	if info.CorruptRecords != 1 || info.Replayed != 1 {
+		t.Fatalf("info: %+v", info)
+	}
+	requireSameState(t, v2, groundTruth(t, storeTestScripts[:1]))
 }

@@ -2,6 +2,7 @@ package ivm
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -111,6 +112,32 @@ func (u *Update) Preds() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// nonFinite returns a rendering of the first fact whose tuple holds a
+// NaN or ±Inf float. Non-finite floats have no parseable literal
+// syntax, so a logged delta script containing one could never replay;
+// store-bound views reject such updates up front.
+func (u *Update) nonFinite() (fact string, found bool) {
+	for pred, r := range u.per {
+		r.Each(func(row relation.Row) {
+			if found {
+				return
+			}
+			for _, val := range row.Tuple {
+				if val.Kind() == value.Float {
+					if f := val.Float(); math.IsNaN(f) || math.IsInf(f, 0) {
+						fact, found = fmt.Sprintf("%s%s", pred, row.Tuple), true
+						return
+					}
+				}
+			}
+		})
+		if found {
+			return fact, true
+		}
+	}
+	return "", false
 }
 
 // deltas exposes the raw per-predicate delta relations to the engines.
