@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race bench bench-smoke metrics crash ci
+.PHONY: all build vet fmt fmt-check test race bench bench-smoke metrics crash cover fuzz-smoke ci
 
 all: build
 
@@ -46,4 +46,19 @@ metrics:
 crash:
 	$(GO) run ./cmd/ivmcrash
 
-ci: build vet fmt-check test race bench-smoke metrics crash
+# Coverage profile + gate against .github/coverage-baseline.txt.
+cover:
+	$(GO) test -count=1 -coverprofile=coverage.out ./...
+	@total="$$($(GO) tool cover -func=coverage.out | awk '/^total:/ {gsub(/%/, "", $$NF); print $$NF}')"; \
+	baseline="$$(cat .github/coverage-baseline.txt)"; \
+	echo "total coverage: $${total}% (baseline $${baseline}%)"; \
+	awk -v t="$$total" -v b="$$baseline" 'BEGIN { exit !(t+0 >= b+0) }' || { \
+		echo "coverage $${total}% fell below the $${baseline}% baseline" >&2; exit 1; }
+
+# 30s of native fuzzing per target (same trio as CI).
+fuzz-smoke:
+	$(GO) test -fuzz FuzzParseUpdate -fuzztime 30s -run '^$$' .
+	$(GO) test -fuzz FuzzScanLog -fuzztime 30s -run '^$$' ./internal/storage
+	$(GO) test -fuzz FuzzSQLParse -fuzztime 30s -run '^$$' ./internal/sqlview
+
+ci: build vet fmt-check test race bench-smoke metrics crash cover fuzz-smoke

@@ -252,6 +252,7 @@ func runREPL(views *ivm.Views, apply func(string) error, in io.Reader, out io.Wr
   explain <goal>   list a tuple's derivations                rules            list rules
   addrule <rule>   extend the definition   rmrule <index>   remove a rule
   stats            last maintenance stats  metrics          cumulative metrics
+  version          published snapshot version
   help             this text               quit             exit`)
 	sc := bufio.NewScanner(in)
 	for {
@@ -270,7 +271,7 @@ func runREPL(views *ivm.Views, apply func(string) error, in io.Reader, out io.Wr
 		case "quit", "exit":
 			return nil
 		case "help":
-			fmt.Fprintln(out, "enter deltas like '+p(a,b). -q(c).' or a command (show/query/rules/addrule/rmrule/stats/metrics/quit)")
+			fmt.Fprintln(out, "enter deltas like '+p(a,b). -q(c).' or a command (show/query/rules/addrule/rmrule/stats/metrics/version/quit)")
 		case "show":
 			if len(fields) != 2 {
 				fmt.Fprintln(out, "usage: show <pred>")
@@ -336,6 +337,9 @@ func runREPL(views *ivm.Views, apply func(string) error, in io.Reader, out io.Wr
 			printStats(out, views)
 		case "metrics":
 			_, err = views.Metrics().WriteTo(out)
+		case "version":
+			s := views.Snapshot()
+			fmt.Fprintf(out, "snapshot version %d (%d predicates)\n", s.Version(), len(s.Preds()))
 		default:
 			err = apply(line)
 		}

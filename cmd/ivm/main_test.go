@@ -88,6 +88,17 @@ func TestREPLStatsAndErrors(t *testing.T) {
 	}
 }
 
+func TestREPLVersion(t *testing.T) {
+	v := testViews(t)
+	out := runScript(t, v, "version\n+link(q,r).\nversion\nquit\n")
+	if !strings.Contains(out, "snapshot version 1 (") {
+		t.Fatalf("initial version:\n%s", out)
+	}
+	if !strings.Contains(out, "snapshot version 2 (") {
+		t.Fatalf("version must advance after an applied delta:\n%s", out)
+	}
+}
+
 func TestSplitList(t *testing.T) {
 	got := splitList(" a, b ,,c ")
 	if len(got) != 3 || got[0] != "a" || got[2] != "c" {

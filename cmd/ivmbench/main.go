@@ -23,7 +23,16 @@ func main() {
 	scaleFlag := flag.String("scale", "default", "experiment scale: smoke, default, or large")
 	expFlag := flag.String("exp", "", "comma-separated experiment ids to run (default: all)")
 	metricsPath := flag.String("metrics", "", `write a metrics exposition for the run to this file ("-" for stdout)`)
+	readersPath := flag.String("readers", "", "run the snapshot-reader latency benchmark and write its JSON report to this path (e.g. BENCH_readers.json), then exit")
 	flag.Parse()
+
+	if *readersPath != "" {
+		if err := writeReadersReport(*readersPath, *scaleFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "ivmbench: readers benchmark: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *metricsPath != "" {
 		experiments.EnableMetrics()

@@ -1,0 +1,254 @@
+package main
+
+// The snapshot-reader latency benchmark behind `ivmbench -readers`:
+// readers hammer point lookups and goal queries while writers sustain
+// Apply load, once against the MVCC snapshot path and once against an
+// emulated RWMutex discipline (readers take a shared lock the writer
+// holds exclusively across each Apply — the pre-snapshot design). The
+// report, written as BENCH_readers.json, records reader p50/p99 for
+// both modes and the scheduler's batch coalesce ratio, giving later
+// changes a perf trajectory to compare against.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ivm"
+)
+
+type readerLatencies struct {
+	Reads    int     `json:"reads"`
+	P50Nanos int64   `json:"p50_nanos"`
+	P99Nanos int64   `json:"p99_nanos"`
+	MaxNanos int64   `json:"max_nanos"`
+	Applies  int     `json:"applies"`
+	ApplyP99 float64 `json:"apply_p99_millis"`
+}
+
+type readersReport struct {
+	// Shape of the run.
+	Nodes      int    `json:"nodes"`
+	Edges      int    `json:"edges"`
+	Readers    int    `json:"readers"`
+	Writers    int    `json:"writers"`
+	Duration   string `json:"duration"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+
+	// Snapshot is the MVCC read path; RWMutexBaseline emulates the
+	// pre-snapshot lock discipline at the harness level (shared lock per
+	// read, exclusive lock across each Apply).
+	Snapshot        readerLatencies `json:"snapshot"`
+	RWMutexBaseline readerLatencies `json:"rwmutex_baseline"`
+
+	// SpeedupP99 is baseline p99 / snapshot p99 — the headline number.
+	SpeedupP99 float64 `json:"speedup_p99"`
+
+	// Coalescing observed during the snapshot run: logical updates per
+	// maintenance batch (1.0 = no coalescing).
+	Batches       int64   `json:"sched_batches"`
+	BatchUpdates  int64   `json:"sched_batch_updates"`
+	CoalesceRatio float64 `json:"coalesce_ratio"`
+}
+
+func buildReaderViews(nodes, edges int, rng *rand.Rand) (*ivm.Views, error) {
+	db := ivm.NewDatabase()
+	for i := 0; i < edges; i++ {
+		db.Insert("link", fmt.Sprintf("n%d", rng.Intn(nodes)), fmt.Sprintf("n%d", rng.Intn(nodes)))
+	}
+	// Two strata of joins make each maintenance pass expensive enough
+	// that an exclusive lock held across Apply visibly stalls readers.
+	return db.Materialize(`
+		hop(X,Y) :- link(X,Z), link(Z,Y).
+		tri(X,Y) :- hop(X,Z), link(Z,Y).
+	`)
+}
+
+// writerBatch is the number of edge-pair inserts per Apply; the
+// following Apply deletes them again, keeping the graph near its
+// initial size.
+const writerBatch = 8
+
+// runReaderLoad drives writers+readers for d and returns the observed
+// reader latencies. When rw is non-nil, every read holds rw.RLock and
+// every Apply holds rw.Lock — the emulated pre-MVCC discipline.
+func runReaderLoad(v *ivm.Views, nodes, readers, writers int, d time.Duration, rw *sync.RWMutex) readerLatencies {
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	applyNanos := make([][]int64, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + w)))
+			for round := 0; !stop.Load(); round++ {
+				ins, del := ivm.NewUpdate(), ivm.NewUpdate()
+				for i := 0; i < writerBatch; i++ {
+					src := fmt.Sprintf("n%d", rng.Intn(nodes))
+					mid := fmt.Sprintf("w%d_%d_%d", w, round, i)
+					dst := fmt.Sprintf("n%d", rng.Intn(nodes))
+					ins.Insert("link", src, mid).Insert("link", mid, dst)
+					del.Delete("link", src, mid).Delete("link", mid, dst)
+				}
+				for _, u := range []*ivm.Update{ins, del} {
+					t0 := time.Now()
+					if rw != nil {
+						rw.Lock()
+					}
+					_, err := v.Apply(u)
+					if rw != nil {
+						rw.Unlock()
+					}
+					if err != nil {
+						panic(err)
+					}
+					applyNanos[w] = append(applyNanos[w], time.Since(t0).Nanoseconds())
+				}
+			}
+		}(w)
+	}
+
+	// Readers are open-loop: each schedules one read every readInterval
+	// of wall time and measures from the *scheduled* arrival, not from
+	// when the goroutine finally ran. Closed-loop hammering would
+	// under-count stalls (coordinated omission): a reader blocked behind
+	// a lock simply takes fewer samples, hiding exactly the latency this
+	// benchmark exists to expose.
+	const readInterval = time.Millisecond
+	samples := make([][]int64, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(2000 + r)))
+			start := time.Now()
+			for i := 0; !stop.Load(); i++ {
+				sched := start.Add(time.Duration(i) * readInterval)
+				if now := time.Now(); now.Before(sched) {
+					time.Sleep(sched.Sub(now))
+				}
+				a := fmt.Sprintf("n%d", rng.Intn(nodes))
+				b := fmt.Sprintf("n%d", rng.Intn(nodes))
+				if rw != nil {
+					rw.RLock()
+				}
+				v.Count("hop", a, b)
+				v.Has("link", a, b)
+				if rw != nil {
+					rw.RUnlock()
+				}
+				samples[r] = append(samples[r], time.Since(sched).Nanoseconds())
+			}
+		}(r)
+	}
+
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+
+	var all []int64
+	for _, s := range samples {
+		all = append(all, s...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	var applies []int64
+	for _, s := range applyNanos {
+		applies = append(applies, s...)
+	}
+	sort.Slice(applies, func(i, j int) bool { return applies[i] < applies[j] })
+
+	pct := func(xs []int64, p float64) int64 {
+		if len(xs) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(xs)-1))
+		return xs[i]
+	}
+	out := readerLatencies{
+		Reads:    len(all),
+		P50Nanos: pct(all, 0.50),
+		P99Nanos: pct(all, 0.99),
+		Applies:  len(applies),
+		ApplyP99: float64(pct(applies, 0.99)) / 1e6,
+	}
+	if len(all) > 0 {
+		out.MaxNanos = all[len(all)-1]
+	}
+	return out
+}
+
+// runReadersBenchmark produces the BENCH_readers.json report.
+func runReadersBenchmark(nodes, edges int, d time.Duration) (*readersReport, error) {
+	readers, writers := 4, 4
+
+	// MVCC snapshot path.
+	v, err := buildReaderViews(nodes, edges, rand.New(rand.NewSource(7)))
+	if err != nil {
+		return nil, err
+	}
+	snap := runReaderLoad(v, nodes, readers, writers, d, nil)
+	m := v.Metrics()
+	batches := m.Counter("sched_batches_total")
+	updates := m.Counter("sched_batch_updates_total")
+
+	// Emulated RWMutex baseline over identical views and load.
+	vb, err := buildReaderViews(nodes, edges, rand.New(rand.NewSource(7)))
+	if err != nil {
+		return nil, err
+	}
+	var rw sync.RWMutex
+	base := runReaderLoad(vb, nodes, readers, writers, d, &rw)
+
+	rep := &readersReport{
+		Nodes: nodes, Edges: edges,
+		Readers: readers, Writers: writers,
+		Duration:        d.String(),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		Snapshot:        snap,
+		RWMutexBaseline: base,
+		Batches:         batches,
+		BatchUpdates:    updates,
+	}
+	if snap.P99Nanos > 0 {
+		rep.SpeedupP99 = float64(base.P99Nanos) / float64(snap.P99Nanos)
+	}
+	if batches > 0 {
+		rep.CoalesceRatio = float64(updates) / float64(batches)
+	}
+	return rep, nil
+}
+
+func writeReadersReport(path string, scale string) error {
+	nodes, edges, dur := 150, 1200, 2*time.Second
+	if scale == "smoke" {
+		nodes, edges, dur = 60, 400, 400*time.Millisecond
+	}
+	rep, err := runReadersBenchmark(nodes, edges, dur)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("reader latency under sustained Apply load (%d readers vs %d writers, %s):\n",
+		rep.Readers, rep.Writers, rep.Duration)
+	fmt.Printf("  snapshot path:    p50 %8dns  p99 %8dns  (%d reads)\n",
+		rep.Snapshot.P50Nanos, rep.Snapshot.P99Nanos, rep.Snapshot.Reads)
+	fmt.Printf("  rwmutex baseline: p50 %8dns  p99 %8dns  (%d reads)\n",
+		rep.RWMutexBaseline.P50Nanos, rep.RWMutexBaseline.P99Nanos, rep.RWMutexBaseline.Reads)
+	fmt.Printf("  p99 speedup: %.1fx   coalesce ratio: %.2f updates/batch\n", rep.SpeedupP99, rep.CoalesceRatio)
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

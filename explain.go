@@ -1,13 +1,7 @@
 package ivm
 
 import (
-	"fmt"
-	"sort"
 	"strings"
-
-	"ivm/internal/datalog"
-	"ivm/internal/eval"
-	"ivm/internal/parser"
 )
 
 // Subgoal is one instantiated body literal of a derivation.
@@ -50,57 +44,12 @@ type Derivation struct {
 // The goal must be ground (no variables). One level of derivation is
 // returned; explain a subgoal tuple to drill deeper. For recursive views
 // under DRed, derivations reflect the current materialized state.
+//
+// The derivations are enumerated against the current published version
+// (group tables are rebuilt from the version's relations, so no engine
+// state is touched and no lock is taken — Explain never blocks Apply).
 func (v *Views) Explain(goal string) ([]Derivation, error) {
-	a, err := parser.ParseGoal(goal)
-	if err != nil {
-		return nil, err
-	}
-	tuple := make(Tuple, len(a.Args))
-	for i, t := range a.Args {
-		c, ok := t.(datalog.Const)
-		if !ok {
-			return nil, fmt.Errorf("ivm: Explain needs a ground goal; %s is a variable", t)
-		}
-		tuple[i] = c.Value
-	}
-
-	// Explain may build indexes and group tables: take the write lock.
-	v.mu.Lock()
-	defer v.mu.Unlock()
-
-	prog := v.Program()
-	db, sem, gts := v.explainState()
-	var out []Derivation
-	for _, ri := range prog.RulesFor(a.Pred) {
-		rule := prog.Rules[ri]
-		srcs, err := eval.SourcesAt(rule, ri, db, sem, gts)
-		if err != nil {
-			return nil, err
-		}
-		matches, err := eval.Explain(rule, srcs, tuple)
-		if err != nil {
-			return nil, err
-		}
-		for _, m := range matches {
-			d := Derivation{Rule: rule.String(), RuleIndex: ri}
-			for _, g := range m {
-				d.Subgoals = append(d.Subgoals, Subgoal{
-					Pred: g.Pred, Tuple: g.Tuple,
-					Negated: g.Negated, Aggregate: g.Aggregate, Count: g.Count,
-				})
-			}
-			out = append(out, d)
-		}
-	}
-	// Derivation enumeration walks hash relations, so within a rule the
-	// match order is unspecified; sort for deterministic output.
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].RuleIndex != out[j].RuleIndex {
-			return out[i].RuleIndex < out[j].RuleIndex
-		}
-		return derivationKey(out[i]) < derivationKey(out[j])
-	})
-	return out, nil
+	return v.Snapshot().Explain(goal)
 }
 
 // derivationKey canonically encodes a derivation's ground subgoals for
@@ -114,19 +63,4 @@ func derivationKey(d Derivation) string {
 		sb.WriteString(");")
 	}
 	return sb.String()
-}
-
-// explainState returns the storage, semantics and group tables of the
-// active engine for derivation enumeration.
-func (v *Views) explainState() (*eval.DB, Semantics, map[eval.RuleLit]*eval.GroupTable) {
-	switch {
-	case v.c != nil:
-		return v.c.DB(), v.c.InternalSemantics(), v.c.GroupTables()
-	case v.dr != nil:
-		return v.dr.DB(), SetSemantics, v.dr.GroupTables()
-	case v.rc != nil:
-		return v.rc.DB(), v.rc.Semantics(), nil
-	default:
-		return v.pf.DB(), SetSemantics, nil
-	}
 }

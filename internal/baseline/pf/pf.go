@@ -58,6 +58,11 @@ type Engine struct {
 	// serialize Apply against Stats (ivm.Views does so under its RWMutex).
 	last Stats
 
+	// lastDeltas accumulates, per predicate, the exact signed deltas the
+	// most recent Apply's passes committed into stored content. Snapshot
+	// publication replays these onto the previous published version.
+	lastDeltas map[string]*relation.Relation
+
 	// tracer and the resolved metric instruments; all nil-safe.
 	tracer        metrics.Tracer
 	mApplies      *metrics.Counter
@@ -71,6 +76,11 @@ type Engine struct {
 
 // Stats returns the accumulated work counters of the most recent Apply.
 func (e *Engine) Stats() Stats { return e.last }
+
+// CommittedDeltas returns, per predicate, the exact signed count delta
+// the most recent Apply merged into its stored relation, summed across
+// all fragmented passes.
+func (e *Engine) CommittedDeltas() map[string]*relation.Relation { return e.lastDeltas }
 
 // New materializes prog over base (set semantics).
 func New(prog *datalog.Program, base *eval.DB) (*Engine, error) {
@@ -142,6 +152,7 @@ func (e *Engine) Apply(baseDelta map[string]*relation.Relation) (*dred.Changes, 
 			n.MergeDelta(a)
 		}
 	}
+	committed := make(map[string]*relation.Relation)
 	pass := func(delta map[string]*relation.Relation) error {
 		ch, err := e.d.Apply(delta)
 		if err != nil {
@@ -153,6 +164,16 @@ func (e *Engine) Apply(baseDelta map[string]*relation.Relation) (*dred.Changes, 
 		e.last.Rederived += st.Rederived
 		e.last.Inserted += st.Inserted
 		e.last.RuleFirings += st.RuleFirings
+		// Base transitions are in the inner engine's committed net but
+		// not in its visible Changes, so fold the former for snapshots.
+		for pred, n := range e.d.CommittedDeltas() {
+			acc, ok := committed[pred]
+			if !ok {
+				acc = relation.New(n.Arity())
+				committed[pred] = acc
+			}
+			acc.MergeDelta(n)
+		}
 		fold(ch)
 		return nil
 	}
@@ -183,6 +204,12 @@ func (e *Engine) Apply(baseDelta map[string]*relation.Relation) (*dred.Changes, 
 		}
 	}
 
+	e.lastDeltas = make(map[string]*relation.Relation, len(committed))
+	for pred, acc := range committed {
+		if !acc.Empty() {
+			e.lastDeltas[pred] = acc
+		}
+	}
 	out := &dred.Changes{
 		Del: make(map[string]*relation.Relation),
 		Add: make(map[string]*relation.Relation),

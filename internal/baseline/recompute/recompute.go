@@ -34,7 +34,17 @@ type Engine struct {
 	// Tracer, when non-nil, receives per-Apply trace events. Set it
 	// before the first Apply.
 	Tracer metrics.Tracer
+
+	// lastDeltas holds, per predicate, the exact signed count delta the
+	// most recent Apply committed into stored content (base merges plus
+	// the old-vs-new diff of every changed view). Snapshot publication
+	// replays these onto the previous published version.
+	lastDeltas map[string]*relation.Relation
 }
+
+// CommittedDeltas returns, per predicate, the exact signed count delta
+// the most recent Apply merged into its stored relation.
+func (e *Engine) CommittedDeltas() map[string]*relation.Relation { return e.lastDeltas }
 
 // New validates prog and computes the initial materialization.
 func New(prog *datalog.Program, base *eval.DB, sem eval.Semantics) (*Engine, error) {
@@ -141,6 +151,15 @@ func (e *Engine) Apply(baseDelta map[string]*relation.Relation) (map[string]*rel
 		if !d.Empty() {
 			deltas[pred] = d
 		}
+	}
+	e.lastDeltas = make(map[string]*relation.Relation, len(commit)+len(deltas))
+	for pred, cd := range commit {
+		if !cd.Empty() {
+			e.lastDeltas[pred] = cd
+		}
+	}
+	for pred, d := range deltas {
+		e.lastDeltas[pred] = d
 	}
 	if r := e.Metrics; r != nil {
 		r.Counter("recompute_applies_total").Inc()

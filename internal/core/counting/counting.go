@@ -97,8 +97,16 @@ type Engine struct {
 	// last holds the work counters of the most recent Apply. It is
 	// written only by Apply and read via Stats(); callers that share the
 	// engine across goroutines must serialize Apply against Stats (the
-	// public ivm.Views does so under its RWMutex).
+	// public ivm.Views copies it into each published snapshot version).
 	last Stats
+
+	// lastDeltas holds, per predicate, the exact signed count delta the
+	// most recent Apply merged into stored content — strictly wider than
+	// the returned visible deltas under set semantics, where statement
+	// (2) can stop the cascade while stored derivation counts still
+	// moved. Snapshot publication replays exactly these deltas onto the
+	// previous published version.
+	lastDeltas map[string]*relation.Relation
 
 	// tracer and the resolved metric instruments; all nil-safe.
 	tracer        metrics.Tracer
@@ -113,6 +121,12 @@ type Engine struct {
 
 // Stats returns the work counters of the most recent Apply.
 func (e *Engine) Stats() Stats { return e.last }
+
+// CommittedDeltas returns, per predicate, the exact signed count delta
+// the most recent Apply merged into its stored relation (base and
+// derived, including count-only moves that statement (2) kept from
+// cascading). The relations are not mutated after Apply returns.
+func (e *Engine) CommittedDeltas() map[string]*relation.Relation { return e.lastDeltas }
 
 // observing reports whether any per-stratum timing consumer is active,
 // so the unobserved hot path skips clock reads entirely.
@@ -388,11 +402,18 @@ func (e *Engine) Apply(baseDelta map[string]*relation.Relation) (map[string]*rel
 	}
 
 	// Commit: base deltas, view deltas, group tables.
+	e.lastDeltas = make(map[string]*relation.Relation, len(commitBase)+len(fullDeltas))
 	for pred, d := range commitBase {
 		e.db.Ensure(pred, -1).MergeDelta(d)
+		if !d.Empty() {
+			e.lastDeltas[pred] = d
+		}
 	}
 	for pred, dp := range fullDeltas {
 		e.db.Ensure(pred, -1).MergeDelta(dp)
+		if !dp.Empty() {
+			e.lastDeltas[pred] = dp
+		}
 	}
 	for key, dt := range pendingT {
 		e.gts[key].Commit(dt)

@@ -82,6 +82,12 @@ type Engine struct {
 	// maintenance against Stats (ivm.Views does so under its RWMutex).
 	last Stats
 
+	// lastNet holds, per predicate, the exact signed net delta the most
+	// recent operation committed into stored content (base transitions
+	// and derived-set changes alike). Snapshot publication replays these
+	// deltas onto the previous published version.
+	lastNet map[string]*relation.Relation
+
 	// tracer and the resolved metric instruments; all nil-safe.
 	tracer          metrics.Tracer
 	instr           *eval.Instruments
@@ -98,6 +104,11 @@ type Engine struct {
 // Stats returns the work counters of the most recent maintenance
 // operation (Apply, AddRule, or RemoveRule).
 func (e *Engine) Stats() Stats { return e.last }
+
+// CommittedDeltas returns, per predicate, the exact signed count delta
+// the most recent operation merged into its stored relation. The
+// relations are not mutated after the operation returns.
+func (e *Engine) CommittedDeltas() map[string]*relation.Relation { return e.lastNet }
 
 // observing reports whether any timing consumer is active, so the
 // unobserved hot path skips clock reads entirely.

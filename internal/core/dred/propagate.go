@@ -575,8 +575,12 @@ func (e *Engine) propagate(del, add, net map[string]*relation.Relation,
 	}
 
 	// Commit everything.
+	e.lastNet = make(map[string]*relation.Relation, len(net))
 	for pred, n := range net {
 		e.db.Ensure(pred, n.Arity()).MergeDelta(n)
+		if !n.Empty() {
+			e.lastNet[pred] = n
+		}
 	}
 	for key, dt := range pendingT {
 		e.gts[key].Commit(dt)

@@ -48,6 +48,11 @@ type Relation struct {
 	arity int
 	rows  map[string]Row
 
+	// frozen marks an immutable relation (a published snapshot version):
+	// any mutation panics. Lazy index builds remain allowed — they are
+	// internally synchronized and do not change the relation's content.
+	frozen bool
+
 	// idx holds the lazy hash indexes, keyed by column signature. idxMu
 	// guards idx against concurrent lazy builds from reader goroutines;
 	// hasIdx lets the mutation hot path skip the lock entirely until the
@@ -111,12 +116,29 @@ func (r *Relation) Has(t value.Tuple) bool {
 	return r.rows[t.Key()].Count > 0
 }
 
+// Freeze marks the relation immutable: every subsequent Add, Set,
+// Delete or MergeDelta panics. Snapshot versions published to
+// concurrent readers are frozen so a maintenance bug that touched a
+// published relation fails loudly instead of corrupting readers. Lazy
+// index builds (Lookup) stay legal; Clone returns a mutable copy.
+func (r *Relation) Freeze() { r.frozen = true }
+
+// Frozen reports whether the relation has been frozen.
+func (r *Relation) Frozen() bool { return r.frozen }
+
+func (r *Relation) mutable() {
+	if r.frozen {
+		panic("relation: mutation of a frozen relation (published snapshot versions are immutable)")
+	}
+}
+
 // Add merges (t, count) into the relation, removing the tuple if the
 // resulting count is zero. Adding with count 0 is a no-op.
 func (r *Relation) Add(t value.Tuple, count int64) {
 	if count == 0 {
 		return
 	}
+	r.mutable()
 	if r.arity < 0 {
 		r.arity = len(t)
 	} else if len(t) != r.arity {
@@ -147,6 +169,7 @@ func (r *Relation) Set(t value.Tuple, count int64) {
 
 // Delete removes the tuple entirely regardless of count.
 func (r *Relation) Delete(t value.Tuple) {
+	r.mutable()
 	k := t.Key()
 	row, ok := r.rows[k]
 	if !ok {

@@ -1,0 +1,111 @@
+package relation
+
+import "sync/atomic"
+
+// Versioned is an immutable, copy-on-write relation version: the unit
+// snapshot publication works with. A version is either a frozen
+// *Relation or an overlay chain of frozen deltas above one; either way
+// its content never changes after construction, so any number of
+// goroutines may read it without synchronization while newer versions
+// are derived from it.
+//
+// Push derives the successor version in O(|delta|) by stacking one more
+// overlay link; probes (Count/Has/Lookup) then pay one map hit per
+// link. To bound that read cost, Push flattens the chain back into a
+// single relation when it grows too deep or when the accumulated delta
+// rows become a sizable fraction of the base — which keeps publication
+// amortized O(|delta|) per update while probes stay O(maxChainDepth)
+// worst case.
+type Versioned struct {
+	rd    Reader // frozen *Relation, or an overlay chain over one
+	depth int    // overlay links above the flat base
+	pend  int    // delta rows accumulated above the flat base
+	flen  int    // Len of the flat base at the bottom of the chain
+
+	// flat caches the fully materialized (frozen) form, built lazily by
+	// Flat or eagerly by flattening. Concurrent builders may race to
+	// store it; every candidate has identical content, so last-writer-
+	// wins is safe.
+	flat atomic.Pointer[Relation]
+}
+
+const (
+	// maxChainDepth bounds per-probe overhead: a reader pays at most
+	// this many map hits per Count/Has. When a chain would exceed it,
+	// Push flattens — so with pathological tiny deltas over a huge base,
+	// publication degrades to O(|base|/maxChainDepth) amortized rather
+	// than O(|base|) per update.
+	maxChainDepth = 32
+	// minFlattenRows keeps small relations from flattening on every
+	// push; below this, chain depth alone triggers flattening.
+	minFlattenRows = 256
+)
+
+// NewVersioned freezes r and wraps it as a depth-0 version. The caller
+// must own r exclusively (pass a clone of any shared relation) and must
+// not mutate it afterwards.
+func NewVersioned(r *Relation) *Versioned {
+	r.Freeze()
+	v := &Versioned{rd: r, flen: r.Len()}
+	v.flat.Store(r)
+	return v
+}
+
+// Push returns a new version equal to v ⊎ delta, leaving v unchanged.
+// delta is copied and frozen, so the caller may keep mutating its
+// original. Cost is O(|delta|), amortized against occasional O(n)
+// flattening (see the type comment).
+func (v *Versioned) Push(delta *Relation) *Versioned {
+	if delta.Empty() {
+		return v
+	}
+	d := delta.Clone()
+	d.Freeze()
+	base, depth, pend, flen := v.rd, v.depth, v.pend, v.flen
+	if f := v.flat.Load(); f != nil && depth > 0 {
+		// A reader already materialized this version: chain from the
+		// flat form and the depth resets for free.
+		base, depth, pend, flen = f, 0, 0, f.Len()
+	}
+	nv := &Versioned{rd: Overlay(base, d), depth: depth + 1, pend: pend + d.Len(), flen: flen}
+	if nv.depth >= maxChainDepth || (nv.pend >= minFlattenRows && nv.pend*4 >= nv.flen) {
+		nv.flatten()
+	}
+	return nv
+}
+
+// flatten collapses the chain into a single frozen relation. Called
+// only before the version is published (single goroutine).
+func (v *Versioned) flatten() {
+	f := Materialize(v.rd)
+	f.Freeze()
+	v.rd, v.depth, v.pend, v.flen = f, 0, 0, f.Len()
+	v.flat.Store(f)
+}
+
+// Reader returns the version's read view: the cached flat relation if
+// one exists, else the overlay chain.
+func (v *Versioned) Reader() Reader {
+	if f := v.flat.Load(); f != nil {
+		return f
+	}
+	return v.rd
+}
+
+// Flat returns the version as a single frozen *Relation, materializing
+// and caching it on first use. Full-scan consumers (sorted row dumps,
+// explanation queries) use this so repeated scans of one version pay
+// the merge cost once.
+func (v *Versioned) Flat() *Relation {
+	if f := v.flat.Load(); f != nil {
+		return f
+	}
+	f := Materialize(v.rd)
+	f.Freeze()
+	v.flat.Store(f)
+	return f
+}
+
+// Depth reports the current overlay-chain depth (0 when flat) — an
+// observability hook for tests and metrics.
+func (v *Versioned) Depth() int { return v.depth }

@@ -1,0 +1,131 @@
+package relation
+
+import (
+	"fmt"
+	"testing"
+
+	"ivm/internal/value"
+)
+
+func TestVersionedFreezesAndIsImmutable(t *testing.T) {
+	r := New(2)
+	r.Add(value.T("a", "b"), 1)
+	if v := NewVersioned(r); v.Depth() != 0 {
+		t.Fatalf("fresh version depth = %d, want 0", v.Depth())
+	}
+	if !r.Frozen() {
+		t.Fatal("NewVersioned must freeze its input")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mutating a published relation must panic")
+		}
+	}()
+	r.Add(value.T("x", "y"), 1)
+}
+
+func TestVersionedPushLeavesPredecessorUnchanged(t *testing.T) {
+	base := New(2)
+	base.Add(value.T("a", "b"), 1)
+	v0 := NewVersioned(base)
+
+	delta := New(2)
+	delta.Add(value.T("c", "d"), 2)
+	delta.Add(value.T("a", "b"), -1)
+	v1 := v0.Push(delta)
+
+	// The caller may keep mutating its delta: Push copies it.
+	delta.Add(value.T("zz", "zz"), 7)
+
+	if got := v0.Flat().Count(value.T("a", "b")); got != 1 {
+		t.Fatalf("v0 changed: count(a,b) = %d, want 1", got)
+	}
+	if v0.Flat().Has(value.T("c", "d")) {
+		t.Fatal("v0 must not see v1's delta")
+	}
+	f1 := v1.Flat()
+	if f1.Has(value.T("a", "b")) {
+		t.Fatal("v1 must see the -1 cancel (a,b)")
+	}
+	if got := f1.Count(value.T("c", "d")); got != 2 {
+		t.Fatalf("v1 count(c,d) = %d, want 2", got)
+	}
+	if f1.Has(value.T("zz", "zz")) {
+		t.Fatal("post-Push delta mutations must not leak into v1")
+	}
+}
+
+func TestVersionedEmptyPushIsIdentity(t *testing.T) {
+	v := NewVersioned(New(2))
+	if v.Push(New(2)) != v {
+		t.Fatal("pushing an empty delta must return the same version")
+	}
+}
+
+func TestVersionedDepthBoundAndFlatEquivalence(t *testing.T) {
+	// Push far more deltas than maxChainDepth; depth must stay bounded
+	// and the chained reader must agree with the flat form throughout.
+	v := NewVersioned(New(2))
+	want := map[string]int64{}
+	for i := 0; i < 4*maxChainDepth; i++ {
+		d := New(2)
+		key := fmt.Sprintf("k%d", i%10)
+		d.Add(value.T(key, "v"), 1)
+		want[key]++
+		v = v.Push(d)
+		if v.Depth() >= maxChainDepth {
+			t.Fatalf("push %d: depth %d not collapsed below maxChainDepth", i, v.Depth())
+		}
+	}
+	for key, n := range want {
+		if got := v.Reader().Count(value.T(key, "v")); got != n {
+			t.Fatalf("reader count(%s) = %d, want %d", key, got, n)
+		}
+		if got := v.Flat().Count(value.T(key, "v")); got != n {
+			t.Fatalf("flat count(%s) = %d, want %d", key, got, n)
+		}
+	}
+	if !v.Flat().Frozen() {
+		t.Fatal("flattened form must be frozen")
+	}
+}
+
+func TestVersionedPendFractionFlattens(t *testing.T) {
+	// A single delta holding ≥ max(minFlattenRows, flen/4) rows must
+	// flatten immediately even at depth 1.
+	base := New(1)
+	for i := 0; i < 2*minFlattenRows; i++ {
+		base.Add(value.T(fmt.Sprintf("b%d", i)), 1)
+	}
+	v := NewVersioned(base)
+	d := New(1)
+	for i := 0; i < minFlattenRows; i++ {
+		d.Add(value.T(fmt.Sprintf("d%d", i)), 1)
+	}
+	nv := v.Push(d)
+	if nv.Depth() != 0 {
+		t.Fatalf("bulk delta must flatten: depth = %d", nv.Depth())
+	}
+	if nv.Flat().Len() != 3*minFlattenRows {
+		t.Fatalf("flat len = %d, want %d", nv.Flat().Len(), 3*minFlattenRows)
+	}
+}
+
+func TestVersionedFlatIsCachedAndReusedByPush(t *testing.T) {
+	v := NewVersioned(New(2))
+	d := New(2)
+	d.Add(value.T("a", "b"), 1)
+	v1 := v.Push(d)
+	f := v1.Flat()
+	if v1.Flat() != f {
+		t.Fatal("Flat must cache its result")
+	}
+	// The next Push should chain from the cached flat form, resetting
+	// depth to 1 rather than stacking on the old chain.
+	d2 := New(2)
+	d2.Add(value.T("c", "d"), 1)
+	v2 := v1.Push(d2)
+	if v2.Depth() != 1 {
+		t.Fatalf("push over a materialized version: depth = %d, want 1", v2.Depth())
+	}
+}

@@ -1,0 +1,152 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+type req struct {
+	id   int
+	done chan struct{}
+}
+
+// TestSingleCallerBatchesOfOne: with no contention every batch has
+// exactly one request, processed by the caller itself.
+func TestSingleCallerBatchesOfOne(t *testing.T) {
+	var batches [][]int
+	c := New(func(batch []*req) {
+		ids := make([]int, len(batch))
+		for i, r := range batch {
+			ids[i] = r.id
+			close(r.done)
+		}
+		batches = append(batches, ids)
+	})
+	for i := 0; i < 5; i++ {
+		r := &req{id: i, done: make(chan struct{})}
+		if led := c.Submit(r); !led {
+			t.Fatalf("uncontended Submit %d did not lead", i)
+		}
+		<-r.done
+	}
+	if len(batches) != 5 {
+		t.Fatalf("got %d batches, want 5: %v", len(batches), batches)
+	}
+	for i, b := range batches {
+		if len(b) != 1 || b[0] != i {
+			t.Fatalf("batch %d = %v, want [%d]", i, b, i)
+		}
+	}
+}
+
+// TestConcurrentSubmitsCoalesce: requests arriving while a batch is in
+// flight land in a later batch together; every request is completed
+// exactly once and batches never overlap.
+func TestConcurrentSubmitsCoalesce(t *testing.T) {
+	const n = 200
+	var mu sync.Mutex
+	var active, maxBatch, batches int
+	var processed int64
+	var c *Combiner[*req]
+	c = New(func(batch []*req) {
+		mu.Lock()
+		active++
+		if active != 1 {
+			mu.Unlock()
+			t.Error("two batches processed concurrently")
+			return
+		}
+		batches++
+		if len(batch) > maxBatch {
+			maxBatch = len(batch)
+		}
+		mu.Unlock()
+		for _, r := range batch {
+			atomic.AddInt64(&processed, 1)
+			close(r.done)
+		}
+		mu.Lock()
+		active--
+		mu.Unlock()
+	})
+
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := &req{id: i, done: make(chan struct{})}
+			c.Submit(r)
+			<-r.done
+		}(i)
+	}
+	wg.Wait()
+	if processed != n {
+		t.Fatalf("processed %d requests, want %d", processed, n)
+	}
+	if batches > n {
+		t.Fatalf("batches %d exceeds requests %d", batches, n)
+	}
+	t.Logf("n=%d batches=%d maxBatch=%d (coalesce ratio %.2f)",
+		n, batches, maxBatch, float64(n)/float64(batches))
+}
+
+// TestLeaderDrainsFollowers: a slow first batch accumulates followers
+// that the same leader then drains before returning.
+func TestLeaderDrainsFollowers(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	first := true
+	var got []int
+	var c *Combiner[*req]
+	c = New(func(batch []*req) {
+		if first {
+			first = false
+			close(started)
+			<-release
+		}
+		for _, r := range batch {
+			got = append(got, r.id)
+			close(r.done)
+		}
+	})
+
+	lead := &req{id: 0, done: make(chan struct{})}
+	leadDone := make(chan struct{})
+	go func() {
+		if !c.Submit(lead) {
+			t.Error("first submitter should lead")
+		}
+		close(leadDone)
+	}()
+	<-started
+
+	var wg sync.WaitGroup
+	for i := 1; i <= 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := &req{id: i, done: make(chan struct{})}
+			if c.Submit(r) {
+				t.Errorf("follower %d became leader while batch in flight", i)
+			}
+			<-r.done
+		}(i)
+	}
+	// Wait until all three followers are queued, then release the leader.
+	for {
+		c.mu.Lock()
+		queued := len(c.queue)
+		c.mu.Unlock()
+		if queued == 3 {
+			break
+		}
+	}
+	close(release)
+	wg.Wait()
+	<-leadDone
+	if len(got) != 4 || got[0] != 0 {
+		t.Fatalf("processed order %v, want leader first then 3 followers", got)
+	}
+}

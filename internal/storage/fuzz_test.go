@@ -1,0 +1,71 @@
+package storage
+
+// Fuzz target for the WAL record decoder. Recovery hands scanLog raw
+// file bytes that may have been torn by a crash or corrupted in place,
+// so the decoder must never panic, never over-allocate past the file
+// size, and must stay stable under re-encoding: whatever records it
+// extracts, re-encoding them in the checksummed format and scanning
+// again must yield the very same records.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"testing"
+)
+
+// encodeRecords renders scripts in the current checksummed WAL layout,
+// exactly as Log.Append writes them.
+func encodeRecords(scripts []string) []byte {
+	var buf bytes.Buffer
+	var hdr [logHeaderSize]byte
+	for _, s := range scripts {
+		binary.BigEndian.PutUint32(hdr[0:4], uint32(len(s)))
+		binary.BigEndian.PutUint32(hdr[4:8], crc32.Checksum([]byte(s), castagnoli))
+		buf.Write(hdr[:])
+		buf.WriteString(s)
+	}
+	return buf.Bytes()
+}
+
+func FuzzScanLog(f *testing.F) {
+	// Well-formed logs in both layouts, torn tails, and in-place damage.
+	valid := encodeRecords([]string{"+link(a,b).", "-link(a,b) * 2."})
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3]) // torn final record
+	f.Add(valid[:5])            // torn first header
+	corrupt := append([]byte(nil), valid...)
+	corrupt[logHeaderSize] ^= 0xff // flip a payload byte of record 1
+	f.Add(corrupt)
+	legacy := []byte{0, 0, 0, 5, '+', 'p', '(', 'a', ')'}
+	f.Add(legacy)
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}) // absurd length header
+	f.Fuzz(func(t *testing.T, data []byte) {
+		scripts, err := scanLog(data)
+		if err != nil {
+			// Mid-file corruption must be reported as the typed error so
+			// recovery can distinguish it from a torn tail.
+			var ce *CorruptRecordError
+			if !errors.As(err, &ce) {
+				t.Fatalf("scanLog error is not a *CorruptRecordError: %v", err)
+			}
+			return
+		}
+		// Decode/encode stability: the extracted records survive a
+		// round trip through the canonical encoding.
+		again, err := scanLog(encodeRecords(scripts))
+		if err != nil {
+			t.Fatalf("re-scan of re-encoded records failed: %v", err)
+		}
+		if len(again) != len(scripts) {
+			t.Fatalf("re-scan yields %d records, want %d", len(again), len(scripts))
+		}
+		for i := range again {
+			if again[i] != scripts[i] {
+				t.Fatalf("record %d changed across re-encode: %q vs %q", i, scripts[i], again[i])
+			}
+		}
+	})
+}

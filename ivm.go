@@ -30,6 +30,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"ivm/internal/baseline/pf"
 	"ivm/internal/baseline/recompute"
@@ -40,6 +42,7 @@ import (
 	"ivm/internal/metrics"
 	"ivm/internal/parser"
 	"ivm/internal/relation"
+	"ivm/internal/sched"
 	"ivm/internal/storage"
 	"ivm/internal/strata"
 	"ivm/internal/value"
@@ -182,35 +185,68 @@ func (d *Database) Rows(pred string) []Row {
 
 // Views is a set of materialized views maintained incrementally over a
 // snapshot of a Database.
+//
+// Concurrency model (see DESIGN.md §10): reads (Rows, Count, Has,
+// Query, Explain, Snapshot, the *Stats accessors) pin the current
+// published version with one atomic load and never take a lock — they
+// neither block on nor are blocked by maintenance. Writes (Apply,
+// AddRule, RemoveRule) are serialized through a coalescing scheduler:
+// concurrent Apply callers enqueue, a single maintainer merges each
+// queue drain into one ⊎-net update, runs one maintenance pass, waits
+// for the batch's WAL record to group-commit, and only then publishes
+// the successor version atomically.
 type Views struct {
 	cfg        config
 	strategy   Strategy // resolved (never Auto)
-	programSrc string
+	programSrc string   // authoritative copy (wmu); versions carry a race-free copy
 	// hidden marks internal auxiliary predicates (e.g. the GROUP BY join
 	// helpers the SQL front end generates) that are filtered out of
-	// user-facing change sets.
+	// user-facing change sets. Written only before concurrent use.
 	hidden map[string]bool
 
-	// mu serializes maintenance operations against reads: Apply, AddRule,
-	// RemoveRule and Save take the write lock; Rows, Count, Has and Query
-	// take the read lock, so concurrent readers are safe while updates
-	// are applied atomically.
-	mu sync.RWMutex
+	// wmu serializes every operation that touches engine state or the
+	// store: batch maintenance, rule edits, Save, Sync, Close, and the
+	// OpenStore binding. Readers never take it.
+	wmu sync.Mutex
 
-	// handlers are the OnChange subscriptions, keyed by predicate ("" =
-	// every predicate). Invoked after the lock is released.
-	handlers map[string][]func(pred string, inserted, deleted []Row)
+	// cur is the atomically published current version. Never nil after
+	// MaterializeProgram returns.
+	cur atomic.Pointer[version]
+
+	// comb is the coalescing update scheduler: the first Apply caller to
+	// find no maintainer active becomes the maintainer and drains the
+	// queue in batches (processBatch).
+	comb *sched.Combiner[*applyReq]
+
+	// handlersMu guards the OnChange subscriptions, keyed by predicate
+	// ("" = every predicate). Handlers run on the maintainer goroutine
+	// after version publish, before the batch's Apply calls return.
+	handlersMu sync.Mutex
+	handlers   map[string][]func(pred string, inserted, deleted []Row)
 
 	// par is the resolved evaluation parallelism (>= 1).
 	par int
+
+	// explainSem is the semantics derivation enumeration resolves
+	// sources under (the engine's internal semantics; constant).
+	explainSem Semantics
 
 	// reg collects the engines' counters and timing histograms; always
 	// non-nil for views built by MaterializeProgram/MaterializeSQL.
 	reg *metrics.Registry
 
+	// Cached scheduler/snapshot instruments (nil-safe).
+	mBatches      *metrics.Counter
+	mBatchUpdates *metrics.Counter
+	mFallbacks    *metrics.Counter
+	mApplyWait    *metrics.Histogram
+	mSnapWait     *metrics.Histogram
+	mSnapVersion  *metrics.Gauge
+	mSnapUnix     *metrics.Gauge
+
 	// store, when non-nil, is the crash-recovery store the views are
 	// bound to (OpenStore): every Apply is durably logged to its WAL and
-	// Sync checkpoints into it.
+	// Sync checkpoints into it. Guarded by wmu.
 	store *storage.Store
 
 	c  *counting.Engine
@@ -440,6 +476,25 @@ func (d *Database) MaterializeProgram(prog *datalog.Program, programSrc string, 
 	default:
 		return nil, fmt.Errorf("ivm: unknown strategy %v", strategy)
 	}
+	switch {
+	case v.c != nil:
+		v.explainSem = v.c.InternalSemantics()
+	case v.rc != nil:
+		v.explainSem = v.rc.Semantics()
+	default:
+		v.explainSem = SetSemantics
+	}
+	v.comb = sched.New(v.processBatch)
+	v.mBatches = reg.Counter("sched_batches_total")
+	v.mBatchUpdates = reg.Counter("sched_batch_updates_total")
+	v.mFallbacks = reg.Counter("sched_coalesce_fallbacks_total")
+	v.mApplyWait = reg.Histogram("sched_apply_wait_seconds")
+	v.mSnapWait = reg.Histogram("snapshot_wait_seconds")
+	v.mSnapVersion = reg.Gauge("snapshot_version")
+	v.mSnapUnix = reg.Gauge("snapshot_published_unixnano")
+	v.wmu.Lock()
+	v.publishAllLocked()
+	v.wmu.Unlock()
 	return v, nil
 }
 
@@ -452,22 +507,13 @@ func (v *Views) Semantics() Semantics { return v.cfg.semantics }
 // Parallelism returns the resolved evaluation worker count (>= 1).
 func (v *Views) Parallelism() int { return v.par }
 
-// ProgramSource returns the program text the views were built from.
-func (v *Views) ProgramSource() string { return v.programSrc }
+// ProgramSource returns the program text the views were built from (as
+// of the current published version).
+func (v *Views) ProgramSource() string { return v.cur.Load().programSrc }
 
-// Program returns the parsed, possibly rule-edited view program.
-func (v *Views) Program() *datalog.Program {
-	switch {
-	case v.c != nil:
-		return v.c.Program()
-	case v.dr != nil:
-		return v.dr.Program()
-	case v.rc != nil:
-		return v.rc.Program()
-	default:
-		return v.pf.Program()
-	}
-}
+// Program returns the parsed, possibly rule-edited view program (as of
+// the current published version).
+func (v *Views) Program() *datalog.Program { return v.cur.Load().prog }
 
 func (v *Views) relation(pred string) *relation.Relation {
 	switch {
@@ -495,153 +541,341 @@ func (v *Views) db() *eval.DB {
 	}
 }
 
-// Rows returns the stored rows of a (base or derived) relation, sorted
-// lexicographically. Derived rows carry derivation counts.
+// Rows returns the stored rows of a (base or derived) relation at the
+// current published version, sorted lexicographically. Derived rows
+// carry derivation counts. Lock-free: never blocked by Apply.
 func (v *Views) Rows(pred string) []Row {
-	v.mu.RLock()
-	defer v.mu.RUnlock()
-	r := v.relation(pred)
-	if r == nil {
+	vr := v.cur.Load().rels[pred]
+	if vr == nil {
 		return nil
 	}
-	return r.SortedRows()
+	return vr.Flat().SortedRows()
 }
 
-// Count returns the derivation count of the given tuple (0 if absent).
+// Count returns the derivation count of the given tuple (0 if absent)
+// at the current published version. Lock-free.
 func (v *Views) Count(pred string, vals ...any) int64 {
-	v.mu.RLock()
-	defer v.mu.RUnlock()
-	r := v.relation(pred)
+	r := v.cur.Load().reader(pred)
 	if r == nil {
 		return 0
 	}
 	return r.Count(value.T(vals...))
 }
 
-// Has reports whether the tuple is in the (base or derived) relation.
+// Has reports whether the tuple is in the (base or derived) relation at
+// the current published version. Lock-free.
 func (v *Views) Has(pred string, vals ...any) bool {
 	return v.Count(pred, vals...) > 0
 }
 
-// Apply maintains every view under the update and returns the per-view
-// changes. The update's deletions must refer to stored tuples. For
-// store-bound views (OpenStore), the update is durably logged to the
-// WAL: Apply returns only after the record is fsynced (batched across
-// concurrent callers under WithGroupCommit), updates containing NaN or
-// ±Inf floats are rejected up front (they have no replayable literal
-// syntax), and after Close the error wraps ErrStoreClosed. A logging
-// failure is returned as an error even though the in-memory views
-// already applied the update — the caller should Sync (checkpoint) or
-// treat the store as lost.
-func (v *Views) Apply(u *Update) (*ChangeSet, error) {
-	cs, wait, err := v.applyLocked(u)
-	if err != nil {
-		return nil, err
-	}
-	if wait != nil {
-		if err := wait(); err != nil {
-			return nil, fmt.Errorf("ivm: update applied in memory but not durably logged: %w", err)
-		}
-	}
-	v.notify(cs)
-	return cs, nil
+// applyReq is one enqueued Apply call, completed by the maintainer.
+type applyReq struct {
+	u    *Update
+	cs   *ChangeSet
+	err  error
+	done chan struct{}
 }
 
-// applyLocked applies the update under the write lock. The WAL record
-// is written inside the critical section — so the log order matches the
-// application order — but the returned wait function (which blocks on
-// the fsync) is called by Apply after the lock is released, letting
-// group commit batch fsyncs across concurrent appliers.
-func (v *Views) applyLocked(u *Update) (*ChangeSet, func() error, error) {
+// applyGroup is the unit of maintenance within a batch: the requests it
+// covers plus the single engine pass / WAL record they share. A merged
+// batch is one group covering every admitted request; the sequential
+// fallback produces one group per request.
+type applyGroup struct {
+	reqs []*applyReq
+	cs   *ChangeSet
+	wait func() error
+	err  error
+}
+
+// Apply maintains every view under the update and returns the per-view
+// changes. The update's deletions must refer to stored tuples.
+//
+// Concurrent Apply calls coalesce: callers enqueue on the update
+// scheduler and one of them becomes the maintainer, merging the queued
+// updates into their ⊎-net effect and running a single maintenance pass
+// for the batch. Every caller in a coalesced batch receives the batch's
+// shared ChangeSet (the net changes of the whole batch; per-caller
+// attribution is not defined once deltas merge) stamped with the
+// version the batch published — ChangeSet.Version. If the merged update
+// fails validation (e.g. a deletion of an absent tuple that another
+// update in the batch does not cancel), the batch falls back to
+// applying each update individually, in arrival order, so each caller
+// gets exactly its own result or error.
+//
+// For store-bound views (OpenStore), the batch is durably logged to the
+// WAL: Apply returns only after the record is fsynced (batched across
+// concurrent callers under WithGroupCommit), and the new version is
+// published only after the fsync — a snapshot never shows state the log
+// has not made durable. Updates containing NaN or ±Inf floats are
+// rejected up front (they have no replayable literal syntax), and after
+// Close the error wraps ErrStoreClosed. A logging failure is returned
+// as an error even though the in-memory views already applied the
+// update — the caller should Sync (checkpoint) or treat the store as
+// lost.
+func (v *Views) Apply(u *Update) (*ChangeSet, error) {
 	if u.err != nil {
-		return nil, nil, u.err
+		return nil, u.err
 	}
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	if v.store != nil {
-		// Fail a closed store before touching memory, so the views do
-		// not run ahead of the log they can no longer write to.
-		if v.store.Closed() {
-			return nil, nil, fmt.Errorf("ivm: %w", storage.ErrStoreClosed)
+	start := time.Now()
+	r := &applyReq{u: u, done: make(chan struct{})}
+	v.comb.Submit(r)
+	<-r.done
+	v.mApplyWait.Observe(time.Since(start))
+	if r.err != nil {
+		return nil, r.err
+	}
+	return r.cs, nil
+}
+
+// processBatch is the maintainer: it runs on the scheduler leader's
+// goroutine, one batch at a time, and drives each batch through
+// validate → maintain → WAL group-commit → publish → notify → release.
+func (v *Views) processBatch(batch []*applyReq) {
+	v.wmu.Lock()
+	admitted := make([]*applyReq, 0, len(batch))
+	for _, r := range batch {
+		if err := v.admitLocked(r.u); err != nil {
+			r.err = err
+			continue
 		}
-		// NaN/±Inf have no parseable literal syntax, so a WAL record
-		// containing one could never replay on recovery. Reject before
-		// touching memory: the views and the log must not diverge.
-		if fact, bad := u.nonFinite(); bad {
-			return nil, nil, fmt.Errorf("ivm: %s contains a non-finite float, which cannot be logged replayably; store-bound views reject NaN and ±Inf", fact)
+		admitted = append(admitted, r)
+	}
+	v.mBatches.Inc()
+	v.mBatchUpdates.Add(int64(len(admitted)))
+
+	next := v.nextRelsLocked()
+	var groups []*applyGroup
+	switch {
+	case len(admitted) == 0:
+		// Nothing admitted; still publish so stats stay fresh? No —
+		// no maintenance ran, so there is nothing to publish.
+		v.wmu.Unlock()
+		for _, r := range batch {
+			close(r.done)
+		}
+		return
+	case len(admitted) == 1 || !mergeable(admitted):
+		groups = v.runSequentialLocked(admitted, next)
+	default:
+		merged := NewUpdate()
+		for _, r := range admitted {
+			merged.Merge(r.u)
+		}
+		cs, err := v.maintainLocked(merged, next)
+		if err != nil {
+			// The merged net update did not validate as a whole; fall
+			// back to applying each caller's update individually so
+			// each gets exactly its own result or error.
+			v.mFallbacks.Inc()
+			groups = v.runSequentialLocked(admitted, next)
+		} else {
+			g := &applyGroup{reqs: admitted, cs: cs}
+			g.wait, g.err = v.logLocked(merged)
+			groups = []*applyGroup{g}
 		}
 	}
+
+	// Wait for every group's WAL record to group-commit before
+	// publishing: a published version never shows state the log has not
+	// made durable. A failed fsync still publishes (the memory state
+	// already advanced and later batches build on it); the affected
+	// callers get the durability error.
+	for _, g := range groups {
+		if g.err != nil || g.wait == nil {
+			continue
+		}
+		if err := g.wait(); err != nil {
+			g.err = fmt.Errorf("ivm: update applied in memory but not durably logged: %w", err)
+		}
+	}
+	pub := v.publishLocked(next)
+	for _, g := range groups {
+		if g.err == nil && g.cs != nil {
+			g.cs.version = pub.id
+		}
+	}
+	v.wmu.Unlock()
+
+	// OnChange handlers run here on the maintainer goroutine — after
+	// the version is published (so handlers and concurrent readers see
+	// the new state) and outside wmu (so a slow handler never extends a
+	// rule edit, Sync, or Close stall; readers are lock-free and were
+	// never stalled in the first place) — but before the batch's
+	// requests complete, so each Apply still returns only after the
+	// handlers for its batch have run.
+	for _, g := range groups {
+		if g.err == nil {
+			v.notify(g.cs)
+		}
+		for _, r := range g.reqs {
+			r.cs, r.err = g.cs, g.err
+			if r.err != nil {
+				r.cs = nil
+			}
+		}
+	}
+	for _, r := range batch {
+		close(r.done)
+	}
+}
+
+// admitLocked vets an update against the store before any memory is
+// touched, so the views never run ahead of a log they cannot write to.
+func (v *Views) admitLocked(u *Update) error {
+	if v.store == nil {
+		return nil
+	}
+	if v.store.Closed() {
+		return fmt.Errorf("ivm: %w", storage.ErrStoreClosed)
+	}
+	// NaN/±Inf have no parseable literal syntax, so a WAL record
+	// containing one could never replay on recovery. Reject before
+	// touching memory: the views and the log must not diverge.
+	if fact, bad := u.nonFinite(); bad {
+		return fmt.Errorf("ivm: %s contains a non-finite float, which cannot be logged replayably; store-bound views reject NaN and ±Inf", fact)
+	}
+	return nil
+}
+
+// mergeable reports whether the admitted updates can be ⊎-merged: every
+// predicate must be used with one arity across the whole batch (an
+// Update.Merge of conflicting arities would panic in the relation
+// layer).
+func mergeable(reqs []*applyReq) bool {
+	arity := make(map[string]int)
+	for _, r := range reqs {
+		for pred, rel := range r.u.per {
+			a := rel.Arity()
+			if a < 0 {
+				continue
+			}
+			if prev, ok := arity[pred]; ok && prev != a {
+				return false
+			}
+			arity[pred] = a
+		}
+	}
+	return true
+}
+
+// runSequentialLocked applies each request's update individually, in
+// arrival order, producing one group per request. WAL records are
+// appended in the same order, so log order equals application order.
+func (v *Views) runSequentialLocked(admitted []*applyReq, next map[string]*relation.Versioned) []*applyGroup {
+	groups := make([]*applyGroup, 0, len(admitted))
+	for _, r := range admitted {
+		g := &applyGroup{reqs: []*applyReq{r}}
+		cs, err := v.maintainLocked(r.u, next)
+		if err != nil {
+			g.err = err
+		} else {
+			g.cs = cs
+			g.wait, g.err = v.logLocked(r.u)
+		}
+		groups = append(groups, g)
+	}
+	return groups
+}
+
+// maintainLocked runs one engine maintenance pass for u and folds the
+// exact committed deltas onto the in-progress version map. On error the
+// engine state is unchanged (engines validate before committing) and
+// next is untouched.
+func (v *Views) maintainLocked(u *Update, next map[string]*relation.Versioned) (*ChangeSet, error) {
 	deltas := u.deltas()
 	var cs *ChangeSet
 	switch {
 	case v.c != nil:
 		full, err := v.c.Apply(deltas)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		cs = changeSetFromDeltas(full)
 	case v.dr != nil:
 		ch, err := v.dr.Apply(deltas)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		cs = changeSetFromChanges(ch.Del, ch.Add)
 	case v.rc != nil:
 		full, err := v.rc.Apply(deltas)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		cs = changeSetFromDeltas(full)
 	default:
 		ch, err := v.pf.Apply(deltas)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		cs = changeSetFromChanges(ch.Del, ch.Add)
 	}
 	for pred := range v.hidden {
 		delete(cs.perPred, pred)
 	}
-	var wait func() error
-	if v.store != nil {
-		if script := u.String(); script != "" {
-			w, err := v.store.AppendAsync(script)
-			if err != nil {
-				return nil, nil, fmt.Errorf("ivm: update applied in memory but not durably logged: %w", err)
-			}
-			wait = w
+	for pred, d := range v.committedDeltasLocked() {
+		if cv, ok := next[pred]; ok {
+			next[pred] = cv.Push(d)
+		} else if r := v.relation(pred); r != nil {
+			// First stored content for this predicate: version it from
+			// a clone of the engine's (small, just-created) relation.
+			next[pred] = relation.NewVersioned(r.Clone())
 		}
 	}
-	return cs, wait, nil
+	return cs, nil
+}
+
+// logLocked appends u's delta script to the WAL (store-bound views) and
+// returns the group-commit wait. The append happens under wmu in
+// application order, so the log order matches the apply order.
+func (v *Views) logLocked(u *Update) (func() error, error) {
+	if v.store == nil {
+		return nil, nil
+	}
+	script := u.String()
+	if script == "" {
+		return nil, nil
+	}
+	w, err := v.store.AppendAsync(script)
+	if err != nil {
+		return nil, fmt.Errorf("ivm: update applied in memory but not durably logged: %w", err)
+	}
+	return w, nil
 }
 
 // OnChange subscribes fn to changes of pred ("" subscribes to every
 // derived predicate) — the paper's active-database application (Section
 // 1: "a rule may fire when a particular tuple is inserted into a view").
-// fn runs synchronously after each successful Apply/AddRule/RemoveRule
-// that changed pred, outside the Views lock, with the inserted and
-// deleted rows (deleted counts reported positive). Handlers may read the
-// Views but must not Apply from within the callback of the same
-// goroutine's Apply call chain.
+// fn runs on the maintainer goroutine after each successful
+// Apply/AddRule/RemoveRule batch that changed pred, with the inserted
+// and deleted rows (deleted counts reported positive). Handlers fire
+// after the new version is published and outside every Views lock, so a
+// slow handler never delays readers or snapshots — but before the
+// batch's Apply calls return, so an Apply still observes its own
+// handlers completed. Handlers may read the Views (they see the
+// just-published state) but must not Apply, AddRule, or RemoveRule from
+// within the callback: the maintainer is running the handler, so a
+// nested write deadlocks.
 func (v *Views) OnChange(pred string, fn func(pred string, inserted, deleted []Row)) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
+	v.handlersMu.Lock()
+	defer v.handlersMu.Unlock()
 	if v.handlers == nil {
 		v.handlers = make(map[string][]func(string, []Row, []Row))
 	}
 	v.handlers[pred] = append(v.handlers[pred], fn)
 }
 
-// notify fires the OnChange handlers for a change set. Called without
-// the write lock held; handler slices are snapshotted under the read
-// lock so registrations are race-free.
+// notify fires the OnChange handlers for a change set. Called on the
+// maintainer goroutine after publish, with no Views lock held; handler
+// slices are snapshotted under handlersMu so registrations are
+// race-free.
 func (v *Views) notify(cs *ChangeSet) {
 	if cs == nil {
 		return
 	}
-	v.mu.RLock()
+	v.handlersMu.Lock()
 	if len(v.handlers) == 0 {
-		v.mu.RUnlock()
+		v.handlersMu.Unlock()
 		return
 	}
 	type firing struct {
@@ -659,7 +893,7 @@ func (v *Views) notify(cs *ChangeSet) {
 		}
 		firings = append(firings, firing{pred, cs.Inserted(pred), cs.Deleted(pred), fns})
 	}
-	v.mu.RUnlock()
+	v.handlersMu.Unlock()
 	for _, f := range firings {
 		for _, fn := range f.fns {
 			fn(f.pred, f.ins, f.del)
@@ -678,22 +912,12 @@ func (v *Views) ApplyScript(src string) (*ChangeSet, error) {
 }
 
 // AddRule extends the view definition (DRed strategy only; Section 7's
-// rule insertion maintenance).
+// rule insertion maintenance). Rule edits serialize with Apply batches
+// under the write lock and publish a fresh version before returning.
 func (v *Views) AddRule(ruleSrc string) (*ChangeSet, error) {
-	cs, err := v.addRuleLocked(ruleSrc)
-	if err != nil {
-		return nil, err
-	}
-	v.notify(cs)
-	return cs, nil
-}
-
-func (v *Views) addRuleLocked(ruleSrc string) (*ChangeSet, error) {
 	if v.dr == nil {
 		return nil, fmt.Errorf("ivm: AddRule requires the DRed strategy (have %v)", v.strategy)
 	}
-	v.mu.Lock()
-	defer v.mu.Unlock()
 	prog, err := parser.ParseRules(ruleSrc)
 	if err != nil {
 		return nil, err
@@ -701,64 +925,58 @@ func (v *Views) addRuleLocked(ruleSrc string) (*ChangeSet, error) {
 	if len(prog.Rules) != 1 {
 		return nil, fmt.Errorf("ivm: AddRule expects exactly one rule, got %d", len(prog.Rules))
 	}
+	v.wmu.Lock()
 	ch, err := v.dr.AddRule(prog.Rules[0])
 	if err != nil {
+		v.wmu.Unlock()
 		return nil, err
 	}
-	if err := v.ruleEditCommittedLocked(); err != nil {
-		return nil, err
-	}
-	return changeSetFromChanges(ch.Del, ch.Add), nil
+	return v.ruleEditCommittedLocked(ch)
 }
 
 // RemoveRule removes rule index ri (as listed by Program) from the view
 // definition (DRed strategy only).
 func (v *Views) RemoveRule(ri int) (*ChangeSet, error) {
-	cs, err := v.removeRuleLocked(ri)
-	if err != nil {
-		return nil, err
-	}
-	v.notify(cs)
-	return cs, nil
-}
-
-func (v *Views) removeRuleLocked(ri int) (*ChangeSet, error) {
 	if v.dr == nil {
 		return nil, fmt.Errorf("ivm: RemoveRule requires the DRed strategy (have %v)", v.strategy)
 	}
-	v.mu.Lock()
-	defer v.mu.Unlock()
+	v.wmu.Lock()
 	ch, err := v.dr.RemoveRule(ri)
 	if err != nil {
+		v.wmu.Unlock()
 		return nil, err
 	}
-	if err := v.ruleEditCommittedLocked(); err != nil {
-		return nil, err
-	}
-	return changeSetFromChanges(ch.Del, ch.Add), nil
+	return v.ruleEditCommittedLocked(ch)
 }
 
 // ruleEditCommittedLocked runs after a successful AddRule/RemoveRule
-// (write lock held): the program text is regenerated from the edited
-// rule set so Save and checkpoints persist the views as they now are
-// (base facts already live in the database, so dropping fact clauses
-// from the text loses nothing). Store-bound views checkpoint
+// (write lock held; releases it): the program text is regenerated from
+// the edited rule set so Save and checkpoints persist the views as they
+// now are (base facts already live in the database, so dropping fact
+// clauses from the text loses nothing). Store-bound views checkpoint
 // immediately — a WAL of delta scripts cannot express a rule change, so
-// the epoch is advanced instead of logging one.
-func (v *Views) ruleEditCommittedLocked() error {
+// the epoch is advanced instead of logging one. A rule edit changes the
+// program and (possibly) the derived-predicate set, so the version map
+// is rebuilt in full rather than delta-replayed, then published.
+func (v *Views) ruleEditCommittedLocked(ch *dred.Changes) (*ChangeSet, error) {
 	var sb strings.Builder
-	for _, r := range v.Program().Rules {
+	for _, r := range v.progLocked().Rules {
 		sb.WriteString(r.String())
 		sb.WriteByte('\n')
 	}
 	v.programSrc = sb.String()
-	if v.store == nil {
-		return nil
+	if v.store != nil {
+		if err := v.store.Checkpoint(v.db(), v.programSrc, v.hiddenLocked()); err != nil {
+			v.wmu.Unlock()
+			return nil, fmt.Errorf("ivm: rule change applied in memory but checkpoint failed: %w", err)
+		}
 	}
-	if err := v.store.Checkpoint(v.db(), v.programSrc, v.hiddenLocked()); err != nil {
-		return fmt.Errorf("ivm: rule change applied in memory but checkpoint failed: %w", err)
-	}
-	return nil
+	cs := changeSetFromChanges(ch.Del, ch.Add)
+	pub := v.publishAllLocked()
+	cs.version = pub.id
+	v.wmu.Unlock()
+	v.notify(cs)
+	return cs, nil
 }
 
 // hiddenLocked returns the sorted hidden-predicate list (lock held).
@@ -771,50 +989,42 @@ func (v *Views) hiddenLocked() []string {
 	return hidden
 }
 
-// CountingStats returns the last counting-engine statistics. The
-// snapshot is taken under the views' read lock, so it is safe to call
-// concurrently with Apply.
+// CountingStats returns the counting-engine statistics of the
+// maintenance pass that produced the current published version. The
+// stats are carried on the version itself, so the read is lock-free and
+// race-free against concurrent Apply.
 func (v *Views) CountingStats() (counting.Stats, bool) {
 	if v.c == nil {
 		return counting.Stats{}, false
 	}
-	v.mu.RLock()
-	defer v.mu.RUnlock()
-	return v.c.Stats(), true
+	return v.cur.Load().cstats, true
 }
 
-// DRedStats returns the last DRed-engine statistics, snapshotted under
-// the views' read lock.
+// DRedStats returns the DRed-engine statistics of the maintenance pass
+// that produced the current published version. Lock-free.
 func (v *Views) DRedStats() (dred.Stats, bool) {
 	if v.dr == nil {
 		return dred.Stats{}, false
 	}
-	v.mu.RLock()
-	defer v.mu.RUnlock()
-	return v.dr.Stats(), true
+	return v.cur.Load().dstats, true
 }
 
-// PFStats returns the last PF-baseline statistics, snapshotted under the
-// views' read lock.
+// PFStats returns the PF-baseline statistics of the maintenance pass
+// that produced the current published version. Lock-free.
 func (v *Views) PFStats() (pf.Stats, bool) {
 	if v.pf == nil {
 		return pf.Stats{}, false
 	}
-	v.mu.RLock()
-	defer v.mu.RUnlock()
-	return v.pf.Stats(), true
+	return v.cur.Load().pstats, true
 }
 
 // Metrics returns an immutable snapshot of every metric the views'
 // engines have recorded: cumulative counters (counting_*, dred_*, pf_*,
-// recompute_*, eval_*), gauges, and duration histograms. Counters are
-// cumulative across the views' lifetime, unlike the per-operation
-// *Stats accessors. The underlying instruments are atomic, so the
-// snapshot itself is race-free; taking it under the read lock
-// additionally orders it after any completed Apply.
+// recompute_*, eval_*, sched_*), gauges, and duration histograms.
+// Counters are cumulative across the views' lifetime, unlike the
+// per-operation *Stats accessors. The underlying instruments are
+// atomic, so the snapshot is race-free and lock-free.
 func (v *Views) Metrics() MetricsSnapshot {
-	v.mu.RLock()
-	defer v.mu.RUnlock()
 	return v.reg.Snapshot()
 }
 
@@ -825,8 +1035,8 @@ func (v *Views) Save(path string) error {
 	if v.pf != nil {
 		return fmt.Errorf("ivm: Save is not supported for the PF baseline")
 	}
-	v.mu.Lock()
-	defer v.mu.Unlock()
+	v.wmu.Lock()
+	defer v.wmu.Unlock()
 	return storage.SaveFile(path, v.db(), v.programSrc, v.hiddenLocked())
 }
 
@@ -976,18 +1186,18 @@ func OpenStore(dir string, init func() (*Views, error), opts ...Option) (*Views,
 	if v.pf != nil {
 		return fail(fmt.Errorf("ivm: the PF baseline cannot be store-bound"))
 	}
-	v.mu.Lock()
+	v.wmu.Lock()
 	st.AttachMetrics(v.reg)
 	if info.Initialized {
 		// Checkpoint immediately so a snapshot always exists: from here
 		// on every WAL record has an epoch-stamped snapshot beneath it.
 		if err := st.Checkpoint(v.db(), v.programSrc, v.hiddenLocked()); err != nil {
-			v.mu.Unlock()
+			v.wmu.Unlock()
 			return fail(err)
 		}
 	}
 	v.store = st
-	v.mu.Unlock()
+	v.wmu.Unlock()
 	return v, info, nil
 }
 
@@ -1000,8 +1210,8 @@ func (v *Views) Sync() error {
 	if v.store == nil {
 		return fmt.Errorf("ivm: Sync requires store-bound views (use OpenStore)")
 	}
-	v.mu.Lock()
-	defer v.mu.Unlock()
+	v.wmu.Lock()
+	defer v.wmu.Unlock()
 	return v.store.Checkpoint(v.db(), v.programSrc, v.hiddenLocked())
 }
 
@@ -1021,8 +1231,8 @@ func (v *Views) Store() (dir string, ok bool) {
 // continuing in memory without durability. Views without a store close
 // as a no-op, and closing twice is a no-op.
 func (v *Views) Close() error {
-	v.mu.Lock()
-	defer v.mu.Unlock()
+	v.wmu.Lock()
+	defer v.wmu.Unlock()
 	if v.store == nil {
 		return nil
 	}
@@ -1033,7 +1243,16 @@ func (v *Views) Close() error {
 // produced (positive counts inserted derivations, negative deleted).
 type ChangeSet struct {
 	perPred map[string]*relation.Relation
+	// version is the snapshot version in which these changes became
+	// visible (stamped at publish time).
+	version uint64
 }
+
+// Version returns the snapshot version in which this change set's
+// effects became visible: Snapshot handles with Snapshot.Version() >=
+// this value observe the update (0 for change sets not produced by a
+// published maintenance pass).
+func (c *ChangeSet) Version() uint64 { return c.version }
 
 func changeSetFromDeltas(m map[string]*relation.Relation) *ChangeSet {
 	return &ChangeSet{perPred: m}

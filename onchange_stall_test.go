@@ -1,0 +1,83 @@
+package ivm_test
+
+// Regression test for the reader-stall bug: OnChange handlers used to
+// run while Apply still held the Views lock, so a slow handler extended
+// the window in which every reader blocked. Handlers now run on the
+// maintainer goroutine after the new version is published and outside
+// the write lock — a blocked handler must not delay readers, and those
+// readers must already see the state the handler is being notified
+// about. Apply still returns only after its batch's handlers complete.
+
+import (
+	"testing"
+	"time"
+
+	"ivm"
+)
+
+func TestOnChangeHandlerDoesNotStallReaders(t *testing.T) {
+	db := ivm.NewDatabase()
+	db.MustLoad(`link(a,b).`)
+	v, err := db.Materialize(`hop(X,Y) :- link(X,Z), link(Z,Y).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	v.OnChange("hop", func(pred string, ins, del []ivm.Row) {
+		close(entered)
+		<-release
+	})
+
+	applyDone := make(chan struct{})
+	go func() {
+		defer close(applyDone)
+		if _, err := v.Apply(ivm.NewUpdate().Insert("link", "b", "c")); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	// The handler is now blocked mid-notification. Every read below
+	// must complete promptly; if handlers still ran under a lock the
+	// reads (or the test) would hang until release.
+	<-entered
+	readsDone := make(chan struct{})
+	go func() {
+		defer close(readsDone)
+		// Handlers fire after publish, so readers already see the new
+		// version, including the derived consequence hop(a,c).
+		if !v.Has("link", "b", "c") {
+			t.Error("reader does not see the inserted base tuple while the handler is blocked")
+		}
+		if !v.Has("hop", "a", "c") {
+			t.Error("reader does not see the derived tuple while the handler is blocked")
+		}
+		s := v.Snapshot()
+		if got := len(s.Rows("hop")); got != 1 {
+			t.Errorf("snapshot sees %d hop rows during blocked handler, want 1", got)
+		}
+		if _, err := v.Query(`hop(a, X)`); err != nil {
+			t.Error(err)
+		}
+	}()
+	select {
+	case <-readsDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("readers stalled behind a blocked OnChange handler")
+	}
+
+	// Ordering contract: Apply has not returned yet — it waits for its
+	// batch's handlers.
+	select {
+	case <-applyDone:
+		t.Fatal("Apply returned before its OnChange handler completed")
+	default:
+	}
+	close(release)
+	select {
+	case <-applyDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Apply did not return after the handler was released")
+	}
+}

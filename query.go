@@ -24,17 +24,16 @@ type QueryResult struct {
 // Upper-case identifiers are variables (repeated variables must agree),
 // lower-case identifiers, numbers and strings are constants. Rows carry
 // the stored derivation counts.
+//
+// The goal is matched against the current published version: lock-free,
+// never blocked by Apply. For several consistent queries, pin one
+// version with Snapshot.
 func (v *Views) Query(goal string) ([]QueryResult, error) {
 	a, err := parser.ParseGoal(goal)
 	if err != nil {
 		return nil, err
 	}
-	// Lookup may build an index lazily, but that build is synchronized
-	// inside the relation package, so concurrent queries only need the
-	// read lock.
-	v.mu.RLock()
-	defer v.mu.RUnlock()
-	rel := v.relation(a.Pred)
+	rel := v.cur.Load().reader(a.Pred)
 	if rel == nil {
 		return nil, nil
 	}
@@ -42,8 +41,11 @@ func (v *Views) Query(goal string) ([]QueryResult, error) {
 }
 
 // matchGoal enumerates rel rows matching the atom pattern.
-func matchGoal(a datalog.Atom, rel *relation.Relation) []QueryResult {
+func matchGoal(a datalog.Atom, rel relation.Reader) []QueryResult {
 	// Bound columns (constants) drive an index lookup when present.
+	// Lookup may build an index lazily, but that build is synchronized
+	// inside the relation package, so concurrent matches are safe on a
+	// shared frozen relation.
 	var cols []int
 	var key value.Tuple
 	for i, t := range a.Args {
@@ -56,7 +58,7 @@ func matchGoal(a datalog.Atom, rel *relation.Relation) []QueryResult {
 	if len(cols) > 0 {
 		rows = rel.Lookup(cols, key)
 	} else {
-		rows = rel.Rows()
+		rel.Each(func(row Row) { rows = append(rows, row) })
 	}
 
 	var out []QueryResult

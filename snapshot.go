@@ -1,0 +1,275 @@
+package ivm
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"ivm/internal/baseline/pf"
+	"ivm/internal/core/counting"
+	"ivm/internal/core/dred"
+	"ivm/internal/datalog"
+	"ivm/internal/eval"
+	"ivm/internal/parser"
+	"ivm/internal/relation"
+)
+
+// version is one published snapshot of the views: an immutable map of
+// predicate → versioned relation plus the program and statistics as of
+// that point. The maintainer builds the successor version off-line (the
+// per-update deltas are pushed onto copy-on-write relation versions,
+// sharing every unchanged relation with the predecessor) and publishes
+// it with a single atomic pointer store — readers pin a version with
+// one atomic load and never block on, or are blocked by, maintenance.
+type version struct {
+	id         uint64
+	rels       map[string]*relation.Versioned
+	prog       *datalog.Program
+	programSrc string
+	// published is the wall-clock UnixNano of the publish, feeding the
+	// snapshot-age gauge.
+	published int64
+	// per-engine statistics of the maintenance pass that produced this
+	// version, so the *Stats accessors are race-free against Apply.
+	cstats counting.Stats
+	dstats dred.Stats
+	pstats pf.Stats
+}
+
+// reader returns the pinned read view of pred, or nil if the predicate
+// has no stored relation in this version.
+func (vv *version) reader(pred string) relation.Reader {
+	vr := vv.rels[pred]
+	if vr == nil {
+		return nil
+	}
+	return vr.Reader()
+}
+
+// Snapshot is a repeatable-read handle: every read through it sees the
+// single version that was current when Views.Snapshot was called, no
+// matter how many updates commit afterwards. Snapshots are cheap (one
+// atomic load), safe for concurrent use, and never expire — they hold
+// only immutable data, so the garbage collector reclaims a version once
+// the last snapshot pinning it is dropped.
+type Snapshot struct {
+	views *Views
+	v     *version
+}
+
+// Snapshot pins the current version for repeatable reads:
+//
+//	s := v.Snapshot()
+//	before := s.Rows("hop")     // consistent with ...
+//	n := s.Count("hop", "a", "c") // ... this, even while Apply runs
+//
+// Reads through the Views directly (v.Rows, v.Query, ...) each pin the
+// then-current version instead.
+func (v *Views) Snapshot() *Snapshot {
+	start := time.Now()
+	s := &Snapshot{views: v, v: v.cur.Load()}
+	v.mSnapWait.Observe(time.Since(start))
+	return s
+}
+
+// Version returns the snapshot's monotonically increasing version
+// number. Version n+1 is the state of version n with exactly one
+// committed maintenance batch applied; ChangeSet.Version ties an Apply
+// to the version in which its effects became visible.
+func (s *Snapshot) Version() uint64 { return s.v.id }
+
+// ProgramSource returns the program text as of the snapshot.
+func (s *Snapshot) ProgramSource() string { return s.v.programSrc }
+
+// Preds returns the snapshot's stored predicates (base and derived,
+// excluding internal auxiliary predicates), sorted.
+func (s *Snapshot) Preds() []string {
+	out := make([]string, 0, len(s.v.rels))
+	for p := range s.v.rels {
+		if !s.views.hidden[p] {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Rows returns the stored rows of a (base or derived) relation at the
+// snapshot, sorted lexicographically.
+func (s *Snapshot) Rows(pred string) []Row {
+	vr := s.v.rels[pred]
+	if vr == nil {
+		return nil
+	}
+	return vr.Flat().SortedRows()
+}
+
+// Count returns the derivation count of the tuple at the snapshot (0 if
+// absent).
+func (s *Snapshot) Count(pred string, vals ...any) int64 {
+	r := s.v.reader(pred)
+	if r == nil {
+		return 0
+	}
+	return r.Count(T(vals...))
+}
+
+// Has reports whether the tuple is present at the snapshot.
+func (s *Snapshot) Has(pred string, vals ...any) bool {
+	return s.Count(pred, vals...) > 0
+}
+
+// Query matches a single goal pattern against the snapshot — the
+// semantics of Views.Query, evaluated at the pinned version.
+func (s *Snapshot) Query(goal string) ([]QueryResult, error) {
+	a, err := parser.ParseGoal(goal)
+	if err != nil {
+		return nil, err
+	}
+	r := s.v.reader(a.Pred)
+	if r == nil {
+		return nil, nil
+	}
+	return matchGoal(a, r), nil
+}
+
+// Explain enumerates the derivations of a ground view tuple at the
+// snapshot — the semantics of Views.Explain, evaluated at the pinned
+// version (group tables are rebuilt from the snapshot's relations, so
+// no engine state is touched and no lock is taken).
+func (s *Snapshot) Explain(goal string) ([]Derivation, error) {
+	a, err := parser.ParseGoal(goal)
+	if err != nil {
+		return nil, err
+	}
+	tuple := make(Tuple, len(a.Args))
+	for i, t := range a.Args {
+		c, ok := t.(datalog.Const)
+		if !ok {
+			return nil, fmt.Errorf("ivm: Explain needs a ground goal; %s is a variable", t)
+		}
+		tuple[i] = c.Value
+	}
+
+	prog := s.v.prog
+	db := eval.NewDB()
+	for pred, vr := range s.v.rels {
+		db.Put(pred, vr.Flat())
+	}
+	var out []Derivation
+	for _, ri := range prog.RulesFor(a.Pred) {
+		rule := prog.Rules[ri]
+		srcs, err := eval.SourcesAt(rule, ri, db, s.views.explainSem, nil)
+		if err != nil {
+			return nil, err
+		}
+		matches, err := eval.Explain(rule, srcs, tuple)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range matches {
+			d := Derivation{Rule: rule.String(), RuleIndex: ri}
+			for _, g := range m {
+				d.Subgoals = append(d.Subgoals, Subgoal{
+					Pred: g.Pred, Tuple: g.Tuple,
+					Negated: g.Negated, Aggregate: g.Aggregate, Count: g.Count,
+				})
+			}
+			out = append(out, d)
+		}
+	}
+	// Derivation enumeration walks hash relations, so within a rule the
+	// match order is unspecified; sort for deterministic output.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].RuleIndex != out[j].RuleIndex {
+			return out[i].RuleIndex < out[j].RuleIndex
+		}
+		return derivationKey(out[i]) < derivationKey(out[j])
+	})
+	return out, nil
+}
+
+// publishLocked atomically publishes rels as the next version (wmu
+// held). Every successful maintenance batch publishes — even one with
+// no visible changes — so the version-carried statistics stay current.
+func (v *Views) publishLocked(rels map[string]*relation.Versioned) *version {
+	var id uint64 = 1
+	if old := v.cur.Load(); old != nil {
+		id = old.id + 1
+	}
+	nv := &version{
+		id:         id,
+		rels:       rels,
+		prog:       v.progLocked(),
+		programSrc: v.programSrc,
+		published:  time.Now().UnixNano(),
+	}
+	if v.c != nil {
+		nv.cstats = v.c.Stats()
+	}
+	if v.dr != nil {
+		nv.dstats = v.dr.Stats()
+	}
+	if v.pf != nil {
+		nv.pstats = v.pf.Stats()
+	}
+	v.cur.Store(nv)
+	v.mSnapVersion.Set(int64(nv.id))
+	v.mSnapUnix.Set(nv.published)
+	return nv
+}
+
+// publishAllLocked rebuilds the whole version map from the engine's
+// storage (full clone) and publishes it. Used at materialization and
+// after rule edits, where the delta-replay fast path does not apply.
+func (v *Views) publishAllLocked() *version {
+	db := v.db()
+	rels := make(map[string]*relation.Versioned)
+	for _, pred := range db.Preds() {
+		rels[pred] = relation.NewVersioned(db.Get(pred).Clone())
+	}
+	return v.publishLocked(rels)
+}
+
+// nextRelsLocked returns a mutable copy of the current version's
+// relation map for the maintainer to evolve; unchanged entries keep
+// sharing the predecessor's versioned relations.
+func (v *Views) nextRelsLocked() map[string]*relation.Versioned {
+	cur := v.cur.Load().rels
+	next := make(map[string]*relation.Versioned, len(cur)+1)
+	for p, vr := range cur {
+		next[p] = vr
+	}
+	return next
+}
+
+// committedDeltasLocked returns the exact per-predicate deltas the most
+// recent engine operation merged into stored content.
+func (v *Views) committedDeltasLocked() map[string]*relation.Relation {
+	switch {
+	case v.c != nil:
+		return v.c.CommittedDeltas()
+	case v.dr != nil:
+		return v.dr.CommittedDeltas()
+	case v.rc != nil:
+		return v.rc.CommittedDeltas()
+	default:
+		return v.pf.CommittedDeltas()
+	}
+}
+
+// progLocked returns the engine's current program (wmu held; the
+// race-free public accessor is Program, which reads the published
+// version).
+func (v *Views) progLocked() *datalog.Program {
+	switch {
+	case v.c != nil:
+		return v.c.Program()
+	case v.dr != nil:
+		return v.dr.Program()
+	case v.rc != nil:
+		return v.rc.Program()
+	default:
+		return v.pf.Program()
+	}
+}

@@ -238,8 +238,11 @@ func TestOpenStoreGroupCommitConcurrentAppliers(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer v2.Close()
-	if info.Replayed != writers*perWriter {
-		t.Fatalf("replayed %d of %d", info.Replayed, writers*perWriter)
+	// Coalescing merges concurrent updates into one WAL record per
+	// batch, so the record count is between 1 (everything coalesced)
+	// and writers*perWriter (no coalescing at all).
+	if info.Replayed < 1 || info.Replayed > writers*perWriter {
+		t.Fatalf("replayed %d records, want between 1 and %d", info.Replayed, writers*perWriter)
 	}
 	// Insert-only scripts commute, so order differences cannot matter.
 	var all []string
