@@ -2,7 +2,8 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race bench bench-smoke metrics crash cover fuzz-smoke ci
+.PHONY: all build vet fmt fmt-check test race bench bench-smoke metrics crash cover fuzz-smoke \
+	serve smoke-server bench-regression staticcheck vulncheck ci
 
 all: build
 
@@ -61,4 +62,41 @@ fuzz-smoke:
 	$(GO) test -fuzz FuzzScanLog -fuzztime 30s -run '^$$' ./internal/storage
 	$(GO) test -fuzz FuzzSQLParse -fuzztime 30s -run '^$$' ./internal/sqlview
 
-ci: build vet fmt-check test race bench-smoke metrics crash cover fuzz-smoke
+# Run ivmd against a scratch store with the smoke program (Ctrl-C to
+# stop; an acked apply is never lost across the SIGINT shutdown).
+SERVE_STORE ?= /tmp/ivmd-store
+serve:
+	$(GO) run ./cmd/ivmd -store $(SERVE_STORE) \
+		-program testdata/server/views.dl -data testdata/server/facts.dl
+
+# The CI server-smoke job: boot ivmd, drive mixed load through the
+# client package, SIGTERM, require a clean checkpointed shutdown.
+smoke-server:
+	sh scripts/server_smoke.sh
+
+# The CI bench-regression guard: fresh readers run vs the committed
+# baseline, then a served-load data point.
+bench-regression:
+	$(GO) run ./cmd/ivmbench -scale smoke -readers BENCH_current.json \
+		-baseline BENCH_readers.json -tolerance 3
+	$(GO) run ./cmd/ivmbench -scale smoke -server self -server-out BENCH_server.json
+
+# Lint/vuln scans run in CI unconditionally (installed there via
+# `go install`); locally they run only if already on PATH — this repo
+# adds no dependencies to the dev container.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
+
+vulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (CI runs it)"; \
+	fi
+
+ci: build vet fmt-check test race bench-smoke metrics crash cover fuzz-smoke \
+	smoke-server bench-regression staticcheck vulncheck

@@ -1,0 +1,370 @@
+// Package client is the Go client for ivmd, the ivm serving daemon:
+// applies, lock-free reads, snapshot-pinned repeatable-read sessions,
+// and streaming change subscriptions over plain HTTP/JSON. It depends
+// only on the standard library (not on the engine), so it embeds
+// cheaply in consumer services.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+)
+
+// Client talks to one ivmd server. Safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New returns a client for the server at base (e.g.
+// "http://127.0.0.1:7199"). The optional http.Client configures
+// transport-level behavior; subscriptions are long-lived streams, so
+// give it no overall Timeout (use per-call contexts instead).
+func New(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+// apiError is a non-2xx response decoded from the server.
+type apiError struct {
+	Status  int
+	Message string
+}
+
+func (e *apiError) Error() string {
+	return fmt.Sprintf("ivmd: %s (http %d)", e.Message, e.Status)
+}
+
+func (c *Client) do(ctx context.Context, method, path string, query url.Values, body io.Reader, contentType string, out any) error {
+	u := c.base + path
+	if len(query) > 0 {
+		u += "?" + query.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u, body)
+	if err != nil {
+		return err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var er ErrorResponse
+		if json.Unmarshal(data, &er) == nil && er.Error != "" {
+			return &apiError{Status: resp.StatusCode, Message: er.Error}
+		}
+		return &apiError{Status: resp.StatusCode, Message: strings.TrimSpace(string(data))}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// Apply submits a delta script (`+link(a,b). -link(b,c).`). On success
+// the update is applied to every view — and, for store-bound servers,
+// durably logged — and the result names the version in which its
+// effects became visible.
+func (c *Client) Apply(ctx context.Context, script string) (*ApplyResult, error) {
+	var out ApplyResult
+	err := c.do(ctx, http.MethodPost, "/v1/apply", nil,
+		bytes.NewReader([]byte(script)), "text/plain", &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Query matches a goal pattern (`hop(a,X)`) against the current
+// published version.
+func (c *Client) Query(ctx context.Context, goal string) (*QueryResponse, error) {
+	return queryAt(ctx, c, "", goal)
+}
+
+// Rows returns the stored rows of a relation at the current version.
+func (c *Client) Rows(ctx context.Context, pred string) (*RowsResponse, error) {
+	return rowsAt(ctx, c, "", pred)
+}
+
+// Count returns the derivation count of a ground goal (`hop(a,c)`).
+func (c *Client) Count(ctx context.Context, goal string) (*CountResponse, error) {
+	return countAt(ctx, c, "", goal)
+}
+
+// Has reports whether a ground goal's tuple is present.
+func (c *Client) Has(ctx context.Context, goal string) (bool, error) {
+	resp, err := countAt(ctx, c, "", goal)
+	if err != nil {
+		return false, err
+	}
+	return resp.Has, nil
+}
+
+// Explain enumerates the derivations of a ground view tuple.
+func (c *Client) Explain(ctx context.Context, goal string) (*ExplainResponse, error) {
+	return explainAt(ctx, c, "", goal)
+}
+
+// Metrics fetches the server's metrics exposition (`name value` lines:
+// the engine's counters plus the server_* serving-layer series).
+func (c *Client) Metrics(ctx context.Context) (map[string]int64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, &apiError{Status: resp.StatusCode, Message: strings.TrimSpace(string(data))}
+	}
+	out := make(map[string]int64)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	for sc.Scan() {
+		name, val, ok := strings.Cut(sc.Text(), " ")
+		if !ok {
+			continue
+		}
+		var n int64
+		if _, err := fmt.Sscanf(val, "%d", &n); err == nil {
+			out[name] = n
+		}
+	}
+	return out, sc.Err()
+}
+
+// Info fetches the served views' description.
+func (c *Client) Info(ctx context.Context) (*Info, error) {
+	var out Info
+	if err := c.do(ctx, http.MethodGet, "/v1/info", nil, nil, "", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Session is a snapshot-pinned repeatable-read handle: every read
+// through it observes exactly Version, no matter how many updates
+// commit on the server in between. Sessions expire server-side after a
+// TTL of inactivity; Close releases one early.
+type Session struct {
+	c       *Client
+	ID      string
+	Version uint64
+}
+
+// NewSession pins the server's current version.
+func (c *Client) NewSession(ctx context.Context) (*Session, error) {
+	var out SessionInfo
+	if err := c.do(ctx, http.MethodPost, "/v1/session", nil, nil, "", &out); err != nil {
+		return nil, err
+	}
+	return &Session{c: c, ID: out.ID, Version: out.Version}, nil
+}
+
+// Close releases the session server-side.
+func (s *Session) Close(ctx context.Context) error {
+	return s.c.do(ctx, http.MethodDelete, "/v1/session/"+s.ID, nil, nil, "", nil)
+}
+
+// Query matches a goal at the pinned version.
+func (s *Session) Query(ctx context.Context, goal string) (*QueryResponse, error) {
+	return queryAt(ctx, s.c, s.ID, goal)
+}
+
+// Rows returns a relation's rows at the pinned version.
+func (s *Session) Rows(ctx context.Context, pred string) (*RowsResponse, error) {
+	return rowsAt(ctx, s.c, s.ID, pred)
+}
+
+// Count returns a ground goal's count at the pinned version.
+func (s *Session) Count(ctx context.Context, goal string) (*CountResponse, error) {
+	return countAt(ctx, s.c, s.ID, goal)
+}
+
+// Explain enumerates derivations at the pinned version.
+func (s *Session) Explain(ctx context.Context, goal string) (*ExplainResponse, error) {
+	return explainAt(ctx, s.c, s.ID, goal)
+}
+
+func sessionQuery(session string) url.Values {
+	q := url.Values{}
+	if session != "" {
+		q.Set("session", session)
+	}
+	return q
+}
+
+func queryAt(ctx context.Context, c *Client, session, goal string) (*QueryResponse, error) {
+	q := sessionQuery(session)
+	q.Set("goal", goal)
+	var out QueryResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/query", q, nil, "", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+func rowsAt(ctx context.Context, c *Client, session, pred string) (*RowsResponse, error) {
+	q := sessionQuery(session)
+	q.Set("pred", pred)
+	var out RowsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/rows", q, nil, "", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+func countAt(ctx context.Context, c *Client, session, goal string) (*CountResponse, error) {
+	q := sessionQuery(session)
+	q.Set("goal", goal)
+	var out CountResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/count", q, nil, "", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+func explainAt(ctx context.Context, c *Client, session, goal string) (*ExplainResponse, error) {
+	q := sessionQuery(session)
+	q.Set("goal", goal)
+	var out ExplainResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/explain", q, nil, "", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Subscription is a live change stream. Read Events until it closes,
+// then consult Err: nil means a clean close (Close called or server
+// shutdown), ErrEvicted means the server dropped this consumer for
+// falling behind.
+type Subscription struct {
+	events chan Event
+	cancel context.CancelFunc
+
+	mu  sync.Mutex
+	err error
+}
+
+// ErrEvicted reports that the server evicted this subscriber because
+// its events backed up past the per-client buffer: the stream has a
+// gap, so re-read current state and resubscribe.
+var ErrEvicted = fmt.Errorf("ivmd: subscriber evicted (consumer too slow)")
+
+// Events yields the stream: first a hello event carrying the version
+// the subscription started at, then one event per committed batch
+// matching the predicate filter.
+func (s *Subscription) Events() <-chan Event { return s.events }
+
+// Err returns why the stream ended (nil for a clean close).
+func (s *Subscription) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+func (s *Subscription) setErr(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err == nil {
+		s.err = err
+	}
+}
+
+// Close terminates the subscription.
+func (s *Subscription) Close() { s.cancel() }
+
+// Subscribe opens a streaming change subscription for the given
+// predicates (none = every predicate). buffer, when > 0, requests a
+// smaller server-side buffer than the default (useful in tests; the
+// server caps it at its own maximum). The stream ends when ctx is
+// canceled, Close is called, the server shuts down, or the subscriber
+// is evicted.
+func (c *Client) Subscribe(ctx context.Context, preds []string, buffer int) (*Subscription, error) {
+	q := url.Values{}
+	for _, p := range preds {
+		q.Add("pred", p)
+	}
+	if buffer > 0 {
+		q.Set("buffer", fmt.Sprint(buffer))
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	u := c.base + "/v1/subscribe"
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		cancel()
+		var er ErrorResponse
+		msg := strings.TrimSpace(string(data))
+		if json.Unmarshal(data, &er) == nil && er.Error != "" {
+			msg = er.Error
+		}
+		return nil, &apiError{Status: resp.StatusCode, Message: msg}
+	}
+	sub := &Subscription{events: make(chan Event), cancel: cancel}
+	go func() {
+		defer close(sub.events)
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 64*1024), 64<<20)
+		for sc.Scan() {
+			line := bytes.TrimSpace(sc.Bytes())
+			if len(line) == 0 {
+				continue
+			}
+			var ev Event
+			if err := json.Unmarshal(line, &ev); err != nil {
+				sub.setErr(fmt.Errorf("ivmd: decoding event: %w", err))
+				return
+			}
+			if ev.Evicted {
+				sub.setErr(ErrEvicted)
+				return
+			}
+			select {
+			case sub.events <- ev:
+			case <-ctx.Done():
+				return
+			}
+		}
+		if err := sc.Err(); err != nil && ctx.Err() == nil {
+			sub.setErr(err)
+		}
+	}()
+	return sub, nil
+}

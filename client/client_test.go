@@ -1,0 +1,262 @@
+package client_test
+
+// The client package is stdlib-only, so its tests live in an external
+// test package that boots a real server (ivm/internal/server) and
+// exercises the full client surface over actual HTTP.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ivm"
+	"ivm/client"
+	"ivm/internal/server"
+)
+
+func startServer(t *testing.T, opts server.Options) *client.Client {
+	t.Helper()
+	db := ivm.NewDatabase()
+	db.MustLoad(`link(a,b). link(b,c).`)
+	v, err := db.Materialize(`hop(X,Y) :- link(X,Z), link(Z,Y).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.OwnViews = true
+	srv := server.New(v, opts)
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return client.New(srv.URL(), nil)
+}
+
+func TestClientRoundtrip(t *testing.T) {
+	c := startServer(t, server.Options{})
+	ctx := context.Background()
+
+	info, err := c.Info(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Rules == 0 || info.Strategy == "" {
+		t.Fatalf("thin info: %+v", info)
+	}
+
+	res, err := c.Apply(ctx, "+link(c,d).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Version == 0 {
+		t.Fatal("apply did not report a version")
+	}
+
+	qr, err := c.Query(ctx, "hop(b,X)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Results) != 1 || qr.Results[0].Bindings["X"] != "d" {
+		t.Fatalf("hop(b,X) = %+v, want X=d", qr.Results)
+	}
+
+	rows, err := c.Rows(ctx, "hop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Rows) != 2 {
+		t.Fatalf("hop has %d rows, want 2", len(rows.Rows))
+	}
+
+	cnt, err := c.Count(ctx, "hop(a,c)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnt.Count != 1 || !cnt.Has {
+		t.Fatalf("count hop(a,c) = %+v", cnt)
+	}
+	for goal, want := range map[string]bool{"hop(a,c)": true, "hop(c,a)": false} {
+		has, err := c.Has(ctx, goal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if has != want {
+			t.Fatalf("Has(%s) = %v, want %v", goal, has, want)
+		}
+	}
+
+	ex, err := c.Explain(ctx, "hop(a,c)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Derivations) == 0 {
+		t.Fatal("no derivations for hop(a,c)")
+	}
+
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["server_requests_total"] == 0 {
+		t.Fatalf("metrics missing serving-layer series: %v", m)
+	}
+}
+
+func TestClientErrors(t *testing.T) {
+	c := startServer(t, server.Options{})
+	ctx := context.Background()
+
+	if _, err := c.Apply(ctx, "+nonsense("); err == nil {
+		t.Fatal("malformed script must fail")
+	} else if !strings.Contains(err.Error(), "422") {
+		t.Fatalf("apply rejection should carry the http status: %v", err)
+	}
+	if _, err := c.Count(ctx, "hop(a,X)"); err == nil {
+		t.Fatal("non-ground count goal must fail")
+	}
+	if _, err := c.Query(ctx, ""); err == nil {
+		t.Fatal("empty goal must fail")
+	}
+}
+
+func TestClientSession(t *testing.T) {
+	c := startServer(t, server.Options{})
+	ctx := context.Background()
+
+	sess, err := c.NewSession(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := sess.Rows(ctx, "hop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Apply(ctx, "+link(c,d)."); err != nil {
+		t.Fatal(err)
+	}
+	// The live view moved; the pinned session must not.
+	after, err := sess.Rows(ctx, "hop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Rows) != len(before.Rows) || after.Version != sess.Version {
+		t.Fatalf("session read moved: %d rows at v%d, pinned %d rows at v%d",
+			len(after.Rows), after.Version, len(before.Rows), sess.Version)
+	}
+	if cnt, err := sess.Count(ctx, "hop(b,d)"); err != nil || cnt.Has {
+		t.Fatalf("pinned session sees post-pin tuple (count=%+v err=%v)", cnt, err)
+	}
+	if qr, err := sess.Query(ctx, "hop(b,X)"); err != nil || len(qr.Results) != 0 {
+		t.Fatalf("pinned session query sees post-pin tuple: %+v, %v", qr, err)
+	}
+	if _, err := sess.Explain(ctx, "hop(a,c)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(ctx); err == nil {
+		t.Fatal("double close must fail")
+	}
+}
+
+func TestClientSubscribe(t *testing.T) {
+	c := startServer(t, server.Options{})
+	ctx := context.Background()
+
+	sub, err := c.Subscribe(ctx, []string{"hop"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hello, ok := <-sub.Events()
+	if !ok || !hello.Hello {
+		t.Fatalf("first event = %+v, want hello", hello)
+	}
+
+	res, err := c.Apply(ctx, "+link(c,d).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-sub.Events():
+		if ev.Version != res.Version {
+			t.Fatalf("event version %d, apply acked %d", ev.Version, res.Version)
+		}
+		if len(ev.Deltas) != 1 || ev.Deltas[0].Pred != "hop" {
+			t.Fatalf("deltas = %+v, want one hop delta", ev.Deltas)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no event within 5s of an acked apply")
+	}
+
+	sub.Close()
+	for range sub.Events() {
+	}
+	if err := sub.Err(); err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("closed subscription err = %v", err)
+	}
+
+	if _, err := c.Subscribe(ctx, nil, -1); err != nil {
+		t.Fatalf("default buffer subscribe: %v", err)
+	}
+}
+
+// TestClientSubscribeEviction checks the client surfaces a server-sent
+// eviction as ErrEvicted. (Provoking a real eviction over HTTP needs
+// megabytes of TCP backpressure; the server-side half of the contract
+// is covered by the hub and server tests.)
+func TestClientSubscribeEviction(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/subscribe" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintln(w, `{"hello":true,"version":7}`)
+		fmt.Fprintln(w, `{"version":8,"deltas":[{"pred":"hop","inserted":[{"tuple":["a","b"],"count":1}]}]}`)
+		fmt.Fprintln(w, `{"evicted":true}`)
+	}))
+	defer ts.Close()
+
+	sub, err := client.New(ts.URL, nil).Subscribe(context.Background(), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []client.Event
+	for ev := range sub.Events() {
+		got = append(got, ev)
+	}
+	if !errors.Is(sub.Err(), client.ErrEvicted) {
+		t.Fatalf("stream ended with %v, want ErrEvicted", sub.Err())
+	}
+	if len(got) != 2 || !got[0].Hello || got[1].Version != 8 {
+		t.Fatalf("events before eviction: %+v", got)
+	}
+}
+
+// TestClientSubscribeBadStream: a malformed event line must end the
+// stream with a decode error, not hang or drop silently.
+func TestClientSubscribeBadStream(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, `{"hello":true,"version":1}`)
+		fmt.Fprintln(w, `not json`)
+	}))
+	defer ts.Close()
+
+	sub, err := client.New(ts.URL, nil).Subscribe(context.Background(), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for range sub.Events() {
+	}
+	if sub.Err() == nil {
+		t.Fatal("malformed stream line must surface an error")
+	}
+}

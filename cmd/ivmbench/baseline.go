@@ -1,0 +1,62 @@
+package main
+
+// Baseline regression guard behind `ivmbench -readers ... -baseline`:
+// compares a fresh readers report against a committed baseline JSON
+// (BENCH_readers.json) and fails loudly when the snapshot-path reader
+// p99 regresses beyond the tolerance multiplier or the scheduler's
+// coalesce ratio collapses. The tolerance is deliberately loose (~3x):
+// CI machines are noisy, and the guard exists to catch structural
+// regressions (a lock reappearing on the read path, coalescing turned
+// off), not single-digit-percent drift.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+func compareReadersBaseline(rep *readersReport, baselinePath string, tolerance float64) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	var base readersReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", baselinePath, err)
+	}
+	if tolerance <= 1 {
+		return fmt.Errorf("tolerance must be > 1, got %g", tolerance)
+	}
+
+	fmt.Printf("\nbaseline comparison against %s (tolerance %.1fx):\n", baselinePath, tolerance)
+	var failures []string
+
+	p99Limit := int64(float64(base.Snapshot.P99Nanos) * tolerance)
+	fmt.Printf("  snapshot reader p99: current %dns vs baseline %dns (limit %dns)\n",
+		rep.Snapshot.P99Nanos, base.Snapshot.P99Nanos, p99Limit)
+	if base.Snapshot.P99Nanos > 0 && rep.Snapshot.P99Nanos > p99Limit {
+		failures = append(failures, fmt.Sprintf(
+			"snapshot reader p99 regressed: %dns > %.1fx baseline %dns",
+			rep.Snapshot.P99Nanos, tolerance, base.Snapshot.P99Nanos))
+	}
+
+	ratioFloor := base.CoalesceRatio / tolerance
+	fmt.Printf("  coalesce ratio: current %.2f vs baseline %.2f (floor %.2f)\n",
+		rep.CoalesceRatio, base.CoalesceRatio, ratioFloor)
+	// A ratio of 1.0 means no coalescing happened; only flag a collapse
+	// when the baseline actually showed coalescing headroom.
+	if base.CoalesceRatio > 1 && rep.CoalesceRatio < ratioFloor {
+		failures = append(failures, fmt.Sprintf(
+			"coalesce ratio collapsed: %.2f < baseline %.2f / %.1f",
+			rep.CoalesceRatio, base.CoalesceRatio, tolerance))
+	}
+
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Printf("  REGRESSION: %s\n", f)
+		}
+		return fmt.Errorf("%d benchmark regression(s) against %s", len(failures), baselinePath)
+	}
+	fmt.Println("  within tolerance")
+	return nil
+}

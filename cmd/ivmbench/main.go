@@ -24,12 +24,31 @@ func main() {
 	expFlag := flag.String("exp", "", "comma-separated experiment ids to run (default: all)")
 	metricsPath := flag.String("metrics", "", `write a metrics exposition for the run to this file ("-" for stdout)`)
 	readersPath := flag.String("readers", "", "run the snapshot-reader latency benchmark and write its JSON report to this path (e.g. BENCH_readers.json), then exit")
+	baselinePath := flag.String("baseline", "", "with -readers: compare the fresh report against this baseline JSON and exit nonzero on regression")
+	tolerance := flag.Float64("tolerance", 3.0, "with -baseline: allowed regression multiplier (p99 may grow to tolerance x baseline; coalesce ratio may shrink to baseline / tolerance)")
+	serverTarget := flag.String("server", "", `run the served-load benchmark against an ivmd base URL, or "self" to boot an in-process server, then exit`)
+	serverOut := flag.String("server-out", "BENCH_server.json", "with -server: write the served-load JSON report to this path")
 	flag.Parse()
 
+	if *serverTarget != "" {
+		if err := writeServerLoadReport(*serverOut, *serverTarget, *scaleFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "ivmbench: server benchmark: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *readersPath != "" {
-		if err := writeReadersReport(*readersPath, *scaleFlag); err != nil {
+		rep, err := writeReadersReport(*readersPath, *scaleFlag)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "ivmbench: readers benchmark: %v\n", err)
 			os.Exit(1)
+		}
+		if *baselinePath != "" {
+			if err := compareReadersBaseline(rep, *baselinePath, *tolerance); err != nil {
+				fmt.Fprintf(os.Stderr, "ivmbench: baseline guard: %v\n", err)
+				os.Exit(1)
+			}
 		}
 		return
 	}

@@ -225,22 +225,22 @@ func runReadersBenchmark(nodes, edges int, d time.Duration) (*readersReport, err
 	return rep, nil
 }
 
-func writeReadersReport(path string, scale string) error {
+func writeReadersReport(path string, scale string) (*readersReport, error) {
 	nodes, edges, dur := 150, 1200, 2*time.Second
 	if scale == "smoke" {
 		nodes, edges, dur = 60, 400, 400*time.Millisecond
 	}
 	rep, err := runReadersBenchmark(nodes, edges, dur)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
-		return err
+		return nil, err
 	}
 	data = append(data, '\n')
 	if err := os.WriteFile(path, data, 0o644); err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Printf("reader latency under sustained Apply load (%d readers vs %d writers, %s):\n",
 		rep.Readers, rep.Writers, rep.Duration)
@@ -250,5 +250,5 @@ func writeReadersReport(path string, scale string) error {
 		rep.RWMutexBaseline.P50Nanos, rep.RWMutexBaseline.P99Nanos, rep.RWMutexBaseline.Reads)
 	fmt.Printf("  p99 speedup: %.1fx   coalesce ratio: %.2f updates/batch\n", rep.SpeedupP99, rep.CoalesceRatio)
 	fmt.Printf("wrote %s\n", path)
-	return nil
+	return rep, nil
 }

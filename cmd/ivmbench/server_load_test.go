@@ -1,0 +1,41 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Smoke the served-load benchmark end to end against an in-process
+// server: the report must land on disk with real traffic in it.
+func TestWriteServerLoadReportSelf(t *testing.T) {
+	if testing.Short() {
+		t.Skip("served-load smoke skipped in -short")
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_server.json")
+	if err := writeServerLoadReport(path, "self", "smoke"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep serverLoadReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Target != "self" || rep.Applies == 0 || rep.Reads == 0 || rep.SubEvents == 0 {
+		t.Fatalf("thin report: %+v", rep)
+	}
+	if rep.ApplyP99Nanos < rep.ApplyP50Nanos {
+		t.Fatalf("p99 %d < p50 %d", rep.ApplyP99Nanos, rep.ApplyP50Nanos)
+	}
+}
+
+// An unreachable target must fail the probe, not hang or panic.
+func TestRunServerLoadUnreachable(t *testing.T) {
+	if _, err := runServerLoad("http://127.0.0.1:1", 1, 1, 0); err == nil {
+		t.Fatal("unreachable server must fail the initial probe")
+	}
+}

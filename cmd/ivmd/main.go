@@ -1,0 +1,156 @@
+// Command ivmd serves materialized views over the network: the
+// incremental-maintenance engine (counting / DRed) behind an HTTP/JSON
+// API with lock-free snapshot reads, snapshot-pinned repeatable-read
+// sessions, streaming change subscriptions, and (optionally) a text
+// line protocol.
+//
+// Usage:
+//
+//	ivmd -store DIR -program views.dl [-data facts.dl] [flags]
+//
+// With -store, every applied delta is fsynced to the write-ahead log
+// before it is acknowledged, and SIGINT/SIGTERM trigger a graceful
+// shutdown: in-flight applies drain, the store checkpoints, and the WAL
+// closes — an acknowledged apply is never lost. Without -store the
+// views are memory-only (useful for benchmarks and smoke tests).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ivm"
+	"ivm/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ivmd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "127.0.0.1:7199", "HTTP listen address")
+	lineAddr := flag.String("line-addr", "", "optional line-protocol listen address (e.g. 127.0.0.1:7198)")
+	programPath := flag.String("program", "", "file with view rules (and optionally facts)")
+	dataPath := flag.String("data", "", "file with base facts")
+	storeDir := flag.String("store", "", "managed store directory (checkpoints + WAL); empty = memory-only")
+	strategyFlag := flag.String("strategy", "auto", "auto, counting, dred, or recompute")
+	semanticsFlag := flag.String("semantics", "set", "set or duplicate")
+	groupCommit := flag.Bool("group-commit", true, "batch WAL fsyncs across concurrent applies (requires -store)")
+	requestTimeout := flag.Duration("request-timeout", 15*time.Second, "per-request timeout for non-streaming endpoints")
+	maxBody := flag.Int64("max-body", 4<<20, "maximum apply request body bytes")
+	subBuffer := flag.Int("sub-buffer", 256, "per-subscriber event buffer; a consumer that falls this far behind is evicted")
+	sessionTTL := flag.Duration("session-ttl", 5*time.Minute, "idle lifetime of snapshot-pinned sessions")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 30*time.Second, "graceful-shutdown drain budget")
+	quiet := flag.Bool("quiet", false, "suppress per-request logging (lifecycle events still log)")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "", log.LstdFlags|log.Lmicroseconds)
+	logf := logger.Printf
+	if *quiet {
+		logf = func(format string, args ...any) {
+			// Lifecycle lines keep flowing; per-request lines are dropped.
+			if strings.HasPrefix(format, "ivmd: %s %s ->") {
+				return
+			}
+			logger.Printf(format, args...)
+		}
+	}
+
+	var opts []ivm.Option
+	switch *strategyFlag {
+	case "auto":
+	case "counting":
+		opts = append(opts, ivm.WithStrategy(ivm.Counting))
+	case "dred":
+		opts = append(opts, ivm.WithStrategy(ivm.DRed))
+	case "recompute":
+		opts = append(opts, ivm.WithStrategy(ivm.Recompute))
+	default:
+		return fmt.Errorf("unknown strategy %q", *strategyFlag)
+	}
+	switch *semanticsFlag {
+	case "set":
+	case "duplicate", "dup":
+		opts = append(opts, ivm.WithSemantics(ivm.DuplicateSemantics))
+	default:
+		return fmt.Errorf("unknown semantics %q", *semanticsFlag)
+	}
+	if *groupCommit {
+		opts = append(opts, ivm.WithGroupCommit())
+	}
+
+	var views *ivm.Views
+	if *storeDir != "" {
+		v, info, err := ivm.OpenStore(*storeDir, func() (*ivm.Views, error) {
+			return buildViews(*programPath, *dataPath, opts)
+		}, opts...)
+		if err != nil {
+			return err
+		}
+		logf("ivmd: store %s: %s", *storeDir, info)
+		views = v
+	} else {
+		v, err := buildViews(*programPath, *dataPath, opts)
+		if err != nil {
+			return err
+		}
+		logf("ivmd: memory-only (no -store): applies are not durable")
+		views = v
+	}
+	logf("ivmd: strategy=%v semantics=%v rules=%d version=%d",
+		views.Strategy(), views.Semantics(), len(views.Program().Rules), views.Snapshot().Version())
+
+	srv := server.New(views, server.Options{
+		Addr:             *addr,
+		LineAddr:         *lineAddr,
+		RequestTimeout:   *requestTimeout,
+		MaxBodyBytes:     *maxBody,
+		SubscriberBuffer: *subBuffer,
+		SessionTTL:       *sessionTTL,
+		OwnViews:         true,
+		Logf:             logf,
+	})
+	if err := srv.Start(); err != nil {
+		views.Close()
+		return err
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	got := <-sig
+	logf("ivmd: received %v, shutting down", got)
+	ctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+	defer cancel()
+	return srv.Shutdown(ctx)
+}
+
+func buildViews(programPath, dataPath string, opts []ivm.Option) (*ivm.Views, error) {
+	if programPath == "" {
+		return nil, fmt.Errorf("-program is required for an empty store")
+	}
+	programSrc, err := os.ReadFile(programPath)
+	if err != nil {
+		return nil, err
+	}
+	db := ivm.NewDatabase()
+	if dataPath != "" {
+		data, err := os.ReadFile(dataPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := db.Load(string(data)); err != nil {
+			return nil, err
+		}
+	}
+	return db.Materialize(string(programSrc), opts...)
+}

@@ -61,6 +61,15 @@ func (g *Gauge) Set(v int64) {
 	g.v.Store(v)
 }
 
+// Add moves the gauge by d (d may be negative) — the up/down shape
+// level gauges such as active-subscriber counts need.
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(d)
+}
+
 // Value returns the current gauge value.
 func (g *Gauge) Value() int64 {
 	if g == nil {

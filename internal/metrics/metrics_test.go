@@ -172,3 +172,15 @@ func TestFuncTracerNilCallbacks(t *testing.T) {
 		t.Fatalf("events = %v", events)
 	}
 }
+
+func TestGaugeAdd(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("active")
+	g.Add(3)
+	g.Add(-1)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("gauge after +3 -1 = %d, want 2", got)
+	}
+	var nilGauge *Gauge
+	nilGauge.Add(5) // must not panic
+}

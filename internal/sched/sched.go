@@ -25,6 +25,7 @@ type Combiner[R any] struct {
 	process func(batch []R)
 
 	mu      sync.Mutex
+	idle    sync.Cond // signaled when queue empties and no leader runs
 	queue   []R
 	leading bool
 }
@@ -35,7 +36,23 @@ type Combiner[R any] struct {
 // fulfilling a promise carried inside R — because followers block until
 // their request is completed, not until process returns.
 func New[R any](process func(batch []R)) *Combiner[R] {
-	return &Combiner[R]{process: process}
+	c := &Combiner[R]{process: process}
+	c.idle.L = &c.mu
+	return c
+}
+
+// Quiesce blocks until the combiner is idle: the queue is empty and no
+// leader is processing a batch. Every request submitted before Quiesce
+// was called has been completed when it returns. Requests submitted
+// concurrently with or after Quiesce may or may not be covered — the
+// caller is responsible for stopping producers first (the graceful-
+// shutdown discipline: stop accepting work, then Quiesce, then sync).
+func (c *Combiner[R]) Quiesce() {
+	c.mu.Lock()
+	for c.leading || len(c.queue) > 0 {
+		c.idle.Wait()
+	}
+	c.mu.Unlock()
 }
 
 // Submit enqueues r. If a leader is already draining the queue, Submit
@@ -59,6 +76,7 @@ func (c *Combiner[R]) Submit(r R) bool {
 		c.mu.Lock()
 	}
 	c.leading = false
+	c.idle.Broadcast()
 	c.mu.Unlock()
 	return true
 }

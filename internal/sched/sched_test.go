@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 type req struct {
@@ -148,5 +149,54 @@ func TestLeaderDrainsFollowers(t *testing.T) {
 	<-leadDone
 	if len(got) != 4 || got[0] != 0 {
 		t.Fatalf("processed order %v, want leader first then 3 followers", got)
+	}
+}
+
+// TestQuiesce: Quiesce must block until every submitted request has
+// been processed, and return immediately on an idle combiner.
+func TestQuiesce(t *testing.T) {
+	var mu sync.Mutex
+	processed := 0
+	release := make(chan struct{})
+	c := New(func(batch []int) {
+		<-release
+		mu.Lock()
+		processed += len(batch)
+		mu.Unlock()
+	})
+
+	c.Quiesce() // idle: returns immediately
+
+	go c.Submit(1) // becomes leader, blocks in process
+	for {
+		c.mu.Lock()
+		leading := c.leading
+		c.mu.Unlock()
+		if leading {
+			break
+		}
+	}
+	go c.Submit(2) // queued follower
+
+	done := make(chan struct{})
+	go func() {
+		c.Quiesce()
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("Quiesce returned while a batch was still processing")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Quiesce did not return after the queue drained")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if processed != 2 {
+		t.Fatalf("processed %d requests, want 2", processed)
 	}
 }

@@ -1,0 +1,216 @@
+// Package server is the network serving layer over ivm.Views: an
+// HTTP/JSON (and line-protocol) front end exposing apply, lock-free
+// reads, snapshot-pinned repeatable-read sessions, and a streaming
+// change-subscription endpoint that fans committed deltas out to N
+// subscribers with per-client bounded buffers and slow-consumer
+// eviction. See DESIGN.md §11.
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"ivm"
+	"ivm/client"
+	"ivm/internal/metrics"
+)
+
+// Hub fans committed change sets out to subscribers. It drains
+// ivm.Views.OnCommit — one event per committed maintenance batch, in
+// commit order — and delivers each event to every subscriber whose
+// predicate filter matches, over a per-subscriber bounded channel.
+//
+// Backpressure policy: the commit path never blocks on a consumer. A
+// subscriber whose buffer is full when an event arrives is evicted —
+// removed from the hub and its channel closed — rather than silently
+// dropping that one event, because a gap in a delta stream is worse
+// than a clean break: the consumer knows it must resync (re-read and
+// resubscribe) instead of acting on state it silently missed. Fast
+// consumers observe every matching ChangeSet version in commit order.
+type Hub struct {
+	mu     sync.Mutex
+	subs   map[*Subscriber]struct{}
+	closed bool
+
+	gActive    *metrics.Gauge
+	cEvents    *metrics.Counter
+	cDelivered *metrics.Counter
+	cEvicted   *metrics.Counter
+}
+
+// NewHub builds a hub over v, registering its commit hook. Backpressure
+// counters land in reg: server_subscribers_active (gauge),
+// server_sub_events_total (committed events fanned out),
+// server_sub_delivered_total (per-subscriber deliveries), and
+// server_sub_evicted_total (slow consumers dropped).
+func NewHub(v *ivm.Views, reg *metrics.Registry) *Hub {
+	h := &Hub{
+		subs:       make(map[*Subscriber]struct{}),
+		gActive:    reg.Gauge("server_subscribers_active"),
+		cEvents:    reg.Counter("server_sub_events_total"),
+		cDelivered: reg.Counter("server_sub_delivered_total"),
+		cEvicted:   reg.Counter("server_sub_evicted_total"),
+	}
+	v.OnCommit(h.publish)
+	return h
+}
+
+// Subscriber is one consumer of the hub's event stream. Events() yields
+// matching events in commit order until Close is called, the hub shuts
+// down, or the subscriber falls behind and is evicted (Evicted then
+// reports true); in every case the channel is closed.
+type Subscriber struct {
+	hub     *Hub
+	preds   map[string]bool // nil = every predicate
+	ch      chan client.Event
+	evicted atomic.Bool
+}
+
+// Subscribe registers a consumer for the given predicates (none =
+// every predicate) with a buffer of cap events. Returns nil if the hub
+// has shut down.
+func (h *Hub) Subscribe(preds []string, buffer int) *Subscriber {
+	if buffer < 1 {
+		buffer = 1
+	}
+	s := &Subscriber{hub: h, ch: make(chan client.Event, buffer)}
+	if len(preds) > 0 {
+		s.preds = make(map[string]bool, len(preds))
+		for _, p := range preds {
+			s.preds[p] = true
+		}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil
+	}
+	h.subs[s] = struct{}{}
+	h.gActive.Add(1)
+	return s
+}
+
+// Events returns the subscriber's delivery channel.
+func (s *Subscriber) Events() <-chan client.Event { return s.ch }
+
+// Evicted reports whether the hub dropped this subscriber for falling
+// behind its buffer (meaningful once Events() is closed).
+func (s *Subscriber) Evicted() bool { return s.evicted.Load() }
+
+// Close unsubscribes and closes the event channel. Safe to call
+// concurrently with delivery and after eviction (then a no-op).
+func (s *Subscriber) Close() {
+	h := s.hub
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.subs[s]; !ok {
+		return // already evicted or closed
+	}
+	delete(h.subs, s)
+	h.gActive.Add(-1)
+	close(s.ch)
+}
+
+// CloseAll shuts the hub down: every subscriber's channel is closed and
+// later Subscribe calls return nil. Commit events arriving afterwards
+// are discarded. Used by graceful shutdown, before the HTTP server
+// drains, so streaming handlers unblock.
+func (h *Hub) CloseAll() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for s := range h.subs {
+		delete(h.subs, s)
+		h.gActive.Add(-1)
+		close(s.ch)
+	}
+}
+
+// publish runs on the maintainer goroutine for every committed batch.
+// It holds the hub lock across the (non-blocking) deliveries so a
+// concurrent Close never closes a channel mid-send.
+func (h *Hub) publish(cs *ivm.ChangeSet) {
+	deltas := DeltasFromChangeSet(cs)
+	if len(deltas) == 0 {
+		return // nothing visible changed; subscribers see no event
+	}
+	ev := client.Event{Version: cs.Version(), Deltas: deltas}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.cEvents.Inc()
+	for s := range h.subs {
+		sev := ev
+		if s.preds != nil {
+			var match []client.Delta
+			for _, d := range deltas {
+				if s.preds[d.Pred] {
+					match = append(match, d)
+				}
+			}
+			if len(match) == 0 {
+				continue
+			}
+			sev.Deltas = match
+		}
+		select {
+		case s.ch <- sev:
+			h.cDelivered.Inc()
+		default:
+			// Full buffer: the consumer is slower than the commit rate.
+			// Evict it — a closed stream it can detect beats a silent gap.
+			delete(h.subs, s)
+			h.gActive.Add(-1)
+			h.cEvicted.Inc()
+			s.evicted.Store(true)
+			close(s.ch)
+		}
+	}
+}
+
+// DeltasFromChangeSet renders a change set's per-predicate deltas into
+// wire form (sorted by predicate; empty change sets yield nil).
+func DeltasFromChangeSet(cs *ivm.ChangeSet) []client.Delta {
+	if cs == nil {
+		return nil
+	}
+	var out []client.Delta
+	for _, pred := range cs.Preds() {
+		d := client.Delta{
+			Pred:     pred,
+			Inserted: wireRows(cs.Inserted(pred)),
+			Deleted:  wireRows(cs.Deleted(pred)),
+		}
+		if len(d.Inserted) == 0 && len(d.Deleted) == 0 {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// wireRows renders rows for the wire: one surface-syntax string per
+// value.
+func wireRows(rows []ivm.Row) []client.Row {
+	if len(rows) == 0 {
+		return nil
+	}
+	out := make([]client.Row, len(rows))
+	for i, r := range rows {
+		out[i] = client.Row{Tuple: wireTuple(r.Tuple), Count: r.Count}
+	}
+	return out
+}
+
+func wireTuple(t ivm.Tuple) []string {
+	vals := make([]string, len(t))
+	for i, v := range t {
+		vals[i] = v.String()
+	}
+	return vals
+}

@@ -1,0 +1,210 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+
+	"ivm/client"
+)
+
+// The line protocol: a minimal text protocol for clients that want the
+// engine without HTTP machinery (telnet/netcat debuggable, one request
+// per line, one response per line):
+//
+//	apply +link(a,b). -link(b,c).   -> ok {"version":7,...}
+//	query hop(a,X)                  -> ok {"version":7,"results":[...]}
+//	rows hop                        -> ok {"version":7,"pred":"hop","rows":[...]}
+//	count hop(a,c)                  -> ok {"version":7,"count":2,"has":true}
+//	has hop(a,c)                    -> ok {"version":7,"count":2,"has":true}
+//	version                         -> ok {"version":7}
+//	ping                            -> ok {}
+//	sub [pred ...]                  -> ok {"version":7,"hello":true}, then
+//	                                   event {...} lines until the next
+//	                                   input line, eviction (bye evicted),
+//	                                   or shutdown (bye closed)
+//	quit                            -> bye
+//
+// Errors answer `err <message>`. Responses after the status word are
+// the same JSON documents the HTTP endpoints serve, so a line client
+// shares the wire types. Sessions are HTTP-only.
+func (s *Server) acceptLineConns(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed (shutdown)
+		}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.lineConns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.serveLineConn(conn)
+	}
+}
+
+func (s *Server) serveLineConn(conn net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.lineConns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	s.opts.Logf("ivmd: line conn %s connected", conn.RemoteAddr())
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), int(s.opts.MaxBodyBytes))
+	out := bufio.NewWriter(conn)
+	reply := func(status string, v any) bool {
+		out.WriteString(status)
+		if v != nil {
+			out.WriteByte(' ')
+			data, err := json.Marshal(v)
+			if err != nil {
+				return false
+			}
+			out.Write(data)
+		}
+		out.WriteByte('\n')
+		return out.Flush() == nil
+	}
+	fail := func(format string, args ...any) bool {
+		out.WriteString("err ")
+		fmt.Fprintf(out, format, args...)
+		out.WriteByte('\n')
+		return out.Flush() == nil
+	}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		cmd, rest, _ := strings.Cut(line, " ")
+		rest = strings.TrimSpace(rest)
+		var ok bool
+		switch cmd {
+		case "ping":
+			ok = reply("ok", struct{}{})
+		case "version":
+			ok = reply("ok", map[string]uint64{"version": s.v.Snapshot().Version()})
+		case "apply":
+			if rest == "" {
+				ok = fail("apply needs a delta script")
+				break
+			}
+			cs, err := s.v.ApplyScript(rest)
+			if err != nil {
+				ok = fail("apply: %v", err)
+				break
+			}
+			ok = reply("ok", client.ApplyResult{Version: cs.Version(), Deltas: DeltasFromChangeSet(cs)})
+		case "query":
+			if rest == "" {
+				ok = fail("query needs a goal")
+				break
+			}
+			snap := s.v.Snapshot()
+			results, err := snap.Query(rest)
+			if err != nil {
+				ok = fail("query: %v", err)
+				break
+			}
+			resp := client.QueryResponse{Version: snap.Version(), Results: []client.QueryResult{}}
+			for _, qr := range results {
+				r := client.QueryResult{Tuple: wireTuple(qr.Row.Tuple), Count: qr.Row.Count}
+				if len(qr.Bindings) > 0 {
+					r.Bindings = make(map[string]string, len(qr.Bindings))
+					for name, val := range qr.Bindings {
+						r.Bindings[name] = val.String()
+					}
+				}
+				resp.Results = append(resp.Results, r)
+			}
+			ok = reply("ok", resp)
+		case "rows":
+			if rest == "" {
+				ok = fail("rows needs a predicate")
+				break
+			}
+			snap := s.v.Snapshot()
+			ok = reply("ok", client.RowsResponse{Version: snap.Version(), Pred: rest, Rows: wireRows(snap.Rows(rest))})
+		case "count", "has":
+			pred, vals, err := groundGoal(rest)
+			if err != nil {
+				ok = fail("%s: %v", cmd, err)
+				break
+			}
+			snap := s.v.Snapshot()
+			n := snap.Count(pred, vals...)
+			ok = reply("ok", client.CountResponse{Version: snap.Version(), Count: n, Has: n > 0})
+		case "sub":
+			s.serveLineSub(conn, sc, out, strings.Fields(rest))
+			return
+		case "quit":
+			reply("bye", nil)
+			return
+		default:
+			ok = fail("unknown command %q", cmd)
+		}
+		if !ok {
+			return
+		}
+	}
+}
+
+// serveLineSub switches the connection into streaming mode: events go
+// out as `event {json}` lines until the client sends another line (or
+// disconnects), the hub evicts the subscriber, or the server shuts
+// down.
+func (s *Server) serveLineSub(conn net.Conn, sc *bufio.Scanner, out *bufio.Writer, preds []string) {
+	sub := s.hub.Subscribe(preds, s.opts.SubscriberBuffer)
+	if sub == nil {
+		out.WriteString("err server is shutting down\n")
+		out.Flush()
+		return
+	}
+	defer sub.Close()
+	hello, _ := json.Marshal(client.Event{Version: s.v.Snapshot().Version(), Hello: true})
+	out.WriteString("ok ")
+	out.Write(hello)
+	out.WriteByte('\n')
+	if out.Flush() != nil {
+		return
+	}
+	// Any further input (or EOF) ends the subscription.
+	done := make(chan struct{})
+	go func() {
+		sc.Scan()
+		close(done)
+	}()
+	for {
+		select {
+		case <-done:
+			return
+		case ev, ok := <-sub.Events():
+			if !ok {
+				if sub.Evicted() {
+					out.WriteString("bye evicted\n")
+				} else {
+					out.WriteString("bye closed\n")
+				}
+				out.Flush()
+				return
+			}
+			data, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			out.WriteString("event ")
+			out.Write(data)
+			out.WriteByte('\n')
+			if out.Flush() != nil {
+				return
+			}
+		}
+	}
+}

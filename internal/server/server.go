@@ -1,0 +1,566 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"ivm"
+	"ivm/client"
+	"ivm/internal/datalog"
+	"ivm/internal/metrics"
+	"ivm/internal/parser"
+)
+
+// Options configures a Server. The zero value serves HTTP on a random
+// localhost port with the documented defaults.
+type Options struct {
+	// Addr is the HTTP listen address (default "127.0.0.1:0").
+	Addr string
+	// LineAddr, when non-empty, additionally serves the text line
+	// protocol on this TCP address (see lineproto.go).
+	LineAddr string
+	// RequestTimeout bounds every non-streaming request (default 15s).
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps apply request bodies (default 4 MiB).
+	MaxBodyBytes int64
+	// SubscriberBuffer is the default per-subscriber event buffer; a
+	// subscriber that falls this many committed batches behind is
+	// evicted (default 256). Clients may request less, never more.
+	SubscriberBuffer int
+	// SessionTTL is the idle lifetime of a snapshot-pinned session;
+	// every read through the session refreshes it (default 5m).
+	SessionTTL time.Duration
+	// OwnViews makes Shutdown also shut the Views down (drain, then
+	// checkpoint + close a bound store). Set by cmd/ivmd, which owns its
+	// views; leave false when the views outlive the server.
+	OwnViews bool
+	// Logf receives one line per lifecycle event and served request
+	// (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.Addr == "" {
+		out.Addr = "127.0.0.1:0"
+	}
+	if out.RequestTimeout <= 0 {
+		out.RequestTimeout = 15 * time.Second
+	}
+	if out.MaxBodyBytes <= 0 {
+		out.MaxBodyBytes = 4 << 20
+	}
+	if out.SubscriberBuffer <= 0 {
+		out.SubscriberBuffer = 256
+	}
+	if out.SessionTTL <= 0 {
+		out.SessionTTL = 5 * time.Minute
+	}
+	if out.Logf == nil {
+		out.Logf = func(string, ...any) {}
+	}
+	return out
+}
+
+// Server serves a Views instance over HTTP/JSON (and optionally the
+// line protocol): apply, lock-free reads, snapshot-pinned sessions, a
+// streaming subscription endpoint, and a metrics exposition. See
+// DESIGN.md §11 for the shutdown and backpressure contracts.
+type Server struct {
+	v    *ivm.Views
+	opts Options
+	hub  *Hub
+	sess *sessionTable
+	reg  *metrics.Registry
+
+	http   *http.Server
+	httpLn net.Listener
+	lineLn net.Listener
+
+	mu        sync.Mutex
+	lineConns map[net.Conn]struct{}
+	draining  bool
+
+	cRequests *metrics.Counter
+	cErrors   *metrics.Counter
+	hRequest  *metrics.Histogram
+}
+
+// New builds a server over v. Call Start to begin serving.
+func New(v *ivm.Views, opts Options) *Server {
+	opts = opts.withDefaults()
+	reg := metrics.NewRegistry()
+	s := &Server{
+		v:         v,
+		opts:      opts,
+		hub:       NewHub(v, reg),
+		sess:      newSessionTable(opts.SessionTTL, reg),
+		reg:       reg,
+		lineConns: make(map[net.Conn]struct{}),
+		cRequests: reg.Counter("server_requests_total"),
+		cErrors:   reg.Counter("server_request_errors_total"),
+		hRequest:  reg.Histogram("server_request_seconds"),
+	}
+	mux := http.NewServeMux()
+	timed := func(h http.HandlerFunc) http.Handler {
+		return http.TimeoutHandler(h, opts.RequestTimeout, `{"error":"request timed out"}`)
+	}
+	mux.Handle("POST /v1/apply", timed(s.handleApply))
+	mux.Handle("GET /v1/query", timed(s.handleQuery))
+	mux.Handle("GET /v1/rows", timed(s.handleRows))
+	mux.Handle("GET /v1/count", timed(s.handleCount))
+	mux.Handle("GET /v1/has", timed(s.handleCount))
+	mux.Handle("GET /v1/explain", timed(s.handleExplain))
+	mux.Handle("GET /v1/metrics", timed(s.handleMetrics))
+	mux.Handle("GET /v1/info", timed(s.handleInfo))
+	mux.Handle("POST /v1/session", timed(s.handleSessionCreate))
+	mux.Handle("DELETE /v1/session/{id}", timed(s.handleSessionDelete))
+	// Streaming: no timeout handler (the response never ends on its
+	// own) and no response buffering.
+	mux.HandleFunc("GET /v1/subscribe", s.handleSubscribe)
+	s.http = &http.Server{
+		Handler:           s.logMiddleware(mux),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return s
+}
+
+// Start binds the listeners and begins serving in the background. The
+// bound addresses are available from Addr/LineAddr once Start returns.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.opts.Addr)
+	if err != nil {
+		return fmt.Errorf("server: listen %s: %w", s.opts.Addr, err)
+	}
+	s.httpLn = ln
+	if s.opts.LineAddr != "" {
+		lln, err := net.Listen("tcp", s.opts.LineAddr)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("server: listen %s: %w", s.opts.LineAddr, err)
+		}
+		s.lineLn = lln
+		go s.acceptLineConns(lln)
+		s.opts.Logf("ivmd: line protocol on %s", lln.Addr())
+	}
+	go func() {
+		if err := s.http.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.opts.Logf("ivmd: http serve: %v", err)
+		}
+	}()
+	s.opts.Logf("ivmd: serving HTTP on %s", ln.Addr())
+	return nil
+}
+
+// Addr returns the bound HTTP address (valid after Start).
+func (s *Server) Addr() string {
+	if s.httpLn == nil {
+		return ""
+	}
+	return s.httpLn.Addr().String()
+}
+
+// LineAddr returns the bound line-protocol address ("" if disabled).
+func (s *Server) LineAddr() string {
+	if s.lineLn == nil {
+		return ""
+	}
+	return s.lineLn.Addr().String()
+}
+
+// URL returns the base HTTP URL (valid after Start).
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Shutdown stops the server gracefully:
+//
+//  1. subscription streams are closed (so streaming handlers unblock)
+//     and new subscribes are refused;
+//  2. the HTTP server stops accepting and drains in-flight requests —
+//     an Apply that was admitted completes, is durably logged, and its
+//     acknowledgment is delivered before the connection closes;
+//  3. line-protocol connections are closed;
+//  4. the update scheduler is drained, and (with Options.OwnViews) the
+//     store is checkpointed and its WAL closed via Views.Shutdown.
+//
+// ctx bounds the HTTP drain; on expiry remaining connections are cut
+// but the views are still drained and synced (a durably-acked apply is
+// never lost — at worst its ack is).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.opts.Logf("ivmd: shutdown: closing subscriptions")
+	s.hub.CloseAll()
+	if s.lineLn != nil {
+		s.lineLn.Close()
+	}
+	s.opts.Logf("ivmd: shutdown: draining http")
+	err := s.http.Shutdown(ctx)
+	s.mu.Lock()
+	for c := range s.lineConns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.opts.Logf("ivmd: shutdown: draining applies")
+	s.v.Drain()
+	if s.opts.OwnViews {
+		s.opts.Logf("ivmd: shutdown: checkpointing store")
+		if serr := s.v.Shutdown(); serr != nil && err == nil {
+			err = serr
+		}
+	}
+	s.opts.Logf("ivmd: shutdown complete")
+	return err
+}
+
+// logMiddleware counts and (when Logf is set) logs every request.
+func (s *Server) logMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		lw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(lw, r)
+		d := time.Since(start)
+		s.cRequests.Inc()
+		if lw.status >= 400 {
+			s.cErrors.Inc()
+		}
+		s.hRequest.Observe(d)
+		s.opts.Logf("ivmd: %s %s -> %d (%s)", r.Method, r.URL.Path, lw.status, d)
+	})
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards streaming flushes (http.TimeoutHandler does not, but
+// the subscribe route bypasses it).
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, client.ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// reader is the read surface shared by the live views and pinned
+// session snapshots; *ivm.Snapshot satisfies it.
+type reader interface {
+	Version() uint64
+	Rows(pred string) []ivm.Row
+	Count(pred string, vals ...any) int64
+	Query(goal string) ([]ivm.QueryResult, error)
+	Explain(goal string) ([]ivm.Derivation, error)
+}
+
+// readerFor resolves the read target: the request's session snapshot
+// when ?session= is present (404 on unknown/expired ids), the current
+// published version otherwise. The bool reports whether a response was
+// already written.
+func (s *Server) readerFor(w http.ResponseWriter, r *http.Request) (reader, bool) {
+	id := r.URL.Query().Get("session")
+	if id == "" {
+		return s.v.Snapshot(), false
+	}
+	sess, ok := s.sess.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown or expired session %q", id)
+		return nil, true
+	}
+	return sess.snap, false
+}
+
+// handleApply applies a delta script. The body is either raw script
+// text or JSON {"script": "..."}; the response acknowledges the version
+// the batch published. For store-bound views the WAL record is fsynced
+// before this handler returns.
+func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, "apply body exceeds %d bytes", tooLarge.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	script := string(body)
+	if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, "application/json") {
+		var req struct {
+			Script string `json:"script"`
+		}
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeError(w, http.StatusBadRequest, "decoding apply request: %v", err)
+			return
+		}
+		script = req.Script
+	}
+	if strings.TrimSpace(script) == "" {
+		writeError(w, http.StatusBadRequest, "empty delta script")
+		return
+	}
+	cs, err := s.v.ApplyScript(script)
+	if err != nil {
+		status := http.StatusUnprocessableEntity
+		if errors.Is(err, ivm.ErrStoreClosed) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, "apply: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, client.ApplyResult{
+		Version: cs.Version(),
+		Deltas:  DeltasFromChangeSet(cs),
+	})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	goal := r.URL.Query().Get("goal")
+	if goal == "" {
+		writeError(w, http.StatusBadRequest, "missing goal parameter")
+		return
+	}
+	rd, done := s.readerFor(w, r)
+	if done {
+		return
+	}
+	results, err := rd.Query(goal)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "query: %v", err)
+		return
+	}
+	resp := client.QueryResponse{Version: rd.Version(), Results: []client.QueryResult{}}
+	for _, qr := range results {
+		out := client.QueryResult{Tuple: wireTuple(qr.Row.Tuple), Count: qr.Row.Count}
+		if len(qr.Bindings) > 0 {
+			out.Bindings = make(map[string]string, len(qr.Bindings))
+			for name, val := range qr.Bindings {
+				out.Bindings[name] = val.String()
+			}
+		}
+		resp.Results = append(resp.Results, out)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleRows(w http.ResponseWriter, r *http.Request) {
+	pred := r.URL.Query().Get("pred")
+	if pred == "" {
+		writeError(w, http.StatusBadRequest, "missing pred parameter")
+		return
+	}
+	rd, done := s.readerFor(w, r)
+	if done {
+		return
+	}
+	writeJSON(w, http.StatusOK, client.RowsResponse{
+		Version: rd.Version(),
+		Pred:    pred,
+		Rows:    wireRows(rd.Rows(pred)),
+	})
+}
+
+// handleCount serves /v1/count and /v1/has: the goal must be ground
+// (every argument a constant).
+func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
+	goal := r.URL.Query().Get("goal")
+	if goal == "" {
+		writeError(w, http.StatusBadRequest, "missing goal parameter")
+		return
+	}
+	pred, vals, err := groundGoal(goal)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	rd, done := s.readerFor(w, r)
+	if done {
+		return
+	}
+	n := rd.Count(pred, vals...)
+	writeJSON(w, http.StatusOK, client.CountResponse{Version: rd.Version(), Count: n, Has: n > 0})
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	goal := r.URL.Query().Get("goal")
+	if goal == "" {
+		writeError(w, http.StatusBadRequest, "missing goal parameter")
+		return
+	}
+	rd, done := s.readerFor(w, r)
+	if done {
+		return
+	}
+	ds, err := rd.Explain(goal)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "explain: %v", err)
+		return
+	}
+	resp := client.ExplainResponse{Version: rd.Version(), Derivations: []client.Derivation{}}
+	for _, d := range ds {
+		wd := client.Derivation{Rule: d.Rule, RuleIndex: d.RuleIndex}
+		for _, g := range d.Subgoals {
+			wd.Subgoals = append(wd.Subgoals, client.Subgoal{
+				Pred: g.Pred, Tuple: wireTuple(g.Tuple),
+				Negated: g.Negated, Aggregate: g.Aggregate, Count: g.Count,
+			})
+		}
+		resp.Derivations = append(resp.Derivations, wd)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleMetrics writes the engine registry's exposition followed by the
+// server's own (server_* series), in the shared `name value` format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if _, err := s.v.Metrics().WriteTo(w); err != nil {
+		return
+	}
+	s.reg.Snapshot().WriteTo(w)
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	snap := s.v.Snapshot()
+	info := client.Info{
+		Strategy:  s.v.Strategy().String(),
+		Semantics: semanticsName(s.v),
+		Rules:     len(s.v.Program().Rules),
+		Version:   snap.Version(),
+		Preds:     snap.Preds(),
+	}
+	if dir, ok := s.v.Store(); ok {
+		info.StoreDir = dir
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func semanticsName(v *ivm.Views) string {
+	if v.Semantics() == ivm.DuplicateSemantics {
+		return "duplicate"
+	}
+	return "set"
+}
+
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	sess := s.sess.create(s.v)
+	writeJSON(w, http.StatusOK, client.SessionInfo{
+		ID:          sess.id,
+		Version:     sess.snap.Version(),
+		ExpiresUnix: sess.expires.Unix(),
+	})
+}
+
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.sess.drop(r.PathValue("id")) {
+		writeError(w, http.StatusNotFound, "unknown or expired session %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+// handleSubscribe streams committed change sets as NDJSON, one
+// client.Event per line: a hello carrying the current version, then
+// every committed batch matching the ?pred= filters (repeatable; none =
+// all), until the client disconnects, the server shuts down, or the
+// subscriber falls behind its buffer and is evicted (final event has
+// "evicted": true).
+func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	q := r.URL.Query()
+	buffer := s.opts.SubscriberBuffer
+	if bs := q.Get("buffer"); bs != "" {
+		n, err := strconv.Atoi(bs)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, "invalid buffer %q", bs)
+			return
+		}
+		if n < buffer {
+			buffer = n
+		}
+	}
+	// Subscribe before reading the hello version: a commit between the
+	// two lands both in the hello version and the event stream (benign
+	// overlap) rather than in neither (a gap).
+	sub := s.hub.Subscribe(q["pred"], buffer)
+	if sub == nil {
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	defer sub.Close()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	enc.Encode(client.Event{Version: s.v.Snapshot().Version(), Hello: true})
+	flusher.Flush()
+
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case ev, ok := <-sub.Events():
+			if !ok {
+				// Hub shutdown or eviction; tell the client which.
+				if sub.Evicted() {
+					enc.Encode(client.Event{Evicted: true})
+					flusher.Flush()
+				}
+				return
+			}
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+			flusher.Flush()
+		}
+	}
+}
+
+// groundGoal parses a goal and requires it ground, returning the
+// predicate and argument values for Count/Has.
+func groundGoal(goal string) (string, []any, error) {
+	a, err := parser.ParseGoal(goal)
+	if err != nil {
+		return "", nil, err
+	}
+	vals := make([]any, len(a.Args))
+	for i, t := range a.Args {
+		c, ok := t.(datalog.Const)
+		if !ok {
+			return "", nil, fmt.Errorf("goal must be ground: %s is a variable", t)
+		}
+		vals[i] = c.Value
+	}
+	return a.Pred, vals, nil
+}

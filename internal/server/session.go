@@ -1,0 +1,105 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"time"
+
+	"ivm"
+	"ivm/internal/metrics"
+)
+
+// session pins one snapshot version for repeatable reads across
+// requests: every read issued with the session's id is served from the
+// same ivm.Snapshot, no matter how many updates commit in between.
+// Snapshots hold only immutable version data, so a pinned session costs
+// nothing beyond keeping that version reachable.
+type session struct {
+	id      string
+	snap    *ivm.Snapshot
+	expires time.Time
+}
+
+// sessionTable tracks live sessions. Expiry is lazy: expired entries
+// are rejected on access and swept on every create, so no background
+// goroutine is needed.
+type sessionTable struct {
+	ttl time.Duration
+
+	mu sync.Mutex
+	m  map[string]*session
+
+	gActive  *metrics.Gauge
+	cCreated *metrics.Counter
+	cExpired *metrics.Counter
+}
+
+func newSessionTable(ttl time.Duration, reg *metrics.Registry) *sessionTable {
+	return &sessionTable{
+		ttl:      ttl,
+		m:        make(map[string]*session),
+		gActive:  reg.Gauge("server_sessions_active"),
+		cCreated: reg.Counter("server_sessions_created_total"),
+		cExpired: reg.Counter("server_sessions_expired_total"),
+	}
+}
+
+// create pins the current version of v under a fresh random id.
+func (t *sessionTable) create(v *ivm.Views) *session {
+	var buf [16]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		panic(err) // crypto/rand never fails on supported platforms
+	}
+	s := &session{id: hex.EncodeToString(buf[:]), snap: v.Snapshot()}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sweepLocked(time.Now())
+	s.expires = time.Now().Add(t.ttl)
+	t.m[s.id] = s
+	t.gActive.Add(1)
+	t.cCreated.Inc()
+	return s
+}
+
+// get returns the live session for id, refreshing its expiry clock
+// (reads keep a session alive).
+func (t *sessionTable) get(id string) (*session, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s, ok := t.m[id]
+	if !ok {
+		return nil, false
+	}
+	now := time.Now()
+	if now.After(s.expires) {
+		delete(t.m, id)
+		t.gActive.Add(-1)
+		t.cExpired.Inc()
+		return nil, false
+	}
+	s.expires = now.Add(t.ttl)
+	return s, true
+}
+
+// drop removes a session; reports whether it existed (and was live).
+func (t *sessionTable) drop(id string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.m[id]; !ok {
+		return false
+	}
+	delete(t.m, id)
+	t.gActive.Add(-1)
+	return true
+}
+
+func (t *sessionTable) sweepLocked(now time.Time) {
+	for id, s := range t.m {
+		if now.After(s.expires) {
+			delete(t.m, id)
+			t.gActive.Add(-1)
+			t.cExpired.Inc()
+		}
+	}
+}

@@ -219,10 +219,12 @@ type Views struct {
 	comb *sched.Combiner[*applyReq]
 
 	// handlersMu guards the OnChange subscriptions, keyed by predicate
-	// ("" = every predicate). Handlers run on the maintainer goroutine
-	// after version publish, before the batch's Apply calls return.
-	handlersMu sync.Mutex
-	handlers   map[string][]func(pred string, inserted, deleted []Row)
+	// ("" = every predicate), and the OnCommit subscriptions. Handlers
+	// run on the maintainer goroutine after version publish, before the
+	// batch's Apply calls return.
+	handlersMu     sync.Mutex
+	handlers       map[string][]func(pred string, inserted, deleted []Row)
+	commitHandlers []func(cs *ChangeSet)
 
 	// par is the resolved evaluation parallelism (>= 1).
 	par int
@@ -865,17 +867,36 @@ func (v *Views) OnChange(pred string, fn func(pred string, inserted, deleted []R
 	v.handlers[pred] = append(v.handlers[pred], fn)
 }
 
-// notify fires the OnChange handlers for a change set. Called on the
-// maintainer goroutine after publish, with no Views lock held; handler
-// slices are snapshotted under handlersMu so registrations are
-// race-free.
+// OnCommit subscribes fn to every committed maintenance batch: fn
+// receives the batch's whole ChangeSet, stamped with the version it
+// published (ChangeSet.Version), including change sets with no visible
+// deltas (a batch always publishes). Like OnChange handlers, commit
+// handlers run on the maintainer goroutine after publish and outside
+// every Views lock, in commit order — under an Apply-only workload the
+// versions fn observes are nondecreasing — and must not Apply or edit
+// rules from within the callback. OnCommit is the feed the serving
+// layer's subscription fan-out drains (internal/server).
+func (v *Views) OnCommit(fn func(cs *ChangeSet)) {
+	v.handlersMu.Lock()
+	defer v.handlersMu.Unlock()
+	v.commitHandlers = append(v.commitHandlers, fn)
+}
+
+// notify fires the OnChange and OnCommit handlers for a change set.
+// Called on the maintainer goroutine after publish, with no Views lock
+// held; handler slices are snapshotted under handlersMu so
+// registrations are race-free.
 func (v *Views) notify(cs *ChangeSet) {
 	if cs == nil {
 		return
 	}
 	v.handlersMu.Lock()
+	commit := v.commitHandlers
 	if len(v.handlers) == 0 {
 		v.handlersMu.Unlock()
+		for _, fn := range commit {
+			fn(cs)
+		}
 		return
 	}
 	type firing struct {
@@ -898,6 +919,9 @@ func (v *Views) notify(cs *ChangeSet) {
 		for _, fn := range f.fns {
 			fn(f.pred, f.ins, f.del)
 		}
+	}
+	for _, fn := range commit {
+		fn(cs)
 	}
 }
 
@@ -1222,6 +1246,36 @@ func (v *Views) Store() (dir string, ok bool) {
 		return "", false
 	}
 	return v.store.Dir(), true
+}
+
+// Drain blocks until every Apply submitted before the call has
+// completed (maintained, logged, published, and its handlers run) and
+// the update scheduler is idle. Drain does not block new Apply calls —
+// the graceful-shutdown discipline is: stop producing updates, Drain,
+// then Sync/Close (or use Shutdown, which does all three store steps).
+func (v *Views) Drain() { v.comb.Quiesce() }
+
+// Shutdown is the clean-stop sequence for store-bound views: drain the
+// update scheduler (every in-flight Apply completes and is durably
+// logged), checkpoint the full state as a new snapshot epoch, and close
+// the WAL. After Shutdown, reads still serve the final published
+// version but Apply/Sync fail with ErrStoreClosed. Views without a
+// store just drain; shutting down twice is a no-op.
+func (v *Views) Shutdown() error {
+	v.Drain()
+	v.wmu.Lock()
+	defer v.wmu.Unlock()
+	if v.store == nil || v.store.Closed() {
+		return nil
+	}
+	if err := v.store.Checkpoint(v.db(), v.programSrc, v.hiddenLocked()); err != nil {
+		// Close anyway: the WAL already holds every acked apply, so
+		// recovery replays to the same state; the checkpoint was only an
+		// optimization. Surface the checkpoint error over Close's.
+		v.store.Close()
+		return fmt.Errorf("ivm: shutdown checkpoint failed (WAL still authoritative): %w", err)
+	}
+	return v.store.Close()
 }
 
 // Close flushes and closes the store's WAL. It does not checkpoint —

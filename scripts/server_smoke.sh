@@ -1,0 +1,93 @@
+#!/usr/bin/env sh
+# End-to-end smoke of the serving layer, runnable locally (`make
+# smoke-server`) and in CI (the server-smoke job): boot ivmd on a temp
+# store, drive applies / queries / a streaming subscription through the
+# client package (via `ivmbench -server`), then SIGTERM it and require a
+# clean graceful shutdown. The server log lands at $SMOKE_DIR/server.log
+# (uploaded as a CI artifact on every run, pass or fail).
+set -eu
+
+SMOKE_DIR="${SMOKE_DIR:-$(mktemp -d)}"
+ADDR="${IVMD_ADDR:-127.0.0.1:7399}"
+LOG="$SMOKE_DIR/server.log"
+STORE="$SMOKE_DIR/store"
+
+echo "== server smoke: workdir $SMOKE_DIR, addr $ADDR"
+go build -o "$SMOKE_DIR/ivmd" ./cmd/ivmd
+go build -o "$SMOKE_DIR/ivmbench" ./cmd/ivmbench
+
+"$SMOKE_DIR/ivmd" \
+    -addr "$ADDR" \
+    -store "$STORE" \
+    -program testdata/server/views.dl \
+    -data testdata/server/facts.dl \
+    -quiet \
+    >"$LOG" 2>&1 &
+IVMD_PID=$!
+
+cleanup() {
+    kill "$IVMD_PID" 2>/dev/null || true
+    echo "== server log ($LOG):"
+    cat "$LOG" || true
+}
+trap cleanup EXIT
+
+# Readiness: the server logs this exact line once the listener is bound.
+i=0
+until grep -q 'serving HTTP' "$LOG"; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "ivmd did not become ready within 10s" >&2
+        exit 1
+    fi
+    if ! kill -0 "$IVMD_PID" 2>/dev/null; then
+        echo "ivmd exited before becoming ready" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+echo "== ivmd ready (pid $IVMD_PID)"
+
+# Drive mixed load — closed-loop applies, open-loop reads, one streaming
+# subscriber — through the client package against the live daemon.
+"$SMOKE_DIR/ivmbench" -server "http://$ADDR" -server-out "$SMOKE_DIR/BENCH_server.json" -scale smoke
+
+# Graceful shutdown: SIGTERM must drain, checkpoint, and exit 0.
+kill -TERM "$IVMD_PID"
+EXIT_CODE=0
+wait "$IVMD_PID" || EXIT_CODE=$?
+trap - EXIT
+if [ "$EXIT_CODE" -ne 0 ]; then
+    echo "== ivmd exited $EXIT_CODE on SIGTERM; log:" >&2
+    cat "$LOG" >&2
+    exit 1
+fi
+grep -q 'shutdown complete' "$LOG" || {
+    echo "== graceful shutdown did not complete; log:" >&2
+    cat "$LOG" >&2
+    exit 1
+}
+
+# A clean shutdown checkpoints, so reopening the store replays no WAL.
+"$SMOKE_DIR/ivmd" -addr "$ADDR" -store "$STORE" >>"$LOG" 2>&1 &
+IVMD_PID=$!
+trap cleanup EXIT
+i=0
+until grep -c 'serving HTTP' "$LOG" | grep -qx 2; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "ivmd did not restart from the store within 10s" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+if grep -E 'replayed=[1-9]' "$LOG"; then
+    echo "== restart replayed WAL records after a clean shutdown; log:" >&2
+    cat "$LOG" >&2
+    exit 1
+fi
+kill -TERM "$IVMD_PID"
+wait "$IVMD_PID" || true
+trap - EXIT
+
+echo "== server smoke OK (log: $LOG)"
