@@ -2,8 +2,8 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race bench bench-smoke metrics crash cover fuzz-smoke \
-	serve smoke-server bench-regression staticcheck vulncheck ci
+.PHONY: all build vet fmt fmt-check test race bench bench-smoke bench-planner metrics crash cover \
+	fuzz-smoke serve smoke-server bench-regression staticcheck vulncheck ci
 
 all: build
 
@@ -36,6 +36,11 @@ bench:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...
 	$(GO) run ./cmd/ivmbench -scale smoke
+
+# Regenerate the join-planner benchmark report (the committed baseline).
+# Fails if the planner misses its 1.5x speedup or 99% cache hit floors.
+bench-planner:
+	$(GO) run ./cmd/ivmbench -planner BENCH_planner.json
 
 # One experiment with metrics exposition — writes metrics.txt.
 metrics:
@@ -74,11 +79,13 @@ serve:
 smoke-server:
 	sh scripts/server_smoke.sh
 
-# The CI bench-regression guard: fresh readers run vs the committed
-# baseline, then a served-load data point.
+# The CI bench-regression guard: fresh readers and planner runs vs the
+# committed baselines, then a served-load data point.
 bench-regression:
 	$(GO) run ./cmd/ivmbench -scale smoke -readers BENCH_current.json \
 		-baseline BENCH_readers.json -tolerance 3
+	$(GO) run ./cmd/ivmbench -scale smoke -planner BENCH_planner_current.json \
+		-planner-baseline BENCH_planner.json -tolerance 3
 	$(GO) run ./cmd/ivmbench -scale smoke -server self -server-out BENCH_server.json
 
 # Lint/vuln scans run in CI unconditionally (installed there via

@@ -299,6 +299,58 @@ func BenchmarkE13RecursiveCounting(b *testing.B) {
 // w1 vs wN at fixed batch/base gives the speedup. Results are
 // bit-identical at every setting — only latency changes — so this is a
 // pure scheduling benchmark. Meaningful speedups need multiple CPUs.
+// BenchmarkPlannerSkew — the cost-based planner on skewed cardinalities:
+// hot is small with a 1000-way fan-out per key, wide is large but
+// near-unique, and the timed Δreq keys hit hot's fan-out while missing
+// wide (they draw from the half of hot's keys that wide does not
+// overlap). The planner probes wide first (fan-out ≈ 1, early exit); the
+// greedy order enumerates hot's 1000 rows per delta only to discard
+// every one at the wide probe.
+func BenchmarkPlannerSkew(b *testing.B) {
+	const (
+		hotKeys, fanout = 8, 1000
+		wideRows        = 20000
+		overlap         = 4 // wide covers h0..h3; deltas request h4..h7
+	)
+	hot, wide := workload.SkewedJoin(hotKeys, fanout, wideRows, overlap)
+	for _, planner := range []bool{true, false} {
+		name := "planner-on"
+		if !planner {
+			name = "planner-off"
+		}
+		b.Run(name, func(b *testing.B) {
+			db := ivm.NewDatabase()
+			for _, row := range hot.SortedRows() {
+				db.InsertTuple("hot", row.Tuple, 1)
+			}
+			for _, row := range wide.SortedRows() {
+				db.InsertTuple("wide", row.Tuple, 1)
+			}
+			opts := []ivm.Option{}
+			if !planner {
+				opts = append(opts, ivm.WithoutPlanner())
+			}
+			v, err := db.Materialize(`out(Y,Z) :- req(X), hot(X,Y), wide(X,Z).`, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				u := ivm.NewUpdate()
+				key := workload.SkewedReqKey(hotKeys, overlap+(i/2)%(hotKeys-overlap)).String()
+				if i%2 == 0 {
+					u.Insert("req", key)
+				} else {
+					u.Delete("req", key)
+				}
+				if _, err := v.Apply(u); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkParallelSpeedup(b *testing.B) {
 	for _, size := range []struct {
 		name         string

@@ -28,12 +28,29 @@ func main() {
 	tolerance := flag.Float64("tolerance", 3.0, "with -baseline: allowed regression multiplier (p99 may grow to tolerance x baseline; coalesce ratio may shrink to baseline / tolerance)")
 	serverTarget := flag.String("server", "", `run the served-load benchmark against an ivmd base URL, or "self" to boot an in-process server, then exit`)
 	serverOut := flag.String("server-out", "BENCH_server.json", "with -server: write the served-load JSON report to this path")
+	plannerPath := flag.String("planner", "", "run the join-planner benchmark and write its JSON report to this path (e.g. BENCH_planner.json), then exit")
+	plannerBaseline := flag.String("planner-baseline", "", "with -planner: compare the fresh report against this baseline JSON and exit nonzero on regression")
 	flag.Parse()
 
 	if *serverTarget != "" {
 		if err := writeServerLoadReport(*serverOut, *serverTarget, *scaleFlag); err != nil {
 			fmt.Fprintf(os.Stderr, "ivmbench: server benchmark: %v\n", err)
 			os.Exit(1)
+		}
+		return
+	}
+
+	if *plannerPath != "" {
+		rep, err := writePlannerReport(*plannerPath, *scaleFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ivmbench: planner benchmark: %v\n", err)
+			os.Exit(1)
+		}
+		if *plannerBaseline != "" {
+			if err := comparePlannerBaseline(rep, *plannerBaseline, *tolerance); err != nil {
+				fmt.Fprintf(os.Stderr, "ivmbench: planner baseline guard: %v\n", err)
+				os.Exit(1)
+			}
 		}
 		return
 	}

@@ -1,0 +1,270 @@
+package main
+
+// The join-planner benchmark behind `ivmbench -planner`: steady-state
+// maintenance of a skewed-cardinality join program with the cost-based
+// planner on (the default) and off (WithoutPlanner), over identical
+// update sequences. The report, written as BENCH_planner.json, records
+// per-apply latency for both modes, the headline speedup, and the plan
+// cache hit rate — and fails loudly if either the >=1.5x speedup or the
+// >=99% steady-state hit rate the planner promises does not hold.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"ivm"
+	"ivm/internal/workload"
+)
+
+type plannerReport struct {
+	// Shape of the run (workload.SkewedJoin parameters).
+	HotKeys    int `json:"hot_keys"`
+	Fanout     int `json:"fanout"`
+	WideRows   int `json:"wide_rows"`
+	Overlap    int `json:"overlap"`
+	Applies    int `json:"applies"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+
+	// Per-apply maintenance latency with the planner on and off, and
+	// the headline ratio (off / on).
+	OnNanosPerApply  int64   `json:"planner_on_nanos_per_apply"`
+	OffNanosPerApply int64   `json:"planner_off_nanos_per_apply"`
+	Speedup          float64 `json:"speedup"`
+
+	// Plan cache behavior during the planner-on run.
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	CacheReplans int64   `json:"cache_replans"`
+	HitRate      float64 `json:"hit_rate"`
+
+	// Plan is the planner's rendered order for the benchmark rule.
+	Plan string `json:"plan"`
+}
+
+// plannerProgram is the skewed join the planner wins on: hot is small
+// with a huge per-key fan-out, wide is large but near-unique on X, and
+// the timed Δreq keys always miss wide.
+const plannerProgram = `out(Y,Z) :- req(X), hot(X,Y), wide(X,Z).`
+
+func buildPlannerViews(hotKeys, fanout, wideRows, overlap int, planner bool) (*ivm.Views, error) {
+	hot, wide := workload.SkewedJoin(hotKeys, fanout, wideRows, overlap)
+	db := ivm.NewDatabase()
+	for _, row := range hot.SortedRows() {
+		db.InsertTuple("hot", row.Tuple, 1)
+	}
+	for _, row := range wide.SortedRows() {
+		db.InsertTuple("wide", row.Tuple, 1)
+	}
+	opts := []ivm.Option{}
+	if !planner {
+		opts = append(opts, ivm.WithoutPlanner())
+	}
+	return db.Materialize(plannerProgram, opts...)
+}
+
+// plannerApply toggles the i-th timed Δreq: keys draw from the half of
+// hot's key space that wide does not overlap, so every delta drives
+// hot's fan-out under a syntactic order and exits early under the
+// planner.
+func plannerApply(v *ivm.Views, hotKeys, overlap, i int) error {
+	key := workload.SkewedReqKey(hotKeys, overlap+(i/2)%(hotKeys-overlap)).String()
+	u := ivm.NewUpdate()
+	if i%2 == 0 {
+		u.Insert("req", key)
+	} else {
+		u.Delete("req", key)
+	}
+	_, err := v.Apply(u)
+	return err
+}
+
+func runPlannerLoad(v *ivm.Views, hotKeys, overlap, applies int) (int64, error) {
+	// Warm-up: populate the plan cache and lazy indexes/statistics so
+	// the timed loop measures the steady state both modes converge to.
+	for i := 0; i < 10; i++ {
+		if err := plannerApply(v, hotKeys, overlap, i); err != nil {
+			return 0, err
+		}
+	}
+	start := time.Now()
+	for i := 0; i < applies; i++ {
+		if err := plannerApply(v, hotKeys, overlap, i); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start).Nanoseconds() / int64(applies), nil
+}
+
+// verifyPlannerEquivalence applies an overlap-hitting sequence (deltas
+// that do produce view rows) to both views and compares the maintained
+// output row for row.
+func verifyPlannerEquivalence(on, off *ivm.Views, hotKeys, overlap int) error {
+	for _, v := range []*ivm.Views{on, off} {
+		u := ivm.NewUpdate()
+		for k := 0; k < overlap; k++ {
+			u.Insert("req", workload.SkewedReqKey(hotKeys, k).String())
+		}
+		if _, err := v.Apply(u); err != nil {
+			return err
+		}
+	}
+	a, b := on.Rows("out"), off.Rows("out")
+	if len(a) == 0 {
+		return fmt.Errorf("equivalence check produced no out rows — the overlap keys missed")
+	}
+	if len(a) != len(b) {
+		return fmt.Errorf("planner changed the view: %d rows with planner, %d without", len(a), len(b))
+	}
+	for i := range a {
+		if !a[i].Tuple.Equal(b[i].Tuple) || a[i].Count != b[i].Count {
+			return fmt.Errorf("planner changed row %d: %v (count %d) vs %v (count %d)",
+				i, a[i].Tuple, a[i].Count, b[i].Tuple, b[i].Count)
+		}
+	}
+	return nil
+}
+
+// runPlannerBenchmark produces the BENCH_planner.json report and
+// enforces the planner's two promises: >=1.5x maintenance speedup on the
+// skewed workload and a >=99% steady-state plan-cache hit rate.
+func runPlannerBenchmark(hotKeys, fanout, wideRows, overlap, applies int) (*plannerReport, error) {
+	on, err := buildPlannerViews(hotKeys, fanout, wideRows, overlap, true)
+	if err != nil {
+		return nil, err
+	}
+	off, err := buildPlannerViews(hotKeys, fanout, wideRows, overlap, false)
+	if err != nil {
+		return nil, err
+	}
+
+	onNanos, err := runPlannerLoad(on, hotKeys, overlap, applies)
+	if err != nil {
+		return nil, err
+	}
+	offNanos, err := runPlannerLoad(off, hotKeys, overlap, applies)
+	if err != nil {
+		return nil, err
+	}
+	if err := verifyPlannerEquivalence(on, off, hotKeys, overlap); err != nil {
+		return nil, err
+	}
+
+	m := on.Metrics()
+	rep := &plannerReport{
+		HotKeys: hotKeys, Fanout: fanout, WideRows: wideRows, Overlap: overlap,
+		Applies:          applies,
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		OnNanosPerApply:  onNanos,
+		OffNanosPerApply: offNanos,
+		CacheHits:        m.Counter("planner_hits_total"),
+		CacheMisses:      m.Counter("planner_misses_total"),
+		CacheReplans:     m.Counter("planner_replans_total"),
+	}
+	if onNanos > 0 {
+		rep.Speedup = float64(offNanos) / float64(onNanos)
+	}
+	if total := rep.CacheHits + rep.CacheMisses + rep.CacheReplans; total > 0 {
+		rep.HitRate = float64(rep.CacheHits) / float64(total)
+	}
+	if plans, err := on.ExplainPlan("out"); err == nil && len(plans) == 1 {
+		rep.Plan = plans[0].Plan
+	}
+
+	if rep.Speedup < 1.5 {
+		return rep, fmt.Errorf("planner speedup %.2fx below the 1.5x floor (on %dns/apply, off %dns/apply)",
+			rep.Speedup, onNanos, offNanos)
+	}
+	if rep.HitRate < 0.99 {
+		return rep, fmt.Errorf("plan cache hit rate %.4f below the 0.99 floor (hits %d, misses %d, replans %d)",
+			rep.HitRate, rep.CacheHits, rep.CacheMisses, rep.CacheReplans)
+	}
+	return rep, nil
+}
+
+func writePlannerReport(path string, scale string) (*plannerReport, error) {
+	hotKeys, fanout, wideRows, overlap, applies := 8, 1000, 20000, 4, 2000
+	if scale == "smoke" {
+		fanout, wideRows, applies = 400, 6000, 400
+	}
+	rep, err := runPlannerBenchmark(hotKeys, fanout, wideRows, overlap, applies)
+	if err != nil {
+		return nil, err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return nil, err
+	}
+	fmt.Printf("planner maintenance on the skewed join (hot %dx%d, wide %d, %d applies):\n",
+		rep.HotKeys, rep.Fanout, rep.WideRows, rep.Applies)
+	fmt.Printf("  planner on:  %8dns/apply\n", rep.OnNanosPerApply)
+	fmt.Printf("  planner off: %8dns/apply\n", rep.OffNanosPerApply)
+	fmt.Printf("  speedup: %.1fx   cache hit rate: %.4f (hits %d, misses %d, replans %d)\n",
+		rep.Speedup, rep.HitRate, rep.CacheHits, rep.CacheMisses, rep.CacheReplans)
+	fmt.Printf("  plan: %s\n", rep.Plan)
+	fmt.Printf("wrote %s\n", path)
+	return rep, nil
+}
+
+// comparePlannerBaseline guards the planner benchmark against a checked
+// in baseline: the speedup may shrink to baseline/tolerance (but never
+// below the 1.5x floor, which runPlannerBenchmark enforces), and the
+// planner-on latency may grow to tolerance x baseline.
+func comparePlannerBaseline(rep *plannerReport, baselinePath string, tolerance float64) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	var base plannerReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", baselinePath, err)
+	}
+	if tolerance <= 1 {
+		return fmt.Errorf("tolerance must be > 1, got %g", tolerance)
+	}
+
+	fmt.Printf("\nplanner baseline comparison against %s (tolerance %.1fx):\n", baselinePath, tolerance)
+	var failures []string
+
+	// The speedup is a ratio, so machine speed cancels; what remains is
+	// transient load skewing one of the two timed loops. Clamping the
+	// floor keeps the guard far above a structural collapse (a disabled
+	// planner measures ~1x) without flagging a noisy runner.
+	speedupFloor := base.Speedup / tolerance
+	if speedupFloor > 8 {
+		speedupFloor = 8
+	}
+	fmt.Printf("  speedup: current %.2fx vs baseline %.2fx (floor %.2fx)\n",
+		rep.Speedup, base.Speedup, speedupFloor)
+	if base.Speedup > 0 && rep.Speedup < speedupFloor {
+		failures = append(failures, fmt.Sprintf(
+			"planner speedup regressed: %.2fx < floor %.2fx (baseline %.2fx, tolerance %.1f)",
+			rep.Speedup, speedupFloor, base.Speedup, tolerance))
+	}
+
+	onLimit := int64(float64(base.OnNanosPerApply) * tolerance)
+	fmt.Printf("  planner-on latency: current %dns vs baseline %dns (limit %dns)\n",
+		rep.OnNanosPerApply, base.OnNanosPerApply, onLimit)
+	if base.OnNanosPerApply > 0 && rep.OnNanosPerApply > onLimit {
+		failures = append(failures, fmt.Sprintf(
+			"planner-on apply latency regressed: %dns > %.1fx baseline %dns",
+			rep.OnNanosPerApply, tolerance, base.OnNanosPerApply))
+	}
+
+	fmt.Printf("  hit rate: current %.4f vs baseline %.4f (floor 0.99)\n", rep.HitRate, base.HitRate)
+
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Printf("  REGRESSION: %s\n", f)
+		}
+		return fmt.Errorf("%d planner regression(s) beyond tolerance", len(failures))
+	}
+	fmt.Println("  ok: within tolerance")
+	return nil
+}

@@ -52,6 +52,13 @@ func (v *Views) Explain(goal string) ([]Derivation, error) {
 	return v.Snapshot().Explain(goal)
 }
 
+// ExplainPlan renders the join plan the cost-based planner chooses for
+// every rule deriving pred, against the current published version's
+// statistics (see Snapshot.ExplainPlan).
+func (v *Views) ExplainPlan(pred string) ([]RulePlan, error) {
+	return v.Snapshot().ExplainPlan(pred)
+}
+
 // derivationKey canonically encodes a derivation's ground subgoals for
 // ordering.
 func derivationKey(d Derivation) string {

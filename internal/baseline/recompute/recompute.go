@@ -35,6 +35,14 @@ type Engine struct {
 	// before the first Apply.
 	Tracer metrics.Tracer
 
+	// DisablePlanner turns off the cost-based join planner for the
+	// per-Apply re-evaluations. Set it before the first Apply.
+	DisablePlanner bool
+
+	// planner caches join plans across Applies (created lazily on the
+	// first Apply so Metrics/DisablePlanner can be set after New).
+	planner *eval.Planner
+
 	// lastDeltas holds, per predicate, the exact signed count delta the
 	// most recent Apply committed into stored content (base merges plus
 	// the old-vs-new diff of every changed view). Snapshot publication
@@ -139,9 +147,13 @@ func (e *Engine) Apply(baseDelta map[string]*relation.Relation) (map[string]*rel
 	for pred, d := range commit {
 		e.db.Ensure(pred, d.Arity()).MergeDelta(d)
 	}
+	if !e.DisablePlanner && e.planner == nil {
+		e.planner = eval.NewPlanner(e.Metrics)
+	}
 	ev := eval.NewEvaluator(e.prog, e.strat, e.sem)
 	ev.Parallelism = e.Parallelism
 	ev.Instr = eval.NewInstruments(e.Metrics)
+	ev.Planner = e.planner
 	if err := ev.Evaluate(e.db); err != nil {
 		return nil, err
 	}

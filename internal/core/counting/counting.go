@@ -66,8 +66,13 @@ type Config struct {
 	// independent) concurrently, and to hash-partition large single-rule
 	// joins. <= 1 evaluates sequentially; results are identical either way.
 	Parallelism int
+	// DisablePlanner turns off the cost-based join planner: every rule
+	// evaluation falls back to the greedy per-call literal order.
+	// Results are identical either way.
+	DisablePlanner bool
 	// Metrics, when non-nil, receives the engine's counters and timing
-	// histograms (counting_* and eval_* series). Nil disables collection.
+	// histograms (counting_*, eval_* and planner_* series). Nil disables
+	// collection.
 	Metrics *metrics.Registry
 	// Tracer, when non-nil, receives per-batch trace events. Nil costs a
 	// single pointer check per event site.
@@ -107,6 +112,9 @@ type Engine struct {
 	// moved. Snapshot publication replays exactly these deltas onto the
 	// previous published version.
 	lastDeltas map[string]*relation.Relation
+
+	// planner caches cost-based delta-rule plans (nil = planning off).
+	planner *eval.Planner
 
 	// tracer and the resolved metric instruments; all nil-safe.
 	tracer        metrics.Tracer
@@ -179,11 +187,16 @@ func NewWithConfig(prog *datalog.Program, base *eval.DB, cfg Config) (*Engine, e
 		}
 	}
 	instr := eval.NewInstruments(cfg.Metrics)
+	var planner *eval.Planner
+	if !cfg.DisablePlanner {
+		planner = eval.NewPlanner(cfg.Metrics)
+	}
 	ev := eval.NewEvaluator(prog, st, sem)
 	ev.RecursiveCounts = cfg.AllowRecursion
 	ev.MaxIterations = cfg.MaxIterations
 	ev.Parallelism = cfg.Parallelism
 	ev.Instr = instr
+	ev.Planner = planner
 	if err := ev.Evaluate(db); err != nil {
 		return nil, err
 	}
@@ -192,7 +205,8 @@ func NewWithConfig(prog *datalog.Program, base *eval.DB, cfg Config) (*Engine, e
 		allowRecursion: cfg.AllowRecursion, maxIter: cfg.MaxIterations,
 		par: cfg.Parallelism,
 		db:  db, gts: ev.GroupTables,
-		tracer: cfg.Tracer, instr: instr,
+		planner: planner,
+		tracer:  cfg.Tracer, instr: instr,
 	}
 	if r := cfg.Metrics; r != nil {
 		e.mApplies = r.Counter("counting_applies_total")
@@ -462,8 +476,12 @@ func (e *Engine) applyRule(ri int, cascade map[string]*relation.Relation, pendin
 			continue
 		}
 		srcs := e.deltaSources(ri, litDelta, i, cascade, pendingT)
+		plan, err := e.planner.PlanFor(eval.PlanKey{Rule: ri, Kind: eval.PlanDeltaNew, Delta: i}, rule, srcs, i)
+		if err != nil {
+			return err
+		}
 		before := dp.Len()
-		if err := eval.EvalRuleInstr(rule, srcs, i, dp, e.instr); err != nil {
+		if err := eval.EvalRulePlanInstr(rule, srcs, i, plan, dp, e.instr); err != nil {
 			return err
 		}
 		e.last.DeltaRulesEvaluated++
@@ -492,10 +510,16 @@ func (e *Engine) applyStratumParallel(rules []int, cascade map[string]*relation.
 			if litDelta[i] == nil {
 				continue
 			}
+			srcs := e.deltaSources(ri, litDelta, i, cascade, pendingT)
+			plan, err := e.planner.PlanFor(eval.PlanKey{Rule: ri, Kind: eval.PlanDeltaNew, Delta: i}, rule, srcs, i)
+			if err != nil {
+				return err
+			}
 			tasks = append(tasks, eval.Task{
 				Rule:     rule,
-				Srcs:     e.deltaSources(ri, litDelta, i, cascade, pendingT),
+				Srcs:     srcs,
 				FirstLit: i,
+				Plan:     plan,
 				Out:      relation.New(len(rule.Head.Args)),
 			})
 		}

@@ -128,7 +128,11 @@ func (e *Engine) applyRecursiveStratum(stratum int, rules []int,
 					}
 				}
 				out := relation.New(len(rule.Head.Args))
-				if err := eval.EvalRuleInstr(rule, srcs, li, out, e.instr); err != nil {
+				plan, err := e.planner.PlanFor(eval.PlanKey{Rule: ri, Kind: eval.PlanDeltaNew, Delta: li}, rule, srcs, li)
+				if err != nil {
+					return err
+				}
+				if err := eval.EvalRulePlanInstr(rule, srcs, li, plan, out, e.instr); err != nil {
 					return err
 				}
 				e.last.DeltaRulesEvaluated++
@@ -219,7 +223,11 @@ func (e *Engine) applyRuleLowerOnly(ri int, inStratum map[string]bool,
 			}
 			srcs[j] = e.sideSource(lit, eval.RuleLit{Rule: ri, Lit: j}, cascade, pendingT, j < i)
 		}
-		if err := eval.EvalRuleInstr(rule, srcs, i, dp, e.instr); err != nil {
+		plan, err := e.planner.PlanFor(eval.PlanKey{Rule: ri, Kind: eval.PlanDeltaNew, Delta: i}, rule, srcs, i)
+		if err != nil {
+			return err
+		}
+		if err := eval.EvalRulePlanInstr(rule, srcs, i, plan, dp, e.instr); err != nil {
 			return err
 		}
 		e.last.DeltaRulesEvaluated++

@@ -58,8 +58,13 @@ type Config struct {
 	// (and for hash-partitioning large single-rule joins). <= 1 runs
 	// sequentially; the maintained views are identical either way.
 	Parallelism int
+	// DisablePlanner turns off the cost-based join planner: every δ-rule
+	// evaluation falls back to the greedy per-call literal order.
+	// Results are identical either way.
+	DisablePlanner bool
 	// Metrics, when non-nil, receives the engine's counters and timing
-	// histograms (dred_* and eval_* series). Nil disables collection.
+	// histograms (dred_*, eval_* and planner_* series). Nil disables
+	// collection.
 	Metrics *metrics.Registry
 	// Tracer, when non-nil, receives per-operation trace events. Nil
 	// costs a single pointer check per event site.
@@ -87,6 +92,10 @@ type Engine struct {
 	// and derived-set changes alike). Snapshot publication replays these
 	// deltas onto the previous published version.
 	lastNet map[string]*relation.Relation
+
+	// planner caches cost-based δ-rule plans (nil = planning off). Rule
+	// edits Reset it: rule indices shift with the program.
+	planner *eval.Planner
 
 	// tracer and the resolved metric instruments; all nil-safe.
 	tracer          metrics.Tracer
@@ -138,6 +147,9 @@ func NewWithConfig(prog *datalog.Program, base *eval.DB, cfg Config) (*Engine, e
 		prog: prog, strat: st, db: db, par: cfg.Parallelism,
 		tracer: cfg.Tracer, instr: eval.NewInstruments(cfg.Metrics),
 	}
+	if !cfg.DisablePlanner {
+		e.planner = eval.NewPlanner(cfg.Metrics)
+	}
 	if r := cfg.Metrics; r != nil {
 		e.mOps = r.Counter("dred_ops_total")
 		e.mOverestimated = r.Counter("dred_overestimated_total")
@@ -160,6 +172,7 @@ func (e *Engine) materialize() error {
 	ev := eval.NewEvaluator(e.prog, e.strat, eval.Set)
 	ev.Parallelism = e.par
 	ev.Instr = e.instr
+	ev.Planner = e.planner
 	if err := ev.Evaluate(e.db); err != nil {
 		return err
 	}
@@ -260,6 +273,8 @@ func (e *Engine) AddRule(r datalog.Rule) (*Changes, error) {
 	}
 	ri := len(newProg.Rules) - 1
 	e.prog, e.strat = newProg, st
+	// Rule indices changed: cached plans are keyed by index.
+	e.planner.Reset()
 
 	// Seed: the new rule's derivations not yet in the view.
 	tmp := relation.New(len(r.Head.Args))
@@ -335,6 +350,8 @@ func (e *Engine) RemoveRule(ri int) (*Changes, error) {
 	}
 	headPred := removed.Head.Pred
 	e.prog, e.strat, e.gts = newProg, st, gts
+	// Rule indices changed: cached plans are keyed by index.
+	e.planner.Reset()
 
 	// The head predicate may have lost all its rules; it may even no
 	// longer be derived. Either way its stratum in the *new* program

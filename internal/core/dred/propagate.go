@@ -129,8 +129,16 @@ func (e *Engine) propagate(del, add, net map[string]*relation.Relation,
 			}
 			srcs[j] = s
 		}
+		kind := eval.PlanDeltaOld
+		if useNew {
+			kind = eval.PlanDeltaNew
+		}
+		plan, err := e.planner.PlanFor(eval.PlanKey{Rule: ri, Kind: kind, Delta: deltaLit}, rule, srcs, deltaLit)
+		if err != nil {
+			return eval.Task{}, err
+		}
 		return eval.Task{
-			Rule: rule, Srcs: srcs, FirstLit: deltaLit,
+			Rule: rule, Srcs: srcs, FirstLit: deltaLit, Plan: plan,
 			Out: relation.New(len(rule.Head.Args)),
 		}, nil
 	}
@@ -142,7 +150,7 @@ func (e *Engine) propagate(del, add, net map[string]*relation.Relation,
 		if err != nil {
 			return nil, err
 		}
-		if err := eval.EvalRuleInstr(t.Rule, t.Srcs, t.FirstLit, t.Out, e.instr); err != nil {
+		if err := eval.EvalRulePlanInstr(t.Rule, t.Srcs, t.FirstLit, t.Plan, t.Out, e.instr); err != nil {
 			return nil, err
 		}
 		e.last.RuleFirings++
@@ -698,8 +706,12 @@ func (e *Engine) rederive(ri int, cand *relation.Relation,
 			}
 			srcs[j+1] = s
 		}
+		plan, err := e.planner.PlanFor(eval.PlanKey{Rule: ri, Kind: eval.PlanRederive, Delta: 0}, aux, srcs, 0)
+		if err != nil {
+			return nil, err
+		}
 		out := relation.New(len(rule.Head.Args))
-		if err := eval.EvalRuleInstr(aux, srcs, 0, out, e.instr); err != nil {
+		if err := eval.EvalRulePlanInstr(aux, srcs, 0, plan, out, e.instr); err != nil {
 			return nil, err
 		}
 		e.last.RuleFirings++
@@ -715,8 +727,12 @@ func (e *Engine) rederive(ri int, cand *relation.Relation,
 		}
 		srcs[j] = s
 	}
+	plan, err := e.planner.PlanFor(eval.PlanKey{Rule: ri, Kind: eval.PlanEval, Delta: -1}, rule, srcs, -1)
+	if err != nil {
+		return nil, err
+	}
 	out := relation.New(len(rule.Head.Args))
-	if err := eval.EvalRuleInstr(rule, srcs, -1, out, e.instr); err != nil {
+	if err := eval.EvalRulePlanInstr(rule, srcs, -1, plan, out, e.instr); err != nil {
 		return nil, err
 	}
 	e.last.RuleFirings++
@@ -751,14 +767,22 @@ func (e *Engine) rederiveDelta(ri, li int, d, cand *relation.Relation,
 			Body: append([]datalog.Literal{{Kind: datalog.LitPositive, Atom: rule.Head}}, rule.Body...),
 		}
 		auxSrcs := append([]eval.Source{{Rel: cand}}, srcs...)
+		plan, err := e.planner.PlanFor(eval.PlanKey{Rule: ri, Kind: eval.PlanRederive, Delta: li + 1}, aux, auxSrcs, li+1)
+		if err != nil {
+			return nil, err
+		}
 		out := relation.New(len(rule.Head.Args))
-		if err := eval.EvalRuleInstr(aux, auxSrcs, li+1, out, e.instr); err != nil {
+		if err := eval.EvalRulePlanInstr(aux, auxSrcs, li+1, plan, out, e.instr); err != nil {
 			return nil, err
 		}
 		return out, nil
 	}
+	plan, err := e.planner.PlanFor(eval.PlanKey{Rule: ri, Kind: eval.PlanDeltaNew, Delta: li}, rule, srcs, li)
+	if err != nil {
+		return nil, err
+	}
 	out := relation.New(len(rule.Head.Args))
-	if err := eval.EvalRuleInstr(rule, srcs, li, out, e.instr); err != nil {
+	if err := eval.EvalRulePlanInstr(rule, srcs, li, plan, out, e.instr); err != nil {
 		return nil, err
 	}
 	return out, nil

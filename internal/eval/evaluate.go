@@ -50,6 +50,10 @@ type Evaluator struct {
 	// probes, batch tasks, worker timings) during Evaluate.
 	Instr *Instruments
 
+	// Planner, when non-nil, supplies cached cost-based plans for rule
+	// evaluation; nil keeps the greedy per-call join order.
+	Planner *Planner
+
 	// GroupTables holds the GROUPBY materializations built during
 	// Evaluate, keyed by (rule index, literal index). Maintenance engines
 	// adopt these to run Algorithm 6.1 incrementally.
@@ -159,6 +163,13 @@ func (e *Evaluator) sources(db *DB, ri int, inStratum map[string]relation.Reader
 	return srcs, nil
 }
 
+// planFor is the Evaluator's planner lookup: full-evaluation plans keyed
+// by rule and restricted literal (-1 outside semi-naive rounds). A nil
+// Planner yields a nil plan (greedy order).
+func (e *Evaluator) planFor(ri, delta int, rule datalog.Rule, srcs []Source) (*Plan, error) {
+	return e.Planner.PlanFor(PlanKey{Rule: ri, Kind: PlanEval, Delta: delta}, rule, srcs, delta)
+}
+
 // evalFlatStratum evaluates a nonrecursive stratum in one pass, with
 // full derivation counting. Stratum numbers strictly increase along
 // every cross-component dependency edge (see strata.computeSN), so the
@@ -175,7 +186,11 @@ func (e *Evaluator) evalFlatStratum(db *DB, rules []int) error {
 		if err != nil {
 			return err
 		}
-		if err := EvalRuleInstr(rule, srcs, -1, out, e.Instr); err != nil {
+		plan, err := e.planFor(ri, -1, rule, srcs)
+		if err != nil {
+			return err
+		}
+		if err := EvalRulePlanInstr(rule, srcs, -1, plan, out, e.Instr); err != nil {
 			return err
 		}
 	}
@@ -195,8 +210,12 @@ func (e *Evaluator) evalFlatStratumParallel(db *DB, rules []int) error {
 		if err != nil {
 			return err
 		}
+		plan, err := e.planFor(ri, -1, rule, srcs)
+		if err != nil {
+			return err
+		}
 		tasks = append(tasks, Task{
-			Rule: rule, Srcs: srcs, FirstLit: -1,
+			Rule: rule, Srcs: srcs, FirstLit: -1, Plan: plan,
 			Out: relation.New(len(rule.Head.Args)),
 		})
 	}
@@ -253,8 +272,12 @@ func (e *Evaluator) evalRecursiveStratum(db *DB, s int, rules []int) error {
 		if err != nil {
 			return err
 		}
+		plan, err := e.planFor(ri, -1, rule, srcs)
+		if err != nil {
+			return err
+		}
 		seed = append(seed, Task{
-			Rule: rule, Srcs: srcs, FirstLit: -1,
+			Rule: rule, Srcs: srcs, FirstLit: -1, Plan: plan,
 			Out: relation.New(len(rule.Head.Args)),
 		})
 	}
@@ -296,8 +319,12 @@ func (e *Evaluator) evalRecursiveStratum(db *DB, s int, rules []int) error {
 					return err
 				}
 				srcs[li] = Source{Rel: d}
+				plan, err := e.planFor(ri, li, rule, srcs)
+				if err != nil {
+					return err
+				}
 				round = append(round, Task{
-					Rule: rule, Srcs: srcs, FirstLit: li,
+					Rule: rule, Srcs: srcs, FirstLit: li, Plan: plan,
 					Out: relation.New(len(rule.Head.Args)),
 				})
 			}

@@ -116,7 +116,7 @@ func Explain(rule datalog.Rule, srcs []Source, head value.Tuple) ([][]GroundSubg
 				err = walk(step + 1)
 				trail = trail[:len(trail)-1]
 				return err
-			})
+			}, nil)
 		}
 	}
 	if err := walk(0); err != nil {

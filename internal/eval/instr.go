@@ -8,9 +8,13 @@ import "ivm/internal/metrics"
 // batch update them directly. A nil *Instruments disables collection
 // entirely (one nil check per evaluation, none per probe).
 type Instruments struct {
-	// JoinProbes counts relation probes performed by joins: one per
-	// point lookup, index lookup, or full scan of a join-mode literal.
+	// JoinProbes counts keyed relation accesses performed by joins: one
+	// per point lookup, index lookup, or negation filter check.
 	JoinProbes *metrics.Counter
+	// JoinScans counts full-relation enumerations of join-mode literals
+	// (no usable bound column). Kept separate from JoinProbes so the
+	// planner's cost feedback distinguishes keyed accesses from scans.
+	JoinScans *metrics.Counter
 	// PartitionedJoins counts single-rule evaluations that were hash-
 	// partitioned across workers.
 	PartitionedJoins *metrics.Counter
@@ -31,6 +35,7 @@ func NewInstruments(r *metrics.Registry) *Instruments {
 	}
 	return &Instruments{
 		JoinProbes:       r.Counter("eval_join_probes_total"),
+		JoinScans:        r.Counter("eval_join_scans_total"),
 		PartitionedJoins: r.Counter("eval_partitioned_joins_total"),
 		BatchTasks:       r.Counter("eval_batch_tasks_total"),
 		TaskBusy:         r.Histogram("eval_task_seconds"),

@@ -49,6 +49,9 @@ type Task struct {
 	Srcs     []Source
 	FirstLit int
 	Out      *relation.Relation
+	// Plan, when non-nil, is the cached cost-based plan to follow;
+	// nil tasks evaluate with the greedy order.
+	Plan *Plan
 }
 
 // RunBatch evaluates a batch of independent rule evaluations with up to
@@ -90,7 +93,7 @@ func RunBatchInstr(tasks []Task, workers int, in *Instruments) error {
 	if workers <= 1 {
 		for i := range tasks {
 			if err := timed(i, func(t *Task) error {
-				return EvalRuleInstr(t.Rule, t.Srcs, t.FirstLit, t.Out, in)
+				return EvalRulePlanInstr(t.Rule, t.Srcs, t.FirstLit, t.Plan, t.Out, in)
 			}); err != nil {
 				return err
 			}
@@ -108,7 +111,7 @@ func RunBatchInstr(tasks []Task, workers int, in *Instruments) error {
 			go func(i int) {
 				defer wg.Done()
 				errs[i] = timed(i, func(t *Task) error {
-					return evalRuleParallel(t.Rule, t.Srcs, t.FirstLit, t.Out, per, in)
+					return evalRuleParallel(t.Rule, t.Srcs, t.FirstLit, t.Plan, t.Out, per, in)
 				})
 			}(i)
 		}
@@ -127,7 +130,7 @@ func RunBatchInstr(tasks []Task, workers int, in *Instruments) error {
 						return
 					}
 					errs[i] = timed(i, func(t *Task) error {
-						return EvalRuleInstr(t.Rule, t.Srcs, t.FirstLit, t.Out, in)
+						return EvalRulePlanInstr(t.Rule, t.Srcs, t.FirstLit, t.Plan, t.Out, in)
 					})
 				}
 			}()
@@ -148,16 +151,16 @@ func RunBatchInstr(tasks []Task, workers int, in *Instruments) error {
 // private shard; the shards are ⊎-merged into out in sorted key order.
 // Falls back to sequential EvalRule when no literal is worth splitting.
 func EvalRuleParallel(rule datalog.Rule, srcs []Source, firstLit int, out *relation.Relation, workers int) error {
-	return evalRuleParallel(rule, srcs, firstLit, out, workers, nil)
+	return evalRuleParallel(rule, srcs, firstLit, nil, out, workers, nil)
 }
 
-func evalRuleParallel(rule datalog.Rule, srcs []Source, firstLit int, out *relation.Relation, workers int, in *Instruments) error {
+func evalRuleParallel(rule datalog.Rule, srcs []Source, firstLit int, plan *Plan, out *relation.Relation, workers int, in *Instruments) error {
 	pl := -1
 	if workers > 1 {
 		pl = pickPartitionLit(rule, srcs, firstLit)
 	}
 	if pl < 0 {
-		return EvalRuleInstr(rule, srcs, firstLit, out, in)
+		return EvalRulePlanInstr(rule, srcs, firstLit, plan, out, in)
 	}
 	if in != nil {
 		in.PartitionedJoins.Inc()
@@ -172,7 +175,9 @@ func evalRuleParallel(rule datalog.Rule, srcs []Source, firstLit int, out *relat
 			ps := make([]Source, len(srcs))
 			copy(ps, srcs)
 			ps[pl].Rel = relation.PartitionView(srcs[pl].Rel, w, workers)
-			errs[w] = EvalRuleInstr(rule, ps, firstLit, sh.Shard(w), in)
+			// The plan stays valid under partition substitution: only one
+			// source's contents shrink, the order and access paths hold.
+			errs[w] = EvalRulePlanInstr(rule, ps, firstLit, plan, sh.Shard(w), in)
 		}(w)
 	}
 	wg.Wait()

@@ -1,0 +1,531 @@
+package eval
+
+import (
+	"fmt"
+	"math/bits"
+	"strconv"
+	"strings"
+	"sync"
+
+	"ivm/internal/datalog"
+	"ivm/internal/metrics"
+	"ivm/internal/relation"
+	"ivm/internal/value"
+)
+
+// Cost-based join planning for delta-rule evaluation.
+//
+// orderLiterals (rule.go) picks a join order syntactically: most bound
+// columns first, smaller Len on ties — recomputed on every EvalRule call
+// and blind to how selective a bound column actually is. PlanRule instead
+// orders the body by estimated join fan-out, using the per-column
+// distinct statistics relations maintain (relation.CardEstimator), and
+// freezes the per-literal access path (point / index / scan / filter)
+// into the plan so execution does no per-call classification. The
+// Δ-subgoal stays pinned first (paper Section 6.1) and filters still run
+// as soon as their variables are bound, so a plan accepts exactly the
+// rules the greedy order accepts and produces bit-identical output: the
+// head relation merges counts commutatively, so only cost depends on the
+// order.
+//
+// Planner caches plans per (rule, kind, Δ-position); steady-state
+// maintenance hits the cache and pays no planning cost. Plans carry a
+// coarse log₂-size fingerprint of their non-Δ join sources and are
+// replanned when any source drifts past 4× — the Δ source is excluded
+// because its size varies batch to batch by design.
+
+// AccessKind is the access path chosen for one plan step.
+type AccessKind uint8
+
+const (
+	// AccessFilter evaluates a condition literal over bound variables.
+	AccessFilter AccessKind = iota
+	// AccessNegFilter checks a negated literal's absence (Has probe).
+	AccessNegFilter
+	// AccessPoint is a full-tuple point lookup (all columns bound).
+	AccessPoint
+	// AccessIndex is a hash-index lookup on Cols.
+	AccessIndex
+	// AccessScan enumerates the whole relation.
+	AccessScan
+)
+
+func (k AccessKind) String() string {
+	switch k {
+	case AccessFilter:
+		return "filter"
+	case AccessNegFilter:
+		return "!filter"
+	case AccessPoint:
+		return "point"
+	case AccessIndex:
+		return "index"
+	case AccessScan:
+		return "scan"
+	default:
+		return fmt.Sprintf("AccessKind(%d)", uint8(k))
+	}
+}
+
+// PlanStep evaluates body literal Lit with the given access path.
+type PlanStep struct {
+	Lit  int
+	Kind AccessKind
+	// Cols are the columns probed on an AccessIndex step (ascending).
+	// They are a subset of the step's bound columns when an existing
+	// index is reused; the residual columns are checked by pattern match.
+	Cols []int
+}
+
+// Plan is a frozen evaluation order with per-step access paths for one
+// rule shape. Plans are immutable once built.
+type Plan struct {
+	Steps []PlanStep
+	// pinned is the Δ-literal forced first (-1 when none).
+	pinned int
+	// fp is the log₂(Len+1) fingerprint per body literal recorded at
+	// plan time; -1 marks literals not tracked (filters, the Δ literal).
+	fp []int8
+}
+
+// driftThreshold is the log₂ distance at which a cached plan is
+// considered stale: a source growing or shrinking ~4× can change the
+// best order.
+const driftThreshold = 2
+
+func sizeClass(n int) int8 { return int8(bits.Len(uint(n))) }
+
+// drifted reports whether any tracked source moved a factor ≥ 2^driftThreshold
+// away from its size at plan time.
+func (p *Plan) drifted(srcs []Source) bool {
+	for i, f := range p.fp {
+		if f < 0 || srcs[i].Rel == nil {
+			continue
+		}
+		d := sizeClass(srcs[i].Rel.Len()) - f
+		if d >= driftThreshold || d <= -driftThreshold {
+			return true
+		}
+	}
+	return false
+}
+
+// PlanRule builds a cost-based plan for one rule. firstLit, when >= 0
+// and join-capable, is pinned first (the Δ-subgoal of a delta rule).
+// Remaining join literals are taken in order of estimated fan-out
+// (Len / ∏ distinct(boundCol), ties toward the original literal order);
+// filters run as soon as their variables are bound. PlanRule fails on
+// exactly the rules orderLiterals fails on: filters whose variables no
+// remaining join can bind.
+func PlanRule(rule datalog.Rule, srcs []Source, firstLit int) (*Plan, error) {
+	n := len(rule.Body)
+	if len(srcs) != n {
+		return nil, fmt.Errorf("eval: rule has %d literals but %d sources given", n, len(srcs))
+	}
+	remaining := make([]bool, n)
+	for i := range remaining {
+		remaining[i] = true
+	}
+	bound := make(map[string]bool)
+	p := &Plan{Steps: make([]PlanStep, 0, n), pinned: -1, fp: make([]int8, n)}
+	for i := range p.fp {
+		p.fp[i] = -1
+	}
+
+	isFilter := func(i int) bool {
+		l := rule.Body[i]
+		return l.Kind == datalog.LitCondition || (l.Kind == datalog.LitNegated && !srcs[i].JoinDelta)
+	}
+	ready := func(i int) bool {
+		for _, v := range rule.Body[i].UsesVars(nil) {
+			if !bound[v] {
+				return false
+			}
+		}
+		return true
+	}
+	// boundCols classifies a join literal's columns under the current
+	// bound set; this matches exactly what joinLiteral would compute at
+	// runtime, because at step k a variable is bound iff an earlier join
+	// step's literal mentioned it.
+	boundCols := func(i int) (cols []int, all bool) {
+		all = true
+		for ci, a := range joinArgs(rule.Body[i]) {
+			switch x := a.(type) {
+			case datalog.Const:
+				cols = append(cols, ci)
+			case datalog.Var:
+				if bound[string(x)] {
+					cols = append(cols, ci)
+				} else {
+					all = false
+				}
+			default:
+				all = false
+			}
+		}
+		return cols, all
+	}
+	take := func(i int) {
+		remaining[i] = false
+		step := PlanStep{Lit: i}
+		switch {
+		case rule.Body[i].Kind == datalog.LitCondition:
+			step.Kind = AccessFilter
+		case rule.Body[i].Kind == datalog.LitNegated && !srcs[i].JoinDelta:
+			step.Kind = AccessNegFilter
+		default:
+			args := joinArgs(rule.Body[i])
+			cols, all := boundCols(i)
+			switch {
+			case all && len(args) > 0:
+				step.Kind = AccessPoint
+			case len(cols) > 0:
+				step.Kind = AccessIndex
+				if reuse := relation.PreferredIndexFor(srcs[i].Rel, cols); reuse != nil {
+					cols = reuse
+				}
+				step.Cols = cols
+			default:
+				step.Kind = AccessScan
+			}
+			for _, t := range args {
+				for _, v := range t.Vars(nil) {
+					bound[v] = true
+				}
+			}
+		}
+		p.Steps = append(p.Steps, step)
+	}
+	flushFilters := func() {
+		for i := 0; i < n; i++ {
+			if remaining[i] && isFilter(i) && ready(i) {
+				take(i)
+			}
+		}
+	}
+
+	if firstLit >= 0 && firstLit < n && !isFilter(firstLit) {
+		p.pinned = firstLit
+		take(firstLit)
+	}
+	flushFilters()
+
+	for {
+		done := true
+		for i := 0; i < n; i++ {
+			if remaining[i] {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+		best, bestCost := -1, 0.0
+		for i := 0; i < n; i++ {
+			if !remaining[i] || isFilter(i) {
+				continue
+			}
+			bc, _ := boundCols(i)
+			if c := fanoutEstimate(srcs[i].Rel, bc); best < 0 || c < bestCost {
+				best, bestCost = i, c
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("eval: rule %q has filters with unbound variables and no remaining joins", rule.String())
+		}
+		take(best)
+		flushFilters()
+	}
+
+	// Fingerprint the non-Δ join sources for drift detection.
+	for _, st := range p.Steps {
+		if st.Lit == p.pinned || st.Kind == AccessFilter || st.Kind == AccessNegFilter {
+			continue
+		}
+		if rel := srcs[st.Lit].Rel; rel != nil {
+			p.fp[st.Lit] = sizeClass(rel.Len())
+		}
+	}
+	return p, nil
+}
+
+// fanoutEstimate is the expected number of rows a join step emits per
+// incoming binding: Len divided by the distinct count of every bound
+// column. Unbound scans cost the full Len; a well-keyed probe costs ≤ 1.
+func fanoutEstimate(rel relation.Reader, boundCols []int) float64 {
+	if rel == nil {
+		return 0
+	}
+	f := float64(rel.Len())
+	for _, c := range boundCols {
+		if d := relation.DistinctEstimate(rel, c); d > 1 {
+			f /= float64(d)
+		}
+	}
+	return f
+}
+
+// Describe renders the plan deterministically, one step per " -> "
+// segment: the access path, the literal, and for index steps the probed
+// columns. The Δ-pinned step is marked with a leading Δ.
+func (p *Plan) Describe(rule datalog.Rule) string {
+	var sb strings.Builder
+	for i, st := range p.Steps {
+		if i > 0 {
+			sb.WriteString(" -> ")
+		}
+		if st.Lit == p.pinned && p.pinned >= 0 {
+			sb.WriteString("Δ:")
+		}
+		sb.WriteString(st.Kind.String())
+		sb.WriteByte(' ')
+		sb.WriteString(rule.Body[st.Lit].String())
+		if st.Kind == AccessIndex {
+			sb.WriteString(" [cols ")
+			for j, c := range st.Cols {
+				if j > 0 {
+					sb.WriteByte(',')
+				}
+				sb.WriteString(strconv.Itoa(c))
+			}
+			sb.WriteByte(']')
+		}
+	}
+	return sb.String()
+}
+
+// PlanKind distinguishes the evaluation contexts a rule is planned for:
+// the same rule body joins against different source shapes in each.
+type PlanKind uint8
+
+const (
+	// PlanEval is full (re-)evaluation: seed rounds, recomputation,
+	// initial materialization. Delta holds the restricted literal of a
+	// semi-naive round, or -1.
+	PlanEval PlanKind = iota
+	// PlanDeltaOld is a delta rule joined against the pre-update state
+	// (DRed's deletion step). Delta is the Δ-position.
+	PlanDeltaOld
+	// PlanDeltaNew is a delta rule joined against the post-update state
+	// (counting maintenance, DRed's insertion step). Delta is the
+	// Δ-position.
+	PlanDeltaNew
+	// PlanRederive is a DRed rederivation aux rule (the head-candidate
+	// literal prepended to the body). Delta is the pinned literal.
+	PlanRederive
+)
+
+// PlanKey identifies one cached plan. Semantics is implicit: each engine
+// owns its Planner, and an engine evaluates under one semantics.
+type PlanKey struct {
+	Rule  int
+	Kind  PlanKind
+	Delta int
+}
+
+// Planner caches plans per PlanKey. A nil *Planner disables planning:
+// PlanFor returns a nil plan and execution falls back to the greedy
+// order. All methods are safe for concurrent use.
+type Planner struct {
+	mu    sync.RWMutex
+	plans map[PlanKey]*Plan
+
+	plansGauge *metrics.Gauge
+	hits       *metrics.Counter
+	misses     *metrics.Counter
+	replans    *metrics.Counter
+}
+
+// NewPlanner returns an empty plan cache. reg may be nil (metrics off).
+func NewPlanner(reg *metrics.Registry) *Planner {
+	p := &Planner{plans: make(map[PlanKey]*Plan)}
+	if reg != nil {
+		p.plansGauge = reg.Gauge("planner_plans")
+		p.hits = reg.Counter("planner_hits_total")
+		p.misses = reg.Counter("planner_misses_total")
+		p.replans = reg.Counter("planner_replans_total")
+	}
+	return p
+}
+
+// PlanFor returns the cached plan for key, building (and caching) one
+// when absent or drifted. On a nil Planner it returns (nil, nil).
+func (p *Planner) PlanFor(key PlanKey, rule datalog.Rule, srcs []Source, firstLit int) (*Plan, error) {
+	if p == nil {
+		return nil, nil
+	}
+	p.mu.RLock()
+	pl := p.plans[key]
+	p.mu.RUnlock()
+	if pl != nil && !pl.drifted(srcs) {
+		p.hits.Inc()
+		return pl, nil
+	}
+	npl, err := PlanRule(rule, srcs, firstLit)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	p.plans[key] = npl
+	size := len(p.plans)
+	p.mu.Unlock()
+	if pl != nil {
+		p.replans.Inc()
+	} else {
+		p.misses.Inc()
+	}
+	p.plansGauge.Set(int64(size))
+	return npl, nil
+}
+
+// Reset drops every cached plan. Rule edits must call it: rule indices
+// shift, so stale keys would serve plans for the wrong rule.
+func (p *Planner) Reset() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.plans = make(map[PlanKey]*Plan)
+	p.mu.Unlock()
+	p.plansGauge.Set(0)
+}
+
+// Len returns the number of cached plans.
+func (p *Planner) Len() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.plans)
+}
+
+// EvalRulePlanInstr evaluates rule following plan; with a nil plan it
+// falls back to EvalRuleInstr's greedy order. The output relation is
+// identical either way — only the join order and access paths differ.
+func EvalRulePlanInstr(rule datalog.Rule, srcs []Source, firstLit int, plan *Plan, out *relation.Relation, in *Instruments) error {
+	if plan == nil {
+		return EvalRuleInstr(rule, srcs, firstLit, out, in)
+	}
+	if len(srcs) != len(rule.Body) {
+		return fmt.Errorf("eval: rule has %d literals but %d sources given", len(rule.Body), len(srcs))
+	}
+	var ctr joinCounters
+	b := newBinding()
+	var walk func(step int, count int64) error
+	walk = func(step int, count int64) error {
+		if step == len(plan.Steps) {
+			head, err := groundAtom(rule.Head.Args, b)
+			if err != nil {
+				return err
+			}
+			out.Add(head, count)
+			return nil
+		}
+		st := plan.Steps[step]
+		lit := rule.Body[st.Lit]
+		src := srcs[st.Lit]
+
+		switch st.Kind {
+		case AccessFilter:
+			l, err := evalTerm(lit.Cond.Left, b)
+			if err != nil {
+				return err
+			}
+			r, err := evalTerm(lit.Cond.Right, b)
+			if err != nil {
+				return err
+			}
+			if lit.Cond.Op.Eval(l, r) {
+				return walk(step+1, count)
+			}
+			return nil
+
+		case AccessNegFilter:
+			t, err := groundAtom(lit.Atom.Args, b)
+			if err != nil {
+				return err
+			}
+			ctr.probes++
+			if !src.Rel.Has(t) {
+				return walk(step+1, count)
+			}
+			return nil
+
+		default:
+			return joinPlanned(joinArgs(lit), src.Rel, st, b, func(rowCount int64) error {
+				return walk(step+1, count*rowCount)
+			}, &ctr)
+		}
+	}
+	err := walk(0, 1)
+	if in != nil {
+		in.JoinProbes.Add(ctr.probes)
+		in.JoinScans.Add(ctr.scans)
+	}
+	return err
+}
+
+// joinPlanned enumerates rel's rows matching args through the plan step's
+// frozen access path. Bound/unbound classification was done at plan time;
+// matchPattern still verifies every column, so a reused subset index (or
+// a conservative plan) only costs extra candidates, never wrong rows.
+func joinPlanned(args []datalog.Term, rel relation.Reader, st PlanStep, b *binding, each func(count int64) error, ctr *joinCounters) error {
+	emit := func(row relation.Row) error {
+		ok, newly := matchPattern(args, row.Tuple, b)
+		if !ok {
+			return nil
+		}
+		err := each(row.Count)
+		undoBind(b, newly)
+		return err
+	}
+
+	switch st.Kind {
+	case AccessPoint:
+		t, err := groundAtom(args, b)
+		if err != nil {
+			return err
+		}
+		ctr.probes++
+		if c := rel.Count(t); c != 0 {
+			return each(c)
+		}
+		return nil
+	case AccessIndex:
+		keyVals := make(value.Tuple, len(st.Cols))
+		for i, c := range st.Cols {
+			switch x := args[c].(type) {
+			case datalog.Const:
+				keyVals[i] = x.Value
+			case datalog.Var:
+				v, ok := b.lookup(string(x))
+				if !ok {
+					return fmt.Errorf("eval: internal error: plan probes unbound column %d", c)
+				}
+				keyVals[i] = v
+			default:
+				return fmt.Errorf("eval: expression %s in join pattern", args[c])
+			}
+		}
+		ctr.probes++
+		for _, row := range rel.Lookup(st.Cols, keyVals) {
+			if err := emit(row); err != nil {
+				return err
+			}
+		}
+		return nil
+	default: // AccessScan
+		ctr.scans++
+		var err error
+		rel.Each(func(row relation.Row) {
+			if err != nil {
+				return
+			}
+			err = emit(row)
+		})
+		return err
+	}
+}

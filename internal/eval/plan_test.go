@@ -1,0 +1,374 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"ivm/internal/parser"
+	"ivm/internal/relation"
+	"ivm/internal/value"
+)
+
+// fillSeq populates a fresh arity-ar relation with n rows whose column 0
+// is unique ("k<i>") and remaining columns cycle through mod values.
+func fillSeq(ar, n, mod int) *relation.Relation {
+	r := relation.New(ar)
+	for i := 0; i < n; i++ {
+		row := make([]any, ar)
+		row[0] = "k" + itoa(i)
+		for c := 1; c < ar; c++ {
+			row[c] = "v" + itoa(i%mod)
+		}
+		r.Add(value.T(row...), 1)
+	}
+	return r
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [12]byte
+	p := len(b)
+	for i > 0 {
+		p--
+		b[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[p:])
+}
+
+func TestPlanSingleLiteralBodyIsOneScan(t *testing.T) {
+	prog, _ := parseProgram(t, `copy(X,Y) :- link(X,Y).`)
+	link := fillSeq(2, 10, 10)
+	plan, err := PlanRule(prog.Rules[0], []Source{{Rel: link}}, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Steps) != 1 || plan.Steps[0].Kind != AccessScan {
+		t.Fatalf("want a single scan step, got %s", plan.Describe(prog.Rules[0]))
+	}
+	out := relation.New(2)
+	if err := EvalRulePlanInstr(prog.Rules[0], []Source{{Rel: link}}, -1, plan, out, nil); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 10 {
+		t.Fatalf("planned copy produced %d rows, want 10", out.Len())
+	}
+}
+
+func TestPlanAllFilterRuleFails(t *testing.T) {
+	// A body of only condition literals can never bind X: both the
+	// greedy order and the planner must reject it identically.
+	prog, _ := parseProgram(t, `p(X) :- q(X), X > 1.`)
+	rule := prog.Rules[0]
+	rule.Body = rule.Body[1:] // strip the join, leaving the bare filter
+	srcs := []Source{{}}
+	_, perr := PlanRule(rule, srcs, -1)
+	gerr := EvalRule(rule, srcs, -1, relation.New(1))
+	if perr == nil || gerr == nil {
+		t.Fatalf("planner err = %v, greedy err = %v; want both non-nil", perr, gerr)
+	}
+	if perr.Error() != gerr.Error() {
+		t.Fatalf("planner and greedy disagree on the error:\n  plan:   %v\n  greedy: %v", perr, gerr)
+	}
+}
+
+func TestPlanGroundFilterOnlyBody(t *testing.T) {
+	// Filters with no variables are ready immediately; a rule with a
+	// ground head and only such filters plans to pure filter steps.
+	prog, _ := parseProgram(t, `p(1) :- 1 < 2, 3 > 2.`)
+	plan, err := PlanRule(prog.Rules[0], []Source{{}, {}}, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range plan.Steps {
+		if st.Kind != AccessFilter {
+			t.Fatalf("want only filter steps, got %s", plan.Describe(prog.Rules[0]))
+		}
+	}
+	out := relation.New(1)
+	if err := EvalRulePlanInstr(prog.Rules[0], []Source{{}, {}}, -1, plan, out, nil); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 1 {
+		t.Fatalf("ground rule emitted %d rows, want 1", out.Len())
+	}
+}
+
+func TestPlanAggregateInDeltaPositionPinnedFirst(t *testing.T) {
+	prog, _ := parseProgram(t, `m(S,M) :- groupby(u(S,C), [S], M = sum(C)), big(S).`)
+	rule := prog.Rules[0]
+	dT := relation.New(2) // ΔT: changed group rows
+	dT.Add(value.T("s1", int64(7)), 1)
+	big := fillSeq(1, 50, 50)
+	srcs := []Source{{Rel: dT}, {Rel: big}}
+	plan, err := PlanRule(rule, srcs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Steps) == 0 || plan.Steps[0].Lit != 0 {
+		t.Fatalf("aggregate Δ-literal not pinned first: %s", plan.Describe(rule))
+	}
+	if !strings.HasPrefix(plan.Describe(rule), "Δ:") {
+		t.Fatalf("Describe does not mark the pinned step: %s", plan.Describe(rule))
+	}
+	// The second step joins big(S) with S bound — a keyed access.
+	if k := plan.Steps[1].Kind; k != AccessPoint {
+		t.Fatalf("bound unary join should be a point lookup, got %v", k)
+	}
+}
+
+func TestPlanNegationOrderedAfterBindingJoin(t *testing.T) {
+	// blocked(X,Y) binds nothing; the planner must hold the negation
+	// until link(X,Y) has bound X and Y, exactly like the greedy order.
+	prog, _ := parseProgram(t, `ok(X,Y) :- !blocked(X,Y), link(X,Y).`)
+	rule := prog.Rules[0]
+	blocked := relation.New(2)
+	blocked.Add(value.T("a", "b"), 1)
+	link := relation.New(2)
+	link.Add(value.T("a", "b"), 1)
+	link.Add(value.T("a", "c"), 1)
+	srcs := []Source{{Rel: blocked.ToSet()}, {Rel: link}}
+	plan, err := PlanRule(rule, srcs, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Steps[0].Lit != 1 || plan.Steps[1].Lit != 0 {
+		t.Fatalf("negation not deferred past its binding join: %s", plan.Describe(rule))
+	}
+	if plan.Steps[1].Kind != AccessNegFilter {
+		t.Fatalf("negation step kind = %v, want AccessNegFilter", plan.Steps[1].Kind)
+	}
+	out := relation.New(2)
+	if err := EvalRulePlanInstr(rule, srcs, -1, plan, out, nil); err != nil {
+		t.Fatal(err)
+	}
+	wantCounts(t, out, map[string]int64{"a,c": 1})
+}
+
+func TestPlanNegationNeverBoundFails(t *testing.T) {
+	// datalog.Validate rejects unsafe negation, so parse without
+	// validating: PlanRule must still fail defensively.
+	prog, err := parser.ParseRules(`ok(X) :- link(X,X), !blocked(X,Z).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rule := prog.Rules[0]
+	// Z appears only under the negation: no join can ever bind it.
+	link := relation.New(2)
+	blocked := relation.New(2)
+	srcs := []Source{{Rel: link}, {Rel: blocked}}
+	if _, err := PlanRule(rule, srcs, -1); err == nil {
+		t.Fatal("planner accepted a negation with a variable no join binds")
+	}
+}
+
+func TestPlanPrefersLowFanoutSource(t *testing.T) {
+	// hub(X,Y): 4 distinct X fanning out to ~250 Y each (small Len, huge
+	// fan-out). flat(X,Z): 2000 rows, X unique (large Len, fan-out 1).
+	// With X bound by Δreq, the planner must probe flat before hub; the
+	// greedy order would pick hub (smaller Len on the bound-count tie).
+	prog, _ := parseProgram(t, `out(Y,Z) :- req(X), hub(X,Y), flat(X,Z).`)
+	rule := prog.Rules[0]
+	hub := relation.New(2)
+	for i := 0; i < 1000; i++ {
+		hub.Add(value.T("h"+itoa(i%4), "y"+itoa(i)), 1)
+	}
+	flat := fillSeq(2, 2000, 2000)
+	dreq := relation.New(1)
+	dreq.Add(value.T("h0"), 1)
+	srcs := []Source{{Rel: dreq}, {Rel: hub}, {Rel: flat}}
+	plan, err := PlanRule(rule, srcs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := []int{plan.Steps[0].Lit, plan.Steps[1].Lit, plan.Steps[2].Lit}
+	if order[0] != 0 || order[1] != 2 || order[2] != 1 {
+		t.Fatalf("planned order %v, want [0 2 1] (flat before hub): %s", order, plan.Describe(rule))
+	}
+}
+
+func TestPlanDescribeDeterministic(t *testing.T) {
+	prog, _ := parseProgram(t, `out(Y,Z) :- req(X), hub(X,Y), flat(X,Z), Y != Z.`)
+	rule := prog.Rules[0]
+	hub := fillSeq(2, 300, 3)
+	flat := fillSeq(2, 500, 500)
+	dreq := relation.New(1)
+	dreq.Add(value.T("k1"), 1)
+	srcs := []Source{{Rel: dreq}, {Rel: hub}, {Rel: flat}, {}}
+	first := ""
+	for i := 0; i < 20; i++ {
+		plan, err := PlanRule(rule, srcs, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := plan.Describe(rule)
+		if i == 0 {
+			first = d
+			continue
+		}
+		if d != first {
+			t.Fatalf("Describe not deterministic:\n  run 0: %s\n  run %d: %s", first, i, d)
+		}
+	}
+}
+
+func TestPlanReusesExistingSubsetIndex(t *testing.T) {
+	// Force an index on column 0 of a 3-ary relation, then plan a join
+	// binding columns 0 and 1. The planner must reuse the existing
+	// {0}-index rather than demand a fresh {0,1} index.
+	r := relation.New(3)
+	for i := 0; i < 100; i++ {
+		r.Add(value.T("a"+itoa(i%10), "b"+itoa(i%20), "c"+itoa(i)), 1)
+	}
+	r.Lookup([]int{0}, value.T("a1")) // builds the {0} index
+	prog, _ := parseProgram(t, `out(C) :- l(A), m(A,B), big(A,B,C).`)
+	rule := prog.Rules[0]
+	l := relation.New(1)
+	l.Add(value.T("a1"), 1)
+	m := relation.New(2)
+	m.Add(value.T("a1", "b1"), 1)
+	srcs := []Source{{Rel: l}, {Rel: m}, {Rel: r}}
+	plan, err := PlanRule(rule, srcs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bigStep *PlanStep
+	for i := range plan.Steps {
+		if plan.Steps[i].Lit == 2 {
+			bigStep = &plan.Steps[i]
+		}
+	}
+	if bigStep == nil || bigStep.Kind != AccessIndex {
+		t.Fatalf("big not planned as an index access: %s", plan.Describe(rule))
+	}
+	if len(bigStep.Cols) != 1 || bigStep.Cols[0] != 0 {
+		t.Fatalf("planner did not reuse the existing {0} index, probes cols %v", bigStep.Cols)
+	}
+	// And the reused subset index still yields exact rows.
+	out := relation.New(1)
+	if err := EvalRulePlanInstr(rule, srcs, 0, plan, out, nil); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int64{}
+	for i := 0; i < 100; i++ {
+		if i%10 == 1 && i%20 == 1 {
+			want["c"+itoa(i)] = 1
+		}
+	}
+	wantCounts(t, out, want)
+}
+
+func TestPlannerCacheHitMissReplan(t *testing.T) {
+	prog, _ := parseProgram(t, `hop(X,Y) :- link(X,Z), link(Z,Y).`)
+	rule := prog.Rules[0]
+	link := fillSeq(2, 16, 16)
+	srcs := []Source{{Rel: link}, {Rel: link}}
+	p := NewPlanner(nil)
+	key := PlanKey{Rule: 0, Kind: PlanEval, Delta: -1}
+	if _, err := p.PlanFor(key, rule, srcs, -1); err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 1 {
+		t.Fatalf("cache holds %d plans after first build, want 1", p.Len())
+	}
+	pl1, err := p.PlanFor(key, rule, srcs, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl2, err := p.PlanFor(key, rule, srcs, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl1 != pl2 {
+		t.Fatal("stable sources must hit the cached plan")
+	}
+
+	// Grow one source ~64×: the fingerprint drifts and PlanFor replans.
+	grown := fillSeq(2, 1024, 1024)
+	pl3, err := p.PlanFor(key, rule, []Source{{Rel: grown}, {Rel: grown}}, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl3 == pl2 {
+		t.Fatal("64× growth did not trigger a replan")
+	}
+
+	p.Reset()
+	if p.Len() != 0 {
+		t.Fatalf("Reset left %d plans cached", p.Len())
+	}
+}
+
+func TestPlannerNilIsGreedyFallback(t *testing.T) {
+	var p *Planner
+	prog, _ := parseProgram(t, `hop(X,Y) :- link(X,Z), link(Z,Y).`)
+	plan, err := p.PlanFor(PlanKey{}, prog.Rules[0], []Source{{}, {}}, -1)
+	if err != nil || plan != nil {
+		t.Fatalf("nil planner: plan=%v err=%v, want nil,nil", plan, err)
+	}
+	link := relation.New(2)
+	link.Add(value.T("a", "b"), 2)
+	link.Add(value.T("b", "c"), 3)
+	out := relation.New(2)
+	if err := EvalRulePlanInstr(prog.Rules[0], []Source{{Rel: link}, {Rel: link}}, -1, nil, out, nil); err != nil {
+		t.Fatal(err)
+	}
+	wantCounts(t, out, map[string]int64{"a,c": 6})
+}
+
+// TestPlanMatchesGreedyOutput drives planned and greedy evaluation over
+// the same rule shapes and asserts identical multisets.
+func TestPlanMatchesGreedyOutput(t *testing.T) {
+	progs := []string{
+		`hop(X,Y) :- link(X,Z), link(Z,Y).`,
+		`out(Y,Z) :- req(X), hub(X,Y), flat(X,Z).`,
+		`ok(X,Y) :- !blocked(X,Y), link(X,Y).`,
+		`big(X) :- link(X,Y), link(Y,Z), link(Z,X), X != Y.`,
+	}
+	mkSrcs := func(rule int, prog string) []Source {
+		link := relation.New(2)
+		for i := 0; i < 60; i++ {
+			link.Add(value.T("n"+itoa(i%12), "n"+itoa((i*7)%12)), 1)
+		}
+		switch prog {
+		case progs[1]:
+			hub := relation.New(2)
+			for i := 0; i < 200; i++ {
+				hub.Add(value.T("n"+itoa(i%3), "y"+itoa(i)), 1)
+			}
+			flat := fillSeq(2, 300, 300)
+			req := relation.New(1)
+			req.Add(value.T("n1"), 1)
+			return []Source{{Rel: req}, {Rel: hub}, {Rel: flat}}
+		case progs[2]:
+			blocked := relation.New(2)
+			blocked.Add(value.T("n1", "n7"), 1)
+			return []Source{{Rel: blocked.ToSet()}, {Rel: link}}
+		default:
+			if prog == progs[0] {
+				return []Source{{Rel: link}, {Rel: link}}
+			}
+			return []Source{{Rel: link}, {Rel: link}, {Rel: link}, {}}
+		}
+	}
+	for _, src := range progs {
+		prog, _ := parseProgram(t, src)
+		rule := prog.Rules[0]
+		srcs := mkSrcs(0, src)
+		plan, err := PlanRule(rule, srcs, -1)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		planned := relation.New(len(rule.Head.Args))
+		if err := EvalRulePlanInstr(rule, srcs, -1, plan, planned, nil); err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		greedy := relation.New(len(rule.Head.Args))
+		if err := EvalRule(rule, srcs, -1, greedy); err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		wantCounts(t, planned, counts(greedy))
+	}
+}

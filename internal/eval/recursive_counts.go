@@ -84,8 +84,12 @@ func (e *Evaluator) evalRecursiveStratumCounted(db *DB, s int, rules []int) erro
 		if err != nil {
 			return err
 		}
+		plan, err := e.planFor(ri, -1, rule, srcs)
+		if err != nil {
+			return err
+		}
 		tmp := relation.New(len(rule.Head.Args))
-		if err := EvalRule(rule, srcs, -1, tmp); err != nil {
+		if err := EvalRulePlanInstr(rule, srcs, -1, plan, tmp, e.Instr); err != nil {
 			return err
 		}
 		prev[rule.Head.Pred].MergeDelta(tmp)
@@ -139,8 +143,12 @@ func (e *Evaluator) evalRecursiveStratumCounted(db *DB, s int, rules []int) erro
 						srcs[j] = s2[j]
 					}
 				}
+				plan, err := e.planFor(ri, li, rule, srcs)
+				if err != nil {
+					return err
+				}
 				tmp := relation.New(len(rule.Head.Args))
-				if err := EvalRule(rule, srcs, li, tmp); err != nil {
+				if err := EvalRulePlanInstr(rule, srcs, li, plan, tmp, e.Instr); err != nil {
 					return err
 				}
 				next[rule.Head.Pred].MergeDelta(tmp)

@@ -39,10 +39,20 @@ func EvalRule(rule datalog.Rule, srcs []Source, firstLit int, out *relation.Rela
 	return EvalRuleInstr(rule, srcs, firstLit, out, nil)
 }
 
-// EvalRuleInstr is EvalRule with instrumentation: join probes are
-// counted locally during the walk and flushed to in (if non-nil) in a
-// single atomic add afterwards, so the instrumented hot path differs
-// from the bare one only by a local integer increment per probe.
+// joinCounters accumulates access-path counts locally during one rule
+// evaluation; they are flushed to Instruments in a single atomic add per
+// counter afterwards. Probes are keyed accesses (point lookups, index
+// lookups, negation Has checks); scans are full-relation enumerations —
+// kept separate so the planner's cost feedback can tell them apart.
+type joinCounters struct {
+	probes, scans int64
+}
+
+// EvalRuleInstr is EvalRule with instrumentation: join probes and scans
+// are counted locally during the walk and flushed to in (if non-nil) in
+// a single atomic add per counter afterwards, so the instrumented hot
+// path differs from the bare one only by a local integer increment per
+// access.
 func EvalRuleInstr(rule datalog.Rule, srcs []Source, firstLit int, out *relation.Relation, in *Instruments) error {
 	if len(srcs) != len(rule.Body) {
 		return fmt.Errorf("eval: rule has %d literals but %d sources given", len(rule.Body), len(srcs))
@@ -52,7 +62,7 @@ func EvalRuleInstr(rule datalog.Rule, srcs []Source, firstLit int, out *relation
 		return err
 	}
 
-	var probes int64
+	var ctr joinCounters
 	b := newBinding()
 	var walk func(step int, count int64) error
 	walk = func(step int, count int64) error {
@@ -88,7 +98,7 @@ func EvalRuleInstr(rule datalog.Rule, srcs []Source, firstLit int, out *relation
 			if err != nil {
 				return err
 			}
-			probes++
+			ctr.probes++
 			if !src.Rel.Has(t) {
 				return walk(step+1, count)
 			}
@@ -97,15 +107,15 @@ func EvalRuleInstr(rule datalog.Rule, srcs []Source, firstLit int, out *relation
 		default:
 			// Join: positive atoms, Δ-images of negations, aggregate images.
 			args := joinArgs(lit)
-			probes++
 			return joinLiteral(args, src.Rel, b, func(rowCount int64) error {
 				return walk(step+1, count*rowCount)
-			})
+			}, &ctr)
 		}
 	}
 	err = walk(0, 1)
 	if in != nil {
-		in.JoinProbes.Add(probes)
+		in.JoinProbes.Add(ctr.probes)
+		in.JoinScans.Add(ctr.scans)
 	}
 	return err
 }
@@ -130,8 +140,9 @@ func joinArgs(lit datalog.Literal) []datalog.Term {
 // joinLiteral enumerates the rows of rel matching args under the current
 // binding, using a hash index on the bound columns when one helps, and
 // invokes each with the row's count, extending/retracting the binding
-// around the call.
-func joinLiteral(args []datalog.Term, rel relation.Reader, b *binding, each func(count int64) error) error {
+// around the call. ctr (which may be nil) records whether the access was
+// a keyed probe or a full scan.
+func joinLiteral(args []datalog.Term, rel relation.Reader, b *binding, each func(count int64) error, ctr *joinCounters) error {
 	// Classify columns under the current binding.
 	var boundCols []int
 	var keyVals value.Tuple
@@ -170,11 +181,17 @@ func joinLiteral(args []datalog.Term, rel relation.Reader, b *binding, each func
 		if err != nil {
 			return err
 		}
+		if ctr != nil {
+			ctr.probes++
+		}
 		if c := rel.Count(t); c != 0 {
 			return each(c)
 		}
 		return nil
 	case len(boundCols) > 0:
+		if ctr != nil {
+			ctr.probes++
+		}
 		for _, row := range rel.Lookup(boundCols, keyVals) {
 			if err := emit(row); err != nil {
 				return err
@@ -182,6 +199,9 @@ func joinLiteral(args []datalog.Term, rel relation.Reader, b *binding, each func
 		}
 		return nil
 	default:
+		if ctr != nil {
+			ctr.scans++
+		}
 		var err error
 		rel.Each(func(row relation.Row) {
 			if err != nil {

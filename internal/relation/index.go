@@ -58,6 +58,7 @@ func (r *Relation) Lookup(cols []int, keyVals value.Tuple) []Row {
 			}
 			r.idx[sig] = ix
 			r.hasIdx.Store(true)
+			indexesBuilt.Add(1)
 		}
 		r.idxMu.Unlock()
 	}

@@ -91,6 +91,18 @@ func (o *overlay) Each(f func(Row)) {
 	})
 }
 
+// DistinctEst mirrors Len's upper-bound convention: the overlay has at
+// most the base's distinct values plus the delta's.
+func (o *overlay) DistinctEst(col int) int {
+	return DistinctEstimate(o.base, col) + DistinctEstimate(o.delta, col)
+}
+
+// PreferredIndex forwards to the base side — the delta is typically tiny
+// and cheap to index on whatever columns the base already indexes.
+func (o *overlay) PreferredIndex(bound []int) []int {
+	return PreferredIndexFor(o.base, bound)
+}
+
 func (o *overlay) Lookup(cols []int, keyVals value.Tuple) []Row {
 	base := o.base.Lookup(cols, keyVals)
 	del := o.delta.Lookup(cols, keyVals)
@@ -151,6 +163,13 @@ func (s *setView) Count(t value.Tuple) int64 {
 }
 
 func (s *setView) Has(t value.Tuple) bool { return s.r.Has(t) }
+
+// DistinctEst forwards to the underlying reader: the set image has the
+// same positive-count tuples, so per-column distincts carry over.
+func (s *setView) DistinctEst(col int) int { return DistinctEstimate(s.r, col) }
+
+// PreferredIndex forwards to the underlying reader.
+func (s *setView) PreferredIndex(bound []int) []int { return PreferredIndexFor(s.r, bound) }
 
 func (s *setView) Each(f func(Row)) {
 	s.r.Each(func(row Row) {

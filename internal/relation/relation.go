@@ -60,6 +60,12 @@ type Relation struct {
 	idx    map[string]*index
 	idxMu  sync.RWMutex
 	hasIdx atomic.Bool
+
+	// stats holds the lazy per-column distinct sketches (see stats.go),
+	// with the same build-once-then-incremental discipline as idx.
+	stats    *tableStats
+	statsMu  sync.RWMutex
+	hasStats atomic.Bool
 }
 
 // New returns an empty relation with the given arity. Arity -1 means
@@ -149,11 +155,13 @@ func (r *Relation) Add(t value.Tuple, count int64) {
 	if !ok {
 		r.rows[k] = Row{Tuple: t, Count: count, key: k}
 		r.idxAdd(t, count)
+		r.statsAdd(t, 1)
 		return
 	}
 	nc := row.Count + count
 	if nc == 0 {
 		delete(r.rows, k)
+		r.statsAdd(t, -1)
 	} else {
 		row.Count = nc
 		r.rows[k] = row
@@ -177,6 +185,7 @@ func (r *Relation) Delete(t value.Tuple) {
 	}
 	delete(r.rows, k)
 	r.idxAdd(t, -row.Count)
+	r.statsAdd(t, -1)
 }
 
 // Each calls f for every row. Iteration order is unspecified. f must not

@@ -1,0 +1,259 @@
+package relation
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"ivm/internal/value"
+)
+
+// Cardinality statistics: per-column distinct-value estimates maintained
+// incrementally, feeding the cost-based join planner in internal/eval.
+//
+// Each column gets a small linear-counting sketch (a fixed array of
+// bucket refcounts keyed by a hash of the column value). The estimate is
+// the classic m·ln(m/empty) formula; refcounts (rather than bits) make
+// the sketch decrementable, so deletions are handled exactly like
+// insertions. Sketches follow the lazy-index discipline: nothing is
+// allocated until the first DistinctEst call, after which Add/Delete keep
+// the sketch in sync via the same transition points that maintain
+// indexes. Relations built by direct map writes (Clone, Negate, ToSet,
+// SetDiff, ...) start with no stats, so they can never go stale.
+
+// statsBuckets is the number of refcount buckets per column sketch.
+// Linear counting with 256 buckets estimates well up to a few thousand
+// distinct values and saturates (toward Len) beyond — plenty for join
+// ordering, which only needs the right order of magnitude.
+const statsBuckets = 256
+
+type colSketch struct {
+	buckets [statsBuckets]int32
+	nonzero int
+}
+
+func (c *colSketch) add(v value.Value, delta int) {
+	b := &c.buckets[hashValue(v)%statsBuckets]
+	was := *b
+	*b += int32(delta)
+	switch {
+	case was == 0 && *b != 0:
+		c.nonzero++
+	case was != 0 && *b == 0:
+		c.nonzero--
+	}
+}
+
+// estimate returns the linear-counting distinct estimate, clamped to
+// [1, n] (0 when the relation is empty). n is the relation's Len.
+func (c *colSketch) estimate(n int) int {
+	if n == 0 {
+		return 0
+	}
+	empty := statsBuckets - c.nonzero
+	if empty <= 0 {
+		return n // sketch saturated: at least ~statsBuckets·ln(statsBuckets) distinct
+	}
+	est := int(math.Round(statsBuckets * math.Log(statsBuckets/float64(empty))))
+	if est < 1 {
+		est = 1
+	}
+	if est > n {
+		est = n
+	}
+	return est
+}
+
+// tableStats holds one sketch per column. mu serializes sketch updates
+// against concurrent estimate reads so the race detector stays clean if
+// a planner consults a relation another goroutine is lazily building
+// stats for.
+type tableStats struct {
+	mu   sync.Mutex
+	cols []colSketch
+}
+
+func (st *tableStats) add(t value.Tuple, delta int) {
+	st.mu.Lock()
+	for i := range st.cols {
+		if i < len(t) {
+			st.cols[i].add(t[i], delta)
+		}
+	}
+	st.mu.Unlock()
+}
+
+func (st *tableStats) estimate(col, n int) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if col < 0 || col >= len(st.cols) {
+		return n
+	}
+	return st.cols[col].estimate(n)
+}
+
+// CardEstimator is the optional Reader extension the planner consults for
+// per-column distinct estimates. Readers that do not implement it are
+// costed with DistinctEstimate's fallback.
+type CardEstimator interface {
+	// DistinctEst estimates the number of distinct values in column col.
+	// The result is always within [0, Len()].
+	DistinctEst(col int) int
+}
+
+// DistinctEstimate returns an estimate of the number of distinct values
+// in column col of rd, falling back to rd.Len() (every tuple distinct in
+// that column — the optimistic upper bound) when rd keeps no statistics.
+func DistinctEstimate(rd Reader, col int) int {
+	if ce, ok := rd.(CardEstimator); ok {
+		return ce.DistinctEst(col)
+	}
+	return rd.Len()
+}
+
+// DistinctEst estimates the number of distinct values in column col,
+// building the relation's sketches on first use (O(Len), internally
+// synchronized — legal on frozen relations, like lazy index builds) and
+// maintaining them incrementally afterwards.
+func (r *Relation) DistinctEst(col int) int {
+	if col < 0 || (r.arity >= 0 && col >= r.arity) {
+		return len(r.rows)
+	}
+	r.statsMu.RLock()
+	st := r.stats
+	r.statsMu.RUnlock()
+	if st == nil {
+		r.statsMu.Lock()
+		if st = r.stats; st == nil {
+			arity := r.arity
+			if arity < 0 {
+				arity = 0
+			}
+			st = &tableStats{cols: make([]colSketch, arity)}
+			for _, row := range r.rows {
+				st.add(row.Tuple, 1)
+			}
+			r.stats = st
+			r.hasStats.Store(true)
+		}
+		r.statsMu.Unlock()
+	}
+	return st.estimate(col, len(r.rows))
+}
+
+// statsAdd records a presence transition of t (delta +1 on insert, −1 on
+// removal) in the column sketches. Count-only changes do not call it:
+// distinct counts track tuple presence, not multiplicity.
+func (r *Relation) statsAdd(t value.Tuple, delta int) {
+	if !r.hasStats.Load() {
+		return
+	}
+	r.statsMu.RLock()
+	st := r.stats
+	r.statsMu.RUnlock()
+	if st != nil {
+		st.add(t, delta)
+	}
+}
+
+// hashValue is FNV-1a over the value's kind and payload, avoiding the
+// allocation of the canonical key encoding on the mutation hot path.
+func hashValue(v value.Value) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	mix := func(b byte) {
+		h ^= uint32(b)
+		h *= prime32
+	}
+	mix(byte(v.Kind()))
+	switch v.Kind() {
+	case value.Int:
+		u := uint64(v.Int())
+		for i := 0; i < 8; i++ {
+			mix(byte(u >> (8 * i)))
+		}
+	case value.Float:
+		u := math.Float64bits(v.Float())
+		for i := 0; i < 8; i++ {
+			mix(byte(u >> (8 * i)))
+		}
+	case value.String:
+		s := v.Str()
+		for i := 0; i < len(s); i++ {
+			mix(s[i])
+		}
+	}
+	return h
+}
+
+// IndexPreferrer is the optional Reader extension the planner consults to
+// reuse an existing hash index instead of lazily building a new one for
+// every distinct bound-column set.
+type IndexPreferrer interface {
+	// PreferredIndex returns the column set of an existing index whose
+	// columns are a subset of bound (which must be sorted ascending), or
+	// nil when none applies. The result is deterministic: exact matches
+	// win, then the widest subset, ties broken by column signature.
+	PreferredIndex(bound []int) []int
+}
+
+// PreferredIndexFor consults rd's existing indexes for one usable with
+// the given bound columns; nil when rd has none (or no subset applies).
+func PreferredIndexFor(rd Reader, bound []int) []int {
+	if ip, ok := rd.(IndexPreferrer); ok {
+		return ip.PreferredIndex(bound)
+	}
+	return nil
+}
+
+// PreferredIndex implements IndexPreferrer over the relation's live index
+// set. See the interface for the selection rule.
+func (r *Relation) PreferredIndex(bound []int) []int {
+	if !r.hasIdx.Load() || len(bound) == 0 {
+		return nil
+	}
+	r.idxMu.RLock()
+	defer r.idxMu.RUnlock()
+	if ix := r.idx[colsSig(bound)]; ix != nil {
+		return append([]int(nil), ix.cols...)
+	}
+	inBound := make(map[int]bool, len(bound))
+	for _, c := range bound {
+		inBound[c] = true
+	}
+	var bestSig string
+	var best []int
+	for sig, ix := range r.idx {
+		usable := len(ix.cols) > 0
+		for _, c := range ix.cols {
+			if !inBound[c] {
+				usable = false
+				break
+			}
+		}
+		if !usable {
+			continue
+		}
+		if best == nil || len(ix.cols) > len(best) || (len(ix.cols) == len(best) && sig < bestSig) {
+			best, bestSig = ix.cols, sig
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	out := append([]int(nil), best...)
+	sort.Ints(out)
+	return out
+}
+
+// indexesBuilt counts hash-index builds process-wide; IndexesBuilt feeds
+// the relation_indexes_built gauge so index proliferation is visible.
+var indexesBuilt atomic.Int64
+
+// IndexesBuilt returns the cumulative number of lazy hash-index builds
+// across all relations in the process.
+func IndexesBuilt() int64 { return indexesBuilt.Load() }

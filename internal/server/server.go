@@ -157,6 +157,7 @@ func (s *Server) Start() error {
 			s.opts.Logf("ivmd: http serve: %v", err)
 		}
 	}()
+	s.sess.startSweeper()
 	s.opts.Logf("ivmd: serving HTTP on %s", ln.Addr())
 	return nil
 }
@@ -198,6 +199,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
 	s.mu.Unlock()
+	s.sess.stopSweeper()
 	s.opts.Logf("ivmd: shutdown: closing subscriptions")
 	s.hub.CloseAll()
 	if s.lineLn != nil {

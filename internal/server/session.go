@@ -21,14 +21,20 @@ type session struct {
 	expires time.Time
 }
 
-// sessionTable tracks live sessions. Expiry is lazy: expired entries
-// are rejected on access and swept on every create, so no background
-// goroutine is needed.
+// sessionTable tracks live sessions. Expiry is enforced on access
+// (expired entries are rejected and dropped) and by a background sweep,
+// so an expired session's pinned snapshot becomes collectible even when
+// no new sessions are created — without the sweep, the last burst of
+// sessions before a quiet period would pin their versions forever.
 type sessionTable struct {
 	ttl time.Duration
 
 	mu sync.Mutex
 	m  map[string]*session
+
+	// sweep goroutine lifecycle (startSweeper/stopSweeper).
+	stop chan struct{}
+	done chan struct{}
 
 	gActive  *metrics.Gauge
 	cCreated *metrics.Counter
@@ -102,4 +108,49 @@ func (t *sessionTable) sweepLocked(now time.Time) {
 			t.cExpired.Inc()
 		}
 	}
+}
+
+// startSweeper launches the background expiry sweep. The interval is a
+// quarter of the TTL, clamped to [100ms, 1min]: fine enough that an
+// expired session's snapshot is released promptly, coarse enough to be
+// free at idle.
+func (t *sessionTable) startSweeper() {
+	if t.stop != nil {
+		return
+	}
+	interval := t.ttl / 4
+	if interval < 100*time.Millisecond {
+		interval = 100 * time.Millisecond
+	}
+	if interval > time.Minute {
+		interval = time.Minute
+	}
+	t.stop = make(chan struct{})
+	t.done = make(chan struct{})
+	go func(stop, done chan struct{}) {
+		defer close(done)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case now := <-tick.C:
+				t.mu.Lock()
+				t.sweepLocked(now)
+				t.mu.Unlock()
+			}
+		}
+	}(t.stop, t.done)
+}
+
+// stopSweeper stops the background sweep and waits for it to exit.
+// Safe to call without a prior startSweeper, and idempotent.
+func (t *sessionTable) stopSweeper() {
+	if t.stop == nil {
+		return
+	}
+	close(t.stop)
+	<-t.done
+	t.stop, t.done = nil, nil
 }

@@ -1,0 +1,79 @@
+package server
+
+import (
+	"context"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ivm"
+)
+
+// TestSweeperReleasesExpiredSessionSnapshot verifies the leak fix: an
+// expired session's pinned snapshot version must become garbage
+// collectible through the background sweep alone — with no new session
+// creations or reads to trigger the old lazy sweep.
+func TestSweeperReleasesExpiredSessionSnapshot(t *testing.T) {
+	srv, c := startTestServer(t, Options{SessionTTL: 50 * time.Millisecond})
+	ctx := context.Background()
+
+	if _, err := c.NewSession(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Plant a finalizer on the snapshot the session pinned. The session
+	// table holds the only long-lived reference to it once newer
+	// versions are published below.
+	var collected atomic.Bool
+	srv.sess.mu.Lock()
+	if len(srv.sess.m) != 1 {
+		srv.sess.mu.Unlock()
+		t.Fatalf("expected 1 session, have %d", len(srv.sess.m))
+	}
+	for _, s := range srv.sess.m {
+		runtime.SetFinalizer(s.snap, func(*ivm.Snapshot) { collected.Store(true) })
+	}
+	srv.sess.mu.Unlock()
+
+	// Publish fresh versions so the snapshot's version is only reachable
+	// through the session table.
+	if _, err := c.Apply(ctx, `+link(x1,x2).`); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait out the TTL, then wait for the background sweep (interval is
+	// clamped to 100ms) to drop the entry and the GC to collect it. No
+	// new sessions, no session reads.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		runtime.GC()
+		if collected.Load() {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !collected.Load() {
+		t.Fatal("expired session's snapshot was never collected: the sweeper did not release it")
+	}
+
+	srv.sess.mu.Lock()
+	n := len(srv.sess.m)
+	srv.sess.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("session table still holds %d entries after sweep", n)
+	}
+}
+
+// TestSweeperStartStop exercises the sweeper lifecycle directly:
+// idempotent start, stop without start, double stop.
+func TestSweeperStartStop(t *testing.T) {
+	tbl := newSessionTable(time.Second, nil)
+	tbl.stopSweeper() // no-op without start
+	tbl.startSweeper()
+	tbl.startSweeper() // idempotent
+	tbl.stopSweeper()
+	tbl.stopSweeper() // idempotent
+	tbl.startSweeper()
+	tbl.stopSweeper()
+}

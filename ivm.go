@@ -261,6 +261,7 @@ type config struct {
 	strategy        Strategy
 	semantics       Semantics
 	disableSetOpt   bool
+	disablePlanner  bool
 	fragmentTuples  bool
 	recursiveCounts bool
 	maxIterations   int
@@ -306,6 +307,11 @@ func WithSemantics(s Semantics) Option { return func(c *config) { c.semantics = 
 // WithoutSetOptimization disables statement (2) of Algorithm 4.1 (the
 // set-semantics cascade cut) — exposed for the ablation experiments.
 func WithoutSetOptimization() Option { return func(c *config) { c.disableSetOpt = true } }
+
+// WithoutPlanner disables the cost-based join planner; delta rules then
+// use the static greedy literal order. Maintained views are bit-identical
+// either way — exposed for the planner ablation experiments.
+func WithoutPlanner() Option { return func(c *config) { c.disablePlanner = true } }
 
 // WithTupleFragmentation makes the PF baseline propagate one tuple per
 // pass (its most fragmented schedule).
@@ -435,6 +441,7 @@ func (d *Database) MaterializeProgram(prog *datalog.Program, programSrc string, 
 			DisableSetOpt:  cfg.disableSetOpt,
 			AllowRecursion: cfg.recursiveCounts,
 			MaxIterations:  cfg.maxIterations,
+			DisablePlanner: cfg.disablePlanner,
 			Parallelism:    par,
 			Metrics:        reg,
 			Tracer:         cfg.tracer,
@@ -448,9 +455,10 @@ func (d *Database) MaterializeProgram(prog *datalog.Program, programSrc string, 
 			return nil, fmt.Errorf("ivm: DRed requires set semantics")
 		}
 		eng, err := dred.NewWithConfig(prog, d.base, dred.Config{
-			Parallelism: par,
-			Metrics:     reg,
-			Tracer:      cfg.tracer,
+			Parallelism:    par,
+			Metrics:        reg,
+			Tracer:         cfg.tracer,
+			DisablePlanner: cfg.disablePlanner,
 		})
 		if err != nil {
 			return nil, err
@@ -464,12 +472,17 @@ func (d *Database) MaterializeProgram(prog *datalog.Program, programSrc string, 
 		eng.Parallelism = par
 		eng.Metrics = reg
 		eng.Tracer = cfg.tracer
+		eng.DisablePlanner = cfg.disablePlanner
 		v.rc = eng
 	case PF:
 		if cfg.semantics == DuplicateSemantics {
 			return nil, fmt.Errorf("ivm: the PF baseline requires set semantics")
 		}
-		eng, err := pf.NewWithConfig(prog, d.base, pf.Config{Metrics: reg, Tracer: cfg.tracer})
+		eng, err := pf.NewWithConfig(prog, d.base, pf.Config{
+			Metrics:        reg,
+			Tracer:         cfg.tracer,
+			DisablePlanner: cfg.disablePlanner,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -1049,6 +1062,9 @@ func (v *Views) PFStats() (pf.Stats, bool) {
 // per-operation *Stats accessors. The underlying instruments are
 // atomic, so the snapshot is race-free and lock-free.
 func (v *Views) Metrics() MetricsSnapshot {
+	// Refresh the process-wide index gauge so the snapshot reflects
+	// every hash index lazily built since the last call.
+	v.reg.Gauge("relation_indexes_built").Set(relation.IndexesBuilt())
 	return v.reg.Snapshot()
 }
 

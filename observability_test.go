@@ -55,6 +55,25 @@ func TestCountingMetricsAgreeWithStats(t *testing.T) {
 	if m.Counter("eval_join_probes_total") == 0 {
 		t.Fatal("join probes must be recorded")
 	}
+	// The probe/scan split: Δlink pinned first is a scan, the keyed
+	// second link position probes — both series must be populated.
+	if m.Counter("eval_join_scans_total") == 0 {
+		t.Fatal("join scans must be recorded")
+	}
+	// The planner is on by default: its cache series must be live and
+	// the plan gauge nonzero after maintenance.
+	if m.Counter("planner_misses_total") == 0 {
+		t.Fatal("planner misses must be recorded (first plan per key)")
+	}
+	if m.Counter("planner_hits_total") == 0 {
+		t.Fatal("planner hits must be recorded (repeated same-shape applies)")
+	}
+	if m.Gauge("planner_plans") == 0 {
+		t.Fatal("planner_plans gauge must reflect the cached plans")
+	}
+	if m.Gauge("relation_indexes_built") < 0 {
+		t.Fatal("relation_indexes_built gauge must be non-negative")
+	}
 
 	// Text exposition includes the counting series.
 	var b strings.Builder

@@ -189,6 +189,48 @@ func (s *Snapshot) Explain(goal string) ([]Derivation, error) {
 	return out, nil
 }
 
+// RulePlan is one rule's join plan as the cost-based planner would
+// order it against a snapshot's statistics.
+type RulePlan struct {
+	// Rule renders the planned rule.
+	Rule string
+	// RuleIndex is the rule's position in Program().Rules.
+	RuleIndex int
+	// Plan renders the chosen literal order and per-literal access paths
+	// (" -> "-separated; "point", "index [cols ...]", "scan", "filter").
+	Plan string
+}
+
+// ExplainPlan renders the join plan the cost-based planner chooses for
+// every rule deriving pred, against the snapshot's relation statistics.
+// The output is deterministic: planning iterates body literals in rule
+// order and the cardinality sketches are insertion-order independent.
+// Plans rendered here are advisory — the engines cache their own plans
+// keyed per (rule, Δ-position, semantics) and replan on cardinality
+// drift — but the order and access paths match a fresh full-evaluation
+// plan for the same statistics.
+func (s *Snapshot) ExplainPlan(pred string) ([]RulePlan, error) {
+	prog := s.v.prog
+	db := eval.NewDB()
+	for p, vr := range s.v.rels {
+		db.Put(p, vr.Flat())
+	}
+	var out []RulePlan
+	for _, ri := range prog.RulesFor(pred) {
+		rule := prog.Rules[ri]
+		srcs, err := eval.SourcesAt(rule, ri, db, s.views.explainSem, nil)
+		if err != nil {
+			return nil, err
+		}
+		plan, err := eval.PlanRule(rule, srcs, -1)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, RulePlan{Rule: rule.String(), RuleIndex: ri, Plan: plan.Describe(rule)})
+	}
+	return out, nil
+}
+
 // publishLocked atomically publishes rels as the next version (wmu
 // held). Every successful maintenance batch publishes — even one with
 // no visible changes — so the version-carried statistics stay current.
