@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race bench bench-smoke bench-planner metrics crash cover \
+.PHONY: all build vet fmt fmt-check test race bench bench-smoke bench-planner metrics crash chaos cover \
 	fuzz-smoke serve smoke-server bench-regression staticcheck vulncheck ci
 
 all: build
@@ -51,6 +51,14 @@ metrics:
 # full recomputation in every case.
 crash:
 	$(GO) run ./cmd/ivmcrash
+
+# The exactly-once chaos gauntlet under -race (faultnet proxy, >=20%
+# fault rate, kill-and-restart mid-run), plus the quantitative
+# fault-injection benchmark report (BENCH_faults.json).
+CHAOS_LOG ?= chaos-faults.log
+chaos:
+	CHAOS_LOG=$(CHAOS_LOG) $(GO) test -race -count=1 -run TestChaosGauntletExactlyOnce ./internal/server
+	$(GO) run ./cmd/ivmbench -scale smoke -faults 0.25 -faults-out BENCH_faults.json
 
 # Coverage profile + gate against .github/coverage-baseline.txt.
 cover:
@@ -105,5 +113,5 @@ vulncheck:
 		echo "govulncheck not installed; skipping (CI runs it)"; \
 	fi
 
-ci: build vet fmt-check test race bench-smoke metrics crash cover fuzz-smoke \
+ci: build vet fmt-check test race bench-smoke metrics crash chaos cover fuzz-smoke \
 	smoke-server bench-regression staticcheck vulncheck

@@ -12,37 +12,80 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Client talks to one ivmd server. Safe for concurrent use.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	retry RetryPolicy
+	stats stats
 }
 
 // New returns a client for the server at base (e.g.
 // "http://127.0.0.1:7199"). The optional http.Client configures
-// transport-level behavior; subscriptions are long-lived streams, so
-// give it no overall Timeout (use per-call contexts instead).
+// transport-level behavior; nil gets a transport with dial,
+// TLS-handshake, and response-header timeouts (so a hung server or
+// black-holed connection fails an attempt instead of blocking forever)
+// but no overall request timeout — Subscribe streams stay open
+// indefinitely, bounded only by their context; only their headers are
+// subject to the response-header timeout. If you pass your own
+// http.Client, give it no overall Timeout for the same reason.
 func New(base string, hc *http.Client) *Client {
 	if hc == nil {
-		hc = &http.Client{}
+		hc = &http.Client{Transport: defaultTransport()}
 	}
-	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc, retry: DefaultRetryPolicy}
 }
+
+// defaultTransport bounds every phase of a request except reading the
+// body, which streaming subscriptions need unbounded.
+func defaultTransport() *http.Transport {
+	return &http.Transport{
+		DialContext: (&net.Dialer{
+			Timeout:   10 * time.Second,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+		TLSHandshakeTimeout:   10 * time.Second,
+		ResponseHeaderTimeout: 30 * time.Second,
+		MaxIdleConnsPerHost:   16,
+	}
+}
+
+// SetRetryPolicy replaces the apply retry policy (DefaultRetryPolicy
+// until set). Call before issuing requests; it is not synchronized with
+// in-flight calls.
+func (c *Client) SetRetryPolicy(p RetryPolicy) { c.retry = p }
 
 // apiError is a non-2xx response decoded from the server.
 type apiError struct {
-	Status  int
-	Message string
+	Status     int
+	Message    string
+	RetryAfter time.Duration // parsed Retry-After hint (0 = none)
 }
 
 func (e *apiError) Error() string {
 	return fmt.Sprintf("ivmd: %s (http %d)", e.Message, e.Status)
+}
+
+// errorFromResponse decodes a non-2xx response body into an apiError.
+func errorFromResponse(status int, header http.Header, data []byte) *apiError {
+	e := &apiError{Status: status, Message: strings.TrimSpace(string(data))}
+	var er ErrorResponse
+	if json.Unmarshal(data, &er) == nil && er.Error != "" {
+		e.Message = er.Error
+	}
+	if secs, err := strconv.Atoi(header.Get("Retry-After")); err == nil && secs > 0 {
+		e.RetryAfter = time.Duration(secs) * time.Second
+	}
+	return e
 }
 
 func (c *Client) do(ctx context.Context, method, path string, query url.Values, body io.Reader, contentType string, out any) error {
@@ -57,6 +100,11 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
 	}
+	return c.roundTrip(req, out)
+}
+
+// roundTrip executes one prepared request and decodes the response.
+func (c *Client) roundTrip(req *http.Request, out any) error {
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
@@ -67,11 +115,7 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 		return err
 	}
 	if resp.StatusCode/100 != 2 {
-		var er ErrorResponse
-		if json.Unmarshal(data, &er) == nil && er.Error != "" {
-			return &apiError{Status: resp.StatusCode, Message: er.Error}
-		}
-		return &apiError{Status: resp.StatusCode, Message: strings.TrimSpace(string(data))}
+		return errorFromResponse(resp.StatusCode, resp.Header, data)
 	}
 	if out == nil {
 		return nil
@@ -83,14 +127,15 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 // the update is applied to every view — and, for store-bound servers,
 // durably logged — and the result names the version in which its
 // effects became visible.
+//
+// Apply is exactly-once under failure: it stamps the request with a
+// generated Idempotency-Key and retries transport errors, timeouts, and
+// 503s with exponential backoff (see RetryPolicy), so a retry of an
+// apply whose ack was lost is answered from the server's dedup window
+// instead of applying twice. Use ApplyWithKey to control the key across
+// client restarts.
 func (c *Client) Apply(ctx context.Context, script string) (*ApplyResult, error) {
-	var out ApplyResult
-	err := c.do(ctx, http.MethodPost, "/v1/apply", nil,
-		bytes.NewReader([]byte(script)), "text/plain", &out)
-	if err != nil {
-		return nil, err
-	}
-	return &out, nil
+	return c.ApplyWithKey(ctx, newIdempotencyKey(), script)
 }
 
 // Query matches a goal pattern (`hop(a,X)`) against the current

@@ -1,0 +1,197 @@
+package client
+
+// Apply retry/backoff: the exactly-once half the client owns. An apply
+// whose connection died or timed out is indistinguishable from one that
+// committed with a lost ack, so every apply carries an Idempotency-Key
+// and retryable failures are re-sent under the same key — the server
+// answers a duplicate from its dedup window (DESIGN.md §13) instead of
+// applying twice, which makes blind retry safe.
+
+import (
+	"context"
+	cryptorand "crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// RetryPolicy bounds Apply/ApplyWithKey retries. Attempt n (0-based)
+// waits BaseDelay·2ⁿ⁻¹ before re-sending, equal-jittered (half fixed,
+// half uniform random) and capped at MaxDelay; a server Retry-After
+// hint raises the wait to at least the hint (still capped at MaxDelay).
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts including the first
+	// (minimum 1; values < 1 mean DefaultRetryPolicy.MaxAttempts).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default 50ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default 2s).
+	MaxDelay time.Duration
+}
+
+// DefaultRetryPolicy is the policy New installs: 6 attempts, 50ms base
+// delay doubling to a 2s cap — about 3s of patience in the worst case.
+var DefaultRetryPolicy = RetryPolicy{MaxAttempts: 6, BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = DefaultRetryPolicy.MaxAttempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = DefaultRetryPolicy.BaseDelay
+	}
+	if p.MaxDelay < p.BaseDelay {
+		p.MaxDelay = DefaultRetryPolicy.MaxDelay
+	}
+	return p
+}
+
+// backoff returns the jittered wait before retry number retry (1-based),
+// honoring a server Retry-After hint.
+func (p RetryPolicy) backoff(retry int, hint time.Duration) time.Duration {
+	d := p.BaseDelay << (retry - 1)
+	if d <= 0 || d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	if hint > d {
+		d = hint
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	return d
+}
+
+// Stats are cumulative client-side counters, read with Client.Stats.
+type Stats struct {
+	// Applies counts Apply/ApplyWithKey calls (not attempts).
+	Applies uint64
+	// Retries counts re-sent attempts after retryable failures.
+	Retries uint64
+	// Deduped counts applies acknowledged from the server's idempotency
+	// window — i.e. retries that would have double-applied without it.
+	Deduped uint64
+}
+
+type stats struct {
+	applies atomic.Uint64
+	retries atomic.Uint64
+	deduped atomic.Uint64
+}
+
+// Stats returns a snapshot of the client's cumulative apply counters.
+func (c *Client) Stats() Stats {
+	return Stats{
+		Applies: c.stats.applies.Load(),
+		Retries: c.stats.retries.Load(),
+		Deduped: c.stats.deduped.Load(),
+	}
+}
+
+// newIdempotencyKey generates a 128-bit random hex key.
+func newIdempotencyKey() string {
+	var b [16]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; a zero key
+		// would silently dedup unrelated applies, so fail loudly.
+		panic(fmt.Sprintf("ivmd client: generating idempotency key: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ApplyWithKey is Apply under a caller-chosen idempotency key: all
+// calls with the same key apply the script at most once server-side,
+// even across client restarts (for store-bound servers the key survives
+// crash recovery with the WAL). The key must be non-empty and at most
+// 256 bytes. Retries and backoff behave exactly as in Apply.
+func (c *Client) ApplyWithKey(ctx context.Context, key, script string) (*ApplyResult, error) {
+	if key == "" {
+		return nil, fmt.Errorf("ivmd: empty idempotency key (use Apply for a generated one)")
+	}
+	c.stats.applies.Add(1)
+	p := c.retry.withDefaults()
+	var lastErr error
+	for attempt := 0; attempt < p.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			c.stats.retries.Add(1)
+			if err := sleepCtx(ctx, p.backoff(attempt, retryAfterOf(lastErr))); err != nil {
+				return nil, fmt.Errorf("ivmd: apply canceled while retrying: %w (last attempt: %v)", err, lastErr)
+			}
+		}
+		out, err := c.applyOnce(ctx, key, script)
+		if err == nil {
+			if out.Deduped {
+				c.stats.deduped.Add(1)
+			}
+			return out, nil
+		}
+		lastErr = err
+		if !retryable(err) {
+			return nil, err
+		}
+		if ctx.Err() != nil {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("ivmd: apply gave up after %d attempts: %w", p.MaxAttempts, lastErr)
+}
+
+// applyOnce is a single keyed POST /v1/apply attempt.
+func (c *Client) applyOnce(ctx context.Context, key, script string) (*ApplyResult, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/apply", strings.NewReader(script))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "text/plain")
+	req.Header.Set("Idempotency-Key", key)
+	var out ApplyResult
+	if err := c.roundTrip(req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// retryable classifies an attempt's failure. Server responses are
+// retried only on 503 (shutdown, store closed, request timeout — all
+// advertised with Retry-After); other statuses are the caller's bug or
+// data and would fail identically again. Anything that never produced a
+// status — refused/reset connections, dial or response-header timeouts
+// — is retried, except the caller's own context ending.
+func retryable(err error) bool {
+	var apiErr *apiError
+	if errors.As(err, &apiErr) {
+		return apiErr.Status == http.StatusServiceUnavailable
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	return true
+}
+
+// retryAfterOf extracts the server's Retry-After hint, if err carried
+// one.
+func retryAfterOf(err error) time.Duration {
+	var apiErr *apiError
+	if errors.As(err, &apiErr) {
+		return apiErr.RetryAfter
+	}
+	return 0
+}
+
+// sleepCtx waits d or until ctx ends.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

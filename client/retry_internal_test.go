@@ -1,0 +1,71 @@
+package client
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestRetryPolicyBackoffBounds(t *testing.T) {
+	p := DefaultRetryPolicy
+	for retry := 1; retry <= 10; retry++ {
+		for trial := 0; trial < 50; trial++ {
+			d := p.backoff(retry, 0)
+			if d <= 0 || d > p.MaxDelay {
+				t.Fatalf("backoff(%d) = %v, want (0, %v]", retry, d, p.MaxDelay)
+			}
+		}
+	}
+	// A Retry-After hint raises the wait but never past the cap.
+	if d := p.backoff(1, time.Second); d < time.Second {
+		t.Fatalf("backoff with 1s hint = %v, want >= 1s", d)
+	}
+	if d := p.backoff(1, time.Minute); d != p.MaxDelay {
+		t.Fatalf("backoff with 1m hint = %v, want capped at %v", d, p.MaxDelay)
+	}
+}
+
+func TestRetryPolicyWithDefaults(t *testing.T) {
+	p := RetryPolicy{}.withDefaults()
+	if p != DefaultRetryPolicy {
+		t.Fatalf("zero policy = %+v, want defaults %+v", p, DefaultRetryPolicy)
+	}
+	p = RetryPolicy{MaxAttempts: 1, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond}.withDefaults()
+	if p.MaxAttempts != 1 || p.BaseDelay != time.Millisecond {
+		t.Fatalf("explicit policy overridden: %+v", p)
+	}
+}
+
+func TestErrorFromResponseRetryAfter(t *testing.T) {
+	h := http.Header{}
+	h.Set("Retry-After", "2")
+	e := errorFromResponse(503, h, []byte(`{"error":"shutting down"}`))
+	if e.Message != "shutting down" || e.RetryAfter != 2*time.Second {
+		t.Fatalf("apiError = %+v", e)
+	}
+	if e2 := errorFromResponse(422, http.Header{}, []byte("nope")); e2.RetryAfter != 0 || e2.Message != "nope" {
+		t.Fatalf("apiError = %+v", e2)
+	}
+}
+
+func TestRetryableClassification(t *testing.T) {
+	if !retryable(&apiError{Status: 503}) {
+		t.Fatal("503 must be retryable")
+	}
+	for _, status := range []int{400, 404, 413, 422, 500} {
+		if retryable(&apiError{Status: status}) {
+			t.Fatalf("%d must not be retryable", status)
+		}
+	}
+}
+
+func TestNewIdempotencyKeyUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		k := newIdempotencyKey()
+		if len(k) != 32 || seen[k] {
+			t.Fatalf("bad or repeated key %q", k)
+		}
+		seen[k] = true
+	}
+}

@@ -1,0 +1,177 @@
+package client_test
+
+// Apply retry behavior over real HTTP: flaky-server simulations with
+// httptest plus end-to-end dedup against a live ivmd server.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ivm/client"
+	"ivm/internal/server"
+)
+
+var quickRetry = client.RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+
+func TestApplyRetries503UnderOneKey(t *testing.T) {
+	var attempts atomic.Int64
+	keys := make(chan string, 8)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		keys <- r.Header.Get("Idempotency-Key")
+		if attempts.Add(1) <= 2 {
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":"warming up"}`))
+			return
+		}
+		json.NewEncoder(w).Encode(client.ApplyResult{Version: 7})
+	}))
+	defer ts.Close()
+
+	c := client.New(ts.URL, nil)
+	c.SetRetryPolicy(quickRetry)
+	res, err := c.Apply(context.Background(), "+link(a,b).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Version != 7 {
+		t.Fatalf("version = %d, want 7", res.Version)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("attempts = %d, want 3 (two 503s then success)", got)
+	}
+	st := c.Stats()
+	if st.Applies != 1 || st.Retries != 2 {
+		t.Fatalf("stats = %+v, want Applies=1 Retries=2", st)
+	}
+	// Every attempt must re-send the same idempotency key — that is
+	// what makes the retry safe.
+	first := <-keys
+	if first == "" {
+		t.Fatal("apply attempt carried no Idempotency-Key")
+	}
+	for i := 1; i < 3; i++ {
+		if k := <-keys; k != first {
+			t.Fatalf("attempt %d used key %q, first used %q", i, k, first)
+		}
+	}
+}
+
+func TestApplyDoesNotRetryCallerErrors(t *testing.T) {
+	var attempts atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		w.Write([]byte(`{"error":"bad script"}`))
+	}))
+	defer ts.Close()
+
+	c := client.New(ts.URL, nil)
+	c.SetRetryPolicy(quickRetry)
+	if _, err := c.Apply(context.Background(), "+broken("); err == nil || !strings.Contains(err.Error(), "422") {
+		t.Fatalf("want 422 error, got %v", err)
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("attempts = %d, want 1 (422 must not retry)", got)
+	}
+}
+
+func TestApplyGivesUpAfterMaxAttempts(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"error":"still down"}`))
+	}))
+	defer ts.Close()
+
+	c := client.New(ts.URL, nil)
+	c.SetRetryPolicy(quickRetry)
+	_, err := c.Apply(context.Background(), "+link(a,b).")
+	if err == nil || !strings.Contains(err.Error(), "gave up after 4 attempts") {
+		t.Fatalf("want give-up error after 4 attempts, got %v", err)
+	}
+	if st := c.Stats(); st.Retries != 3 {
+		t.Fatalf("stats = %+v, want Retries=3", st)
+	}
+}
+
+func TestApplyRetriesConnectionFailure(t *testing.T) {
+	// A server that accepts, then immediately closes: every attempt is a
+	// transport-level failure, never an HTTP status.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic(http.ErrAbortHandler)
+	}))
+	defer ts.Close()
+
+	c := client.New(ts.URL, nil)
+	c.SetRetryPolicy(client.RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond})
+	if _, err := c.Apply(context.Background(), "+link(a,b)."); err == nil {
+		t.Fatal("aborted connections must surface an error after retries")
+	}
+	if st := c.Stats(); st.Retries != 1 {
+		t.Fatalf("stats = %+v, want Retries=1", st)
+	}
+}
+
+func TestApplyContextCancelStopsRetry(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"error":"down"}`))
+	}))
+	defer ts.Close()
+
+	c := client.New(ts.URL, nil)
+	c.SetRetryPolicy(client.RetryPolicy{MaxAttempts: 100, BaseDelay: 50 * time.Millisecond, MaxDelay: 50 * time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := c.Apply(ctx, "+link(a,b)."); err == nil {
+		t.Fatal("canceled apply must error")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("apply kept retrying %v after cancellation", elapsed)
+	}
+}
+
+func TestApplyWithKeyEndToEndDedup(t *testing.T) {
+	c := startServer(t, server.Options{})
+	ctx := context.Background()
+
+	first, err := c.ApplyWithKey(ctx, "stable-key", "+link(c,d).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Deduped {
+		t.Fatal("first keyed apply must not dedup")
+	}
+	second, err := c.ApplyWithKey(ctx, "stable-key", "+link(c,d).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Deduped || second.Version != first.Version {
+		t.Fatalf("retry = %+v, want deduped at version %d", second, first.Version)
+	}
+	cnt, err := c.Count(ctx, "link(c,d)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnt.Count != 1 {
+		t.Fatalf("link(c,d) count = %d, want 1", cnt.Count)
+	}
+	st := c.Stats()
+	if st.Applies != 2 || st.Deduped != 1 || st.Retries != 0 {
+		t.Fatalf("stats = %+v, want Applies=2 Deduped=1 Retries=0", st)
+	}
+	if _, err := c.ApplyWithKey(ctx, "", "+link(x,y)."); err == nil {
+		t.Fatal("empty key must be rejected")
+	}
+}

@@ -37,10 +37,13 @@ type Event struct {
 // ApplyResult acknowledges a durably applied update: the version in
 // which its effects became visible plus the per-view changes. For
 // store-bound servers the WAL record is fsynced before this result is
-// sent — an acked apply survives any crash or shutdown.
+// sent — an acked apply survives any crash or shutdown. Deduped reports
+// that the request's Idempotency-Key had already committed and this is
+// the original apply's result, not a fresh application.
 type ApplyResult struct {
 	Version uint64  `json:"version"`
 	Deltas  []Delta `json:"deltas,omitempty"`
+	Deduped bool    `json:"deduped,omitempty"`
 }
 
 // QueryResult is one match of a query goal.

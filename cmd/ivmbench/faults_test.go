@@ -1,0 +1,69 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// Smoke the fault-injection benchmark end to end against an in-process
+// server: real faults must fire, real retries must absorb them, and the
+// exactly-once check inside writeFaultsReport must hold.
+func TestWriteFaultsReportSelf(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault-injection smoke skipped in -short")
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_faults.json")
+	if err := writeFaultsReport(path, "self", "smoke", 0.25); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep faultsReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Target != "self" || rep.Acked != int64(rep.Appliers*rep.PerApplier) {
+		t.Fatalf("thin report: %+v", rep)
+	}
+	if rep.ProxyFaulted == 0 {
+		t.Fatalf("no faults injected at fraction %v: %+v", rep.FaultFraction, rep)
+	}
+	if rep.ClientRetries == 0 {
+		t.Fatalf("no client retries under %d faults: %+v", rep.ProxyFaulted, rep)
+	}
+	if rep.DoubleApplies != 0 {
+		t.Fatalf("%d double applies: %+v", rep.DoubleApplies, rep)
+	}
+}
+
+func TestWriteFaultsReportRejectsBadFraction(t *testing.T) {
+	for _, f := range []float64{0, -0.1, 1.5} {
+		if err := writeFaultsReport("unused.json", "self", "smoke", f); err == nil {
+			t.Fatalf("fraction %v must be rejected", f)
+		}
+	}
+}
+
+func TestStripScheme(t *testing.T) {
+	for in, want := range map[string]string{
+		"http://127.0.0.1:7199":  "127.0.0.1:7199",
+		"https://127.0.0.1:7199": "127.0.0.1:7199",
+		"127.0.0.1:7199":         "127.0.0.1:7199",
+	} {
+		if got := stripScheme(in); got != want {
+			t.Fatalf("stripScheme(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// An unreachable target exhausts retries and errors instead of hanging.
+func TestRunFaultsBenchUnreachable(t *testing.T) {
+	if _, err := runFaultsBench("127.0.0.1:1", false, 1, 1, 1, 1, time.Second); err == nil {
+		t.Fatal("unreachable server must error")
+	}
+}

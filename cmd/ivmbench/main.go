@@ -30,7 +30,21 @@ func main() {
 	serverOut := flag.String("server-out", "BENCH_server.json", "with -server: write the served-load JSON report to this path")
 	plannerPath := flag.String("planner", "", "run the join-planner benchmark and write its JSON report to this path (e.g. BENCH_planner.json), then exit")
 	plannerBaseline := flag.String("planner-baseline", "", "with -planner: compare the fresh report against this baseline JSON and exit nonzero on regression")
+	faultsFrac := flag.Float64("faults", 0, "run the fault-injection benchmark at this fault fraction in (0,1]: keyed applies retried through a faultnet proxy, then exit")
+	faultsOut := flag.String("faults-out", "BENCH_faults.json", "with -faults: write the fault-injection JSON report to this path")
 	flag.Parse()
+
+	if *faultsFrac != 0 {
+		target := *serverTarget
+		if target == "" {
+			target = "self"
+		}
+		if err := writeFaultsReport(*faultsOut, target, *scaleFlag, *faultsFrac); err != nil {
+			fmt.Fprintf(os.Stderr, "ivmbench: fault-injection benchmark: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *serverTarget != "" {
 		if err := writeServerLoadReport(*serverOut, *serverTarget, *scaleFlag); err != nil {

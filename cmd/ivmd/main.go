@@ -46,6 +46,7 @@ func run() error {
 	strategyFlag := flag.String("strategy", "auto", "auto, counting, dred, or recompute")
 	semanticsFlag := flag.String("semantics", "set", "set or duplicate")
 	groupCommit := flag.Bool("group-commit", true, "batch WAL fsyncs across concurrent applies (requires -store)")
+	idemWindow := flag.Int("idem-window", 0, "idempotency keys remembered for apply dedup (0 = library default); size it above the keyed applies that can land within a client's retry horizon")
 	requestTimeout := flag.Duration("request-timeout", 15*time.Second, "per-request timeout for non-streaming endpoints")
 	maxBody := flag.Int64("max-body", 4<<20, "maximum apply request body bytes")
 	subBuffer := flag.Int("sub-buffer", 256, "per-subscriber event buffer; a consumer that falls this far behind is evicted")
@@ -87,6 +88,9 @@ func run() error {
 	}
 	if *groupCommit {
 		opts = append(opts, ivm.WithGroupCommit())
+	}
+	if *idemWindow > 0 {
+		opts = append(opts, ivm.WithIdempotencyWindow(*idemWindow))
 	}
 
 	var views *ivm.Views

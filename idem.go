@@ -1,0 +1,79 @@
+package ivm
+
+import "container/list"
+
+// The idempotency window behind ApplyIdempotent (DESIGN.md §13): a
+// bounded LRU of key → the ChangeSet the key's apply committed. The
+// counting and DRed algorithms are only correct if every delta is
+// applied exactly once — a duplicated ⊎ batch silently corrupts every
+// downstream count — so a client that cannot tell "never committed"
+// from "committed, ack lost" (a timed-out network apply) retries with
+// the same key and is answered from the window instead of re-applied.
+//
+// The window is consulted and updated only on the maintainer goroutine
+// under the write lock, so it needs no locking of its own. Store-bound
+// views log each apply's keys inside its WAL record; recovery replays
+// them back through recordApplied, so dedup survives crashes exactly as
+// far as the WAL does.
+
+// DefaultIdempotencyWindow is the number of distinct idempotency keys
+// remembered when WithIdempotencyWindow is not given. The window must
+// comfortably exceed the number of applies that can land between a
+// client's first attempt and its last retry; past eviction, a retry
+// re-applies.
+const DefaultIdempotencyWindow = 1024
+
+// MaxIdempotencyKeyLen bounds key length: keys are logged inside every
+// WAL record and held in memory for the window's lifetime. The serving
+// layer rejects longer Idempotency-Key headers up front with the same
+// bound.
+const MaxIdempotencyKeyLen = 256
+
+type idemEntry struct {
+	key string
+	cs  *ChangeSet
+}
+
+// idemWindow is an LRU map of bounded capacity; the zero value is not
+// usable, call newIdemWindow.
+type idemWindow struct {
+	cap int
+	m   map[string]*list.Element
+	lru *list.List // front = most recently used
+}
+
+func newIdemWindow(capacity int) *idemWindow {
+	if capacity <= 0 {
+		capacity = DefaultIdempotencyWindow
+	}
+	return &idemWindow{cap: capacity, m: make(map[string]*list.Element), lru: list.New()}
+}
+
+// lookup returns the change set committed under key, refreshing its LRU
+// position.
+func (w *idemWindow) lookup(key string) (*ChangeSet, bool) {
+	el, ok := w.m[key]
+	if !ok {
+		return nil, false
+	}
+	w.lru.MoveToFront(el)
+	return el.Value.(*idemEntry).cs, true
+}
+
+// record remembers key → cs, evicting the least recently used entry
+// when the window is full. Re-recording an existing key refreshes it.
+func (w *idemWindow) record(key string, cs *ChangeSet) {
+	if el, ok := w.m[key]; ok {
+		el.Value.(*idemEntry).cs = cs
+		w.lru.MoveToFront(el)
+		return
+	}
+	for w.lru.Len() >= w.cap {
+		oldest := w.lru.Back()
+		w.lru.Remove(oldest)
+		delete(w.m, oldest.Value.(*idemEntry).key)
+	}
+	w.m[key] = w.lru.PushFront(&idemEntry{key: key, cs: cs})
+}
+
+func (w *idemWindow) len() int { return w.lru.Len() }

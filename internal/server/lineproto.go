@@ -7,6 +7,7 @@ import (
 	"net"
 	"strings"
 
+	"ivm"
 	"ivm/client"
 )
 
@@ -15,6 +16,9 @@ import (
 // per line, one response per line):
 //
 //	apply +link(a,b). -link(b,c).   -> ok {"version":7,...}
+//	apply @key1 +link(a,b).         -> ok {"version":7,...} — idempotent
+//	                                   under key1; a retry answers
+//	                                   {"deduped":true,...}
 //	query hop(a,X)                  -> ok {"version":7,"results":[...]}
 //	rows hop                        -> ok {"version":7,"pred":"hop","rows":[...]}
 //	count hop(a,c)                  -> ok {"version":7,"count":2,"has":true}
@@ -92,16 +96,32 @@ func (s *Server) serveLineConn(conn net.Conn) {
 		case "version":
 			ok = reply("ok", map[string]uint64{"version": s.v.Snapshot().Version()})
 		case "apply":
+			var key string
+			if strings.HasPrefix(rest, "@") {
+				key, rest, _ = strings.Cut(rest[1:], " ")
+				rest = strings.TrimSpace(rest)
+				if key == "" {
+					ok = fail("apply @ needs a key before the script")
+					break
+				}
+				if len(key) > ivm.MaxIdempotencyKeyLen {
+					ok = fail("apply: idempotency key of %d bytes exceeds the %d-byte limit", len(key), ivm.MaxIdempotencyKeyLen)
+					break
+				}
+			}
 			if rest == "" {
 				ok = fail("apply needs a delta script")
 				break
 			}
-			cs, err := s.v.ApplyScript(rest)
+			cs, deduped, err := s.v.ApplyScriptIdempotent(key, rest)
 			if err != nil {
 				ok = fail("apply: %v", err)
 				break
 			}
-			ok = reply("ok", client.ApplyResult{Version: cs.Version(), Deltas: DeltasFromChangeSet(cs)})
+			if deduped {
+				s.cDedups.Inc()
+			}
+			ok = reply("ok", client.ApplyResult{Version: cs.Version(), Deltas: DeltasFromChangeSet(cs), Deduped: deduped})
 		case "query":
 			if rest == "" {
 				ok = fail("query needs a goal")

@@ -92,6 +92,7 @@ type Server struct {
 
 	cRequests *metrics.Counter
 	cErrors   *metrics.Counter
+	cDedups   *metrics.Counter
 	hRequest  *metrics.Histogram
 }
 
@@ -108,11 +109,21 @@ func New(v *ivm.Views, opts Options) *Server {
 		lineConns: make(map[net.Conn]struct{}),
 		cRequests: reg.Counter("server_requests_total"),
 		cErrors:   reg.Counter("server_request_errors_total"),
+		cDedups:   reg.Counter("server_apply_dedup_total"),
 		hRequest:  reg.Histogram("server_request_seconds"),
 	}
 	mux := http.NewServeMux()
 	timed := func(h http.HandlerFunc) http.Handler {
-		return http.TimeoutHandler(h, opts.RequestTimeout, `{"error":"request timed out"}`)
+		inner := http.TimeoutHandler(h, opts.RequestTimeout, `{"error":"request timed out"}`)
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			// TimeoutHandler writes its 503 body with whatever headers the
+			// outer writer already carries — it never sets Content-Type, so
+			// clients would misparse the JSON error. Pre-set it here; the
+			// success path copies the inner handler's headers over this
+			// same key (e.g. the metrics exposition stays text/plain).
+			w.Header().Set("Content-Type", "application/json")
+			inner.ServeHTTP(w, r)
+		})
 	}
 	mux.Handle("POST /v1/apply", timed(s.handleApply))
 	mux.Handle("GET /v1/query", timed(s.handleQuery))
@@ -246,6 +257,12 @@ type statusWriter struct {
 }
 
 func (w *statusWriter) WriteHeader(code int) {
+	// Every 503 this server produces — shutdown, ErrStoreClosed, a
+	// TimeoutHandler expiry — is retryable by design, so advertise that
+	// to clients uniformly here (logMiddleware wraps every route).
+	if code == http.StatusServiceUnavailable && w.Header().Get("Retry-After") == "" {
+		w.Header().Set("Retry-After", "1")
+	}
 	w.status = code
 	w.ResponseWriter.WriteHeader(code)
 }
@@ -300,6 +317,11 @@ func (s *Server) readerFor(w http.ResponseWriter, r *http.Request) (reader, bool
 // text or JSON {"script": "..."}; the response acknowledges the version
 // the batch published. For store-bound views the WAL record is fsynced
 // before this handler returns.
+//
+// An Idempotency-Key header makes the apply exactly-once under retries:
+// the first commit under a key is the only one applied, and duplicate
+// requests are answered with the original result (Deduped: true)
+// instead of re-applying — see DESIGN.md §13.
 func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
 	if err != nil {
@@ -326,7 +348,12 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "empty delta script")
 		return
 	}
-	cs, err := s.v.ApplyScript(script)
+	key := r.Header.Get("Idempotency-Key")
+	if len(key) > ivm.MaxIdempotencyKeyLen {
+		writeError(w, http.StatusBadRequest, "Idempotency-Key of %d bytes exceeds the %d-byte limit", len(key), ivm.MaxIdempotencyKeyLen)
+		return
+	}
+	cs, deduped, err := s.v.ApplyScriptIdempotent(key, script)
 	if err != nil {
 		status := http.StatusUnprocessableEntity
 		if errors.Is(err, ivm.ErrStoreClosed) {
@@ -335,9 +362,13 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, "apply: %v", err)
 		return
 	}
+	if deduped {
+		s.cDedups.Inc()
+	}
 	writeJSON(w, http.StatusOK, client.ApplyResult{
 		Version: cs.Version(),
 		Deltas:  DeltasFromChangeSet(cs),
+		Deduped: deduped,
 	})
 }
 

@@ -343,6 +343,59 @@ var cases = []crashCase{
 	},
 }
 
+func init() {
+	cases = append(cases, crashCase{
+		name:  "idempotent-retry-after-crash",
+		fault: "crash between commit and ack; the client retries its idempotency key after recovery",
+		prepare: func(dir string) ([]string, error) {
+			v, _, err := open(dir)
+			if err != nil {
+				return nil, err
+			}
+			for i, s := range scripts {
+				if _, _, err := v.ApplyScriptIdempotent(fmt.Sprintf("crash-key-%d", i), s); err != nil {
+					v.Close()
+					return nil, err
+				}
+			}
+			// Close the WAL without a checkpoint: recovery must replay
+			// every keyed record and re-seed the dedup window from them.
+			return scripts, v.Close()
+		},
+		reopen: func(dir string) (*ivm.Views, ivm.RecoveryInfo, error) {
+			v, info, err := open(dir)
+			if err != nil {
+				return nil, info, err
+			}
+			// The retry of an acked-but-unacknowledged apply. Its script
+			// ("-link(a,b).") would SUCCEED if re-applied — link(a,b) was
+			// re-added by a later script — so a dedup failure here is not
+			// an error but silent state corruption, which diffState
+			// catches; the deduped flag is asserted as well.
+			cs, deduped, err := v.ApplyScriptIdempotent("crash-key-1", scripts[1])
+			if err != nil {
+				v.Close()
+				return nil, info, fmt.Errorf("post-recovery retry: %w", err)
+			}
+			if !deduped {
+				v.Close()
+				return nil, info, fmt.Errorf("post-recovery retry was re-applied, not deduped")
+			}
+			if cs.Version() == 0 {
+				v.Close()
+				return nil, info, fmt.Errorf("deduped retry must carry the replayed committed version")
+			}
+			return v, info, nil
+		},
+		check: func(dir string, info ivm.RecoveryInfo) error {
+			if info.Replayed != len(scripts) {
+				return fmt.Errorf("want %d keyed records replayed, got %+v", len(scripts), info)
+			}
+			return nil
+		},
+	})
+}
+
 // Run executes every crash case in its own temp directory.
 func Run() []Result {
 	results := make([]Result, 0, len(cases))

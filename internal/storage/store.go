@@ -52,6 +52,76 @@ const (
 // ErrStoreClosed is returned by operations on a closed Store.
 var ErrStoreClosed = errors.New("storage: store is closed")
 
+// WALRecord is one logical WAL entry: the delta script plus the
+// idempotency keys of the Apply calls it covers (a coalesced batch logs
+// one record carrying every caller's key). Keys ride in the record so
+// the dedup window survives crash recovery: replay hands them back and
+// the engine re-seeds key → result before serving any retry.
+type WALRecord struct {
+	Script string
+	Keys   []string
+}
+
+// walKeyedMagic opens a key-carrying WAL payload. Delta scripts are
+// UTF-8 text and never start with a NUL byte, so legacy payloads (the
+// bare script) and keyed payloads are self-distinguishing.
+const walKeyedMagic = 0x00
+
+// encodeWALPayload frames a record payload. Records without keys keep
+// the legacy bare-script form, so stores that never use idempotency
+// keys stay byte-identical to what earlier versions wrote.
+func encodeWALPayload(script string, keys []string) ([]byte, error) {
+	if len(keys) == 0 {
+		return []byte(script), nil
+	}
+	if len(keys) > 0xffff {
+		return nil, fmt.Errorf("storage: %d idempotency keys in one record (max %d)", len(keys), 0xffff)
+	}
+	n := 4 // magic + 'K' + u16 count
+	for _, k := range keys {
+		if len(k) > 0xffff {
+			return nil, fmt.Errorf("storage: idempotency key of %d bytes (max %d)", len(k), 0xffff)
+		}
+		n += 2 + len(k)
+	}
+	out := make([]byte, 0, n+len(script))
+	out = append(out, walKeyedMagic, 'K')
+	out = binary.BigEndian.AppendUint16(out, uint16(len(keys)))
+	for _, k := range keys {
+		out = binary.BigEndian.AppendUint16(out, uint16(len(k)))
+		out = append(out, k...)
+	}
+	return append(out, script...), nil
+}
+
+// decodeWALPayload parses a record payload in either framing. A framing
+// error on a checksum-valid payload means a writer bug, not disk
+// damage, so it is surfaced loudly rather than repaired around.
+func decodeWALPayload(payload []byte) (WALRecord, error) {
+	if len(payload) == 0 || payload[0] != walKeyedMagic {
+		return WALRecord{Script: string(payload)}, nil
+	}
+	if len(payload) < 4 || payload[1] != 'K' {
+		return WALRecord{}, fmt.Errorf("storage: malformed keyed wal payload header")
+	}
+	nkeys := int(binary.BigEndian.Uint16(payload[2:4]))
+	off := 4
+	keys := make([]string, 0, nkeys)
+	for i := 0; i < nkeys; i++ {
+		if len(payload)-off < 2 {
+			return WALRecord{}, fmt.Errorf("storage: keyed wal payload truncated in key %d length", i)
+		}
+		kl := int(binary.BigEndian.Uint16(payload[off : off+2]))
+		off += 2
+		if len(payload)-off < kl {
+			return WALRecord{}, fmt.Errorf("storage: keyed wal payload truncated in key %d", i)
+		}
+		keys = append(keys, string(payload[off:off+kl]))
+		off += kl
+	}
+	return WALRecord{Script: string(payload[off:]), Keys: keys}, nil
+}
+
 // StoreOptions tunes a Store.
 type StoreOptions struct {
 	// GroupCommit batches WAL fsyncs across concurrent appenders: each
@@ -142,7 +212,7 @@ type Store struct {
 	snapDB      *eval.DB
 	snapProgram string
 	snapHidden  []string
-	scripts     []string
+	records     []WALRecord
 
 	// instruments; nil until AttachMetrics (nil instruments are no-ops).
 	mAppends, mAppendBytes, mFsyncs, mCheckpoints *metrics.Counter
@@ -307,7 +377,12 @@ func (s *Store) recoverWAL() error {
 		}
 		switch {
 		case epoch == s.epoch:
-			s.scripts = append(s.scripts, string(payload))
+			rec, err := decodeWALPayload(payload)
+			if err != nil {
+				wal.Close()
+				return fmt.Errorf("storage: wal record at offset %d: %w", offset, err)
+			}
+			s.records = append(s.records, rec)
 			s.info.Replayed++
 		case epoch < s.epoch:
 			// Written before the snapshot we recovered from — the crash
@@ -351,7 +426,17 @@ func (s *Store) Snapshot() (db *eval.DB, program string, hidden []string, ok boo
 
 // Scripts returns the WAL delta scripts to replay on top of the
 // snapshot, in append order.
-func (s *Store) Scripts() []string { return s.scripts }
+func (s *Store) Scripts() []string {
+	out := make([]string, len(s.records))
+	for i, r := range s.records {
+		out[i] = r.Script
+	}
+	return out
+}
+
+// Records returns the WAL records to replay on top of the snapshot, in
+// append order, including the idempotency keys each record carries.
+func (s *Store) Records() []WALRecord { return s.records }
 
 // Closed reports whether Close has been called. Callers that mutate
 // in-memory state before appending can pre-check so a closed store
@@ -397,12 +482,12 @@ func (s *Store) AttachMetrics(reg *metrics.Registry) {
 
 // encodeWALRecord renders one record; the CRC32C covers the header
 // (minus the crc field itself) and the payload.
-func encodeWALRecord(epoch, seq uint64, script string) []byte {
-	rec := make([]byte, walHeaderSize+len(script))
+func encodeWALRecord(epoch, seq uint64, payload []byte) []byte {
+	rec := make([]byte, walHeaderSize+len(payload))
 	binary.BigEndian.PutUint64(rec[0:8], epoch)
 	binary.BigEndian.PutUint64(rec[8:16], seq)
-	binary.BigEndian.PutUint32(rec[16:20], uint32(len(script)))
-	copy(rec[walHeaderSize:], script)
+	binary.BigEndian.PutUint32(rec[16:20], uint32(len(payload)))
+	copy(rec[walHeaderSize:], payload)
 	crc := crc32.Checksum(rec[0:20], castagnoli)
 	crc = crc32.Update(crc, castagnoli, rec[walHeaderSize:])
 	binary.BigEndian.PutUint32(rec[20:24], crc)
@@ -419,12 +504,24 @@ func (s *Store) Append(script string) error {
 	return wait()
 }
 
-// AppendAsync writes the record (establishing its position in the log)
-// and returns a wait function that blocks until the record is durable.
+// AppendAsync is AppendRecordAsync for a record without idempotency
+// keys.
+func (s *Store) AppendAsync(script string) (wait func() error, err error) {
+	return s.AppendRecordAsync(script, nil)
+}
+
+// AppendRecordAsync writes the record (establishing its position in the
+// log) and returns a wait function that blocks until the record is
+// durable. keys are the idempotency keys the record's applies carried;
+// recovery hands them back via Records so dedup survives replay.
 // Callers that serialize appends under their own lock can write inside
 // the critical section and wait outside it, letting group commit batch
 // the fsyncs.
-func (s *Store) AppendAsync(script string) (wait func() error, err error) {
+func (s *Store) AppendRecordAsync(script string, keys []string) (wait func() error, err error) {
+	payload, err := encodeWALPayload(script, keys)
+	if err != nil {
+		return nil, err
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -432,7 +529,7 @@ func (s *Store) AppendAsync(script string) (wait func() error, err error) {
 	}
 	s.seq++
 	seq := s.seq
-	rec := encodeWALRecord(s.epoch, seq, script)
+	rec := encodeWALRecord(s.epoch, seq, payload)
 	if _, err := s.wal.Write(rec); err != nil {
 		s.mu.Unlock()
 		return nil, err

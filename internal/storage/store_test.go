@@ -127,7 +127,7 @@ func TestStoreSkipsStaleEpochRecords(t *testing.T) {
 func TestStoreTornTail(t *testing.T) {
 	for name, tail := range map[string][]byte{
 		"torn header":  {1, 2, 3},
-		"torn payload": encodeWALRecord(0, 99, "+p(x).")[:walHeaderSize+3],
+		"torn payload": encodeWALRecord(0, 99, []byte("+p(x)."))[:walHeaderSize+3],
 	} {
 		t.Run(name, func(t *testing.T) {
 			dir := t.TempDir()
@@ -424,5 +424,96 @@ func TestStoreAppendAfterCloseFails(t *testing.T) {
 	}
 	if err := s.Checkpoint(sampleDB(), "p.", nil); err != ErrStoreClosed {
 		t.Fatalf("err: %v", err)
+	}
+}
+
+func TestWALPayloadRoundTrip(t *testing.T) {
+	cases := []WALRecord{
+		{Script: "+p(1).", Keys: nil},
+		{Script: "+p(1).", Keys: []string{"k1"}},
+		{Script: "+p(1). -q(2).", Keys: []string{"a", "b", "c"}},
+		{Script: "", Keys: []string{"only-keys"}},
+		{Script: "+p(1).", Keys: []string{""}},
+		{Script: "+p(1).", Keys: []string{strings.Repeat("K", 300)}},
+	}
+	for _, want := range cases {
+		payload, err := encodeWALPayload(want.Script, want.Keys)
+		if err != nil {
+			t.Fatalf("encode %+v: %v", want, err)
+		}
+		got, err := decodeWALPayload(payload)
+		if err != nil {
+			t.Fatalf("decode %+v: %v", want, err)
+		}
+		if got.Script != want.Script || len(got.Keys) != len(want.Keys) {
+			t.Fatalf("round trip %+v -> %+v", want, got)
+		}
+		for i := range want.Keys {
+			if got.Keys[i] != want.Keys[i] {
+				t.Fatalf("key %d: %q != %q", i, got.Keys[i], want.Keys[i])
+			}
+		}
+	}
+	// Keyless records must keep the legacy bare-script framing so stores
+	// written without keys are byte-identical to earlier versions.
+	payload, _ := encodeWALPayload("+p(1).", nil)
+	if string(payload) != "+p(1)." {
+		t.Fatalf("keyless payload not legacy framed: %q", payload)
+	}
+}
+
+func TestWALPayloadDecodeMalformed(t *testing.T) {
+	for name, payload := range map[string][]byte{
+		"bare magic":      {walKeyedMagic},
+		"wrong tag":       {walKeyedMagic, 'X', 0, 1},
+		"truncated count": {walKeyedMagic, 'K', 0},
+		"truncated klen":  {walKeyedMagic, 'K', 0, 2, 0, 1, 'a'},
+		"truncated key":   {walKeyedMagic, 'K', 0, 1, 0, 9, 'a'},
+	} {
+		if _, err := decodeWALPayload(payload); err == nil {
+			t.Errorf("%s: decode accepted malformed payload %v", name, payload)
+		}
+	}
+}
+
+func TestStoreKeyedRecordsSurviveReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, StoreOptions{})
+	appendRec := func(script string, keys ...string) {
+		t.Helper()
+		wait, err := s.AppendRecordAsync(script, keys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	appendRec("+p(1).", "key-1")
+	appendRec("+p(2).") // keyless, interleaved
+	appendRec("+p(3). +p(4).", "key-3a", "key-3b")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openTestStore(t, dir, StoreOptions{})
+	defer s2.Close()
+	recs := s2.Records()
+	if len(recs) != 3 {
+		t.Fatalf("records: %+v", recs)
+	}
+	if recs[0].Script != "+p(1)." || len(recs[0].Keys) != 1 || recs[0].Keys[0] != "key-1" {
+		t.Fatalf("record 0: %+v", recs[0])
+	}
+	if recs[1].Script != "+p(2)." || len(recs[1].Keys) != 0 {
+		t.Fatalf("record 1: %+v", recs[1])
+	}
+	if recs[2].Script != "+p(3). +p(4)." || len(recs[2].Keys) != 2 || recs[2].Keys[1] != "key-3b" {
+		t.Fatalf("record 2: %+v", recs[2])
+	}
+	// Scripts() must agree with the keyed view for replay call sites
+	// that only need the text.
+	if sc := s2.Scripts(); len(sc) != 3 || sc[2] != "+p(3). +p(4)." {
+		t.Fatalf("scripts: %v", sc)
 	}
 }

@@ -241,10 +241,17 @@ type Views struct {
 	mBatches      *metrics.Counter
 	mBatchUpdates *metrics.Counter
 	mFallbacks    *metrics.Counter
+	mDedups       *metrics.Counter
 	mApplyWait    *metrics.Histogram
 	mSnapWait     *metrics.Histogram
 	mSnapVersion  *metrics.Gauge
 	mSnapUnix     *metrics.Gauge
+	mIdemEntries  *metrics.Gauge
+
+	// idem is the bounded LRU behind ApplyIdempotent: key → the
+	// ChangeSet the key's apply committed (idem.go). Accessed only on
+	// the maintainer goroutine under wmu.
+	idem *idemWindow
 
 	// store, when non-nil, is the crash-recovery store the views are
 	// bound to (OpenStore): every Apply is durably logged to its WAL and
@@ -271,6 +278,8 @@ type config struct {
 	tracer      metrics.Tracer
 	// groupCommit batches WAL fsyncs for store-bound views (OpenStore).
 	groupCommit bool
+	// idemWindow is the idempotency-window capacity (0 = default).
+	idemWindow int
 	// walRepair lets OpenStore discard a corrupt WAL suffix instead of
 	// refusing to recover (WithWALRepair).
 	walRepair bool
@@ -345,6 +354,16 @@ func WithTracer(t Tracer) Option { return func(c *config) { c.tracer = t } }
 // after its delta is durable, but one fsync can cover many deltas.
 // Ignored for views without a store.
 func WithGroupCommit() Option { return func(c *config) { c.groupCommit = true } }
+
+// WithIdempotencyWindow sets how many distinct idempotency keys the
+// views remember for ApplyIdempotent dedup (default
+// DefaultIdempotencyWindow). The window is an LRU: once more than n
+// keyed applies land after a key's commit, a retry of that key is no
+// longer recognized and re-applies. Size it to comfortably exceed the
+// keyed applies that can land within a client's longest retry horizon.
+func WithIdempotencyWindow(n int) Option {
+	return func(c *config) { c.idemWindow = n }
+}
 
 // WithWALRepair lets OpenStore recover past mid-WAL corruption by
 // discarding the corrupt record and everything after it; the valid
@@ -500,9 +519,12 @@ func (d *Database) MaterializeProgram(prog *datalog.Program, programSrc string, 
 		v.explainSem = SetSemantics
 	}
 	v.comb = sched.New(v.processBatch)
+	v.idem = newIdemWindow(cfg.idemWindow)
 	v.mBatches = reg.Counter("sched_batches_total")
 	v.mBatchUpdates = reg.Counter("sched_batch_updates_total")
 	v.mFallbacks = reg.Counter("sched_coalesce_fallbacks_total")
+	v.mDedups = reg.Counter("sched_idem_dedup_total")
+	v.mIdemEntries = reg.Gauge("idem_window_entries")
 	v.mApplyWait = reg.Histogram("sched_apply_wait_seconds")
 	v.mSnapWait = reg.Histogram("snapshot_wait_seconds")
 	v.mSnapVersion = reg.Gauge("snapshot_version")
@@ -585,10 +607,15 @@ func (v *Views) Has(pred string, vals ...any) bool {
 
 // applyReq is one enqueued Apply call, completed by the maintainer.
 type applyReq struct {
-	u    *Update
-	cs   *ChangeSet
-	err  error
-	done chan struct{}
+	u *Update
+	// keys are the idempotency keys this request carries: one for a
+	// keyed client apply, several only when a merged WAL record is
+	// replayed at recovery.
+	keys    []string
+	cs      *ChangeSet
+	deduped bool
+	err     error
+	done    chan struct{}
 }
 
 // applyGroup is the unit of maintenance within a batch: the requests it
@@ -628,18 +655,59 @@ type applyGroup struct {
 // update — the caller should Sync (checkpoint) or treat the store as
 // lost.
 func (v *Views) Apply(u *Update) (*ChangeSet, error) {
+	cs, _, err := v.submit(u, nil)
+	return cs, err
+}
+
+// ApplyIdempotent is Apply with exactly-once semantics under retries:
+// the first apply committed under key is the only one ever applied, and
+// every later call with the same key returns the original ChangeSet
+// (deduped=true) — same Version, same deltas — instead of re-applying.
+// The dedup window is a bounded LRU (WithIdempotencyWindow); a retry
+// arriving after the key's eviction re-applies. For store-bound views
+// the key is logged inside the apply's WAL record and re-seeded on
+// recovery replay, so dedup survives a crash between commit and
+// acknowledgment — the scenario a timed-out network client cannot
+// distinguish from "never committed". An empty key degrades to plain
+// Apply. A durability error (applied in memory, not logged) does not
+// record the key; such errors are not safe to blind-retry and are
+// reported to the caller instead.
+func (v *Views) ApplyIdempotent(key string, u *Update) (cs *ChangeSet, deduped bool, err error) {
+	if key == "" {
+		cs, err = v.Apply(u)
+		return cs, false, err
+	}
+	if len(key) > MaxIdempotencyKeyLen {
+		return nil, false, fmt.Errorf("ivm: idempotency key of %d bytes exceeds the %d-byte limit", len(key), MaxIdempotencyKeyLen)
+	}
+	return v.submit(u, []string{key})
+}
+
+// ApplyScriptIdempotent parses a delta script and applies it under key
+// (see ApplyIdempotent).
+func (v *Views) ApplyScriptIdempotent(key, src string) (cs *ChangeSet, deduped bool, err error) {
+	u, err := ParseUpdate(src)
+	if err != nil {
+		return nil, false, err
+	}
+	return v.ApplyIdempotent(key, u)
+}
+
+// submit enqueues one update on the scheduler and waits for the
+// maintainer to complete it.
+func (v *Views) submit(u *Update, keys []string) (*ChangeSet, bool, error) {
 	if u.err != nil {
-		return nil, u.err
+		return nil, false, u.err
 	}
 	start := time.Now()
-	r := &applyReq{u: u, done: make(chan struct{})}
+	r := &applyReq{u: u, keys: keys, done: make(chan struct{})}
 	v.comb.Submit(r)
 	<-r.done
 	v.mApplyWait.Observe(time.Since(start))
 	if r.err != nil {
-		return nil, r.err
+		return nil, false, r.err
 	}
-	return r.cs, nil
+	return r.cs, r.deduped, nil
 }
 
 // processBatch is the maintainer: it runs on the scheduler leader's
@@ -648,7 +716,29 @@ func (v *Views) Apply(u *Update) (*ChangeSet, error) {
 func (v *Views) processBatch(batch []*applyReq) {
 	v.wmu.Lock()
 	admitted := make([]*applyReq, 0, len(batch))
+	// Keyed requests dedup before admission: a key already in the window
+	// is answered with its original ChangeSet; a key that repeats within
+	// this very batch (a retry racing its first attempt) elects the first
+	// request as leader and completes the rest with the leader's result.
+	var leaders map[string]*applyReq
+	var followers []*applyReq
 	for _, r := range batch {
+		if len(r.keys) == 1 {
+			key := r.keys[0]
+			if cs, ok := v.idem.lookup(key); ok {
+				r.cs, r.deduped = cs, true
+				v.mDedups.Inc()
+				continue
+			}
+			if leaders == nil {
+				leaders = make(map[string]*applyReq)
+			}
+			if _, dup := leaders[key]; dup {
+				followers = append(followers, r)
+				continue
+			}
+			leaders[key] = r
+		}
 		if err := v.admitLocked(r.u); err != nil {
 			r.err = err
 			continue
@@ -664,6 +754,7 @@ func (v *Views) processBatch(batch []*applyReq) {
 	case len(admitted) == 0:
 		// Nothing admitted; still publish so stats stay fresh? No —
 		// no maintenance ran, so there is nothing to publish.
+		v.completeFollowers(leaders, followers)
 		v.wmu.Unlock()
 		for _, r := range batch {
 			close(r.done)
@@ -685,7 +776,13 @@ func (v *Views) processBatch(batch []*applyReq) {
 			groups = v.runSequentialLocked(admitted, next)
 		} else {
 			g := &applyGroup{reqs: admitted, cs: cs}
-			g.wait, g.err = v.logLocked(merged)
+			// The coalesced batch is one WAL record, so it carries every
+			// caller's idempotency key; recovery re-seeds all of them.
+			var keys []string
+			for _, r := range admitted {
+				keys = append(keys, r.keys...)
+			}
+			g.wait, g.err = v.logLocked(merged, keys)
 			groups = []*applyGroup{g}
 		}
 	}
@@ -709,6 +806,23 @@ func (v *Views) processBatch(batch []*applyReq) {
 			g.cs.version = pub.id
 		}
 	}
+	// Record idempotency keys only for fully committed groups (applied,
+	// logged, published — version stamped above). A durability error
+	// deliberately does not record its keys: the caller gets the error
+	// rather than a dedup answer, because a blind retry of an
+	// applied-but-unlogged update is exactly the double apply the window
+	// exists to prevent.
+	for _, g := range groups {
+		if g.err != nil {
+			continue
+		}
+		for _, r := range g.reqs {
+			for _, k := range r.keys {
+				v.idem.record(k, g.cs)
+			}
+		}
+	}
+	v.mIdemEntries.Set(int64(v.idem.len()))
 	v.wmu.Unlock()
 
 	// OnChange handlers run here on the maintainer goroutine — after
@@ -729,8 +843,24 @@ func (v *Views) processBatch(batch []*applyReq) {
 			}
 		}
 	}
+	v.completeFollowers(leaders, followers)
 	for _, r := range batch {
 		close(r.done)
+	}
+}
+
+// completeFollowers hands each in-batch duplicate its leader's outcome:
+// the leader's ChangeSet marks the follower deduped, the leader's error
+// propagates as-is (the follower's own retry would have failed the same
+// way).
+func (v *Views) completeFollowers(leaders map[string]*applyReq, followers []*applyReq) {
+	for _, f := range followers {
+		leader := leaders[f.keys[0]]
+		f.cs, f.err = leader.cs, leader.err
+		if f.err == nil {
+			f.deduped = true
+			v.mDedups.Inc()
+		}
 	}
 }
 
@@ -785,7 +915,7 @@ func (v *Views) runSequentialLocked(admitted []*applyReq, next map[string]*relat
 			g.err = err
 		} else {
 			g.cs = cs
-			g.wait, g.err = v.logLocked(r.u)
+			g.wait, g.err = v.logLocked(r.u, r.keys)
 		}
 		groups = append(groups, g)
 	}
@@ -840,18 +970,21 @@ func (v *Views) maintainLocked(u *Update, next map[string]*relation.Versioned) (
 	return cs, nil
 }
 
-// logLocked appends u's delta script to the WAL (store-bound views) and
+// logLocked appends u's delta script to the WAL (store-bound views),
+// with the requests' idempotency keys framed into the record, and
 // returns the group-commit wait. The append happens under wmu in
 // application order, so the log order matches the apply order.
-func (v *Views) logLocked(u *Update) (func() error, error) {
+func (v *Views) logLocked(u *Update, keys []string) (func() error, error) {
 	if v.store == nil {
 		return nil, nil
 	}
 	script := u.String()
 	if script == "" {
+		// An empty net update logs nothing; its keys live only in the
+		// in-memory window. Harmless: replaying a no-op is a no-op.
 		return nil, nil
 	}
-	w, err := v.store.AppendAsync(script)
+	w, err := v.store.AppendRecordAsync(script, keys)
 	if err != nil {
 		return nil, fmt.Errorf("ivm: update applied in memory but not durably logged: %w", err)
 	}
@@ -1204,9 +1337,18 @@ func OpenStore(dir string, init func() (*Views, error), opts ...Option) (*Views,
 			return fail(err)
 		}
 		// Replay happens before the views are store-bound, so the
-		// scripts are not re-appended to the WAL they came from.
-		for i, script := range st.Scripts() {
-			if _, err := v.ApplyScript(script); err != nil {
+		// records are not re-appended to the WAL they came from. Each
+		// record carries the idempotency keys of the applies it covered
+		// (several for a coalesced batch); replaying them through submit
+		// re-seeds the dedup window, so a client retrying across the
+		// crash still gets a dedup answer — stamped with the replayed
+		// version, since version ids restart at rematerialization.
+		for i, rec := range st.Records() {
+			u, err := ParseUpdate(rec.Script)
+			if err != nil {
+				return fail(fmt.Errorf("ivm: replaying WAL record %d: %w", i+1, err))
+			}
+			if _, _, err := v.submit(u, rec.Keys); err != nil {
 				return fail(fmt.Errorf("ivm: replaying WAL record %d: %w", i+1, err))
 			}
 		}
