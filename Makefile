@@ -3,7 +3,7 @@
 GO ?= go
 
 .PHONY: all build vet fmt fmt-check test race bench bench-smoke bench-planner metrics crash chaos cover \
-	fuzz-smoke serve smoke-server bench-regression staticcheck vulncheck ci
+	fuzz-smoke serve smoke-server replica bench-replica bench-regression staticcheck vulncheck ci
 
 all: build
 
@@ -69,10 +69,11 @@ cover:
 	awk -v t="$$total" -v b="$$baseline" 'BEGIN { exit !(t+0 >= b+0) }' || { \
 		echo "coverage $${total}% fell below the $${baseline}% baseline" >&2; exit 1; }
 
-# 30s of native fuzzing per target (same trio as CI).
+# 30s of native fuzzing per target (same quartet as CI).
 fuzz-smoke:
 	$(GO) test -fuzz FuzzParseUpdate -fuzztime 30s -run '^$$' .
 	$(GO) test -fuzz FuzzScanLog -fuzztime 30s -run '^$$' ./internal/storage
+	$(GO) test -fuzz FuzzReplRecord -fuzztime 30s -run '^$$' ./internal/storage
 	$(GO) test -fuzz FuzzSQLParse -fuzztime 30s -run '^$$' ./internal/sqlview
 
 # Run ivmd against a scratch store with the smoke program (Ctrl-C to
@@ -86,6 +87,21 @@ serve:
 # client package, SIGTERM, require a clean checkpointed shutdown.
 smoke-server:
 	sh scripts/server_smoke.sh
+
+# The CI replication-smoke job: primary + follower on temp stores, load,
+# kill-and-restart the primary, require follower lag to recover to zero
+# with the divergence guard untripped. Also the -race replica suites.
+replica:
+	$(GO) test -race -count=1 ./internal/replica
+	sh scripts/replica_smoke.sh
+
+# Regenerate the replication read-fanout report (the committed
+# BENCH_replica.json). The 1.8x speedup floor over 2 followers is
+# enforced on hosts with >= 4 CPUs (below that the daemons share cores
+# and the floor is advisory).
+bench-replica:
+	$(GO) build -o bin/ivmd ./cmd/ivmd
+	$(GO) run ./cmd/ivmbench -replica BENCH_replica.json -ivmd bin/ivmd
 
 # The CI bench-regression guard: fresh readers and planner runs vs the
 # committed baselines, then a served-load data point.
@@ -114,4 +130,4 @@ vulncheck:
 	fi
 
 ci: build vet fmt-check test race bench-smoke metrics crash chaos cover fuzz-smoke \
-	smoke-server bench-regression staticcheck vulncheck
+	smoke-server replica bench-regression staticcheck vulncheck

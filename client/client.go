@@ -10,6 +10,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -69,6 +70,7 @@ type apiError struct {
 	Status     int
 	Message    string
 	RetryAfter time.Duration // parsed Retry-After hint (0 = none)
+	LeaderURL  string        // Leader-URL header of follower rejections
 }
 
 func (e *apiError) Error() string {
@@ -85,7 +87,28 @@ func errorFromResponse(status int, header http.Header, data []byte) *apiError {
 	if secs, err := strconv.Atoi(header.Get("Retry-After")); err == nil && secs > 0 {
 		e.RetryAfter = time.Duration(secs) * time.Second
 	}
+	e.LeaderURL = header.Get("Leader-URL")
 	return e
+}
+
+// StatusOf returns the HTTP status an error carries (0 when err never
+// reached a server response).
+func StatusOf(err error) int {
+	var apiErr *apiError
+	if errors.As(err, &apiErr) {
+		return apiErr.Status
+	}
+	return 0
+}
+
+// LeaderURLOf returns the Leader-URL a follower's rejection advertised,
+// if err carried one.
+func LeaderURLOf(err error) string {
+	var apiErr *apiError
+	if errors.As(err, &apiErr) {
+		return apiErr.LeaderURL
+	}
+	return ""
 }
 
 func (c *Client) do(ctx context.Context, method, path string, query url.Values, body io.Reader, contentType string, out any) error {
@@ -141,22 +164,22 @@ func (c *Client) Apply(ctx context.Context, script string) (*ApplyResult, error)
 // Query matches a goal pattern (`hop(a,X)`) against the current
 // published version.
 func (c *Client) Query(ctx context.Context, goal string) (*QueryResponse, error) {
-	return queryAt(ctx, c, "", goal)
+	return queryAt(ctx, c, "", goal, ReadOptions{})
 }
 
 // Rows returns the stored rows of a relation at the current version.
 func (c *Client) Rows(ctx context.Context, pred string) (*RowsResponse, error) {
-	return rowsAt(ctx, c, "", pred)
+	return rowsAt(ctx, c, "", pred, ReadOptions{})
 }
 
 // Count returns the derivation count of a ground goal (`hop(a,c)`).
 func (c *Client) Count(ctx context.Context, goal string) (*CountResponse, error) {
-	return countAt(ctx, c, "", goal)
+	return countAt(ctx, c, "", goal, ReadOptions{})
 }
 
 // Has reports whether a ground goal's tuple is present.
 func (c *Client) Has(ctx context.Context, goal string) (bool, error) {
-	resp, err := countAt(ctx, c, "", goal)
+	resp, err := countAt(ctx, c, "", goal, ReadOptions{})
 	if err != nil {
 		return false, err
 	}
@@ -165,7 +188,7 @@ func (c *Client) Has(ctx context.Context, goal string) (bool, error) {
 
 // Explain enumerates the derivations of a ground view tuple.
 func (c *Client) Explain(ctx context.Context, goal string) (*ExplainResponse, error) {
-	return explainAt(ctx, c, "", goal)
+	return explainAt(ctx, c, "", goal, ReadOptions{})
 }
 
 // Metrics fetches the server's metrics exposition (`name value` lines:
@@ -235,34 +258,69 @@ func (s *Session) Close(ctx context.Context) error {
 
 // Query matches a goal at the pinned version.
 func (s *Session) Query(ctx context.Context, goal string) (*QueryResponse, error) {
-	return queryAt(ctx, s.c, s.ID, goal)
+	return queryAt(ctx, s.c, s.ID, goal, ReadOptions{})
 }
 
 // Rows returns a relation's rows at the pinned version.
 func (s *Session) Rows(ctx context.Context, pred string) (*RowsResponse, error) {
-	return rowsAt(ctx, s.c, s.ID, pred)
+	return rowsAt(ctx, s.c, s.ID, pred, ReadOptions{})
 }
 
 // Count returns a ground goal's count at the pinned version.
 func (s *Session) Count(ctx context.Context, goal string) (*CountResponse, error) {
-	return countAt(ctx, s.c, s.ID, goal)
+	return countAt(ctx, s.c, s.ID, goal, ReadOptions{})
 }
 
 // Explain enumerates derivations at the pinned version.
 func (s *Session) Explain(ctx context.Context, goal string) (*ExplainResponse, error) {
-	return explainAt(ctx, s.c, s.ID, goal)
+	return explainAt(ctx, s.c, s.ID, goal, ReadOptions{})
 }
 
-func sessionQuery(session string) url.Values {
+// ReadOptions tune one read request. The zero value reads whatever
+// version the server currently publishes.
+type ReadOptions struct {
+	// MinVersion, when > 0, makes the read bounded-staleness: the server
+	// waits (briefly) for its published version to reach MinVersion and
+	// answers 412 instead of serving older data. Pass the version an
+	// Apply ack carried to get read-your-writes across replication lag;
+	// a 412 from a follower carries a Leader-URL header (LeaderURLOf) to
+	// redirect to.
+	MinVersion uint64
+}
+
+func readQuery(session string, ro ReadOptions) url.Values {
 	q := url.Values{}
 	if session != "" {
 		q.Set("session", session)
 	}
+	if ro.MinVersion > 0 {
+		q.Set("min_version", strconv.FormatUint(ro.MinVersion, 10))
+	}
 	return q
 }
 
-func queryAt(ctx context.Context, c *Client, session, goal string) (*QueryResponse, error) {
-	q := sessionQuery(session)
+// QueryOpts is Query with per-read options.
+func (c *Client) QueryOpts(ctx context.Context, goal string, ro ReadOptions) (*QueryResponse, error) {
+	return queryAt(ctx, c, "", goal, ro)
+}
+
+// RowsOpts is Rows with per-read options.
+func (c *Client) RowsOpts(ctx context.Context, pred string, ro ReadOptions) (*RowsResponse, error) {
+	return rowsAt(ctx, c, "", pred, ro)
+}
+
+// CountOpts is Count with per-read options.
+func (c *Client) CountOpts(ctx context.Context, goal string, ro ReadOptions) (*CountResponse, error) {
+	return countAt(ctx, c, "", goal, ro)
+}
+
+// ExplainOpts is Explain with per-read options.
+func (c *Client) ExplainOpts(ctx context.Context, goal string, ro ReadOptions) (*ExplainResponse, error) {
+	return explainAt(ctx, c, "", goal, ro)
+}
+
+func queryAt(ctx context.Context, c *Client, session, goal string, ro ReadOptions) (*QueryResponse, error) {
+	q := readQuery(session, ro)
 	q.Set("goal", goal)
 	var out QueryResponse
 	if err := c.do(ctx, http.MethodGet, "/v1/query", q, nil, "", &out); err != nil {
@@ -271,8 +329,8 @@ func queryAt(ctx context.Context, c *Client, session, goal string) (*QueryRespon
 	return &out, nil
 }
 
-func rowsAt(ctx context.Context, c *Client, session, pred string) (*RowsResponse, error) {
-	q := sessionQuery(session)
+func rowsAt(ctx context.Context, c *Client, session, pred string, ro ReadOptions) (*RowsResponse, error) {
+	q := readQuery(session, ro)
 	q.Set("pred", pred)
 	var out RowsResponse
 	if err := c.do(ctx, http.MethodGet, "/v1/rows", q, nil, "", &out); err != nil {
@@ -281,8 +339,8 @@ func rowsAt(ctx context.Context, c *Client, session, pred string) (*RowsResponse
 	return &out, nil
 }
 
-func countAt(ctx context.Context, c *Client, session, goal string) (*CountResponse, error) {
-	q := sessionQuery(session)
+func countAt(ctx context.Context, c *Client, session, goal string, ro ReadOptions) (*CountResponse, error) {
+	q := readQuery(session, ro)
 	q.Set("goal", goal)
 	var out CountResponse
 	if err := c.do(ctx, http.MethodGet, "/v1/count", q, nil, "", &out); err != nil {
@@ -291,8 +349,8 @@ func countAt(ctx context.Context, c *Client, session, goal string) (*CountRespon
 	return &out, nil
 }
 
-func explainAt(ctx context.Context, c *Client, session, goal string) (*ExplainResponse, error) {
-	q := sessionQuery(session)
+func explainAt(ctx context.Context, c *Client, session, goal string, ro ReadOptions) (*ExplainResponse, error) {
+	q := readQuery(session, ro)
 	q.Set("goal", goal)
 	var out ExplainResponse
 	if err := c.do(ctx, http.MethodGet, "/v1/explain", q, nil, "", &out); err != nil {
@@ -303,8 +361,15 @@ func explainAt(ctx context.Context, c *Client, session, goal string) (*ExplainRe
 
 // Subscription is a live change stream. Read Events until it closes,
 // then consult Err: nil means a clean close (Close called or server
-// shutdown), ErrEvicted means the server dropped this consumer for
-// falling behind.
+// shutdown), ErrResyncRequired means the stream has a gap the server
+// could not bridge, ErrEvicted means an eviction the resume machinery
+// could not recover from; anything else is the terminal transport or
+// protocol failure.
+//
+// Disconnects and evictions are resumed automatically: the client
+// reconnects with ?from=<last seen version> under its RetryPolicy, the
+// server replays the missed events, and consumers observe one gapless
+// stream with no duplicate events across the seam.
 type Subscription struct {
 	events chan Event
 	cancel context.CancelFunc
@@ -314,9 +379,16 @@ type Subscription struct {
 }
 
 // ErrEvicted reports that the server evicted this subscriber because
-// its events backed up past the per-client buffer: the stream has a
-// gap, so re-read current state and resubscribe.
+// its events backed up past the per-client buffer and a gapless resume
+// was not possible: the stream has a gap, so re-read current state and
+// resubscribe.
 var ErrEvicted = fmt.Errorf("ivmd: subscriber evicted (consumer too slow)")
+
+// ErrResyncRequired reports that the server could not replay the events
+// between this subscriber's resume point and now (they aged out of its
+// replay ring): the stream has a gap, so re-read current state and
+// resubscribe.
+var ErrResyncRequired = fmt.Errorf("ivmd: subscription resume point aged out; re-read state and resubscribe")
 
 // Events yields the stream: first a hello event carrying the version
 // the subscription started at, then one event per committed batch
@@ -345,9 +417,26 @@ func (s *Subscription) Close() { s.cancel() }
 // predicates (none = every predicate). buffer, when > 0, requests a
 // smaller server-side buffer than the default (useful in tests; the
 // server caps it at its own maximum). The stream ends when ctx is
-// canceled, Close is called, the server shuts down, or the subscriber
-// is evicted.
+// canceled, Close is called, the server closes the stream cleanly, the
+// gap after an eviction or disconnect cannot be resumed, or reconnects
+// exhaust the client's RetryPolicy.
 func (c *Client) Subscribe(ctx context.Context, preds []string, buffer int) (*Subscription, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	// The first connect is synchronous so callers see immediate failures
+	// (bad parameters, unreachable server) as a plain error.
+	resp, err := c.subscribeOnce(ctx, preds, buffer, 0, false)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	sub := &Subscription{events: make(chan Event), cancel: cancel}
+	go sub.run(ctx, c, preds, buffer, resp)
+	return sub, nil
+}
+
+// subscribeOnce opens one /v1/subscribe connection, resuming after from
+// when resume is set.
+func (c *Client) subscribeOnce(ctx context.Context, preds []string, buffer int, from uint64, resume bool) (*http.Response, error) {
 	q := url.Values{}
 	for _, p := range preds {
 		q.Add("pred", p)
@@ -355,61 +444,150 @@ func (c *Client) Subscribe(ctx context.Context, preds []string, buffer int) (*Su
 	if buffer > 0 {
 		q.Set("buffer", fmt.Sprint(buffer))
 	}
-	ctx, cancel := context.WithCancel(ctx)
+	if resume {
+		q.Set("from", fmt.Sprint(from))
+	}
 	u := c.base + "/v1/subscribe"
 	if len(q) > 0 {
 		u += "?" + q.Encode()
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
-		cancel()
 		return nil, err
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		cancel()
 		return nil, err
 	}
 	if resp.StatusCode != http.StatusOK {
 		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		header := resp.Header
 		resp.Body.Close()
-		cancel()
-		var er ErrorResponse
-		msg := strings.TrimSpace(string(data))
-		if json.Unmarshal(data, &er) == nil && er.Error != "" {
-			msg = er.Error
-		}
-		return nil, &apiError{Status: resp.StatusCode, Message: msg}
+		return nil, errorFromResponse(resp.StatusCode, header, data)
 	}
-	sub := &Subscription{events: make(chan Event), cancel: cancel}
-	go func() {
-		defer close(sub.events)
-		defer resp.Body.Close()
-		sc := bufio.NewScanner(resp.Body)
-		sc.Buffer(make([]byte, 0, 64*1024), 64<<20)
-		for sc.Scan() {
-			line := bytes.TrimSpace(sc.Bytes())
-			if len(line) == 0 {
+	return resp, nil
+}
+
+// streamEnd is why one subscribe connection stopped yielding events.
+type streamEnd int
+
+const (
+	endClean   streamEnd = iota // server closed the stream (shutdown)
+	endCtx                      // caller's context ended
+	endFatal                    // protocol damage or resync; err is set
+	endEvicted                  // server evicted us; resumable
+	endNetwork                  // transport failure; resumable
+)
+
+// run is the subscription's delivery loop: consume a connection, and on
+// a resumable end reconnect with ?from=<last seen version> so consumers
+// observe one gapless, duplicate-free stream.
+func (s *Subscription) run(ctx context.Context, c *Client, preds []string, buffer int, resp *http.Response) {
+	defer close(s.events)
+	p := c.retry.withDefaults()
+	var lastSeen uint64
+	resumed := false
+	// evictedAt guards against an eviction loop: a second eviction with
+	// no progress since the last one means resume cannot help.
+	evictedAt, everEvicted := uint64(0), false
+	for {
+		end, err := s.consume(ctx, resp, &lastSeen, resumed)
+		switch end {
+		case endClean, endCtx:
+			return
+		case endFatal:
+			s.setErr(err)
+			return
+		case endEvicted:
+			if everEvicted && lastSeen == evictedAt {
+				s.setErr(ErrEvicted)
+				return
+			}
+			evictedAt, everEvicted = lastSeen, true
+		case endNetwork:
+			// resumable
+		}
+		var lastErr error = err
+		next := (*http.Response)(nil)
+		for attempt := 1; attempt < p.MaxAttempts; attempt++ {
+			if err := sleepCtx(ctx, p.Backoff(attempt, retryAfterOf(lastErr))); err != nil {
+				return
+			}
+			r, err := c.subscribeOnce(ctx, preds, buffer, lastSeen, true)
+			if err == nil {
+				next = r
+				break
+			}
+			lastErr = err
+			if !retryable(err) || ctx.Err() != nil {
+				s.setErr(lastErr)
+				return
+			}
+		}
+		if next == nil {
+			if lastErr == nil {
+				lastErr = fmt.Errorf("ivmd: subscription reconnect gave up after %d attempts", p.MaxAttempts)
+			}
+			s.setErr(lastErr)
+			return
+		}
+		resp, resumed = next, true
+	}
+}
+
+// consume reads one connection's stream, delivering fresh events and
+// suppressing replay overlap (events at or below lastSeen) and the
+// redundant hello of a resumed connection.
+func (s *Subscription) consume(ctx context.Context, resp *http.Response, lastSeen *uint64, resumed bool) (streamEnd, error) {
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 64<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return endFatal, fmt.Errorf("ivmd: decoding event: %w", err)
+		}
+		switch {
+		case ev.Resync:
+			return endFatal, ErrResyncRequired
+		case ev.Evicted:
+			return endEvicted, nil
+		case ev.Hello:
+			if resumed {
 				continue
 			}
-			var ev Event
-			if err := json.Unmarshal(line, &ev); err != nil {
-				sub.setErr(fmt.Errorf("ivmd: decoding event: %w", err))
-				return
+			// The consumer's baseline: everything at or below the hello
+			// version is visible in its initial read, so that is also the
+			// stream's first resume point.
+			if ev.Version > *lastSeen {
+				*lastSeen = ev.Version
 			}
-			if ev.Evicted {
-				sub.setErr(ErrEvicted)
-				return
-			}
-			select {
-			case sub.events <- ev:
-			case <-ctx.Done():
-				return
+		default:
+			if ev.Version <= *lastSeen {
+				continue // replay overlap after a resume
 			}
 		}
-		if err := sc.Err(); err != nil && ctx.Err() == nil {
-			sub.setErr(err)
+		select {
+		case s.events <- ev:
+			if !ev.Hello && ev.Version > *lastSeen {
+				*lastSeen = ev.Version
+			}
+		case <-ctx.Done():
+			return endCtx, nil
 		}
-	}()
-	return sub, nil
+	}
+	if err := sc.Err(); err != nil {
+		if ctx.Err() != nil {
+			return endCtx, nil
+		}
+		return endNetwork, err
+	}
+	if ctx.Err() != nil {
+		return endCtx, nil
+	}
+	return endClean, nil
 }

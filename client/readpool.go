@@ -1,0 +1,123 @@
+package client
+
+// ReadPool fans reads out across a leader and its replication
+// followers. Reads round-robin over the followers (falling back to the
+// leader when a follower is unreachable, still catching up past a
+// MinVersion bound, or redirects); applies always go to the leader.
+// Combined with ReadOptions.MinVersion carrying the version an apply
+// ack returned, the pool gives read-your-writes on top of asynchronous
+// replication while follower capacity serves the read volume.
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"sync/atomic"
+)
+
+// ReadPool is a leader plus N follower clients. Safe for concurrent
+// use.
+type ReadPool struct {
+	leader   *Client
+	replicas []*Client
+	next     atomic.Uint64
+
+	fallbacks atomic.Uint64
+}
+
+// NewReadPool builds a pool over the leader's URL and any number of
+// follower URLs. hc configures the shared transport exactly as in New
+// (nil for defaults). With no followers every read goes to the leader.
+func NewReadPool(leaderURL string, replicaURLs []string, hc *http.Client) *ReadPool {
+	if hc == nil {
+		hc = &http.Client{Transport: defaultTransport()}
+	}
+	p := &ReadPool{leader: New(leaderURL, hc)}
+	for _, u := range replicaURLs {
+		p.replicas = append(p.replicas, New(u, hc))
+	}
+	return p
+}
+
+// Leader returns the leader's client (the target of applies).
+func (p *ReadPool) Leader() *Client { return p.leader }
+
+// Fallbacks reports how many reads a follower could not serve and the
+// leader answered instead.
+func (p *ReadPool) Fallbacks() uint64 { return p.fallbacks.Load() }
+
+// Apply submits a delta script to the leader (exactly-once under
+// retries, as in Client.Apply).
+func (p *ReadPool) Apply(ctx context.Context, script string) (*ApplyResult, error) {
+	return p.leader.Apply(ctx, script)
+}
+
+// pick selects the next read target round-robin.
+func (p *ReadPool) pick() *Client {
+	if len(p.replicas) == 0 {
+		return p.leader
+	}
+	return p.replicas[p.next.Add(1)%uint64(len(p.replicas))]
+}
+
+// fallbackToLeader decides whether a follower's failure should be
+// retried on the leader: transport errors (follower down), 503s
+// (follower shutting down or still bootstrapping), and 412s (the
+// follower timed out waiting for MinVersion — the leader has it by
+// definition, since the ack that named the version came from it).
+// Context cancellations and data errors (bad goal, unknown predicate)
+// would fail identically everywhere, so they surface as-is.
+func fallbackToLeader(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	switch StatusOf(err) {
+	case 0, http.StatusServiceUnavailable, http.StatusPreconditionFailed:
+		return true
+	}
+	return false
+}
+
+// Query reads from a follower, falling back to the leader.
+func (p *ReadPool) Query(ctx context.Context, goal string, ro ReadOptions) (*QueryResponse, error) {
+	c := p.pick()
+	out, err := c.QueryOpts(ctx, goal, ro)
+	if err != nil && c != p.leader && fallbackToLeader(err) && ctx.Err() == nil {
+		p.fallbacks.Add(1)
+		return p.leader.QueryOpts(ctx, goal, ro)
+	}
+	return out, err
+}
+
+// Rows reads from a follower, falling back to the leader.
+func (p *ReadPool) Rows(ctx context.Context, pred string, ro ReadOptions) (*RowsResponse, error) {
+	c := p.pick()
+	out, err := c.RowsOpts(ctx, pred, ro)
+	if err != nil && c != p.leader && fallbackToLeader(err) && ctx.Err() == nil {
+		p.fallbacks.Add(1)
+		return p.leader.RowsOpts(ctx, pred, ro)
+	}
+	return out, err
+}
+
+// Count reads from a follower, falling back to the leader.
+func (p *ReadPool) Count(ctx context.Context, goal string, ro ReadOptions) (*CountResponse, error) {
+	c := p.pick()
+	out, err := c.CountOpts(ctx, goal, ro)
+	if err != nil && c != p.leader && fallbackToLeader(err) && ctx.Err() == nil {
+		p.fallbacks.Add(1)
+		return p.leader.CountOpts(ctx, goal, ro)
+	}
+	return out, err
+}
+
+// Explain reads from a follower, falling back to the leader.
+func (p *ReadPool) Explain(ctx context.Context, goal string, ro ReadOptions) (*ExplainResponse, error) {
+	c := p.pick()
+	out, err := c.ExplainOpts(ctx, goal, ro)
+	if err != nil && c != p.leader && fallbackToLeader(err) && ctx.Err() == nil {
+		p.fallbacks.Add(1)
+		return p.leader.ExplainOpts(ctx, goal, ro)
+	}
+	return out, err
+}

@@ -1,0 +1,137 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+)
+
+// fakeNode is a minimal ivmd read surface: every read endpoint answers
+// with a fixed version (or a canned failure), and applies are counted.
+type fakeNode struct {
+	version uint64
+	fail    atomic.Int32 // status to fail reads with; 0 = healthy
+	leader  string
+	reads   atomic.Int64
+	applies atomic.Int64
+}
+
+func (f *fakeNode) server(t *testing.T) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	read := func(w http.ResponseWriter, r *http.Request) {
+		f.reads.Add(1)
+		if st := int(f.fail.Load()); st != 0 {
+			if f.leader != "" {
+				w.Header().Set("Leader-URL", f.leader)
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(st)
+			json.NewEncoder(w).Encode(map[string]string{"error": "canned failure"})
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]any{"version": f.version})
+	}
+	mux.HandleFunc("GET /v1/query", read)
+	mux.HandleFunc("GET /v1/rows", read)
+	mux.HandleFunc("GET /v1/count", read)
+	mux.HandleFunc("GET /v1/explain", read)
+	mux.HandleFunc("POST /v1/apply", func(w http.ResponseWriter, r *http.Request) {
+		f.applies.Add(1)
+		json.NewEncoder(w).Encode(map[string]any{"version": f.version})
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// Reads round-robin over the replicas; applies always hit the leader.
+func TestReadPoolRoundRobinAndApply(t *testing.T) {
+	leader := &fakeNode{version: 9}
+	r1 := &fakeNode{version: 9}
+	r2 := &fakeNode{version: 9}
+	lts, t1, t2 := leader.server(t), r1.server(t), r2.server(t)
+
+	p := NewReadPool(lts.URL, []string{t1.URL, t2.URL}, nil)
+	ctx := context.Background()
+	for i := 0; i < 6; i++ {
+		if _, err := p.Rows(ctx, "link", ReadOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r1.reads.Load() != 3 || r2.reads.Load() != 3 {
+		t.Fatalf("replica reads %d/%d, want 3/3", r1.reads.Load(), r2.reads.Load())
+	}
+	if leader.reads.Load() != 0 {
+		t.Fatalf("leader served %d reads with healthy replicas", leader.reads.Load())
+	}
+
+	if _, err := p.Apply(ctx, "+link(a,b)."); err != nil {
+		t.Fatal(err)
+	}
+	if leader.applies.Load() != 1 || r1.applies.Load() != 0 || r2.applies.Load() != 0 {
+		t.Fatal("apply did not route to the leader alone")
+	}
+	if p.Leader() == nil || p.Fallbacks() != 0 {
+		t.Fatalf("unexpected pool state: fallbacks=%d", p.Fallbacks())
+	}
+}
+
+// Retryable replica failures (503, 412, transport) fall back to the
+// leader and are counted; data errors surface as-is.
+func TestReadPoolFallback(t *testing.T) {
+	leader := &fakeNode{version: 4}
+	replica := &fakeNode{version: 4, leader: "http://leader.example"}
+	lts, rts := leader.server(t), replica.server(t)
+	p := NewReadPool(lts.URL, []string{rts.URL}, nil)
+	ctx := context.Background()
+
+	for i, st := range []int{http.StatusServiceUnavailable, http.StatusPreconditionFailed} {
+		replica.fail.Store(int32(st))
+		if _, err := p.Query(ctx, "hop(X,Y)", ReadOptions{}); err != nil {
+			t.Fatalf("status %d did not fall back: %v", st, err)
+		}
+		if got := p.Fallbacks(); got != uint64(i+1) {
+			t.Fatalf("Fallbacks() = %d after %d failures", got, i+1)
+		}
+	}
+	if leader.reads.Load() != 2 {
+		t.Fatalf("leader served %d fallback reads, want 2", leader.reads.Load())
+	}
+
+	// A 400 is the caller's bug: same result everywhere, no fallback.
+	replica.fail.Store(http.StatusBadRequest)
+	if _, err := p.Count(ctx, "hop(a,b)", ReadOptions{}); err == nil {
+		t.Fatal("bad request did not surface")
+	} else if StatusOf(err) != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", StatusOf(err))
+	}
+	if got := p.Fallbacks(); got != 2 {
+		t.Fatalf("Fallbacks() = %d, want 2 (no fallback on data errors)", got)
+	}
+
+	// Transport errors (dead replica) fall back too.
+	dead := NewReadPool(lts.URL, []string{"http://127.0.0.1:1"}, nil)
+	if _, err := dead.Explain(ctx, "hop(a,b)", ReadOptions{}); err != nil {
+		t.Fatalf("dead replica did not fall back: %v", err)
+	}
+	if dead.Fallbacks() != 1 {
+		t.Fatalf("dead.Fallbacks() = %d, want 1", dead.Fallbacks())
+	}
+}
+
+// With no replicas, every read goes to the leader directly.
+func TestReadPoolLeaderOnly(t *testing.T) {
+	leader := &fakeNode{version: 2}
+	lts := leader.server(t)
+	p := NewReadPool(lts.URL, nil, nil)
+	if _, err := p.Rows(context.Background(), "link", ReadOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if leader.reads.Load() != 1 {
+		t.Fatalf("leader reads = %d, want 1", leader.reads.Load())
+	}
+}

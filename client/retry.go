@@ -51,9 +51,11 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	return p
 }
 
-// backoff returns the jittered wait before retry number retry (1-based),
-// honoring a server Retry-After hint.
-func (p RetryPolicy) backoff(retry int, hint time.Duration) time.Duration {
+// Backoff returns the jittered wait before retry number retry (1-based),
+// honoring a server Retry-After hint. Exported so cooperating loops
+// (subscription resume, replication followers) pace their reconnects by
+// the same policy applies do.
+func (p RetryPolicy) Backoff(retry int, hint time.Duration) time.Duration {
 	d := p.BaseDelay << (retry - 1)
 	if d <= 0 || d > p.MaxDelay {
 		d = p.MaxDelay
@@ -120,7 +122,7 @@ func (c *Client) ApplyWithKey(ctx context.Context, key, script string) (*ApplyRe
 	for attempt := 0; attempt < p.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			c.stats.retries.Add(1)
-			if err := sleepCtx(ctx, p.backoff(attempt, retryAfterOf(lastErr))); err != nil {
+			if err := sleepCtx(ctx, p.Backoff(attempt, retryAfterOf(lastErr))); err != nil {
 				return nil, fmt.Errorf("ivmd: apply canceled while retrying: %w (last attempt: %v)", err, lastErr)
 			}
 		}

@@ -10,17 +10,17 @@ func TestRetryPolicyBackoffBounds(t *testing.T) {
 	p := DefaultRetryPolicy
 	for retry := 1; retry <= 10; retry++ {
 		for trial := 0; trial < 50; trial++ {
-			d := p.backoff(retry, 0)
+			d := p.Backoff(retry, 0)
 			if d <= 0 || d > p.MaxDelay {
 				t.Fatalf("backoff(%d) = %v, want (0, %v]", retry, d, p.MaxDelay)
 			}
 		}
 	}
 	// A Retry-After hint raises the wait but never past the cap.
-	if d := p.backoff(1, time.Second); d < time.Second {
+	if d := p.Backoff(1, time.Second); d < time.Second {
 		t.Fatalf("backoff with 1s hint = %v, want >= 1s", d)
 	}
-	if d := p.backoff(1, time.Minute); d != p.MaxDelay {
+	if d := p.Backoff(1, time.Minute); d != p.MaxDelay {
 		t.Fatalf("backoff with 1m hint = %v, want capped at %v", d, p.MaxDelay)
 	}
 }

@@ -26,12 +26,16 @@ type Delta struct {
 // batch, stamped with the version it published. The first event of a
 // stream is a hello carrying the current version and no deltas; a final
 // event with Evicted set reports that the server dropped this consumer
-// for falling behind its buffer.
+// for falling behind its buffer. A final event with Resync set answers
+// a ?from= resume whose events have aged out of the server's replay
+// ring: the stream has an unbridgeable gap, so re-read current state
+// and subscribe afresh.
 type Event struct {
 	Version uint64  `json:"version"`
 	Deltas  []Delta `json:"deltas,omitempty"`
 	Hello   bool    `json:"hello,omitempty"`
 	Evicted bool    `json:"evicted,omitempty"`
+	Resync  bool    `json:"resync,omitempty"`
 }
 
 // ApplyResult acknowledges a durably applied update: the version in

@@ -32,7 +32,25 @@ func main() {
 	plannerBaseline := flag.String("planner-baseline", "", "with -planner: compare the fresh report against this baseline JSON and exit nonzero on regression")
 	faultsFrac := flag.Float64("faults", 0, "run the fault-injection benchmark at this fault fraction in (0,1]: keyed applies retried through a faultnet proxy, then exit")
 	faultsOut := flag.String("faults-out", "BENCH_faults.json", "with -faults: write the fault-injection JSON report to this path")
+	replicaPath := flag.String("replica", "", "run the replication read-fanout benchmark (primary + 2 follower ivmd subprocesses) and write its JSON report to this path (e.g. BENCH_replica.json), then exit")
+	ivmdBin := flag.String("ivmd", "", "with -replica: path to the ivmd binary to launch (default: bin/ivmd, then $PATH)")
 	flag.Parse()
+
+	if *replicaPath != "" {
+		bin := *ivmdBin
+		if bin == "" {
+			if _, err := os.Stat("bin/ivmd"); err == nil {
+				bin = "bin/ivmd"
+			} else {
+				bin = "ivmd"
+			}
+		}
+		if err := writeReplicaReport(*replicaPath, bin, *scaleFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "ivmbench: replication benchmark: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *faultsFrac != 0 {
 		target := *serverTarget

@@ -1,0 +1,303 @@
+package main
+
+// The replication benchmark behind `ivmbench -replica`: boots a
+// primary ivmd and two followers as subprocesses (each pinned to
+// GOMAXPROCS=1 so per-process serving capacity is the bottleneck being
+// measured, not the bench host's core count), then measures
+//
+//   phase A — closed-loop read throughput against the leader alone;
+//   phase B — the same reader count fanned out over a ReadPool of the
+//             leader plus both followers;
+//
+// with a background apply load running throughout, and reports the
+// speedup B/A alongside p99 follower staleness (sampled from the
+// followers' replica_lag_millis gauge). On hosts with at least 4 CPUs
+// the report enforces the >= 1.8x speedup floor; on smaller hosts the
+// three daemons share cores and the floor is reported but not gated.
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"ivm/client"
+)
+
+type replicaReport struct {
+	Scale     string `json:"scale"`
+	Readers   int    `json:"readers"`
+	Followers int    `json:"followers"`
+	NumCPU    int    `json:"num_cpu"`
+	Duration  string `json:"phase_duration"`
+
+	LeaderReads       int     `json:"leader_only_reads"`
+	LeaderReadsPerSec float64 `json:"leader_only_reads_per_sec"`
+	PoolReads         int     `json:"pool_reads"`
+	PoolReadsPerSec   float64 `json:"pool_reads_per_sec"`
+	Speedup           float64 `json:"speedup"`
+	SpeedupFloor      float64 `json:"speedup_floor"`
+	FloorEnforced     bool    `json:"floor_enforced"`
+
+	Fallbacks          uint64 `json:"pool_fallbacks"`
+	StalenessP50Millis int64  `json:"staleness_p50_millis"`
+	StalenessP99Millis int64  `json:"staleness_p99_millis"`
+	FinalVersion       uint64 `json:"final_version"`
+}
+
+// ivmdProc is one managed ivmd subprocess.
+type ivmdProc struct {
+	cmd *exec.Cmd
+	url string
+}
+
+// startIvmd launches bin with args, GOMAXPROCS=1, and waits for the
+// "serving HTTP on" log line to learn the picked port.
+func startIvmd(bin string, args ...string) (*ivmdProc, error) {
+	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0", "-quiet"}, args...)...)
+	cmd.Env = append(os.Environ(), "GOMAXPROCS=1")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "serving HTTP on "); i >= 0 {
+				select {
+				case addrCh <- strings.TrimSpace(line[i+len("serving HTTP on "):]):
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return &ivmdProc{cmd: cmd, url: "http://" + addr}, nil
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		cmd.Wait()
+		return nil, fmt.Errorf("ivmd (%v) never reported its listen address", args)
+	}
+}
+
+func (p *ivmdProc) stop() {
+	if p == nil || p.cmd.Process == nil {
+		return
+	}
+	p.cmd.Process.Signal(syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() { p.cmd.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		p.cmd.Process.Kill()
+		<-done
+	}
+}
+
+// readPhase drives n closed-loop readers against read for d and
+// returns the total completed reads.
+func readPhase(read func(context.Context) error, n int, d time.Duration) (int, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	var total atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				if err := read(ctx); err != nil {
+					if ctx.Err() == nil {
+						firstErr.CompareAndSwap(nil, err)
+					}
+					return
+				}
+				total.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return 0, err
+	}
+	return int(total.Load()), nil
+}
+
+func writeReplicaReport(path, ivmdBin, scale string) error {
+	var phase time.Duration
+	var readers int
+	switch scale {
+	case "smoke":
+		phase, readers = 2*time.Second, 4
+	case "large":
+		phase, readers = 10*time.Second, 16
+	default:
+		phase, readers = 5*time.Second, 8
+	}
+
+	// The primary's program: the two-hop join the other benches use.
+	dir, err := os.MkdirTemp("", "ivmbench-replica-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	prog := filepath.Join(dir, "views.dl")
+	if err := os.WriteFile(prog, []byte("hop(X,Y) :- link(X,Z), link(Z,Y).\nlink(seed_a,seed_b). link(seed_b,seed_c).\n"), 0o644); err != nil {
+		return err
+	}
+
+	primary, err := startIvmd(ivmdBin, "-program", prog)
+	if err != nil {
+		return fmt.Errorf("starting primary: %w", err)
+	}
+	defer primary.stop()
+
+	const followers = 2
+	var fps []*ivmdProc
+	for i := 0; i < followers; i++ {
+		fp, err := startIvmd(ivmdBin, "-follow", primary.url)
+		if err != nil {
+			return fmt.Errorf("starting follower %d: %w", i, err)
+		}
+		defer fp.stop()
+		fps = append(fps, fp)
+	}
+
+	ctx := context.Background()
+	leader := client.New(primary.url, nil)
+
+	// Preload a read-worthy working set.
+	for i := 0; i < 50; i++ {
+		if _, err := leader.Apply(ctx, fmt.Sprintf("+link(s%d,m%d). +link(m%d,d%d).", i, i, i, i)); err != nil {
+			return fmt.Errorf("preload: %w", err)
+		}
+	}
+
+	// Background apply load for both phases, plus a staleness sampler
+	// polling the followers' replica_lag_millis.
+	bgCtx, bgCancel := context.WithCancel(ctx)
+	defer bgCancel()
+	var bgWG sync.WaitGroup
+	bgWG.Add(1)
+	go func() {
+		defer bgWG.Done()
+		for i := 0; bgCtx.Err() == nil; i++ {
+			leader.Apply(bgCtx, fmt.Sprintf("+link(w%d,x%d).", i, i))
+			select {
+			case <-bgCtx.Done():
+			case <-time.After(20 * time.Millisecond):
+			}
+		}
+	}()
+	var stalenessMu sync.Mutex
+	var staleness []int64
+	followerClients := make([]*client.Client, followers)
+	followerURLs := make([]string, followers)
+	for i, fp := range fps {
+		followerClients[i] = client.New(fp.url, nil)
+		followerURLs[i] = fp.url
+	}
+	bgWG.Add(1)
+	go func() {
+		defer bgWG.Done()
+		for bgCtx.Err() == nil {
+			for _, fc := range followerClients {
+				if m, err := fc.Metrics(bgCtx); err == nil {
+					stalenessMu.Lock()
+					staleness = append(staleness, m["replica_lag_millis"])
+					stalenessMu.Unlock()
+				}
+			}
+			select {
+			case <-bgCtx.Done():
+			case <-time.After(25 * time.Millisecond):
+			}
+		}
+	}()
+
+	// Phase A: leader only.
+	leaderReads, err := readPhase(func(ctx context.Context) error {
+		_, err := leader.Rows(ctx, "hop")
+		return err
+	}, readers, phase)
+	if err != nil {
+		return fmt.Errorf("leader-only phase: %w", err)
+	}
+
+	// Phase B: the pool fans the same readers over leader + followers.
+	pool := client.NewReadPool(primary.url, followerURLs, nil)
+	poolReads, err := readPhase(func(ctx context.Context) error {
+		_, err := pool.Rows(ctx, "hop", client.ReadOptions{})
+		return err
+	}, readers, phase)
+	if err != nil {
+		return fmt.Errorf("pool phase: %w", err)
+	}
+
+	bgCancel()
+	bgWG.Wait()
+
+	info, err := leader.Info(ctx)
+	if err != nil {
+		return err
+	}
+	stalenessMu.Lock()
+	p50 := pctNanos(staleness, 0.50)
+	p99 := pctNanos(staleness, 0.99)
+	stalenessMu.Unlock()
+
+	rep := &replicaReport{
+		Scale:              scale,
+		Readers:            readers,
+		Followers:          followers,
+		NumCPU:             runtime.NumCPU(),
+		Duration:           phase.String(),
+		LeaderReads:        leaderReads,
+		LeaderReadsPerSec:  float64(leaderReads) / phase.Seconds(),
+		PoolReads:          poolReads,
+		PoolReadsPerSec:    float64(poolReads) / phase.Seconds(),
+		Speedup:            float64(poolReads) / float64(max(leaderReads, 1)),
+		SpeedupFloor:       1.8,
+		FloorEnforced:      runtime.NumCPU() >= 4,
+		Fallbacks:          pool.Fallbacks(),
+		StalenessP50Millis: p50,
+		StalenessP99Millis: p99,
+		FinalVersion:       info.Version,
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("replica bench: leader %0.0f reads/s, pool %0.0f reads/s (%.2fx, floor %.1fx %s), staleness p99 %dms, fallbacks %d\n",
+		rep.LeaderReadsPerSec, rep.PoolReadsPerSec, rep.Speedup, rep.SpeedupFloor,
+		map[bool]string{true: "enforced", false: "advisory"}[rep.FloorEnforced], rep.StalenessP99Millis, rep.Fallbacks)
+
+	if rep.FloorEnforced && rep.Speedup < rep.SpeedupFloor {
+		return fmt.Errorf("read fan-out speedup %.2fx below the %.1fx floor with %d followers", rep.Speedup, rep.SpeedupFloor, followers)
+	}
+	if rep.StalenessP99Millis > 10_000 {
+		return fmt.Errorf("p99 follower staleness %dms is unbounded for this workload", rep.StalenessP99Millis)
+	}
+	return nil
+}

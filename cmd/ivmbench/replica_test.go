@@ -1,0 +1,55 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// Smoke the replication benchmark end to end: build the real ivmd,
+// launch a primary and two followers as subprocesses, and require the
+// report to land with read traffic on both phases and bounded
+// staleness samples.
+func TestWriteReplicaReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replication bench smoke skipped in -short")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "ivmd")
+	build := exec.Command("go", "build", "-o", bin, "ivm/cmd/ivmd")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building ivmd: %v\n%s", err, out)
+	}
+
+	path := filepath.Join(dir, "BENCH_replica.json")
+	if err := writeReplicaReport(path, bin, "smoke"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep replicaReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Followers != 2 || rep.LeaderReads == 0 || rep.PoolReads == 0 {
+		t.Fatalf("thin report: %+v", rep)
+	}
+	if rep.StalenessP99Millis < rep.StalenessP50Millis {
+		t.Fatalf("staleness p99 %d < p50 %d", rep.StalenessP99Millis, rep.StalenessP50Millis)
+	}
+	if rep.FinalVersion == 0 {
+		t.Fatalf("no versions committed: %+v", rep)
+	}
+}
+
+// A missing ivmd binary must fail fast, not hang waiting for a listen
+// address.
+func TestStartIvmdMissingBinary(t *testing.T) {
+	if _, err := startIvmd(filepath.Join(t.TempDir(), "no-such-ivmd")); err == nil {
+		t.Fatal("startIvmd succeeded with a missing binary")
+	}
+}

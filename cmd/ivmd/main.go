@@ -7,12 +7,19 @@
 // Usage:
 //
 //	ivmd -store DIR -program views.dl [-data facts.dl] [flags]
+//	ivmd -follow http://primary:7199 [flags]
 //
 // With -store, every applied delta is fsynced to the write-ahead log
 // before it is acknowledged, and SIGINT/SIGTERM trigger a graceful
 // shutdown: in-flight applies drain, the store checkpoints, and the WAL
 // closes — an acknowledged apply is never lost. Without -store the
 // views are memory-only (useful for benchmarks and smoke tests).
+//
+// With -follow, the process runs as a read replica: it bootstraps from
+// the primary's replication stream, tails committed deltas, and serves
+// reads from its local views. Applies are rejected with 503 and a
+// Leader-URL header pointing at the primary; replica_lag_* gauges on
+// /v1/metrics report how far behind the follower is.
 package main
 
 import (
@@ -27,6 +34,8 @@ import (
 	"time"
 
 	"ivm"
+	"ivm/internal/metrics"
+	"ivm/internal/replica"
 	"ivm/internal/server"
 )
 
@@ -53,6 +62,7 @@ func run() error {
 	sessionTTL := flag.Duration("session-ttl", 5*time.Minute, "idle lifetime of snapshot-pinned sessions")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 30*time.Second, "graceful-shutdown drain budget")
 	quiet := flag.Bool("quiet", false, "suppress per-request logging (lifecycle events still log)")
+	followURL := flag.String("follow", "", "primary URL to follow as a read replica (e.g. http://127.0.0.1:7199)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "", log.LstdFlags|log.Lmicroseconds)
@@ -91,6 +101,23 @@ func run() error {
 	}
 	if *idemWindow > 0 {
 		opts = append(opts, ivm.WithIdempotencyWindow(*idemWindow))
+	}
+
+	if *followURL != "" {
+		if *storeDir != "" || *programPath != "" || *dataPath != "" {
+			return fmt.Errorf("-follow is exclusive with -store/-program/-data: a follower's state comes from the primary")
+		}
+		return runFollower(*followURL, followerConfig{
+			addr:            *addr,
+			lineAddr:        *lineAddr,
+			requestTimeout:  *requestTimeout,
+			maxBody:         *maxBody,
+			subBuffer:       *subBuffer,
+			sessionTTL:      *sessionTTL,
+			shutdownTimeout: *shutdownTimeout,
+			engineOpts:      opts,
+			logf:            logf,
+		})
 	}
 
 	var views *ivm.Views
@@ -136,6 +163,71 @@ func run() error {
 	ctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
 	defer cancel()
 	return srv.Shutdown(ctx)
+}
+
+// followerConfig carries the serving flags into the -follow path.
+type followerConfig struct {
+	addr            string
+	lineAddr        string
+	requestTimeout  time.Duration
+	maxBody         int64
+	subBuffer       int
+	sessionTTL      time.Duration
+	shutdownTimeout time.Duration
+	engineOpts      []ivm.Option
+	logf            func(format string, args ...any)
+}
+
+// runFollower bootstraps a replica from the primary and serves its
+// views read-only until a signal or a terminal replication error.
+func runFollower(primaryURL string, cfg followerConfig) error {
+	rep, err := replica.Start(primaryURL, replica.Options{
+		ExtraOptions: cfg.engineOpts,
+		Logf:         cfg.logf,
+	})
+	if err != nil {
+		return err
+	}
+	views := rep.Views()
+	cfg.logf("ivmd: following %s from version %d (strategy=%v semantics=%v rules=%d)",
+		primaryURL, rep.Applied(), views.Strategy(), views.Semantics(), len(views.Program().Rules))
+
+	srv := server.New(views, server.Options{
+		Addr:             cfg.addr,
+		LineAddr:         cfg.lineAddr,
+		RequestTimeout:   cfg.requestTimeout,
+		MaxBodyBytes:     cfg.maxBody,
+		SubscriberBuffer: cfg.subBuffer,
+		SessionTTL:       cfg.sessionTTL,
+		OwnViews:         true,
+		LeaderURL:        primaryURL,
+		ExtraMetrics:     []*metrics.Registry{rep.Registry()},
+		Logf:             cfg.logf,
+	})
+	if err := srv.Start(); err != nil {
+		rep.Stop()
+		views.Close()
+		return err
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	var repErr error
+	select {
+	case got := <-sig:
+		cfg.logf("ivmd: received %v, shutting down", got)
+	case <-rep.Done():
+		repErr = rep.Err()
+		cfg.logf("ivmd: replication ended: %v", repErr)
+	}
+	// Stop replication before Shutdown closes the views underneath it.
+	rep.Stop()
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.shutdownTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	return repErr
 }
 
 func buildViews(programPath, dataPath string, opts []ivm.Option) (*ivm.Views, error) {

@@ -1,0 +1,446 @@
+// Package replica is the follower half of ivmd replication: it tails a
+// primary's /v1/replicate stream and maintains a local Views that
+// converges to the primary's state version-for-version.
+//
+// Protocol (see internal/storage repl.go and DESIGN.md §14): the
+// follower connects, bootstraps from the leading 'S' (full state)
+// record, then applies 'D' (delta) records in version order. Resumes
+// after a disconnect reconnect with ?from=<applied version>; the
+// primary replays from its window, backfills from its WAL, or ships a
+// fresh 'S'. Overlapping records (version ≤ applied) are skipped —
+// re-apply is idempotent by version. A version gap is never skipped
+// over: it increments replica_divergence_total and forces a reconnect
+// so the primary re-backfills the missing range.
+package replica
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ivm"
+	"ivm/client"
+	"ivm/internal/metrics"
+	"ivm/internal/storage"
+)
+
+// Options configures a follower. The zero value is usable.
+type Options struct {
+	// Retry paces reconnects after a dropped stream and bounds how many
+	// consecutive connection failures the follower tolerates before
+	// giving up (client.DefaultRetryPolicy when zero; a successful
+	// connect resets the count).
+	Retry client.RetryPolicy
+	// StallTimeout forces a reconnect when the stream delivers nothing —
+	// not even a heartbeat — for this long, catching half-dead
+	// connections TCP alone would sit on (default 15s).
+	StallTimeout time.Duration
+	// HTTPClient overrides the transport (nil = dial/header timeouts but
+	// no overall request timeout, which the endless stream needs).
+	HTTPClient *http.Client
+	// ExtraOptions are engine options (parallelism, tracing, ...) applied
+	// when materializing the follower's views. Strategy and semantics
+	// always follow the primary's — derived state is bit-identical only
+	// under the same engine configuration.
+	ExtraOptions []ivm.Option
+	// Logf receives one line per lifecycle event (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	// Normalize the retry policy here (client normalizes internally, but
+	// its helper is unexported): any unset field takes the default.
+	if o.Retry.MaxAttempts < 1 {
+		o.Retry.MaxAttempts = client.DefaultRetryPolicy.MaxAttempts
+	}
+	if o.Retry.BaseDelay <= 0 {
+		o.Retry.BaseDelay = client.DefaultRetryPolicy.BaseDelay
+	}
+	if o.Retry.MaxDelay < o.Retry.BaseDelay {
+		o.Retry.MaxDelay = client.DefaultRetryPolicy.MaxDelay
+	}
+	if o.StallTimeout <= 0 {
+		o.StallTimeout = 15 * time.Second
+	}
+	if o.HTTPClient == nil {
+		o.HTTPClient = &http.Client{Transport: &http.Transport{
+			DialContext: (&net.Dialer{
+				Timeout:   10 * time.Second,
+				KeepAlive: 30 * time.Second,
+			}).DialContext,
+			ResponseHeaderTimeout: 30 * time.Second,
+		}}
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// Replica is a running follower. Views() serves lock-free local reads
+// while the tail loop applies the primary's commits in the background.
+type Replica struct {
+	url  string
+	opts Options
+	reg  *metrics.Registry
+	v    *ivm.Views
+
+	applied    atomic.Uint64 // highest version applied locally
+	leader     atomic.Uint64 // highest primary version seen on the wire
+	lastRecord atomic.Int64  // unixnano of the last record received
+
+	gLagVersions *metrics.Gauge
+	gLagMillis   *metrics.Gauge
+	gLagSeconds  *metrics.Gauge
+	gApplied     *metrics.Gauge
+	gLeader      *metrics.Gauge
+	cReconnects  *metrics.Counter
+	cRecords     *metrics.Counter
+	cResets      *metrics.Counter
+	cDivergence  *metrics.Counter
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu  sync.Mutex
+	err error
+}
+
+// Start connects to the primary at primaryURL, bootstraps the
+// follower's views from the leading state record (blocking until the
+// local state is live), and launches the tail loop. The returned
+// replica keeps converging until Stop, a version divergence, a program
+// change, or Options.Retry-many consecutive failed reconnects.
+func Start(primaryURL string, opts Options) (*Replica, error) {
+	opts = opts.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	reg := metrics.NewRegistry()
+	r := &Replica{
+		url:          strings.TrimRight(primaryURL, "/"),
+		opts:         opts,
+		reg:          reg,
+		gLagVersions: reg.Gauge("replica_lag_versions"),
+		gLagMillis:   reg.Gauge("replica_lag_millis"),
+		gLagSeconds:  reg.Gauge("replica_lag_seconds"),
+		gApplied:     reg.Gauge("replica_applied_version"),
+		gLeader:      reg.Gauge("replica_leader_version"),
+		cReconnects:  reg.Counter("replica_reconnects_total"),
+		cRecords:     reg.Counter("replica_records_total"),
+		cResets:      reg.Counter("replica_resets_total"),
+		cDivergence:  reg.Counter("replica_divergence_total"),
+		ctx:          ctx,
+		cancel:       cancel,
+		done:         make(chan struct{}),
+	}
+
+	// Bootstrap: connect (retrying under the policy) and consume records
+	// until the state record arrives, so Start returns a live Views.
+	var resp *http.Response
+	var br *bufio.Reader
+	p := opts.Retry
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			if err := sleepCtx(ctx, p.Backoff(attempt, 0)); err != nil {
+				cancel()
+				return nil, fmt.Errorf("replica: bootstrap canceled: %w (last attempt: %v)", err, lastErr)
+			}
+		}
+		if attempt >= p.MaxAttempts {
+			cancel()
+			return nil, fmt.Errorf("replica: bootstrap gave up after %d attempts: %w", p.MaxAttempts, lastErr)
+		}
+		rp, b, err := r.connect(0, false)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		resp, br = rp, b
+		break
+	}
+	if err := r.bootstrap(br); err != nil {
+		resp.Body.Close()
+		cancel()
+		return nil, err
+	}
+	r.opts.Logf("replica: bootstrapped from %s at version %d", r.url, r.applied.Load())
+	go r.run(resp, br)
+	return r, nil
+}
+
+// Views returns the follower's local views. Valid (and stable) once
+// Start returns; reads are lock-free snapshots exactly as on a primary.
+func (r *Replica) Views() *ivm.Views { return r.v }
+
+// Registry returns the follower's replica_* metrics registry, for
+// serving alongside the engine and server series.
+func (r *Replica) Registry() *metrics.Registry { return r.reg }
+
+// Applied returns the highest primary version applied locally.
+func (r *Replica) Applied() uint64 { return r.applied.Load() }
+
+// Done is closed when the tail loop exits; Err then reports why (nil
+// after a clean Stop).
+func (r *Replica) Done() <-chan struct{} { return r.done }
+
+// Err returns the terminal replication error, if any.
+func (r *Replica) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+func (r *Replica) setErr(err error) {
+	r.mu.Lock()
+	if r.err == nil && err != nil {
+		r.err = err
+	}
+	r.mu.Unlock()
+}
+
+// Stop ends replication (in-flight reads through Views keep working;
+// the views just stop advancing) and waits for the tail loop to exit.
+func (r *Replica) Stop() {
+	r.cancel()
+	<-r.done
+}
+
+// connect opens one replication stream, resuming after from when
+// resume is set.
+func (r *Replica) connect(from uint64, resume bool) (*http.Response, *bufio.Reader, error) {
+	u := r.url + "/v1/replicate"
+	if resume {
+		u += "?from=" + strconv.FormatUint(from, 10)
+	}
+	req, err := http.NewRequestWithContext(r.ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	resp, err := r.opts.HTTPClient.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		return nil, nil, fmt.Errorf("replica: %s answered %d: %s", u, resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+	r.lastRecord.Store(time.Now().UnixNano())
+	return resp, bufio.NewReader(resp.Body), nil
+}
+
+// bootstrap consumes the stream until the leading state record and
+// builds the local views from it.
+func (r *Replica) bootstrap(br *bufio.Reader) error {
+	for {
+		rec, err := storage.ReadReplRecord(br)
+		if err != nil {
+			return fmt.Errorf("replica: reading bootstrap state: %w", err)
+		}
+		r.lastRecord.Store(time.Now().UnixNano())
+		switch rec.Kind {
+		case storage.ReplKindHeartbeat:
+			continue
+		case storage.ReplKindState:
+			st, err := storage.DecodeReplState(rec.State)
+			if err != nil {
+				return err
+			}
+			v, err := ivm.ViewsFromReplicaState(ivm.ReplicaState{
+				Program:   st.Program,
+				Hidden:    st.Hidden,
+				Facts:     st.Facts,
+				Strategy:  st.Strategy,
+				Semantics: st.Semantics,
+			}, r.opts.ExtraOptions...)
+			if err != nil {
+				return fmt.Errorf("replica: building views from state: %w", err)
+			}
+			v.SeedVersion(rec.Version)
+			r.v = v
+			r.advance(rec)
+			return nil
+		default:
+			return fmt.Errorf("replica: stream led with %q record, want state", rec.Kind)
+		}
+	}
+}
+
+// advance records progress to rec's version and refreshes the lag
+// gauges.
+func (r *Replica) advance(rec storage.ReplRecord) {
+	if rec.Kind != storage.ReplKindHeartbeat {
+		r.applied.Store(rec.Version)
+		r.gApplied.Set(int64(rec.Version))
+	}
+	if rec.Version > r.leader.Load() {
+		r.leader.Store(rec.Version)
+		r.gLeader.Set(int64(rec.Version))
+	}
+	lag := int64(r.leader.Load()) - int64(r.applied.Load())
+	if lag < 0 {
+		lag = 0
+	}
+	r.gLagVersions.Set(lag)
+	if rec.UnixNano > 0 {
+		ms := (time.Now().UnixNano() - rec.UnixNano) / int64(time.Millisecond)
+		if ms < 0 {
+			ms = 0
+		}
+		r.gLagMillis.Set(ms)
+		r.gLagSeconds.Set(ms / 1000)
+	}
+}
+
+// run is the tail loop: consume the stream, reconnect on retryable
+// ends, stop on fatal ones.
+func (r *Replica) run(resp *http.Response, br *bufio.Reader) {
+	defer close(r.done)
+	p := r.opts.Retry
+	for {
+		err := r.tail(resp, br)
+		if r.ctx.Err() != nil {
+			return
+		}
+		if err != nil {
+			r.setErr(err)
+			r.opts.Logf("replica: stopping: %v", err)
+			return
+		}
+		// Retryable end: reconnect from the applied version.
+		var lastErr error
+		reconnected := false
+		for attempt := 1; attempt <= p.MaxAttempts; attempt++ {
+			if err := sleepCtx(r.ctx, p.Backoff(attempt, 0)); err != nil {
+				return
+			}
+			rp, b, err := r.connect(r.applied.Load(), true)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			resp, br = rp, b
+			r.cReconnects.Inc()
+			reconnected = true
+			break
+		}
+		if !reconnected {
+			r.setErr(fmt.Errorf("replica: reconnect gave up after %d attempts: %w", p.MaxAttempts, lastErr))
+			r.opts.Logf("replica: stopping: %v", r.Err())
+			return
+		}
+	}
+}
+
+// tail applies one connection's records. A nil return asks run to
+// reconnect (stream ended, damaged, stalled, or gapped); an error is
+// fatal for the follower.
+func (r *Replica) tail(resp *http.Response, br *bufio.Reader) error {
+	// Watchdog: a stream that goes silent past StallTimeout (heartbeats
+	// included) is force-closed so the blocked read returns.
+	stallStop := make(chan struct{})
+	defer close(stallStop)
+	go func() {
+		t := time.NewTimer(r.opts.StallTimeout)
+		defer t.Stop()
+		for {
+			select {
+			case <-stallStop:
+				return
+			case <-r.ctx.Done():
+				resp.Body.Close()
+				return
+			case <-t.C:
+				idle := time.Since(time.Unix(0, r.lastRecord.Load()))
+				if idle >= r.opts.StallTimeout {
+					r.opts.Logf("replica: stream silent for %s, reconnecting", idle.Round(time.Millisecond))
+					resp.Body.Close()
+					return
+				}
+				t.Reset(r.opts.StallTimeout - idle)
+			}
+		}
+	}()
+	defer resp.Body.Close()
+
+	for {
+		rec, err := storage.ReadReplRecord(br)
+		if err != nil {
+			if err != io.EOF && r.ctx.Err() == nil {
+				r.opts.Logf("replica: stream broke: %v", err)
+			}
+			return nil // reconnect
+		}
+		r.lastRecord.Store(time.Now().UnixNano())
+		r.cRecords.Inc()
+		switch rec.Kind {
+		case storage.ReplKindHeartbeat:
+			r.advance(rec)
+		case storage.ReplKindState:
+			st, err := storage.DecodeReplState(rec.State)
+			if err != nil {
+				r.opts.Logf("replica: bad state record: %v", err)
+				return nil // reconnect; a fresh stream re-sends it
+			}
+			if st.Program != r.v.ProgramSource() {
+				return fmt.Errorf("replica: primary's program changed; restart the follower to pick it up")
+			}
+			if err := r.v.ResetToReplicaState(ivm.ReplicaState{
+				Program:   st.Program,
+				Hidden:    st.Hidden,
+				Facts:     st.Facts,
+				Strategy:  st.Strategy,
+				Semantics: st.Semantics,
+			}, rec.Version); err != nil {
+				return fmt.Errorf("replica: applying state reset: %w", err)
+			}
+			r.cResets.Inc()
+			r.advance(rec)
+			r.opts.Logf("replica: state reset to version %d", rec.Version)
+		case storage.ReplKindDelta:
+			applied := r.applied.Load()
+			switch {
+			case rec.Version <= applied:
+				// Overlap after a resume: already applied, skip — the
+				// version stamp is the idempotency key.
+			case rec.Version == applied+1:
+				cs, err := r.v.ApplyScript(rec.Script)
+				if err != nil {
+					return fmt.Errorf("replica: applying version %d: %w", rec.Version, err)
+				}
+				if cs.Version() != rec.Version {
+					r.cDivergence.Inc()
+					return fmt.Errorf("replica: applied record %d but published version %d — replica diverged", rec.Version, cs.Version())
+				}
+				r.advance(rec)
+			default:
+				// A gap. Never skip over it: reconnect from the applied
+				// version and make the primary re-backfill the range.
+				r.cDivergence.Inc()
+				r.opts.Logf("replica: gap: got version %d after %d, re-backfilling", rec.Version, applied)
+				return nil
+			}
+		}
+	}
+}
+
+// sleepCtx waits d or until ctx ends.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

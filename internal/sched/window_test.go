@@ -1,0 +1,154 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestWindowAppendNextBounds(t *testing.T) {
+	w := NewWindow[string](4)
+	if _, _, ok := w.Bounds(); ok {
+		t.Fatal("fresh window claims bounds")
+	}
+	if _, ok := w.Next(0); ok {
+		t.Fatal("fresh window returned an entry")
+	}
+
+	w.Append(1, "a")
+	w.Append(2, "b")
+	w.Append(3, "c")
+	ca, hi, ok := w.Bounds()
+	if !ok || ca != 0 || hi != 3 {
+		t.Fatalf("bounds: (%d, %d, %v)", ca, hi, ok)
+	}
+	for after, want := range map[uint64]string{0: "a", 1: "b", 2: "c"} {
+		e, ok := w.Next(after)
+		if !ok || e.Item != want || e.Version != after+1 {
+			t.Fatalf("Next(%d) = %+v, %v", after, e, ok)
+		}
+	}
+	if _, ok := w.Next(3); ok {
+		t.Fatal("caught-up reader got an entry")
+	}
+
+	// Overflow evicts the oldest and raises the low-water mark.
+	w.Append(4, "d")
+	w.Append(5, "e")
+	ca, hi, _ = w.Bounds()
+	if ca != 1 || hi != 5 {
+		t.Fatalf("bounds after eviction: (%d, %d)", ca, hi)
+	}
+	if _, ok := w.Next(0); ok {
+		t.Fatal("reader below the window got an entry instead of a backfill signal")
+	}
+	if e, ok := w.Next(1); !ok || e.Item != "b" {
+		t.Fatalf("Next(1) = %+v, %v", e, ok)
+	}
+}
+
+func TestWindowSeed(t *testing.T) {
+	w := NewWindow[int](2)
+	w.Seed(10)
+	ca, hi, ok := w.Bounds()
+	if !ok || ca != 10 || hi != 10 {
+		t.Fatalf("bounds after seed: (%d, %d, %v)", ca, hi, ok)
+	}
+	// Seeding again is a no-op; appending continues from the seed.
+	w.Seed(99)
+	w.Append(11, 1)
+	if e, ok := w.Next(10); !ok || e.Item != 1 {
+		t.Fatalf("Next(10) = %+v, %v", e, ok)
+	}
+	if ca, hi, _ := w.Bounds(); ca != 10 || hi != 11 {
+		t.Fatalf("bounds: (%d, %d)", ca, hi)
+	}
+}
+
+func TestWindowRestartClears(t *testing.T) {
+	w := NewWindow[int](8)
+	w.Append(5, 5)
+	w.Append(6, 6)
+	// A version at or below hi means the counter restarted: the window
+	// must not splice histories.
+	w.Append(3, 33)
+	ca, hi, _ := w.Bounds()
+	if ca != 2 || hi != 3 {
+		t.Fatalf("bounds after restart: (%d, %d)", ca, hi)
+	}
+	if e, ok := w.Next(2); !ok || e.Item != 33 {
+		t.Fatalf("Next(2) = %+v, %v", e, ok)
+	}
+	if _, ok := w.Next(1); ok {
+		t.Fatal("pre-restart reader should be told to backfill")
+	}
+}
+
+func TestWindowWaitCh(t *testing.T) {
+	w := NewWindow[int](2)
+	ch := w.WaitCh()
+	select {
+	case <-ch:
+		t.Fatal("wait channel closed before any append")
+	default:
+	}
+	done := make(chan struct{})
+	go func() {
+		<-ch
+		close(done)
+	}()
+	w.Append(1, 1)
+	<-done
+
+	// Close wakes waiters too.
+	ch = w.WaitCh()
+	w.Close()
+	<-ch
+	// Appends after Close are dropped.
+	w.Append(2, 2)
+	if _, _, ok := w.Bounds(); !ok {
+		t.Fatal("bounds lost")
+	}
+	if _, ok := w.Next(1); ok {
+		t.Fatal("append after Close landed")
+	}
+}
+
+func TestWindowConcurrentReaders(t *testing.T) {
+	w := NewWindow[uint64](64)
+	const last = 2000
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var after uint64
+			for after < last {
+				// Take the wait channel before probing: an append landing
+				// between the probe and the wait then wakes us instead of
+				// being lost.
+				ch := w.WaitCh()
+				e, ok := w.Next(after)
+				if !ok {
+					ca, _, bok := w.Bounds()
+					if bok && after < ca {
+						// Fell below the window: jump to the low-water mark,
+						// as a real reader would after backfilling.
+						after = ca
+						continue
+					}
+					<-ch
+					continue
+				}
+				if e.Item != e.Version {
+					t.Errorf("entry %d carries item %d", e.Version, e.Item)
+					return
+				}
+				after = e.Version
+			}
+		}()
+	}
+	for v := uint64(1); v <= last; v++ {
+		w.Append(v, v)
+	}
+	wg.Wait()
+}

@@ -13,6 +13,7 @@ import (
 	"ivm"
 	"ivm/client"
 	"ivm/internal/metrics"
+	"ivm/internal/sched"
 )
 
 // Hub fans committed change sets out to subscribers. It drains
@@ -31,27 +32,42 @@ type Hub struct {
 	mu     sync.Mutex
 	subs   map[*Subscriber]struct{}
 	closed bool
+	// ring retains recent published events (guarded by mu) so a consumer
+	// that reconnects with ?from=<last seen version> can be replayed the
+	// events it missed instead of forced to resync.
+	ring *sched.Window[client.Event]
 
 	gActive    *metrics.Gauge
 	cEvents    *metrics.Counter
 	cDelivered *metrics.Counter
 	cEvicted   *metrics.Counter
+	cResumes   *metrics.Counter
+	cResyncs   *metrics.Counter
 }
 
-// NewHub builds a hub over v, registering its commit hook. Backpressure
-// counters land in reg: server_subscribers_active (gauge),
-// server_sub_events_total (committed events fanned out),
-// server_sub_delivered_total (per-subscriber deliveries), and
-// server_sub_evicted_total (slow consumers dropped).
-func NewHub(v *ivm.Views, reg *metrics.Registry) *Hub {
+// NewHub builds a hub over v, registering its commit hook. ringCap
+// bounds the resume replay ring. Backpressure counters land in reg:
+// server_subscribers_active (gauge), server_sub_events_total (committed
+// events fanned out), server_sub_delivered_total (per-subscriber
+// deliveries), server_sub_evicted_total (slow consumers dropped),
+// server_sub_resumes_total (?from= reconnects replayed gaplessly), and
+// server_sub_resyncs_total (reconnects refused for having aged out).
+func NewHub(v *ivm.Views, reg *metrics.Registry, ringCap int) *Hub {
 	h := &Hub{
 		subs:       make(map[*Subscriber]struct{}),
+		ring:       sched.NewWindow[client.Event](ringCap),
 		gActive:    reg.Gauge("server_subscribers_active"),
 		cEvents:    reg.Counter("server_sub_events_total"),
 		cDelivered: reg.Counter("server_sub_delivered_total"),
 		cEvicted:   reg.Counter("server_sub_evicted_total"),
+		cResumes:   reg.Counter("server_sub_resumes_total"),
+		cResyncs:   reg.Counter("server_sub_resyncs_total"),
 	}
+	// Commit hook before seed: an event landing in between establishes
+	// the ring's bounds itself and the seed no-ops (the reverse order
+	// could claim coverage over an event the ring never saw).
 	v.OnCommit(h.publish)
+	h.ring.Seed(v.Snapshot().Version())
 	return h
 }
 
@@ -70,6 +86,27 @@ type Subscriber struct {
 // every predicate) with a buffer of cap events. Returns nil if the hub
 // has shut down.
 func (h *Hub) Subscribe(preds []string, buffer int) *Subscriber {
+	sub, _, _ := h.subscribe(preds, buffer, 0, false)
+	return sub
+}
+
+// SubscribeFrom registers a consumer resuming after version from. The
+// returned backlog holds every retained matching event after from, in
+// commit order, captured atomically with registration — the caller
+// delivers the backlog first and then drains the live channel, and the
+// resumed stream is gapless (live events all carry versions above the
+// backlog's tail). The backlog is returned as a slice rather than
+// pre-loaded into the buffer so a resume can bridge gaps far larger
+// than the consumer's buffer: the ring's retention is the only limit.
+// resync reports that the gap could not be bridged — events after from
+// have aged out of the ring; the caller must tell the consumer to
+// re-read state and subscribe afresh. A nil subscriber with resync
+// false means the hub has shut down.
+func (h *Hub) SubscribeFrom(preds []string, buffer int, from uint64) (sub *Subscriber, backlog []client.Event, resync bool) {
+	return h.subscribe(preds, buffer, from, true)
+}
+
+func (h *Hub) subscribe(preds []string, buffer int, from uint64, resume bool) (*Subscriber, []client.Event, bool) {
 	if buffer < 1 {
 		buffer = 1
 	}
@@ -83,11 +120,52 @@ func (h *Hub) Subscribe(preds []string, buffer int) *Subscriber {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.closed {
-		return nil
+		return nil, nil, false
+	}
+	var backlog []client.Event
+	if resume {
+		ca, _, ok := h.ring.Bounds()
+		if !ok || from < ca {
+			// The resume point predates the ring's coverage: a replay
+			// could silently skip events, which is exactly what resume
+			// exists to prevent.
+			h.cResyncs.Inc()
+			return nil, nil, true
+		}
+		for after := from; ; {
+			e, ok := h.ring.Next(after)
+			if !ok {
+				break
+			}
+			after = e.Version
+			if ev, match := filterEvent(e.Item, s.preds); match {
+				backlog = append(backlog, ev)
+			}
+		}
+		h.cResumes.Inc()
 	}
 	h.subs[s] = struct{}{}
 	h.gActive.Add(1)
-	return s
+	return s, backlog, false
+}
+
+// filterEvent narrows an event to the subscriber's predicates; match is
+// false when nothing remains.
+func filterEvent(ev client.Event, preds map[string]bool) (client.Event, bool) {
+	if preds == nil {
+		return ev, true
+	}
+	var keep []client.Delta
+	for _, d := range ev.Deltas {
+		if preds[d.Pred] {
+			keep = append(keep, d)
+		}
+	}
+	if len(keep) == 0 {
+		return ev, false
+	}
+	ev.Deltas = keep
+	return ev, true
 }
 
 // Events returns the subscriber's delivery channel.
@@ -144,19 +222,11 @@ func (h *Hub) publish(cs *ivm.ChangeSet) {
 		return
 	}
 	h.cEvents.Inc()
+	h.ring.Append(ev.Version, ev)
 	for s := range h.subs {
-		sev := ev
-		if s.preds != nil {
-			var match []client.Delta
-			for _, d := range deltas {
-				if s.preds[d.Pred] {
-					match = append(match, d)
-				}
-			}
-			if len(match) == 0 {
-				continue
-			}
-			sev.Deltas = match
+		sev, match := filterEvent(ev, s.preds)
+		if !match {
+			continue
 		}
 		select {
 		case s.ch <- sev:

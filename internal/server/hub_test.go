@@ -27,7 +27,7 @@ func buildTestViews(t *testing.T) *ivm.Views {
 func TestHubBackpressure(t *testing.T) {
 	v := buildTestViews(t)
 	reg := metrics.NewRegistry()
-	h := NewHub(v, reg)
+	h := NewHub(v, reg, 256)
 
 	fast := h.Subscribe(nil, 1024)
 	slow := h.Subscribe(nil, 1)
@@ -106,7 +106,7 @@ func TestHubBackpressure(t *testing.T) {
 func TestHubConcurrentAppliesDeliverInOrder(t *testing.T) {
 	v := buildTestViews(t)
 	reg := metrics.NewRegistry()
-	h := NewHub(v, reg)
+	h := NewHub(v, reg, 256)
 	sub := h.Subscribe([]string{"hop"}, 4096)
 
 	var mu sync.Mutex

@@ -96,6 +96,10 @@ func (s *Server) serveLineConn(conn net.Conn) {
 		case "version":
 			ok = reply("ok", map[string]uint64{"version": s.v.Snapshot().Version()})
 		case "apply":
+			if s.opts.LeaderURL != "" {
+				ok = fail("apply: this server is a read-only follower; apply to the leader at %s", s.opts.LeaderURL)
+				break
+			}
 			var key string
 			if strings.HasPrefix(rest, "@") {
 				key, rest, _ = strings.Cut(rest[1:], " ")

@@ -1,0 +1,190 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"ivm"
+	"ivm/internal/storage"
+)
+
+// handleReplicate serves GET /v1/replicate: the resumable replication
+// stream a follower tails. The response is a raw sequence of framed
+// replication records (see internal/storage repl.go): 'D' records ship
+// committed delta scripts in version order, 'S' records ship a full
+// state snapshot, 'H' heartbeats keep idle streams demonstrably alive.
+//
+// Resume protocol: ?from=<version> asks for every commit after that
+// version. The handler serves it from a ladder of sources —
+//
+//  1. the in-memory window of recent commits (the common case);
+//  2. the WAL, when the resume point has aged out of the window and the
+//     durable records still bridge the gap contiguously;
+//  3. a full state snapshot ('S'), when neither can prove a gapless
+//     bridge — the follower replaces its state wholesale and tails on.
+//
+// A missing ?from= means "bootstrap me": the handler leads with an 'S'
+// record. Commits whose effects a delta cannot express (rule edits,
+// marked Reset) are also shipped as a fresh 'S'.
+func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	var cur uint64
+	haveFrom := false
+	if fs := r.URL.Query().Get("from"); fs != "" {
+		n, err := strconv.ParseUint(fs, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "invalid from %q", fs)
+			return
+		}
+		cur, haveFrom = n, true
+	}
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	send := func(rec storage.ReplRecord) bool {
+		buf, err := storage.AppendReplRecord(nil, rec)
+		if err != nil {
+			s.opts.Logf("ivmd: replicate: encoding record v%d: %v", rec.Version, err)
+			return false
+		}
+		if _, err := w.Write(buf); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+	sendDelta := func(rec ivm.CommitRecord) bool {
+		return send(storage.ReplRecord{
+			Kind:     storage.ReplKindDelta,
+			Version:  rec.Version,
+			UnixNano: rec.UnixNano,
+			Script:   rec.Script,
+			Keys:     rec.Keys,
+		})
+	}
+	// sendState ships the current published state as an 'S' record and
+	// returns its version — the follower's new resume point.
+	sendState := func() (uint64, bool) {
+		snap := s.v.Snapshot()
+		st := snap.ReplicaState()
+		payload, err := storage.EncodeReplState(storage.ReplState{
+			Program:   st.Program,
+			Hidden:    st.Hidden,
+			Facts:     st.Facts,
+			Strategy:  st.Strategy,
+			Semantics: st.Semantics,
+		})
+		if err != nil {
+			s.opts.Logf("ivmd: replicate: encoding state: %v", err)
+			return 0, false
+		}
+		ok := send(storage.ReplRecord{
+			Kind:     storage.ReplKindState,
+			Version:  snap.Version(),
+			UnixNano: time.Now().UnixNano(),
+			State:    payload,
+		})
+		return snap.Version(), ok
+	}
+	// backfill bridges (cur, coversAfter] from the WAL; when the durable
+	// records cannot prove a contiguous bridge (legacy unstamped records,
+	// a checkpoint that truncated them, no store at all) it falls back to
+	// a full state transfer. Returns the new resume point.
+	backfill := func(coversAfter uint64) (uint64, bool) {
+		recs, ok, err := s.v.CommittedRecordsAfter(cur)
+		if ok && err == nil && len(recs) > 0 && recs[0].Version == cur+1 {
+			contiguous := recs[len(recs)-1].Version >= coversAfter
+			for i := 1; contiguous && i < len(recs); i++ {
+				if recs[i].Version != recs[i-1].Version+1 {
+					contiguous = false
+				}
+			}
+			if contiguous {
+				for _, rec := range recs {
+					if !sendDelta(rec) {
+						return 0, false
+					}
+				}
+				return recs[len(recs)-1].Version, true
+			}
+		}
+		if err != nil {
+			s.opts.Logf("ivmd: replicate: WAL backfill after v%d: %v", cur, err)
+		}
+		return sendState()
+	}
+
+	if !haveFrom {
+		v, ok := sendState()
+		if !ok {
+			return
+		}
+		cur = v
+	}
+
+	hb := time.NewTicker(s.opts.ReplHeartbeat)
+	defer hb.Stop()
+	ctx := r.Context()
+	for {
+		// Capture the wait channel before probing: an append landing
+		// between Next and the select then wakes us instead of being
+		// lost.
+		ch := s.replWin.WaitCh()
+		if e, ok := s.replWin.Next(cur); ok {
+			if e.Item.Reset {
+				// A rule edit: deltas cannot express it, so ship the
+				// current state (at least e.Version) and jump there.
+				v, ok := sendState()
+				if !ok {
+					return
+				}
+				cur = v
+				continue
+			}
+			if !sendDelta(e.Item) {
+				return
+			}
+			cur = e.Item.Version
+			continue
+		}
+		if ca, _, ok := s.replWin.Bounds(); ok && cur < ca {
+			next, ok := backfill(ca)
+			if !ok {
+				return
+			}
+			cur = next
+			continue
+		}
+		// Caught up: sleep until the next commit, heartbeating so the
+		// follower can tell a quiet primary from a dead connection.
+		select {
+		case <-ctx.Done():
+			return
+		case <-s.stop:
+			return
+		case <-ch:
+		case <-hb.C:
+			if !send(storage.ReplRecord{
+				Kind:     storage.ReplKindHeartbeat,
+				Version:  s.v.Snapshot().Version(),
+				UnixNano: time.Now().UnixNano(),
+			}) {
+				return
+			}
+		}
+	}
+}

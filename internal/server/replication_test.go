@@ -1,0 +1,368 @@
+package server
+
+// Tests for the replication serving surface: the /v1/replicate stream
+// (bootstrap, tail, window resume, WAL backfill, state fallback,
+// heartbeats), follower write rejection, bounded-staleness min_version
+// reads, and subscription resume over the hub's ring.
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"ivm"
+	"ivm/client"
+	"ivm/internal/storage"
+)
+
+// startReplServer builds a memory-only primary and serves it.
+func startReplServer(t *testing.T, opts Options) (*ivm.Views, *Server) {
+	t.Helper()
+	v := buildTestViews(t)
+	srv := New(v, opts)
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		v.Shutdown()
+	})
+	return v, srv
+}
+
+// openStream connects to /v1/replicate and returns a record reader.
+func openStream(t *testing.T, url string) (*bufio.Reader, func()) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("GET %s: %d: %s", url, resp.StatusCode, body)
+	}
+	return bufio.NewReader(resp.Body), func() { resp.Body.Close() }
+}
+
+// nextRecord reads one record, failing the test on error.
+func nextRecord(t *testing.T, br *bufio.Reader) storage.ReplRecord {
+	t.Helper()
+	rec, err := storage.ReadReplRecord(br)
+	if err != nil {
+		t.Fatalf("reading replication record: %v", err)
+	}
+	return rec
+}
+
+// nextDataRecord skips heartbeats and returns the next 'D' or 'S'.
+func nextDataRecord(t *testing.T, br *bufio.Reader) storage.ReplRecord {
+	t.Helper()
+	for {
+		rec := nextRecord(t, br)
+		if rec.Kind != storage.ReplKindHeartbeat {
+			return rec
+		}
+	}
+}
+
+// TestReplicateBootstrapAndTail is the happy path: no ?from= leads with
+// a full state record at the current version, then every commit arrives
+// as a delta in version order, and an idle stream heartbeats.
+func TestReplicateBootstrapAndTail(t *testing.T) {
+	v, srv := startReplServer(t, Options{ReplHeartbeat: 25 * time.Millisecond})
+
+	br, closeStream := openStream(t, srv.URL()+"/v1/replicate")
+	defer closeStream()
+
+	rec := nextDataRecord(t, br)
+	if rec.Kind != storage.ReplKindState {
+		t.Fatalf("first record kind %q, want state", rec.Kind)
+	}
+	if got, want := rec.Version, v.Snapshot().Version(); got != want {
+		t.Fatalf("state version %d, want %d", got, want)
+	}
+	st, err := storage.DecodeReplState(rec.State)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Program != v.ProgramSource() {
+		t.Fatalf("state program %q, want the primary's", st.Program)
+	}
+
+	var want []uint64
+	for i := 0; i < 5; i++ {
+		cs, err := v.Apply(ivm.NewUpdate().Insert("link", fmt.Sprintf("r%d", i), "z"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, cs.Version())
+	}
+	for _, wv := range want {
+		rec := nextDataRecord(t, br)
+		if rec.Kind != storage.ReplKindDelta || rec.Version != wv {
+			t.Fatalf("got kind %q version %d, want delta version %d", rec.Kind, rec.Version, wv)
+		}
+	}
+
+	// Idle now: a heartbeat must arrive carrying the published version.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		rec := nextRecord(t, br)
+		if rec.Kind == storage.ReplKindHeartbeat {
+			if rec.Version != want[len(want)-1] {
+				t.Fatalf("heartbeat version %d, want %d", rec.Version, want[len(want)-1])
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no heartbeat within deadline")
+		}
+	}
+}
+
+// TestReplicateResumeFromWindow: a ?from= inside the in-memory window
+// replays deltas only — no state transfer.
+func TestReplicateResumeFromWindow(t *testing.T) {
+	v, srv := startReplServer(t, Options{ReplHeartbeat: 25 * time.Millisecond})
+
+	base := v.Snapshot().Version()
+	var want []uint64
+	for i := 0; i < 4; i++ {
+		cs, err := v.Apply(ivm.NewUpdate().Insert("link", fmt.Sprintf("w%d", i), "z"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, cs.Version())
+	}
+
+	br, closeStream := openStream(t, fmt.Sprintf("%s/v1/replicate?from=%d", srv.URL(), base))
+	defer closeStream()
+	for _, wv := range want {
+		rec := nextDataRecord(t, br)
+		if rec.Kind != storage.ReplKindDelta || rec.Version != wv {
+			t.Fatalf("got kind %q version %d, want delta version %d (no state transfer on window resume)", rec.Kind, rec.Version, wv)
+		}
+	}
+}
+
+// TestReplicateBackfillFromWAL: a resume point that has aged out of the
+// in-memory window is bridged from the WAL with contiguous deltas.
+func TestReplicateBackfillFromWAL(t *testing.T) {
+	dir := t.TempDir()
+	v, _, err := ivm.OpenStore(dir, func() (*ivm.Views, error) {
+		db := ivm.NewDatabase()
+		db.MustLoad(`link(a,b). link(b,c).`)
+		return db.Materialize(`hop(X,Y) :- link(X,Z), link(Z,Y).`)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(v, Options{ReplWindow: 2, ReplHeartbeat: 25 * time.Millisecond, OwnViews: true})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+
+	base := v.Snapshot().Version()
+	var want []uint64
+	for i := 0; i < 6; i++ {
+		cs, err := v.Apply(ivm.NewUpdate().Insert("link", fmt.Sprintf("b%d", i), "z"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, cs.Version())
+	}
+
+	// from=base is 6 commits back; the window holds 2, so the bridge
+	// must come from the WAL — still all deltas, in order, gapless.
+	br, closeStream := openStream(t, fmt.Sprintf("%s/v1/replicate?from=%d", srv.URL(), base))
+	defer closeStream()
+	for _, wv := range want {
+		rec := nextDataRecord(t, br)
+		if rec.Kind != storage.ReplKindDelta || rec.Version != wv {
+			t.Fatalf("got kind %q version %d, want delta version %d (WAL backfill)", rec.Kind, rec.Version, wv)
+		}
+	}
+}
+
+// TestReplicateStaleResumeFallsBackToState: with no WAL to bridge from,
+// a resume point behind the window gets a full state record at the
+// current version instead of a gap.
+func TestReplicateStaleResumeFallsBackToState(t *testing.T) {
+	v, srv := startReplServer(t, Options{ReplWindow: 2, ReplHeartbeat: 25 * time.Millisecond})
+
+	base := v.Snapshot().Version()
+	var last uint64
+	for i := 0; i < 6; i++ {
+		cs, err := v.Apply(ivm.NewUpdate().Insert("link", fmt.Sprintf("s%d", i), "z"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = cs.Version()
+	}
+
+	br, closeStream := openStream(t, fmt.Sprintf("%s/v1/replicate?from=%d", srv.URL(), base))
+	defer closeStream()
+	rec := nextDataRecord(t, br)
+	if rec.Kind != storage.ReplKindState {
+		t.Fatalf("got kind %q version %d, want a state transfer (memory-only primary cannot bridge)", rec.Kind, rec.Version)
+	}
+	if rec.Version < last {
+		t.Fatalf("state version %d, want >= %d", rec.Version, last)
+	}
+}
+
+// TestFollowerRejectsWrites: a server with LeaderURL refuses applies
+// with 503 and names the leader; reads keep working.
+func TestFollowerRejectsWrites(t *testing.T) {
+	const leader = "http://leader.example:7199"
+	v, srv := startReplServer(t, Options{LeaderURL: leader})
+
+	c := client.New(srv.URL(), nil)
+	c.SetRetryPolicy(client.RetryPolicy{MaxAttempts: 1})
+	ctx := context.Background()
+	_, err := c.Apply(ctx, "+link(x,y).")
+	if err == nil {
+		t.Fatal("follower accepted an apply")
+	}
+	if got := client.StatusOf(err); got != http.StatusServiceUnavailable {
+		t.Fatalf("apply status %d, want 503", got)
+	}
+	if got := client.LeaderURLOf(err); got != leader {
+		t.Fatalf("Leader-URL %q, want %q", got, leader)
+	}
+	if _, err := c.Rows(ctx, "hop"); err != nil {
+		t.Fatalf("read on follower failed: %v", err)
+	}
+	_ = v
+}
+
+// TestMinVersionReads: a read bounded by min_version waits for the
+// version to publish, and times out with 412 + Leader-URL when it
+// never does.
+func TestMinVersionReads(t *testing.T) {
+	const leader = "http://leader.example:7199"
+	v, srv := startReplServer(t, Options{LeaderURL: leader, MinVersionWait: 100 * time.Millisecond})
+	c := client.New(srv.URL(), nil)
+	ctx := context.Background()
+
+	cs, err := v.Apply(ivm.NewUpdate().Insert("link", "m1", "m2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RowsOpts(ctx, "link", client.ReadOptions{MinVersion: cs.Version()}); err != nil {
+		t.Fatalf("read at published min_version failed: %v", err)
+	}
+
+	// One version ahead of anything published: the wait must lapse into
+	// a 412 that names the leader.
+	_, err = c.RowsOpts(ctx, "link", client.ReadOptions{MinVersion: cs.Version() + 1})
+	if err == nil {
+		t.Fatal("read above the published version succeeded")
+	}
+	if got := client.StatusOf(err); got != http.StatusPreconditionFailed {
+		t.Fatalf("status %d, want 412", got)
+	}
+	if got := client.LeaderURLOf(err); got != leader {
+		t.Fatalf("Leader-URL %q, want %q", got, leader)
+	}
+
+	// A waiter that starts early must be released by the publish itself.
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.RowsOpts(ctx, "link", client.ReadOptions{MinVersion: cs.Version() + 1})
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if _, err := v.Apply(ivm.NewUpdate().Insert("link", "m3", "m4")); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("waiter not released by publish: %v", err)
+	}
+}
+
+// TestSubscribeResumeAfterEviction: a subscriber that stalls past its
+// buffer is evicted server-side; the client must reconnect with its
+// resume point and the hub ring must replay every missed event — the
+// consumer sees every committed version exactly once, in order.
+func TestSubscribeResumeAfterEviction(t *testing.T) {
+	v, srv := startReplServer(t, Options{})
+	c := client.New(srv.URL(), nil)
+	c.SetRetryPolicy(client.RetryPolicy{MaxAttempts: 8, BaseDelay: 5 * time.Millisecond, MaxDelay: 50 * time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+
+	// Server-side buffer of 1: not reading while commits land evicts us.
+	sub, err := c.Subscribe(ctx, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	var want []uint64
+	for i := 0; i < 30; i++ {
+		cs, err := v.Apply(ivm.NewUpdate().
+			Insert("link", fmt.Sprintf("e%d", i), fmt.Sprintf("f%d", i)).
+			Insert("link", fmt.Sprintf("f%d", i), fmt.Sprintf("g%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, cs.Version())
+	}
+
+	// Drain: with resume, every committed version arrives despite the
+	// eviction(s) that the stall above must have caused.
+	got := make(map[uint64]bool)
+	var last uint64
+	for len(got) < len(want) {
+		select {
+		case ev, ok := <-sub.Events():
+			if !ok {
+				t.Fatalf("stream closed early: err=%v got=%d/%d", sub.Err(), len(got), len(want))
+			}
+			if ev.Hello {
+				continue
+			}
+			if ev.Version <= last {
+				t.Fatalf("version %d after %d: duplicates or reordering", ev.Version, last)
+			}
+			last = ev.Version
+			got[ev.Version] = true
+		case <-ctx.Done():
+			t.Fatalf("timed out with %d/%d events", len(got), len(want))
+		}
+	}
+	for _, wv := range want {
+		if !got[wv] {
+			t.Fatalf("version %d never delivered", wv)
+		}
+	}
+
+	// The hub must have recorded at least one eviction and one resume.
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["server_sub_evicted_total"] < 1 {
+		t.Fatalf("server_sub_evicted_total = %d, want >= 1 (the stall must evict)", m["server_sub_evicted_total"])
+	}
+	if m["server_sub_resumes_total"] < 1 {
+		t.Fatalf("server_sub_resumes_total = %d, want >= 1", m["server_sub_resumes_total"])
+	}
+}

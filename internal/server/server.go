@@ -18,6 +18,7 @@ import (
 	"ivm/internal/datalog"
 	"ivm/internal/metrics"
 	"ivm/internal/parser"
+	"ivm/internal/sched"
 )
 
 // Options configures a Server. The zero value serves HTTP on a random
@@ -43,6 +44,25 @@ type Options struct {
 	// checkpoint + close a bound store). Set by cmd/ivmd, which owns its
 	// views; leave false when the views outlive the server.
 	OwnViews bool
+	// LeaderURL marks this server a read-only replication follower:
+	// applies are refused with 503 and a Leader-URL header naming the
+	// primary, and reads whose ?min_version= wait times out carry the
+	// same header so clients can redirect.
+	LeaderURL string
+	// ReplWindow is how many committed records the in-memory replication
+	// window retains (default 1024). Followers resuming further behind
+	// are backfilled from the WAL, or from a full state transfer.
+	ReplWindow int
+	// ReplHeartbeat is the keepalive cadence of idle /v1/replicate
+	// streams (default 500ms). Heartbeats carry the current published
+	// version, so an idle follower still tracks lag.
+	ReplHeartbeat time.Duration
+	// MinVersionWait bounds how long a ?min_version= read waits for the
+	// published version to catch up before answering 412 (default 2s).
+	MinVersionWait time.Duration
+	// ExtraMetrics are appended to the /v1/metrics exposition after the
+	// engine and server series — e.g. a follower's replica_* registry.
+	ExtraMetrics []*metrics.Registry
 	// Logf receives one line per lifecycle event and served request
 	// (nil = silent).
 	Logf func(format string, args ...any)
@@ -65,6 +85,15 @@ func (o *Options) withDefaults() Options {
 	if out.SessionTTL <= 0 {
 		out.SessionTTL = 5 * time.Minute
 	}
+	if out.ReplWindow <= 0 {
+		out.ReplWindow = 1024
+	}
+	if out.ReplHeartbeat <= 0 {
+		out.ReplHeartbeat = 500 * time.Millisecond
+	}
+	if out.MinVersionWait <= 0 {
+		out.MinVersionWait = 2 * time.Second
+	}
 	if out.Logf == nil {
 		out.Logf = func(string, ...any) {}
 	}
@@ -86,6 +115,13 @@ type Server struct {
 	httpLn net.Listener
 	lineLn net.Listener
 
+	// replWin is the in-memory tail of committed records that
+	// /v1/replicate streams from; stop unblocks idle streams at
+	// shutdown.
+	replWin  *sched.Window[ivm.CommitRecord]
+	stop     chan struct{}
+	stopOnce sync.Once
+
 	mu        sync.Mutex
 	lineConns map[net.Conn]struct{}
 	draining  bool
@@ -103,7 +139,7 @@ func New(v *ivm.Views, opts Options) *Server {
 	s := &Server{
 		v:         v,
 		opts:      opts,
-		hub:       NewHub(v, reg),
+		hub:       NewHub(v, reg, opts.SubscriberBuffer),
 		sess:      newSessionTable(opts.SessionTTL, reg),
 		reg:       reg,
 		lineConns: make(map[net.Conn]struct{}),
@@ -111,7 +147,15 @@ func New(v *ivm.Views, opts Options) *Server {
 		cErrors:   reg.Counter("server_request_errors_total"),
 		cDedups:   reg.Counter("server_apply_dedup_total"),
 		hRequest:  reg.Histogram("server_request_seconds"),
+		stop:      make(chan struct{}),
 	}
+	// Register the window's feed before seeding it: a commit landing in
+	// between appends (establishing tighter bounds) and the seed becomes
+	// a no-op, whereas the reverse order could lose that commit from the
+	// window's claimed coverage.
+	s.replWin = sched.NewWindow[ivm.CommitRecord](opts.ReplWindow)
+	v.OnCommitRecord(func(rec ivm.CommitRecord) { s.replWin.Append(rec.Version, rec) })
+	s.replWin.Seed(v.Snapshot().Version())
 	mux := http.NewServeMux()
 	timed := func(h http.HandlerFunc) http.Handler {
 		inner := http.TimeoutHandler(h, opts.RequestTimeout, `{"error":"request timed out"}`)
@@ -138,6 +182,7 @@ func New(v *ivm.Views, opts Options) *Server {
 	// Streaming: no timeout handler (the response never ends on its
 	// own) and no response buffering.
 	mux.HandleFunc("GET /v1/subscribe", s.handleSubscribe)
+	mux.HandleFunc("GET /v1/replicate", s.handleReplicate)
 	s.http = &http.Server{
 		Handler:           s.logMiddleware(mux),
 		ReadHeaderTimeout: 10 * time.Second,
@@ -213,6 +258,8 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.sess.stopSweeper()
 	s.opts.Logf("ivmd: shutdown: closing subscriptions")
 	s.hub.CloseAll()
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.replWin.Close()
 	if s.lineLn != nil {
 		s.lineLn.Close()
 	}
@@ -296,18 +343,51 @@ type reader interface {
 	Explain(goal string) ([]ivm.Derivation, error)
 }
 
+// setLeaderHeader advertises the primary on responses a client should
+// redirect away from (follower write rejections, min_version timeouts).
+func (s *Server) setLeaderHeader(w http.ResponseWriter) {
+	if s.opts.LeaderURL != "" {
+		w.Header().Set("Leader-URL", s.opts.LeaderURL)
+	}
+}
+
 // readerFor resolves the read target: the request's session snapshot
 // when ?session= is present (404 on unknown/expired ids), the current
-// published version otherwise. The bool reports whether a response was
-// already written.
+// published version otherwise. A ?min_version= parameter makes the read
+// bounded-staleness: the handler waits up to Options.MinVersionWait for
+// the published version to reach it, then answers 412 (with a
+// Leader-URL header on followers) instead of serving stale data — the
+// wait-or-redirect contract read-your-writes across replication lag
+// relies on. The bool reports whether a response was already written.
 func (s *Server) readerFor(w http.ResponseWriter, r *http.Request) (reader, bool) {
-	id := r.URL.Query().Get("session")
+	q := r.URL.Query()
+	var min uint64
+	if ms := q.Get("min_version"); ms != "" {
+		n, err := strconv.ParseUint(ms, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "invalid min_version %q", ms)
+			return nil, true
+		}
+		min = n
+	}
+	if min > 0 && !s.v.WaitForVersion(min, s.opts.MinVersionWait) {
+		s.setLeaderHeader(w)
+		writeError(w, http.StatusPreconditionFailed,
+			"published version %d below min_version %d after %s", s.v.Snapshot().Version(), min, s.opts.MinVersionWait)
+		return nil, true
+	}
+	id := q.Get("session")
 	if id == "" {
 		return s.v.Snapshot(), false
 	}
 	sess, ok := s.sess.get(id)
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown or expired session %q", id)
+		return nil, true
+	}
+	if min > 0 && sess.snap.Version() < min {
+		writeError(w, http.StatusPreconditionFailed,
+			"session %q pins version %d below min_version %d", id, sess.snap.Version(), min)
 		return nil, true
 	}
 	return sess.snap, false
@@ -323,6 +403,11 @@ func (s *Server) readerFor(w http.ResponseWriter, r *http.Request) (reader, bool
 // requests are answered with the original result (Deduped: true)
 // instead of re-applying — see DESIGN.md §13.
 func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
+	if s.opts.LeaderURL != "" {
+		s.setLeaderHeader(w)
+		writeError(w, http.StatusServiceUnavailable, "this server is a read-only follower; apply to the leader at %s", s.opts.LeaderURL)
+		return
+	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
 	if err != nil {
 		var tooLarge *http.MaxBytesError
@@ -475,7 +560,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if _, err := s.v.Metrics().WriteTo(w); err != nil {
 		return
 	}
-	s.reg.Snapshot().WriteTo(w)
+	if _, err := s.reg.Snapshot().WriteTo(w); err != nil {
+		return
+	}
+	for _, extra := range s.opts.ExtraMetrics {
+		if _, err := extra.Snapshot().WriteTo(w); err != nil {
+			return
+		}
+	}
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
@@ -544,7 +636,28 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	// Subscribe before reading the hello version: a commit between the
 	// two lands both in the hello version and the event stream (benign
 	// overlap) rather than in neither (a gap).
-	sub := s.hub.Subscribe(q["pred"], buffer)
+	var sub *Subscriber
+	var backlog []client.Event
+	if fs := q.Get("from"); fs != "" {
+		from, err := strconv.ParseUint(fs, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "invalid from %q", fs)
+			return
+		}
+		var resync bool
+		sub, backlog, resync = s.hub.SubscribeFrom(q["pred"], buffer, from)
+		if resync {
+			// The gap cannot be bridged gaplessly: tell the consumer to
+			// re-read current state and subscribe afresh.
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+			json.NewEncoder(w).Encode(client.Event{Resync: true})
+			flusher.Flush()
+			return
+		}
+	} else {
+		sub = s.hub.Subscribe(q["pred"], buffer)
+	}
 	if sub == nil {
 		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
 		return
@@ -557,6 +670,17 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.Encode(client.Event{Version: s.v.Snapshot().Version(), Hello: true})
 	flusher.Flush()
+	// Resume backlog first: these precede (by version) everything the
+	// live channel will deliver, so writing them up front keeps the
+	// resumed stream gapless and ordered.
+	for _, ev := range backlog {
+		if err := enc.Encode(ev); err != nil {
+			return
+		}
+	}
+	if len(backlog) > 0 {
+		flusher.Flush()
+	}
 
 	ctx := r.Context()
 	for {

@@ -1,0 +1,200 @@
+package storage
+
+// Replication wire format. A primary ships committed changes to
+// followers as a stream of framed records:
+//
+//	[kind u8][version u64][unixnano i64][len u32][crc32c u32][payload]
+//
+// The CRC32C covers the first 21 header bytes plus the payload, so a
+// record torn or damaged in transit is rejected before any of it is
+// applied. Three kinds exist:
+//
+//   - 'D' (delta): payload is a framing-v2 WAL body (keyed or bare
+//     delta script); version is the snapshot version the primary
+//     published when it applied the delta. Applying the stream of 'D'
+//     records in version order reproduces the primary bit-for-bit.
+//   - 'S' (state): payload is a JSON ReplState — the full program,
+//     facts, and configuration at version. Sent when a follower's
+//     resume point is too old to bridge with deltas; the follower
+//     replaces its state wholesale and resumes tailing from version.
+//   - 'H' (heartbeat): empty payload; version is the primary's current
+//     published version. Keeps the connection demonstrably alive and
+//     lets an idle follower track lag.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Replication record kinds.
+const (
+	ReplKindDelta     byte = 'D'
+	ReplKindState     byte = 'S'
+	ReplKindHeartbeat byte = 'H'
+)
+
+// replHeaderSize is the fixed record header: kind u8, version u64,
+// unixnano i64, len u32, crc32c u32 (numbers big-endian).
+const replHeaderSize = 25
+
+// maxReplPayload bounds a record payload so a corrupt length header
+// cannot force a multi-gigabyte allocation on either end.
+const maxReplPayload = 1 << 30
+
+// ReplRecord is one decoded replication stream record.
+type ReplRecord struct {
+	Kind     byte
+	Version  uint64
+	UnixNano int64
+	// Script and Keys are set for 'D' records (the framing-v2 payload).
+	Script string
+	Keys   []string
+	// State is the raw JSON ReplState payload of an 'S' record.
+	State []byte
+}
+
+// ReplState is the full-state payload of an 'S' record: everything a
+// follower needs to rebuild the primary's Views from scratch.
+type ReplState struct {
+	// Program is the view-definition source text.
+	Program string `json:"program"`
+	// Hidden lists internal auxiliary predicates filtered from
+	// user-facing change sets.
+	Hidden []string `json:"hidden,omitempty"`
+	// Facts is a delta script (`+pred(tuple) * n.` lines) inserting
+	// every stored base fact with its count.
+	Facts string `json:"facts"`
+	// Strategy and Semantics are the engine configuration names the
+	// follower must match for bit-identical derived state.
+	Strategy  string `json:"strategy,omitempty"`
+	Semantics string `json:"semantics,omitempty"`
+}
+
+// AppendReplRecord encodes rec and appends it to dst. For 'D' records
+// the payload is built from Script/Keys with the WAL framing-v2
+// encoder; for 'S' records the State bytes are shipped as-is; 'H'
+// records carry no payload.
+func AppendReplRecord(dst []byte, rec ReplRecord) ([]byte, error) {
+	var payload []byte
+	switch rec.Kind {
+	case ReplKindDelta:
+		p, err := encodeKeyedPayload(rec.Script, rec.Keys)
+		if err != nil {
+			return nil, err
+		}
+		payload = p
+	case ReplKindState:
+		payload = rec.State
+	case ReplKindHeartbeat:
+		// empty
+	default:
+		return nil, fmt.Errorf("storage: unknown replication record kind %q", rec.Kind)
+	}
+	if len(payload) > maxReplPayload {
+		return nil, fmt.Errorf("storage: replication payload of %d bytes exceeds the %d limit", len(payload), maxReplPayload)
+	}
+	var hdr [replHeaderSize]byte
+	hdr[0] = rec.Kind
+	binary.BigEndian.PutUint64(hdr[1:9], rec.Version)
+	binary.BigEndian.PutUint64(hdr[9:17], uint64(rec.UnixNano))
+	binary.BigEndian.PutUint32(hdr[17:21], uint32(len(payload)))
+	crc := crc32.Checksum(hdr[0:21], castagnoli)
+	crc = crc32.Update(crc, castagnoli, payload)
+	binary.BigEndian.PutUint32(hdr[21:25], crc)
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...), nil
+}
+
+// ReadReplRecord reads and decodes one record from r. A clean EOF at a
+// record boundary returns io.EOF; EOF inside a record returns
+// io.ErrUnexpectedEOF. Any framing or checksum failure is an error —
+// the stream cannot be resynchronized past damage, so callers drop the
+// connection and reconnect from their applied version.
+func ReadReplRecord(r *bufio.Reader) (ReplRecord, error) {
+	var hdr [replHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		return ReplRecord{}, err // io.EOF here is a clean boundary
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return ReplRecord{}, err
+	}
+	kind := hdr[0]
+	switch kind {
+	case ReplKindDelta, ReplKindState, ReplKindHeartbeat:
+	default:
+		return ReplRecord{}, fmt.Errorf("storage: unknown replication record kind 0x%02x", kind)
+	}
+	n := binary.BigEndian.Uint32(hdr[17:21])
+	if n > maxReplPayload {
+		return ReplRecord{}, fmt.Errorf("storage: replication record payload of %d bytes exceeds the %d limit", n, maxReplPayload)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return ReplRecord{}, err
+	}
+	want := binary.BigEndian.Uint32(hdr[21:25])
+	crc := crc32.Checksum(hdr[0:21], castagnoli)
+	crc = crc32.Update(crc, castagnoli, payload)
+	if crc != want {
+		return ReplRecord{}, fmt.Errorf("storage: replication record crc mismatch (stored %08x, computed %08x)", want, crc)
+	}
+	rec := ReplRecord{
+		Kind:     kind,
+		Version:  binary.BigEndian.Uint64(hdr[1:9]),
+		UnixNano: int64(binary.BigEndian.Uint64(hdr[9:17])),
+	}
+	switch kind {
+	case ReplKindDelta:
+		inner, err := decodeKeyedPayload(payload)
+		if err != nil {
+			return ReplRecord{}, err
+		}
+		rec.Script, rec.Keys = inner.Script, inner.Keys
+	case ReplKindState:
+		rec.State = payload
+	}
+	return rec, nil
+}
+
+// DecodeReplRecords decodes a byte buffer as a sequence of replication
+// records (the fuzz-target entry point). A clean EOF at a record
+// boundary ends the scan without error.
+func DecodeReplRecords(data []byte) ([]ReplRecord, error) {
+	r := bufio.NewReader(bytes.NewReader(data))
+	var out []ReplRecord
+	for {
+		rec, err := ReadReplRecord(r)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}
+
+// EncodeReplState renders st as the JSON payload of an 'S' record.
+func EncodeReplState(st ReplState) ([]byte, error) {
+	return json.Marshal(st)
+}
+
+// DecodeReplState parses an 'S' record payload.
+func DecodeReplState(data []byte) (ReplState, error) {
+	var st ReplState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return ReplState{}, fmt.Errorf("storage: decoding replication state payload: %w", err)
+	}
+	return st, nil
+}

@@ -1,0 +1,69 @@
+package storage
+
+// Fuzz target for the replication record decoder. Followers hand
+// ReadReplRecord raw network bytes, so the decoder must never panic,
+// never allocate past the payload bound, and must stay stable under
+// re-encoding: whatever records it extracts, re-encoding and decoding
+// again must yield the same records. The seed corpus reuses the WAL
+// framing-v2 payloads ('D' records wrap them verbatim) plus state and
+// heartbeat records, torn tails, and in-place damage.
+
+import (
+	"bytes"
+	"testing"
+)
+
+// encodeReplRecords renders records exactly as the primary streams them.
+func encodeReplRecords(t testing.TB, records []ReplRecord) []byte {
+	var buf []byte
+	var err error
+	for _, rec := range records {
+		buf, err = AppendReplRecord(buf, rec)
+		if err != nil {
+			t.Fatalf("AppendReplRecord(%+v): %v", rec, err)
+		}
+	}
+	return buf
+}
+
+func FuzzReplRecord(f *testing.F) {
+	// Well-formed streams whose 'D' payloads exercise every WAL framing:
+	// bare scripts, keyed framing v2, and empty scripts.
+	valid := encodeReplRecords(f, []ReplRecord{
+		{Kind: ReplKindDelta, Version: 1, UnixNano: 111, Script: "+link(a,b)."},
+		{Kind: ReplKindDelta, Version: 2, UnixNano: 222, Script: "-link(a,b) * 2.", Keys: []string{"k1", "k2"}},
+		{Kind: ReplKindDelta, Version: 3, Script: "", Keys: []string{"only-keys"}},
+		{Kind: ReplKindState, Version: 4, State: []byte(`{"program":"p(X) :- q(X).","facts":"+q(1).\n"}`)},
+		{Kind: ReplKindHeartbeat, Version: 4, UnixNano: 333},
+	})
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3]) // torn final record
+	f.Add(valid[:replHeaderSize-1])
+	corrupt := append([]byte(nil), valid...)
+	corrupt[replHeaderSize] ^= 0xff // flip a payload byte of record 1
+	f.Add(corrupt)
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, replHeaderSize+4)) // absurd header
+	f.Fuzz(func(t *testing.T, data []byte) {
+		records, err := DecodeReplRecords(data)
+		if err != nil {
+			return // damage detected; nothing else to assert
+		}
+		// Decode/encode stability: the extracted records survive a round
+		// trip through the canonical encoding.
+		again, err := DecodeReplRecords(encodeReplRecords(t, records))
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded records failed: %v", err)
+		}
+		if len(again) != len(records) {
+			t.Fatalf("round trip changed record count: %d != %d", len(again), len(records))
+		}
+		for i := range records {
+			a, b := records[i], again[i]
+			if a.Kind != b.Kind || a.Version != b.Version || a.UnixNano != b.UnixNano ||
+				a.Script != b.Script || len(a.Keys) != len(b.Keys) || !bytes.Equal(a.State, b.State) {
+				t.Fatalf("record %d changed in round trip: %+v != %+v", i, a, b)
+			}
+		}
+	})
+}

@@ -89,18 +89,29 @@ type snapshot struct {
 	// predicates SQL GROUP BY translation generates. Version-1 snapshots
 	// decode with an empty list (gob leaves absent fields zero).
 	Hidden []string
+	// BaseVersion (version 3+) is the published snapshot version the
+	// saved state corresponds to, so a restarted process — or a replica
+	// bootstrapping from a checkpoint — resumes the version counter
+	// where the writer left it. Older snapshots decode as 0.
+	BaseVersion uint64
 }
 
-const snapshotVersion = 2
+const snapshotVersion = 3
 
-// Save writes a gob snapshot of db (every relation, with counts), the
-// program text, and the hidden-predicate set to w.
+// Save is SaveAt without a base-version stamp.
 func Save(w io.Writer, db *eval.DB, program string, hidden []string) error {
+	return SaveAt(w, db, program, hidden, 0)
+}
+
+// SaveAt writes a gob snapshot of db (every relation, with counts), the
+// program text, the hidden-predicate set, and the base version to w.
+func SaveAt(w io.Writer, db *eval.DB, program string, hidden []string, baseVersion uint64) error {
 	snap := snapshot{
-		Version:   snapshotVersion,
-		Program:   program,
-		Relations: make(map[string][]row),
-		Hidden:    append([]string(nil), hidden...),
+		Version:     snapshotVersion,
+		Program:     program,
+		Relations:   make(map[string][]row),
+		Hidden:      append([]string(nil), hidden...),
+		BaseVersion: baseVersion,
 	}
 	for _, pred := range db.Preds() {
 		rel := db.Get(pred)
@@ -118,15 +129,22 @@ func Save(w io.Writer, db *eval.DB, program string, hidden []string) error {
 }
 
 // Load reads a snapshot, returning the database, the program text, and
-// the hidden-predicate set. Both version-1 (no hidden set) and version-2
-// snapshots are accepted.
+// the hidden-predicate set. Every snapshot version from 1 (no hidden
+// set) up is accepted.
 func Load(r io.Reader) (*eval.DB, string, []string, error) {
+	db, program, hidden, _, err := LoadAt(r)
+	return db, program, hidden, err
+}
+
+// LoadAt is Load plus the base version the snapshot was stamped with
+// (0 for snapshots written before version stamping).
+func LoadAt(r io.Reader) (*eval.DB, string, []string, uint64, error) {
 	var snap snapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
-		return nil, "", nil, fmt.Errorf("storage: decoding snapshot: %w", err)
+		return nil, "", nil, 0, fmt.Errorf("storage: decoding snapshot: %w", err)
 	}
 	if snap.Version < 1 || snap.Version > snapshotVersion {
-		return nil, "", nil, fmt.Errorf("storage: unsupported snapshot version %d", snap.Version)
+		return nil, "", nil, 0, fmt.Errorf("storage: unsupported snapshot version %d", snap.Version)
 	}
 	db := eval.NewDB()
 	for pred, rows := range snap.Relations {
@@ -136,7 +154,7 @@ func Load(r io.Reader) (*eval.DB, string, []string, error) {
 			for i, s := range rw.Tuple {
 				v, err := s.value()
 				if err != nil {
-					return nil, "", nil, err
+					return nil, "", nil, 0, err
 				}
 				t[i] = v
 			}
@@ -150,7 +168,7 @@ func Load(r io.Reader) (*eval.DB, string, []string, error) {
 		}
 		db.Put(pred, rel)
 	}
-	return db, snap.Program, snap.Hidden, nil
+	return db, snap.Program, snap.Hidden, snap.BaseVersion, nil
 }
 
 // snapFooterMagic marks a snapshot file carrying a whole-file CRC32C
@@ -200,6 +218,11 @@ func VerifySnapshotFile(path string) error {
 // footer covers the whole body so in-place corruption is detected at
 // load time.
 func SaveFile(path string, db *eval.DB, program string, hidden []string) error {
+	return SaveFileAt(path, db, program, hidden, 0)
+}
+
+// SaveFileAt is SaveFile with a base-version stamp (see SaveAt).
+func SaveFileAt(path string, db *eval.DB, program string, hidden []string, baseVersion uint64) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
@@ -212,7 +235,7 @@ func SaveFile(path string, db *eval.DB, program string, hidden []string) error {
 	}
 	bw := bufio.NewWriter(f)
 	cw := &crcWriter{w: bw}
-	if err := Save(cw, db, program, hidden); err != nil {
+	if err := SaveAt(cw, db, program, hidden, baseVersion); err != nil {
 		return fail(err)
 	}
 	var footer [snapFooterSize]byte
@@ -240,12 +263,18 @@ func SaveFile(path string, db *eval.DB, program string, hidden []string) error {
 
 // LoadFile reads a snapshot from path.
 func LoadFile(path string) (*eval.DB, string, []string, error) {
+	db, program, hidden, _, err := LoadFileAt(path)
+	return db, program, hidden, err
+}
+
+// LoadFileAt is LoadFile plus the snapshot's base version (see LoadAt).
+func LoadFileAt(path string) (*eval.DB, string, []string, uint64, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, "", nil, err
+		return nil, "", nil, 0, err
 	}
 	defer f.Close()
-	return Load(bufio.NewReader(f))
+	return LoadAt(bufio.NewReader(f))
 }
 
 // Log is an append-only log of delta scripts (the textual +fact/-fact

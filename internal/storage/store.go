@@ -56,21 +56,45 @@ var ErrStoreClosed = errors.New("storage: store is closed")
 // idempotency keys of the Apply calls it covers (a coalesced batch logs
 // one record carrying every caller's key). Keys ride in the record so
 // the dedup window survives crash recovery: replay hands them back and
-// the engine re-seeds key → result before serving any retry.
+// the engine re-seeds key → result before serving any retry. Version,
+// when nonzero, is the snapshot version the record's apply published —
+// the durable commit order replication and recovery align on; legacy
+// records decode with Version 0.
 type WALRecord struct {
-	Script string
-	Keys   []string
+	Script  string
+	Keys    []string
+	Version uint64
 }
 
-// walKeyedMagic opens a key-carrying WAL payload. Delta scripts are
-// UTF-8 text and never start with a NUL byte, so legacy payloads (the
-// bare script) and keyed payloads are self-distinguishing.
+// walKeyedMagic opens a framed (non-legacy) WAL payload. Delta scripts
+// are UTF-8 text and never start with a NUL byte, so legacy payloads
+// (the bare script) and framed payloads are self-distinguishing. The
+// second byte selects the frame: 'K' carries idempotency keys
+// (framing v2), 'V' prefixes a u64 version stamp over a v2 remainder
+// (framing v3).
 const walKeyedMagic = 0x00
 
-// encodeWALPayload frames a record payload. Records without keys keep
-// the legacy bare-script form, so stores that never use idempotency
-// keys stay byte-identical to what earlier versions wrote.
-func encodeWALPayload(script string, keys []string) ([]byte, error) {
+// encodeWALPayload frames a record payload: an optional version stamp
+// (`0x00 'V' u64`) around the keyed-or-bare framing-v2 body. Records
+// without keys or a version keep the legacy bare-script form, so stores
+// that never use either stay byte-identical to what earlier versions
+// wrote.
+func encodeWALPayload(version uint64, script string, keys []string) ([]byte, error) {
+	inner, err := encodeKeyedPayload(script, keys)
+	if err != nil {
+		return nil, err
+	}
+	if version == 0 {
+		return inner, nil
+	}
+	out := make([]byte, 0, 10+len(inner))
+	out = append(out, walKeyedMagic, 'V')
+	out = binary.BigEndian.AppendUint64(out, version)
+	return append(out, inner...), nil
+}
+
+// encodeKeyedPayload renders the framing-v2 body: keyed or bare script.
+func encodeKeyedPayload(script string, keys []string) ([]byte, error) {
 	if len(keys) == 0 {
 		return []byte(script), nil
 	}
@@ -94,10 +118,26 @@ func encodeWALPayload(script string, keys []string) ([]byte, error) {
 	return append(out, script...), nil
 }
 
-// decodeWALPayload parses a record payload in either framing. A framing
-// error on a checksum-valid payload means a writer bug, not disk
-// damage, so it is surfaced loudly rather than repaired around.
+// decodeWALPayload parses a record payload in any framing (bare, keyed
+// v2, version-stamped v3). A framing error on a checksum-valid payload
+// means a writer bug, not disk damage, so it is surfaced loudly rather
+// than repaired around.
 func decodeWALPayload(payload []byte) (WALRecord, error) {
+	var version uint64
+	if len(payload) >= 10 && payload[0] == walKeyedMagic && payload[1] == 'V' {
+		version = binary.BigEndian.Uint64(payload[2:10])
+		payload = payload[10:]
+	}
+	rec, err := decodeKeyedPayload(payload)
+	if err != nil {
+		return WALRecord{}, err
+	}
+	rec.Version = version
+	return rec, nil
+}
+
+// decodeKeyedPayload parses a framing-v2 body (keyed or bare script).
+func decodeKeyedPayload(payload []byte) (WALRecord, error) {
 	if len(payload) == 0 || payload[0] != walKeyedMagic {
 		return WALRecord{Script: string(payload)}, nil
 	}
@@ -214,6 +254,11 @@ type Store struct {
 	snapHidden  []string
 	records     []WALRecord
 
+	// snapVersion is the BaseVersion of the newest snapshot: set by
+	// recovery from the snapshot file, advanced by CheckpointAt. Guarded
+	// by mu after OpenStore.
+	snapVersion uint64
+
 	// instruments; nil until AttachMetrics (nil instruments are no-ops).
 	mAppends, mAppendBytes, mFsyncs, mCheckpoints *metrics.Counter
 	hFsync, hCheckpoint                           *metrics.Histogram
@@ -289,8 +334,9 @@ func (s *Store) recoverSnapshots() error {
 		var db *eval.DB
 		var program string
 		var hidden []string
+		var base uint64
 		if err == nil {
-			db, program, hidden, err = LoadFile(path)
+			db, program, hidden, base, err = LoadFileAt(path)
 		}
 		if err != nil {
 			// Unreadable snapshot: set it aside (keep the evidence out of
@@ -300,6 +346,7 @@ func (s *Store) recoverSnapshots() error {
 			continue
 		}
 		s.snapDB, s.snapProgram, s.snapHidden = db, program, hidden
+		s.snapVersion = base
 		s.info.Epoch, s.info.HasSnapshot = ep, true
 		s.epoch = ep
 		break
@@ -438,6 +485,84 @@ func (s *Store) Scripts() []string {
 // append order, including the idempotency keys each record carries.
 func (s *Store) Records() []WALRecord { return s.records }
 
+// SnapshotBaseVersion returns the published snapshot version the newest
+// checkpoint was stamped with (0 for stores written before version
+// stamping). After recovery this is the version the in-memory state sat
+// at before any WAL replay.
+func (s *Store) SnapshotBaseVersion() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapVersion
+}
+
+// TailRecords re-reads the live WAL and returns every current-epoch
+// record stamped with a version greater than fromExcl, in append order.
+// Replication backfill uses this when a follower's resume point has
+// fallen out of the in-memory window but is still newer than the last
+// checkpoint. The scan runs under the store lock (appends are fully
+// written before the lock is released, so the file never holds a torn
+// record mid-stream); any decode or checksum error stops the scan and is
+// returned — the caller falls back to a full snapshot reset rather than
+// serve a gap.
+func (s *Store) TailRecords(fromExcl uint64) ([]WALRecord, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrStoreClosed
+	}
+	f, err := os.Open(filepath.Join(s.dir, walFileName))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	r := bufio.NewReader(f)
+	var (
+		out    []WALRecord
+		offset int64
+		hdr    [walHeaderSize]byte
+	)
+	for offset < size {
+		if size-offset < walHeaderSize {
+			return nil, fmt.Errorf("storage: wal tail scan: torn header at offset %d", offset)
+		}
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return nil, err
+		}
+		epoch := binary.BigEndian.Uint64(hdr[0:8])
+		n := int64(binary.BigEndian.Uint32(hdr[16:20]))
+		want := binary.BigEndian.Uint32(hdr[20:24])
+		if n > size-offset-walHeaderSize {
+			return nil, fmt.Errorf("storage: wal tail scan: torn record at offset %d", offset)
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil, err
+		}
+		crc := crc32.Checksum(hdr[0:20], castagnoli)
+		crc = crc32.Update(crc, castagnoli, payload)
+		if crc != want {
+			return nil, fmt.Errorf("storage: wal tail scan: crc mismatch at offset %d", offset)
+		}
+		offset += walHeaderSize + n
+		if epoch != s.epoch {
+			continue
+		}
+		rec, err := decodeWALPayload(payload)
+		if err != nil {
+			return nil, err
+		}
+		if rec.Version > fromExcl {
+			out = append(out, rec)
+		}
+	}
+	return out, nil
+}
+
 // Closed reports whether Close has been called. Callers that mutate
 // in-memory state before appending can pre-check so a closed store
 // rejects the whole operation instead of leaving memory ahead of the
@@ -510,15 +635,23 @@ func (s *Store) AppendAsync(script string) (wait func() error, err error) {
 	return s.AppendRecordAsync(script, nil)
 }
 
-// AppendRecordAsync writes the record (establishing its position in the
-// log) and returns a wait function that blocks until the record is
-// durable. keys are the idempotency keys the record's applies carried;
-// recovery hands them back via Records so dedup survives replay.
-// Callers that serialize appends under their own lock can write inside
-// the critical section and wait outside it, letting group commit batch
-// the fsyncs.
+// AppendRecordAsync is AppendVersionedAsync for a record without a
+// version stamp (legacy framing).
 func (s *Store) AppendRecordAsync(script string, keys []string) (wait func() error, err error) {
-	payload, err := encodeWALPayload(script, keys)
+	return s.AppendVersionedAsync(0, script, keys)
+}
+
+// AppendVersionedAsync writes the record (establishing its position in
+// the log) and returns a wait function that blocks until the record is
+// durable. version, when nonzero, stamps the record with the snapshot
+// version its apply publishes, so recovery and replication backfill can
+// align on the durable commit order. keys are the idempotency keys the
+// record's applies carried; recovery hands them back via Records so
+// dedup survives replay. Callers that serialize appends under their own
+// lock can write inside the critical section and wait outside it,
+// letting group commit batch the fsyncs.
+func (s *Store) AppendVersionedAsync(version uint64, script string, keys []string) (wait func() error, err error) {
+	payload, err := encodeWALPayload(version, script, keys)
 	if err != nil {
 		return nil, err
 	}
@@ -558,11 +691,19 @@ func (s *Store) AppendRecordAsync(script string, keys []string) (wait func() err
 	return func() error { return s.gc.waitSynced(seq) }, nil
 }
 
-// Checkpoint writes a new snapshot epoch and truncates the WAL. The
+// Checkpoint is CheckpointAt without a base-version stamp.
+func (s *Store) Checkpoint(db *eval.DB, program string, hidden []string) error {
+	return s.CheckpointAt(db, program, hidden, 0)
+}
+
+// CheckpointAt writes a new snapshot epoch and truncates the WAL. The
 // sequence — fsync temp snapshot, rename, fsync directory, bump epoch,
 // truncate + fsync WAL — guarantees a crash at any point recovers to
-// exactly the checkpointed state plus later appends.
-func (s *Store) Checkpoint(db *eval.DB, program string, hidden []string) error {
+// exactly the checkpointed state plus later appends. baseVersion, when
+// nonzero, records the snapshot version the checkpointed state was
+// published as, so recovery restarts the version counter where the
+// previous process left it.
+func (s *Store) CheckpointAt(db *eval.DB, program string, hidden []string, baseVersion uint64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -570,10 +711,11 @@ func (s *Store) Checkpoint(db *eval.DB, program string, hidden []string) error {
 	}
 	start := time.Now()
 	next := s.epoch + 1
-	if err := SaveFile(filepath.Join(s.dir, snapName(next)), db, program, hidden); err != nil {
+	if err := SaveFileAt(filepath.Join(s.dir, snapName(next)), db, program, hidden, baseVersion); err != nil {
 		return err
 	}
 	s.epoch = next
+	s.snapVersion = baseVersion
 	if err := s.wal.Truncate(0); err != nil {
 		return err
 	}

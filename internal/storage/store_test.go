@@ -435,9 +435,12 @@ func TestWALPayloadRoundTrip(t *testing.T) {
 		{Script: "", Keys: []string{"only-keys"}},
 		{Script: "+p(1).", Keys: []string{""}},
 		{Script: "+p(1).", Keys: []string{strings.Repeat("K", 300)}},
+		{Script: "+p(1).", Keys: nil, Version: 1},
+		{Script: "+p(1).", Keys: []string{"k1"}, Version: 42},
+		{Script: "", Keys: nil, Version: 1<<64 - 1},
 	}
 	for _, want := range cases {
-		payload, err := encodeWALPayload(want.Script, want.Keys)
+		payload, err := encodeWALPayload(want.Version, want.Script, want.Keys)
 		if err != nil {
 			t.Fatalf("encode %+v: %v", want, err)
 		}
@@ -445,7 +448,7 @@ func TestWALPayloadRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("decode %+v: %v", want, err)
 		}
-		if got.Script != want.Script || len(got.Keys) != len(want.Keys) {
+		if got.Script != want.Script || len(got.Keys) != len(want.Keys) || got.Version != want.Version {
 			t.Fatalf("round trip %+v -> %+v", want, got)
 		}
 		for i := range want.Keys {
@@ -454,9 +457,10 @@ func TestWALPayloadRoundTrip(t *testing.T) {
 			}
 		}
 	}
-	// Keyless records must keep the legacy bare-script framing so stores
-	// written without keys are byte-identical to earlier versions.
-	payload, _ := encodeWALPayload("+p(1).", nil)
+	// Keyless, unversioned records must keep the legacy bare-script
+	// framing so stores written without either are byte-identical to
+	// earlier versions.
+	payload, _ := encodeWALPayload(0, "+p(1).", nil)
 	if string(payload) != "+p(1)." {
 		t.Fatalf("keyless payload not legacy framed: %q", payload)
 	}

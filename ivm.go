@@ -219,12 +219,20 @@ type Views struct {
 	comb *sched.Combiner[*applyReq]
 
 	// handlersMu guards the OnChange subscriptions, keyed by predicate
-	// ("" = every predicate), and the OnCommit subscriptions. Handlers
-	// run on the maintainer goroutine after version publish, before the
-	// batch's Apply calls return.
-	handlersMu     sync.Mutex
-	handlers       map[string][]func(pred string, inserted, deleted []Row)
-	commitHandlers []func(cs *ChangeSet)
+	// ("" = every predicate), the OnCommit subscriptions, and the
+	// OnCommitRecord subscriptions. Handlers run on the maintainer
+	// goroutine after version publish, before the batch's Apply calls
+	// return.
+	handlersMu           sync.Mutex
+	handlers             map[string][]func(pred string, inserted, deleted []Row)
+	commitHandlers       []func(cs *ChangeSet)
+	commitRecordHandlers []func(rec CommitRecord)
+
+	// verMu/verCh implement WaitForVersion: verCh, when non-nil, is
+	// closed at the next version publish. Lazily allocated so publishes
+	// with no waiters cost one mutex hop and no channel.
+	verMu sync.Mutex
+	verCh chan struct{}
 
 	// par is the resolved evaluation parallelism (>= 1).
 	par int
@@ -619,14 +627,27 @@ type applyReq struct {
 }
 
 // applyGroup is the unit of maintenance within a batch: the requests it
-// covers plus the single engine pass / WAL record they share. A merged
-// batch is one group covering every admitted request; the sequential
-// fallback produces one group per request.
+// covers plus the single engine pass / WAL record / published version
+// they share. A merged batch is one group covering every admitted
+// request; the sequential fallback produces one group per request, each
+// with its own version.
 type applyGroup struct {
 	reqs []*applyReq
 	cs   *ChangeSet
-	wait func() error
-	err  error
+	// version is the snapshot version this group publishes; assigned
+	// when maintenance succeeds, stamped into the WAL record, and fed to
+	// replication so the durable order and the published order agree.
+	version uint64
+	// script and keys are the group's WAL record content (script is
+	// rendered only when a store or a commit-record subscriber needs it).
+	script string
+	keys   []string
+	// rels is the relation map as of this group's maintenance pass — the
+	// exact state its version publishes.
+	rels    map[string]*relation.Versioned
+	pubUnix int64
+	wait    func() error
+	err     error
 }
 
 // Apply maintains every view under the update and returns the per-view
@@ -749,6 +770,13 @@ func (v *Views) processBatch(batch []*applyReq) {
 	v.mBatchUpdates.Add(int64(len(admitted)))
 
 	next := v.nextRelsLocked()
+	base := v.cur.Load().id
+	// A group's delta script is rendered only when something will consume
+	// it: the WAL, or a commit-record subscriber (replication).
+	v.handlersMu.Lock()
+	recHandlers := v.commitRecordHandlers
+	v.handlersMu.Unlock()
+	needScript := v.store != nil || len(recHandlers) > 0
 	var groups []*applyGroup
 	switch {
 	case len(admitted) == 0:
@@ -761,7 +789,7 @@ func (v *Views) processBatch(batch []*applyReq) {
 		}
 		return
 	case len(admitted) == 1 || !mergeable(admitted):
-		groups = v.runSequentialLocked(admitted, next)
+		groups = v.runSequentialLocked(admitted, next, base, needScript)
 	default:
 		merged := NewUpdate()
 		for _, r := range admitted {
@@ -773,16 +801,19 @@ func (v *Views) processBatch(batch []*applyReq) {
 			// back to applying each caller's update individually so
 			// each gets exactly its own result or error.
 			v.mFallbacks.Inc()
-			groups = v.runSequentialLocked(admitted, next)
+			groups = v.runSequentialLocked(admitted, next, base, needScript)
 		} else {
-			g := &applyGroup{reqs: admitted, cs: cs}
+			g := &applyGroup{reqs: admitted, cs: cs, version: base + 1, rels: next}
+			cs.version = g.version
 			// The coalesced batch is one WAL record, so it carries every
 			// caller's idempotency key; recovery re-seeds all of them.
-			var keys []string
 			for _, r := range admitted {
-				keys = append(keys, r.keys...)
+				g.keys = append(g.keys, r.keys...)
 			}
-			g.wait, g.err = v.logLocked(merged, keys)
+			if needScript {
+				g.script = merged.String()
+			}
+			g.wait, g.err = v.logLocked(g.version, g.script, g.keys)
 			groups = []*applyGroup{g}
 		}
 	}
@@ -800,11 +831,17 @@ func (v *Views) processBatch(batch []*applyReq) {
 			g.err = fmt.Errorf("ivm: update applied in memory but not durably logged: %w", err)
 		}
 	}
-	pub := v.publishLocked(next)
+	// Publish each group's version in commit order. Every group whose
+	// maintenance pass succeeded publishes — including one whose fsync
+	// failed, because the engine state already advanced and later groups
+	// build on it — so published versions and WAL records correspond 1:1
+	// and replication can align on the version number alone.
 	for _, g := range groups {
-		if g.err == nil && g.cs != nil {
-			g.cs.version = pub.id
+		if g.cs == nil {
+			continue
 		}
+		pub := v.publishVersionLocked(g.rels, g.version)
+		g.pubUnix = pub.published
 	}
 	// Record idempotency keys only for fully committed groups (applied,
 	// logged, published — version stamped above). A durability error
@@ -835,6 +872,9 @@ func (v *Views) processBatch(batch []*applyReq) {
 	for _, g := range groups {
 		if g.err == nil {
 			v.notify(g.cs)
+			for _, fn := range recHandlers {
+				fn(CommitRecord{Version: g.version, UnixNano: g.pubUnix, Script: g.script, Keys: g.keys})
+			}
 		}
 		for _, r := range g.reqs {
 			r.cs, r.err = g.cs, g.err
@@ -905,17 +945,34 @@ func mergeable(reqs []*applyReq) bool {
 
 // runSequentialLocked applies each request's update individually, in
 // arrival order, producing one group per request. WAL records are
-// appended in the same order, so log order equals application order.
-func (v *Views) runSequentialLocked(admitted []*applyReq, next map[string]*relation.Versioned) []*applyGroup {
+// appended in the same order and versions are assigned in the same
+// order (base+1, base+2, ... for the successful groups), so log order
+// equals application order equals publish order.
+func (v *Views) runSequentialLocked(admitted []*applyReq, next map[string]*relation.Versioned, base uint64, needScript bool) []*applyGroup {
 	groups := make([]*applyGroup, 0, len(admitted))
+	ver := base
 	for _, r := range admitted {
 		g := &applyGroup{reqs: []*applyReq{r}}
 		cs, err := v.maintainLocked(r.u, next)
 		if err != nil {
 			g.err = err
 		} else {
+			ver++
 			g.cs = cs
-			g.wait, g.err = v.logLocked(r.u, r.keys)
+			g.version = ver
+			cs.version = ver
+			g.keys = r.keys
+			if needScript {
+				g.script = r.u.String()
+			}
+			// Snapshot the relation map as of this group so its version
+			// publishes exactly this group's state; later groups keep
+			// evolving next.
+			g.rels = make(map[string]*relation.Versioned, len(next))
+			for p, vr := range next {
+				g.rels[p] = vr
+			}
+			g.wait, g.err = v.logLocked(ver, g.script, r.keys)
 		}
 		groups = append(groups, g)
 	}
@@ -970,21 +1027,19 @@ func (v *Views) maintainLocked(u *Update, next map[string]*relation.Versioned) (
 	return cs, nil
 }
 
-// logLocked appends u's delta script to the WAL (store-bound views),
-// with the requests' idempotency keys framed into the record, and
-// returns the group-commit wait. The append happens under wmu in
-// application order, so the log order matches the apply order.
-func (v *Views) logLocked(u *Update, keys []string) (func() error, error) {
+// logLocked appends a group's delta script to the WAL (store-bound
+// views), version-stamped and with the requests' idempotency keys
+// framed into the record, and returns the group-commit wait. The append
+// happens under wmu in application order, so the log order matches the
+// apply order. Empty net updates log too — every published version gets
+// exactly one record, keeping the version sequence in the WAL gapless
+// so recovery and replication backfill can align on it (replaying a
+// no-op is a no-op).
+func (v *Views) logLocked(version uint64, script string, keys []string) (func() error, error) {
 	if v.store == nil {
 		return nil, nil
 	}
-	script := u.String()
-	if script == "" {
-		// An empty net update logs nothing; its keys live only in the
-		// in-memory window. Harmless: replaying a no-op is a no-op.
-		return nil, nil
-	}
-	w, err := v.store.AppendRecordAsync(script, keys)
+	w, err := v.store.AppendVersionedAsync(version, script, keys)
 	if err != nil {
 		return nil, fmt.Errorf("ivm: update applied in memory but not durably logged: %w", err)
 	}
@@ -1026,6 +1081,47 @@ func (v *Views) OnCommit(fn func(cs *ChangeSet)) {
 	v.handlersMu.Lock()
 	defer v.handlersMu.Unlock()
 	v.commitHandlers = append(v.commitHandlers, fn)
+}
+
+// CommitRecord is the replication-facing image of one committed,
+// published maintenance pass: the version it published, the delta
+// script that reproduces it (the same text the WAL logs), the
+// idempotency keys it covered, and the publish timestamp. Reset marks a
+// commit whose effects a delta script cannot express (a rule edit):
+// subscribers must resynchronize from a full state snapshot instead of
+// applying deltas across it.
+type CommitRecord struct {
+	Version  uint64
+	UnixNano int64
+	Script   string
+	Keys     []string
+	Reset    bool
+}
+
+// OnCommitRecord subscribes fn to the commit-ordered record stream:
+// one record per published version, in version order, carrying the
+// delta script that reproduces the commit. This is the feed the
+// replication endpoint streams to followers. Like OnCommit handlers,
+// fn runs on the maintainer goroutine after publish with no Views lock
+// held, and must not Apply or edit rules from within the callback.
+// Subscribe before the first Apply you need to observe — commits that
+// ran before the subscription are not replayed (the serving layer
+// bridges the gap from the WAL instead).
+func (v *Views) OnCommitRecord(fn func(rec CommitRecord)) {
+	v.handlersMu.Lock()
+	defer v.handlersMu.Unlock()
+	v.commitRecordHandlers = append(v.commitRecordHandlers, fn)
+}
+
+// fireCommitRecord invokes the OnCommitRecord handlers (no Views lock
+// held).
+func (v *Views) fireCommitRecord(rec CommitRecord) {
+	v.handlersMu.Lock()
+	fns := v.commitRecordHandlers
+	v.handlersMu.Unlock()
+	for _, fn := range fns {
+		fn(rec)
+	}
 }
 
 // notify fires the OnChange and OnCommit handlers for a change set.
@@ -1135,8 +1231,12 @@ func (v *Views) ruleEditCommittedLocked(ch *dred.Changes) (*ChangeSet, error) {
 		sb.WriteByte('\n')
 	}
 	v.programSrc = sb.String()
+	// The checkpoint is stamped with the version about to publish, so a
+	// recovery from it resumes the version counter exactly where readers
+	// of this edit saw it.
+	nextID := v.cur.Load().id + 1
 	if v.store != nil {
-		if err := v.store.Checkpoint(v.db(), v.programSrc, v.hiddenLocked()); err != nil {
+		if err := v.store.CheckpointAt(v.db(), v.programSrc, v.hiddenLocked(), nextID); err != nil {
 			v.wmu.Unlock()
 			return nil, fmt.Errorf("ivm: rule change applied in memory but checkpoint failed: %w", err)
 		}
@@ -1146,6 +1246,10 @@ func (v *Views) ruleEditCommittedLocked(ch *dred.Changes) (*ChangeSet, error) {
 	cs.version = pub.id
 	v.wmu.Unlock()
 	v.notify(cs)
+	// A rule edit cannot be expressed as a delta script, so the commit
+	// record is a reset marker: replication subscribers resynchronize
+	// from a full state snapshot.
+	v.fireCommitRecord(CommitRecord{Version: pub.id, UnixNano: pub.published, Reset: true})
 	return cs, nil
 }
 
@@ -1336,20 +1440,47 @@ func OpenStore(dir string, init func() (*Views, error), opts ...Option) (*Views,
 		if err != nil {
 			return fail(err)
 		}
+		// Version alignment: the checkpoint carries the version its state
+		// was published as, so the rematerialized views (which restart at
+		// version 1) are seeded up to it before replay. Each versioned
+		// WAL record then republishes its original version — the durable
+		// commit order survives the crash, which is what lets a follower
+		// resume replication across a primary restart without a gap.
+		if base := st.SnapshotBaseVersion(); base > v.cur.Load().id {
+			v.SeedVersion(base)
+		}
 		// Replay happens before the views are store-bound, so the
 		// records are not re-appended to the WAL they came from. Each
 		// record carries the idempotency keys of the applies it covered
 		// (several for a coalesced batch); replaying them through submit
 		// re-seeds the dedup window, so a client retrying across the
 		// crash still gets a dedup answer — stamped with the replayed
-		// version, since version ids restart at rematerialization.
+		// version.
 		for i, rec := range st.Records() {
 			u, err := ParseUpdate(rec.Script)
 			if err != nil {
 				return fail(fmt.Errorf("ivm: replaying WAL record %d: %w", i+1, err))
 			}
+			if rec.Version > 0 {
+				switch cur := v.cur.Load().id; {
+				case cur < rec.Version-1:
+					// A version hole before this record: its predecessors
+					// were written but lost (e.g. a repaired-away corrupt
+					// stretch). The surviving record is still authoritative
+					// for its own version, so seed up to its predecessor
+					// rather than replay it under the wrong number.
+					v.SeedVersion(rec.Version - 1)
+				case cur > rec.Version-1:
+					return fail(fmt.Errorf("ivm: WAL record %d is stamped version %d but recovery is already at %d; the log does not match its checkpoint", i+1, rec.Version, cur))
+				}
+			}
 			if _, _, err := v.submit(u, rec.Keys); err != nil {
 				return fail(fmt.Errorf("ivm: replaying WAL record %d: %w", i+1, err))
+			}
+			if rec.Version > 0 {
+				if got := v.cur.Load().id; got != rec.Version {
+					return fail(fmt.Errorf("ivm: replaying WAL record %d published version %d, want %d", i+1, got, rec.Version))
+				}
 			}
 		}
 	} else {
@@ -1373,7 +1504,7 @@ func OpenStore(dir string, init func() (*Views, error), opts ...Option) (*Views,
 	if info.Initialized {
 		// Checkpoint immediately so a snapshot always exists: from here
 		// on every WAL record has an epoch-stamped snapshot beneath it.
-		if err := st.Checkpoint(v.db(), v.programSrc, v.hiddenLocked()); err != nil {
+		if err := st.CheckpointAt(v.db(), v.programSrc, v.hiddenLocked(), v.cur.Load().id); err != nil {
 			v.wmu.Unlock()
 			return fail(err)
 		}
@@ -1394,7 +1525,7 @@ func (v *Views) Sync() error {
 	}
 	v.wmu.Lock()
 	defer v.wmu.Unlock()
-	return v.store.Checkpoint(v.db(), v.programSrc, v.hiddenLocked())
+	return v.store.CheckpointAt(v.db(), v.programSrc, v.hiddenLocked(), v.cur.Load().id)
 }
 
 // Store reports whether the views are bound to a crash-recovery store
@@ -1426,7 +1557,7 @@ func (v *Views) Shutdown() error {
 	if v.store == nil || v.store.Closed() {
 		return nil
 	}
-	if err := v.store.Checkpoint(v.db(), v.programSrc, v.hiddenLocked()); err != nil {
+	if err := v.store.CheckpointAt(v.db(), v.programSrc, v.hiddenLocked(), v.cur.Load().id); err != nil {
 		// Close anyway: the WAL already holds every acked apply, so
 		// recovery replays to the same state; the checkpoint was only an
 		// optimization. Surface the checkpoint error over Close's.

@@ -1,0 +1,170 @@
+package ivm
+
+// Replica-state transfer: the full-state form of a Views that a
+// replication follower uses to bootstrap (or resynchronize) before
+// tailing delta records. The state ships as program text plus a facts
+// delta script — the same textual forms the WAL and checkpoints already
+// round-trip — so a follower rebuilding from it converges bit-identical
+// to the primary at the stamped version.
+
+import (
+	"fmt"
+
+	"ivm/internal/eval"
+)
+
+// ReplicaState is everything a follower needs to reproduce a primary's
+// Views at one version: the program, the stored base facts (as an
+// insert-only delta script, counts included), the hidden-predicate set,
+// and the engine configuration that must match for derived state to be
+// bit-identical.
+type ReplicaState struct {
+	Program   string
+	Hidden    []string
+	Facts     string
+	Strategy  string
+	Semantics string
+}
+
+// ReplicaState captures the snapshot's full state for replication
+// transfer. Facts covers exactly the non-derived stored relations; the
+// derived relations are reproduced by materializing Program over them.
+func (s *Snapshot) ReplicaState() ReplicaState {
+	derived := s.v.prog.DerivedPreds()
+	u := NewUpdate()
+	for pred, vr := range s.v.rels {
+		if derived[pred] {
+			continue
+		}
+		for _, row := range vr.Flat().SortedRows() {
+			u.InsertTuple(pred, row.Tuple, row.Count)
+		}
+	}
+	return ReplicaState{
+		Program:   s.v.programSrc,
+		Hidden:    s.views.hiddenLocked(),
+		Facts:     u.String(),
+		Strategy:  s.views.strategy.String(),
+		Semantics: s.views.cfg.semantics.String(),
+	}
+}
+
+// replicaConfigOptions maps a ReplicaState's engine configuration back
+// to materialization options.
+func replicaConfigOptions(st ReplicaState) ([]Option, error) {
+	opts := make([]Option, 0, 2)
+	switch st.Strategy {
+	case "", "auto":
+	case Counting.String():
+		opts = append(opts, WithStrategy(Counting))
+	case DRed.String():
+		opts = append(opts, WithStrategy(DRed))
+	case Recompute.String():
+		opts = append(opts, WithStrategy(Recompute))
+	case PF.String():
+		opts = append(opts, WithStrategy(PF))
+	default:
+		return nil, fmt.Errorf("ivm: replica state names unknown strategy %q", st.Strategy)
+	}
+	switch st.Semantics {
+	case "", eval.Set.String():
+		opts = append(opts, WithSemantics(SetSemantics))
+	case eval.Duplicate.String():
+		opts = append(opts, WithSemantics(DuplicateSemantics))
+	default:
+		return nil, fmt.Errorf("ivm: replica state names unknown semantics %q", st.Semantics)
+	}
+	return opts, nil
+}
+
+// ViewsFromReplicaState materializes fresh Views from a transferred
+// state. extra options are applied first (parallelism, tracing, ...);
+// the state's strategy and semantics are applied last, since derived
+// state is bit-identical to the sender's only under the same engine
+// configuration.
+func ViewsFromReplicaState(st ReplicaState, extra ...Option) (*Views, error) {
+	cfgOpts, err := replicaConfigOptions(st)
+	if err != nil {
+		return nil, err
+	}
+	d := NewDatabase()
+	if err := d.Load(st.Facts); err != nil {
+		return nil, fmt.Errorf("ivm: loading replica state facts: %w", err)
+	}
+	v, err := d.Materialize(st.Program, append(append([]Option(nil), extra...), cfgOpts...)...)
+	if err != nil {
+		return nil, err
+	}
+	if len(st.Hidden) > 0 {
+		v.hidden = make(map[string]bool, len(st.Hidden))
+		for _, p := range st.Hidden {
+			v.hidden[p] = true
+		}
+	}
+	return v, nil
+}
+
+// ResetToReplicaState replaces the views' stored facts with st's,
+// wholesale, and seeds the published version to version — a follower's
+// resynchronization path when it is too far behind to bridge with
+// deltas. The replacement runs as one Apply (delete every stored base
+// row, insert every transferred row, net-merged), so readers observe a
+// single atomic step from the old state to the new one; the engine
+// re-derives the views incrementally from the net difference. The
+// program must be unchanged: a program edit changes the rule set the
+// engine was compiled for, so the caller must rebuild with
+// ViewsFromReplicaState instead.
+func (v *Views) ResetToReplicaState(st ReplicaState, version uint64) error {
+	if st.Program != v.ProgramSource() {
+		return fmt.Errorf("ivm: replica state carries a different program; rebuild the views instead of resetting")
+	}
+	incoming, err := ParseUpdate(st.Facts)
+	if err != nil {
+		return fmt.Errorf("ivm: parsing replica state facts: %w", err)
+	}
+	snap := v.Snapshot()
+	derived := snap.v.prog.DerivedPreds()
+	u := NewUpdate()
+	for pred, vr := range snap.v.rels {
+		if derived[pred] {
+			continue
+		}
+		for _, row := range vr.Flat().SortedRows() {
+			u.InsertTuple(pred, row.Tuple, -row.Count)
+		}
+	}
+	u.Merge(incoming)
+	if _, err := v.Apply(u); err != nil {
+		return fmt.Errorf("ivm: applying replica state reset: %w", err)
+	}
+	v.SeedVersion(version)
+	return nil
+}
+
+// CommittedRecordsAfter returns the WAL-backed commit records stamped
+// with versions greater than fromExcl, in version order — the
+// replication backfill source when a follower's resume point has aged
+// out of the in-memory window. ok is false for views without a store
+// (nothing durable to read). Records written before version stamping
+// are skipped; the caller must check the returned sequence is
+// contiguous from its resume point and fall back to a full state
+// transfer when it is not.
+func (v *Views) CommittedRecordsAfter(fromExcl uint64) (recs []CommitRecord, ok bool, err error) {
+	v.wmu.Lock()
+	st := v.store
+	v.wmu.Unlock()
+	if st == nil {
+		return nil, false, nil
+	}
+	wrecs, err := st.TailRecords(fromExcl)
+	if err != nil {
+		return nil, true, err
+	}
+	for _, r := range wrecs {
+		if r.Version == 0 {
+			continue
+		}
+		recs = append(recs, CommitRecord{Version: r.Version, Script: r.Script, Keys: r.Keys})
+	}
+	return recs, true, nil
+}

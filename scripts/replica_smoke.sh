@@ -1,0 +1,168 @@
+#!/usr/bin/env sh
+# End-to-end smoke of the replication layer, runnable locally (`make
+# replica`) and in CI (the replication-smoke job): boot a store-bound
+# primary ivmd and a follower (`-follow`), load the primary, check the
+# follower converges and rejects writes, then SIGTERM the primary,
+# restart it from its checkpoint, and require the follower's lag to
+# recover to zero. Both daemons' logs land in $SMOKE_DIR (uploaded as a
+# CI artifact on every run, pass or fail).
+set -eu
+
+SMOKE_DIR="${SMOKE_DIR:-$(mktemp -d)}"
+PRIMARY_ADDR="${IVMD_PRIMARY_ADDR:-127.0.0.1:7499}"
+FOLLOWER_ADDR="${IVMD_FOLLOWER_ADDR:-127.0.0.1:7498}"
+PRIMARY_LOG="$SMOKE_DIR/primary.log"
+FOLLOWER_LOG="$SMOKE_DIR/follower.log"
+STORE="$SMOKE_DIR/store"
+
+echo "== replica smoke: workdir $SMOKE_DIR, primary $PRIMARY_ADDR, follower $FOLLOWER_ADDR"
+go build -o "$SMOKE_DIR/ivmd" ./cmd/ivmd
+
+start_primary() {
+    "$SMOKE_DIR/ivmd" \
+        -addr "$PRIMARY_ADDR" \
+        -store "$STORE" \
+        -program testdata/server/views.dl \
+        -data testdata/server/facts.dl \
+        -quiet \
+        >>"$PRIMARY_LOG" 2>&1 &
+    PRIMARY_PID=$!
+}
+
+wait_ready() {
+    # $1 = log file, $2 = expected 'serving HTTP' count, $3 = pid, $4 = name
+    i=0
+    # grep -c prints 0 *and* exits 1 on no match, so capture with || true
+    # and default the empty missing-file case.
+    until count="$(grep -c 'serving HTTP' "$1" 2>/dev/null || true)" && [ "${count:-0}" -ge "$2" ]; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "$4 did not become ready within 20s" >&2
+            exit 1
+        fi
+        if ! kill -0 "$3" 2>/dev/null; then
+            echo "$4 exited before becoming ready" >&2
+            exit 1
+        fi
+        sleep 0.2
+    done
+}
+
+start_primary
+cleanup() {
+    kill "$PRIMARY_PID" 2>/dev/null || true
+    kill "$FOLLOWER_PID" 2>/dev/null || true
+    echo "== primary log ($PRIMARY_LOG):"
+    cat "$PRIMARY_LOG" || true
+    echo "== follower log ($FOLLOWER_LOG):"
+    cat "$FOLLOWER_LOG" || true
+}
+trap cleanup EXIT
+FOLLOWER_PID=""
+wait_ready "$PRIMARY_LOG" 1 "$PRIMARY_PID" primary
+echo "== primary ready (pid $PRIMARY_PID)"
+
+# Some committed load before the follower exists: it must bootstrap it.
+i=0
+while [ "$i" -lt 10 ]; do
+    curl -sf -X POST "http://$PRIMARY_ADDR/v1/apply" \
+        -H 'Content-Type: text/plain' \
+        -d "+link(pre$i,post$i)." >/dev/null
+    i=$((i + 1))
+done
+
+"$SMOKE_DIR/ivmd" \
+    -addr "$FOLLOWER_ADDR" \
+    -follow "http://$PRIMARY_ADDR" \
+    -quiet \
+    >>"$FOLLOWER_LOG" 2>&1 &
+FOLLOWER_PID=$!
+wait_ready "$FOLLOWER_LOG" 1 "$FOLLOWER_PID" follower
+echo "== follower ready (pid $FOLLOWER_PID)"
+
+# More load while the follower tails.
+i=0
+while [ "$i" -lt 10 ]; do
+    curl -sf -X POST "http://$PRIMARY_ADDR/v1/apply" \
+        -H 'Content-Type: text/plain' \
+        -d "+link(live$i,tail$i)." >/dev/null
+    i=$((i + 1))
+done
+
+primary_version() {
+    curl -sf "http://$PRIMARY_ADDR/v1/info" | sed -n 's/.*"version":\([0-9]*\).*/\1/p'
+}
+follower_lag() {
+    curl -sf "http://$FOLLOWER_ADDR/v1/metrics" | awk '/^replica_lag_versions /{print $2}'
+}
+
+wait_lag_zero() {
+    i=0
+    until [ "$(follower_lag)" = "0" ]; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "follower lag never recovered to 0 (currently '$(follower_lag)')" >&2
+            exit 1
+        fi
+        sleep 0.2
+    done
+}
+wait_lag_zero
+echo "== follower caught up (lag 0 at primary version $(primary_version))"
+
+# The follower must serve reads and reject writes with 503 + Leader-URL.
+curl -sf "http://$FOLLOWER_ADDR/v1/rows?pred=link" >/dev/null
+CODE="$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$FOLLOWER_ADDR/v1/apply" \
+    -H 'Content-Type: text/plain' -d '+link(x,y).')"
+if [ "$CODE" != "503" ]; then
+    echo "follower answered apply with $CODE, want 503" >&2
+    exit 1
+fi
+LEADER="$(curl -s -o /dev/null -D - -X POST "http://$FOLLOWER_ADDR/v1/apply" \
+    -H 'Content-Type: text/plain' -d '+link(x,y).' | awk 'tolower($1)=="leader-url:"{print $2}' | tr -d '\r')"
+if [ "$LEADER" != "http://$PRIMARY_ADDR" ]; then
+    echo "follower Leader-URL '$LEADER', want http://$PRIMARY_ADDR" >&2
+    exit 1
+fi
+echo "== follower rejects writes (503, Leader-URL $LEADER)"
+
+# Kill the primary: graceful SIGTERM (drain, checkpoint, close).
+kill -TERM "$PRIMARY_PID"
+EXIT_CODE=0
+wait "$PRIMARY_PID" || EXIT_CODE=$?
+if [ "$EXIT_CODE" -ne 0 ]; then
+    echo "primary exited $EXIT_CODE on SIGTERM" >&2
+    exit 1
+fi
+echo "== primary killed cleanly; restarting from its store"
+
+# Restart on the same address; the follower's reconnect loop finds it.
+start_primary
+wait_ready "$PRIMARY_LOG" 2 "$PRIMARY_PID" primary
+
+# Load against the restarted primary; the follower must converge again.
+i=0
+while [ "$i" -lt 10 ]; do
+    curl -sf -X POST "http://$PRIMARY_ADDR/v1/apply" \
+        -H 'Content-Type: text/plain' \
+        -d "+link(reborn$i,again$i)." >/dev/null
+    i=$((i + 1))
+done
+wait_lag_zero
+echo "== follower recovered across the primary restart (lag 0 at version $(primary_version))"
+
+# The follower must never have tripped the divergence guard.
+DIVERGED="$(curl -sf "http://$FOLLOWER_ADDR/v1/metrics" | awk '/^replica_divergence_total /{print $2}')"
+if [ "$DIVERGED" != "0" ]; then
+    echo "replica_divergence_total = $DIVERGED, want 0" >&2
+    exit 1
+fi
+
+kill -TERM "$FOLLOWER_PID"
+wait "$FOLLOWER_PID" || true
+FOLLOWER_PID=""
+kill -TERM "$PRIMARY_PID"
+wait "$PRIMARY_PID" || true
+trap - EXIT
+
+echo "== replica smoke OK (logs: $PRIMARY_LOG, $FOLLOWER_LOG)"

@@ -239,6 +239,14 @@ func (v *Views) publishLocked(rels map[string]*relation.Versioned) *version {
 	if old := v.cur.Load(); old != nil {
 		id = old.id + 1
 	}
+	return v.publishVersionLocked(rels, id)
+}
+
+// publishVersionLocked atomically publishes rels under an explicit
+// version id (wmu held). The maintainer assigns ids before the WAL
+// group-commit wait so the durable record and the published version
+// carry the same number; ids must advance in publish order.
+func (v *Views) publishVersionLocked(rels map[string]*relation.Versioned, id uint64) *version {
 	nv := &version{
 		id:         id,
 		rels:       rels,
@@ -258,7 +266,80 @@ func (v *Views) publishLocked(rels map[string]*relation.Versioned) *version {
 	v.cur.Store(nv)
 	v.mSnapVersion.Set(int64(nv.id))
 	v.mSnapUnix.Set(nv.published)
+	v.wakeVersionWaiters()
 	return nv
+}
+
+// SeedVersion republishes the current state unchanged under version id
+// — no maintenance runs and no WAL record is written. Replication uses
+// it to align version counters with a remote history: a recovered
+// primary seeds to its checkpoint's base version before WAL replay, and
+// a follower seeds to the version of the state snapshot it just loaded.
+// Reads observe the same relations under the new id.
+func (v *Views) SeedVersion(id uint64) {
+	v.wmu.Lock()
+	defer v.wmu.Unlock()
+	cur := v.cur.Load()
+	nv := &version{
+		id:         id,
+		rels:       cur.rels,
+		prog:       cur.prog,
+		programSrc: cur.programSrc,
+		published:  time.Now().UnixNano(),
+		cstats:     cur.cstats,
+		dstats:     cur.dstats,
+		pstats:     cur.pstats,
+	}
+	v.cur.Store(nv)
+	v.mSnapVersion.Set(int64(nv.id))
+	v.mSnapUnix.Set(nv.published)
+	v.wakeVersionWaiters()
+}
+
+// wakeVersionWaiters releases every WaitForVersion caller to re-check
+// the published version.
+func (v *Views) wakeVersionWaiters() {
+	v.verMu.Lock()
+	if v.verCh != nil {
+		close(v.verCh)
+		v.verCh = nil
+	}
+	v.verMu.Unlock()
+}
+
+// versionWaitCh returns a channel closed at the next publish.
+func (v *Views) versionWaitCh() <-chan struct{} {
+	v.verMu.Lock()
+	if v.verCh == nil {
+		v.verCh = make(chan struct{})
+	}
+	ch := v.verCh
+	v.verMu.Unlock()
+	return ch
+}
+
+// WaitForVersion blocks until the published version is at least min,
+// reporting whether it got there before timeout. Bounded-staleness
+// reads use it on a replica: wait for the version an Apply ack carried,
+// then read — read-your-writes across the replication lag, or a clear
+// timeout signal to redirect to the leader.
+func (v *Views) WaitForVersion(min uint64, timeout time.Duration) bool {
+	if v.cur.Load().id >= min {
+		return true
+	}
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		ch := v.versionWaitCh()
+		if v.cur.Load().id >= min {
+			return true
+		}
+		select {
+		case <-ch:
+		case <-deadline.C:
+			return v.cur.Load().id >= min
+		}
+	}
 }
 
 // publishAllLocked rebuilds the whole version map from the engine's
