@@ -3,7 +3,8 @@
 GO ?= go
 
 .PHONY: all build vet fmt fmt-check test race bench bench-smoke bench-planner metrics crash chaos cover \
-	fuzz-smoke serve smoke-server replica bench-replica bench-regression staticcheck vulncheck ci
+	fuzz-smoke serve smoke-server replica failover bench-replica bench-regression docs-lint \
+	staticcheck vulncheck ci
 
 all: build
 
@@ -95,6 +96,14 @@ replica:
 	$(GO) test -race -count=1 ./internal/replica
 	sh scripts/replica_smoke.sh
 
+# The CI failover-smoke job: primary + two followers, writes through a
+# follower's forwarding proxy, SIGTERM the primary, `ivmd -promote` the
+# caught-up follower, require writes through the surviving follower to
+# reach the new leader, then revive the old primary and require both of
+# its serving surfaces to be fenced (409 + replica_fenced_total).
+failover:
+	sh scripts/failover_smoke.sh
+
 # Regenerate the replication read-fanout report (the committed
 # BENCH_replica.json). The 1.8x speedup floor over 2 followers is
 # enforced on hosts with >= 4 CPUs (below that the daemons share cores
@@ -111,6 +120,12 @@ bench-regression:
 	$(GO) run ./cmd/ivmbench -scale smoke -planner BENCH_planner_current.json \
 		-planner-baseline BENCH_planner.json -tolerance 3
 	$(GO) run ./cmd/ivmbench -scale smoke -server self -server-out BENCH_server.json
+
+# Docs lint: the README stays within its line budget (deep dives live
+# in docs/), and every relative markdown link in README.md and docs/
+# resolves to a file that exists.
+docs-lint:
+	sh scripts/docs_lint.sh
 
 # Lint/vuln scans run in CI unconditionally (installed there via
 # `go install`); locally they run only if already on PATH — this repo
@@ -130,4 +145,4 @@ vulncheck:
 	fi
 
 ci: build vet fmt-check test race bench-smoke metrics crash chaos cover fuzz-smoke \
-	smoke-server replica bench-regression staticcheck vulncheck
+	smoke-server replica failover bench-regression docs-lint staticcheck vulncheck

@@ -3,6 +3,13 @@
 // and streaming change subscriptions over plain HTTP/JSON. It depends
 // only on the standard library (not on the engine), so it embeds
 // cheaply in consumer services.
+//
+// Applies are retried automatically under an idempotency key (see
+// RetryPolicy and ApplyWithKey), so a lost ack never double-applies.
+// Against a replicated cluster, ReadPool round-robins reads over
+// followers with leader fallback, and NewClusterPool discovers the
+// topology — leader, followers, fencing epoch — from any seed node's
+// /v1/info, re-resolving across failovers (docs/REPLICATION.md).
 package client
 
 import (
@@ -223,7 +230,8 @@ func (c *Client) Metrics(ctx context.Context) (map[string]int64, error) {
 	return out, sc.Err()
 }
 
-// Info fetches the served views' description.
+// Info fetches the served views' description, including the node's
+// cluster role, fencing epoch, and (on a follower) its leader's URL.
 func (c *Client) Info(ctx context.Context) (*Info, error) {
 	var out Info
 	if err := c.do(ctx, http.MethodGet, "/v1/info", nil, nil, "", &out); err != nil {
@@ -231,6 +239,22 @@ func (c *Client) Info(ctx context.Context) (*Info, error) {
 	}
 	return &out, nil
 }
+
+// Promote asks a follower to take over as the cluster primary at the
+// next fencing epoch (POST /v1/promote). The call is idempotent: a node
+// that is already primary answers Promoted=false with its current
+// epoch. Promote a follower only after checking it has caught up to the
+// last acked write — see docs/OPERATIONS.md for the procedure.
+func (c *Client) Promote(ctx context.Context) (*PromoteResult, error) {
+	var out PromoteResult
+	if err := c.do(ctx, http.MethodPost, "/v1/promote", nil, nil, "", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// BaseURL returns the server base URL this client targets.
+func (c *Client) BaseURL() string { return c.base }
 
 // Session is a snapshot-pinned repeatable-read handle: every read
 // through it observes exactly Version, no matter how many updates

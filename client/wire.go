@@ -110,7 +110,12 @@ type SessionInfo struct {
 	ExpiresUnix int64  `json:"expires_unix"`
 }
 
-// Info describes the served views.
+// Info describes the served views and the node's place in the cluster:
+// Role is "primary" or "follower", Epoch is the fencing epoch the node
+// operates under (increments on every promotion), and LeaderURL names
+// the primary as the node knows it (empty on a primary). Clients use
+// these fields for leader discovery — see ReadPool's cluster
+// constructor.
 type Info struct {
 	Strategy  string   `json:"strategy"`
 	Semantics string   `json:"semantics"`
@@ -118,6 +123,18 @@ type Info struct {
 	Version   uint64   `json:"version"`
 	StoreDir  string   `json:"store_dir,omitempty"`
 	Preds     []string `json:"preds"`
+	Role      string   `json:"role,omitempty"`
+	Epoch     uint64   `json:"epoch,omitempty"`
+	LeaderURL string   `json:"leader_url,omitempty"`
+}
+
+// PromoteResult acknowledges POST /v1/promote. Promoted is false when
+// the node was already a primary (the call is idempotent); Epoch is the
+// fencing epoch the node now leads (or already led) at.
+type PromoteResult struct {
+	Role     string `json:"role"`
+	Epoch    uint64 `json:"epoch"`
+	Promoted bool   `json:"promoted"`
 }
 
 // ErrorResponse is the body of every non-2xx JSON response.

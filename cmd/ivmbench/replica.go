@@ -242,7 +242,12 @@ func writeReplicaReport(path, ivmdBin, scale string) error {
 	}
 
 	// Phase B: the pool fans the same readers over leader + followers.
-	pool := client.NewReadPool(primary.url, followerURLs, nil)
+	// Built through cluster discovery: the seeds are all three members in
+	// arbitrary order and the pool works out who leads from /v1/info.
+	pool, err := client.NewClusterPool(ctx, append(followerURLs, primary.url), nil)
+	if err != nil {
+		return fmt.Errorf("discovering cluster: %w", err)
+	}
 	poolReads, err := readPhase(func(ctx context.Context) error {
 		_, err := pool.Rows(ctx, "hop", client.ReadOptions{})
 		return err

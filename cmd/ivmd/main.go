@@ -17,9 +17,17 @@
 //
 // With -follow, the process runs as a read replica: it bootstraps from
 // the primary's replication stream, tails committed deltas, and serves
-// reads from its local views. Applies are rejected with 503 and a
-// Leader-URL header pointing at the primary; replica_lag_* gauges on
-// /v1/metrics report how far behind the follower is.
+// reads from its local views. Applies received by a follower are
+// transparently forwarded to the current leader (Idempotency-Key and
+// all) and the leader's ack relayed back; replica_lag_* gauges on
+// /v1/metrics report how far behind the follower is. -follow takes a
+// comma-separated list of cluster members: the first is the upstream to
+// tail, and the whole list seeds leader re-resolution after a failover.
+//
+// ivmd -promote URL is a client-mode invocation: it POSTs /v1/promote
+// to the follower at URL — which stops tailing, raises its fencing
+// epoch, and starts accepting applies as the new primary — then exits.
+// See docs/OPERATIONS.md for the full failover procedure.
 package main
 
 import (
@@ -30,10 +38,12 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"ivm"
+	"ivm/client"
 	"ivm/internal/metrics"
 	"ivm/internal/replica"
 	"ivm/internal/server"
@@ -62,8 +72,13 @@ func run() error {
 	sessionTTL := flag.Duration("session-ttl", 5*time.Minute, "idle lifetime of snapshot-pinned sessions")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 30*time.Second, "graceful-shutdown drain budget")
 	quiet := flag.Bool("quiet", false, "suppress per-request logging (lifecycle events still log)")
-	followURL := flag.String("follow", "", "primary URL to follow as a read replica (e.g. http://127.0.0.1:7199)")
+	followURL := flag.String("follow", "", "follow as a read replica: comma-separated cluster URLs, first is the upstream (e.g. http://127.0.0.1:7199)")
+	promoteURL := flag.String("promote", "", "client mode: promote the follower at this URL to primary and exit")
 	flag.Parse()
+
+	if *promoteURL != "" {
+		return promote(*promoteURL)
+	}
 
 	logger := log.New(os.Stderr, "", log.LstdFlags|log.Lmicroseconds)
 	logf := logger.Printf
@@ -107,7 +122,11 @@ func run() error {
 		if *storeDir != "" || *programPath != "" || *dataPath != "" {
 			return fmt.Errorf("-follow is exclusive with -store/-program/-data: a follower's state comes from the primary")
 		}
-		return runFollower(*followURL, followerConfig{
+		seeds := strings.Split(*followURL, ",")
+		for i := range seeds {
+			seeds[i] = strings.TrimSpace(seeds[i])
+		}
+		return runFollower(seeds, followerConfig{
 			addr:            *addr,
 			lineAddr:        *lineAddr,
 			requestTimeout:  *requestTimeout,
@@ -178,20 +197,33 @@ type followerConfig struct {
 	logf            func(format string, args ...any)
 }
 
-// runFollower bootstraps a replica from the primary and serves its
-// views read-only until a signal or a terminal replication error.
-func runFollower(primaryURL string, cfg followerConfig) error {
-	rep, err := replica.Start(primaryURL, replica.Options{
+// runFollower bootstraps a replica from the first seed and serves its
+// views until a signal or a terminal replication error — or, after a
+// promotion, serves on as the cluster's new primary.
+func runFollower(seeds []string, cfg followerConfig) error {
+	// The serving layer comes up after the replica, but leader changes
+	// fire from the tail goroutine; route them through an atomic pointer.
+	var srvPtr atomic.Pointer[server.Server]
+	rep, err := replica.Start(seeds[0], replica.Options{
 		ExtraOptions: cfg.engineOpts,
-		Logf:         cfg.logf,
+		Seeds:        seeds,
+		OnLeaderChange: func(u string) {
+			if s := srvPtr.Load(); s != nil {
+				s.SetLeaderURL(u)
+			}
+		},
+		Logf: cfg.logf,
 	})
 	if err != nil {
 		return err
 	}
 	views := rep.Views()
-	cfg.logf("ivmd: following %s from version %d (strategy=%v semantics=%v rules=%d)",
-		primaryURL, rep.Applied(), views.Strategy(), views.Semantics(), len(views.Program().Rules))
+	cfg.logf("ivmd: following %s from version %d (epoch %d, strategy=%v semantics=%v rules=%d)",
+		rep.LeaderURL(), rep.Applied(), rep.Epoch(), views.Strategy(), views.Semantics(), len(views.Program().Rules))
 
+	// promoted flips before rep.Promote cancels the tail, so the main
+	// select below can tell a promotion from a replication failure.
+	var promoted atomic.Bool
 	srv := server.New(views, server.Options{
 		Addr:             cfg.addr,
 		LineAddr:         cfg.lineAddr,
@@ -200,15 +232,24 @@ func runFollower(primaryURL string, cfg followerConfig) error {
 		SubscriberBuffer: cfg.subBuffer,
 		SessionTTL:       cfg.sessionTTL,
 		OwnViews:         true,
-		LeaderURL:        primaryURL,
-		ExtraMetrics:     []*metrics.Registry{rep.Registry()},
-		Logf:             cfg.logf,
+		LeaderURL:        rep.LeaderURL(),
+		Promote: func() (uint64, error) {
+			promoted.Store(true)
+			epoch, err := rep.Promote()
+			if err != nil {
+				promoted.Store(false)
+			}
+			return epoch, err
+		},
+		ExtraMetrics: []*metrics.Registry{rep.Registry()},
+		Logf:         cfg.logf,
 	})
 	if err := srv.Start(); err != nil {
 		rep.Stop()
 		views.Close()
 		return err
 	}
+	srvPtr.Store(srv)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -217,8 +258,15 @@ func runFollower(primaryURL string, cfg followerConfig) error {
 	case got := <-sig:
 		cfg.logf("ivmd: received %v, shutting down", got)
 	case <-rep.Done():
-		repErr = rep.Err()
-		cfg.logf("ivmd: replication ended: %v", repErr)
+		if promoted.Load() {
+			// Promotion retired the tail loop on purpose; this node now
+			// leads the cluster and keeps serving until a signal.
+			got := <-sig
+			cfg.logf("ivmd: received %v, shutting down", got)
+		} else {
+			repErr = rep.Err()
+			cfg.logf("ivmd: replication ended: %v", repErr)
+		}
 	}
 	// Stop replication before Shutdown closes the views underneath it.
 	rep.Stop()
@@ -228,6 +276,23 @@ func runFollower(primaryURL string, cfg followerConfig) error {
 		return err
 	}
 	return repErr
+}
+
+// promote is the -promote client mode: ask the follower at base to take
+// over as primary and report the outcome.
+func promote(base string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := client.New(base, nil).Promote(ctx)
+	if err != nil {
+		return fmt.Errorf("promote %s: %w", base, err)
+	}
+	if res.Promoted {
+		fmt.Printf("%s promoted: role=%s epoch=%d\n", base, res.Role, res.Epoch)
+	} else {
+		fmt.Printf("%s already role=%s epoch=%d\n", base, res.Role, res.Epoch)
+	}
+	return nil
 }
 
 func buildViews(programPath, dataPath string, opts []ivm.Option) (*ivm.Views, error) {

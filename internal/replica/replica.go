@@ -11,11 +11,21 @@
 // re-apply is idempotent by version. A version gap is never skipped
 // over: it increments replica_divergence_total and forces a reconnect
 // so the primary re-backfills the missing range.
+//
+// Failover (DESIGN.md §15): every record carries the leader's fencing
+// epoch. The follower tracks the highest epoch it has seen and fences
+// anything older (replica_fenced_total) — a revived pre-failover
+// primary cannot feed it stale deltas. When the upstream dies or
+// fences, the follower re-resolves the leader by probing its upstream
+// and Options.Seeds via /v1/info, following the highest-epoch primary
+// (one hop through a follower's leader_url), and Promote turns this
+// follower into the primary at epoch+1.
 package replica
 
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net"
@@ -51,6 +61,16 @@ type Options struct {
 	// always follow the primary's — derived state is bit-identical only
 	// under the same engine configuration.
 	ExtraOptions []ivm.Option
+	// Seeds are additional cluster member base URLs probed (besides the
+	// current upstream) when the follower re-resolves its leader — after
+	// a fence rejection or a dead upstream. Each probe asks /v1/info and
+	// the follower adopts the highest-epoch primary at or above its own
+	// epoch, hopping once through a follower's advertised leader_url.
+	Seeds []string
+	// OnLeaderChange fires (from the tail goroutine) whenever the
+	// follower re-resolves its upstream to a different URL. The serving
+	// layer hooks this to retarget write forwarding.
+	OnLeaderChange func(url string)
 	// Logf receives one line per lifecycle event (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -88,13 +108,14 @@ func (o Options) withDefaults() Options {
 // Replica is a running follower. Views() serves lock-free local reads
 // while the tail loop applies the primary's commits in the background.
 type Replica struct {
-	url  string
-	opts Options
-	reg  *metrics.Registry
-	v    *ivm.Views
+	opts  Options
+	reg   *metrics.Registry
+	v     *ivm.Views
+	probe *http.Client // short-timeout client for /v1/info discovery
 
 	applied    atomic.Uint64 // highest version applied locally
 	leader     atomic.Uint64 // highest primary version seen on the wire
+	epoch      atomic.Uint64 // highest fencing epoch seen (0 = none yet)
 	lastRecord atomic.Int64  // unixnano of the last record received
 
 	gLagVersions *metrics.Gauge
@@ -102,16 +123,19 @@ type Replica struct {
 	gLagSeconds  *metrics.Gauge
 	gApplied     *metrics.Gauge
 	gLeader      *metrics.Gauge
+	gEpoch       *metrics.Gauge
 	cReconnects  *metrics.Counter
 	cRecords     *metrics.Counter
 	cResets      *metrics.Counter
 	cDivergence  *metrics.Counter
+	cFenced      *metrics.Counter
 
 	ctx    context.Context
 	cancel context.CancelFunc
 	done   chan struct{}
 
 	mu  sync.Mutex
+	url string // current upstream; moves when the leader is re-resolved
 	err error
 }
 
@@ -128,15 +152,18 @@ func Start(primaryURL string, opts Options) (*Replica, error) {
 		url:          strings.TrimRight(primaryURL, "/"),
 		opts:         opts,
 		reg:          reg,
+		probe:        &http.Client{Timeout: 2 * time.Second},
 		gLagVersions: reg.Gauge("replica_lag_versions"),
 		gLagMillis:   reg.Gauge("replica_lag_millis"),
 		gLagSeconds:  reg.Gauge("replica_lag_seconds"),
 		gApplied:     reg.Gauge("replica_applied_version"),
 		gLeader:      reg.Gauge("replica_leader_version"),
+		gEpoch:       reg.Gauge("replica_epoch"),
 		cReconnects:  reg.Counter("replica_reconnects_total"),
 		cRecords:     reg.Counter("replica_records_total"),
 		cResets:      reg.Counter("replica_resets_total"),
 		cDivergence:  reg.Counter("replica_divergence_total"),
+		cFenced:      reg.Counter("replica_fenced_total"),
 		ctx:          ctx,
 		cancel:       cancel,
 		done:         make(chan struct{}),
@@ -172,7 +199,7 @@ func Start(primaryURL string, opts Options) (*Replica, error) {
 		cancel()
 		return nil, err
 	}
-	r.opts.Logf("replica: bootstrapped from %s at version %d", r.url, r.applied.Load())
+	r.opts.Logf("replica: bootstrapped from %s at version %d (epoch %d)", r.LeaderURL(), r.applied.Load(), r.Epoch())
 	go r.run(resp, br)
 	return r, nil
 }
@@ -187,6 +214,29 @@ func (r *Replica) Registry() *metrics.Registry { return r.reg }
 
 // Applied returns the highest primary version applied locally.
 func (r *Replica) Applied() uint64 { return r.applied.Load() }
+
+// Epoch returns the highest fencing epoch this follower has seen on the
+// wire (at least 1 once bootstrapped).
+func (r *Replica) Epoch() uint64 {
+	if e := r.epoch.Load(); e != 0 {
+		return e
+	}
+	return 1
+}
+
+// LeaderURL returns the upstream this follower currently tails — it
+// moves when the leader is re-resolved after a failover.
+func (r *Replica) LeaderURL() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.url
+}
+
+func (r *Replica) setLeaderURL(u string) {
+	r.mu.Lock()
+	r.url = u
+	r.mu.Unlock()
+}
 
 // Done is closed when the tail loop exits; Err then reports why (nil
 // after a clean Stop).
@@ -215,11 +265,13 @@ func (r *Replica) Stop() {
 }
 
 // connect opens one replication stream, resuming after from when
-// resume is set.
+// resume is set. The follower's known fencing epoch rides the query
+// string: a deposed primary refuses the handshake outright (409)
+// instead of streaming records the fence would drop one by one.
 func (r *Replica) connect(from uint64, resume bool) (*http.Response, *bufio.Reader, error) {
-	u := r.url + "/v1/replicate"
+	u := r.LeaderURL() + "/v1/replicate?epoch=" + strconv.FormatUint(r.Epoch(), 10)
 	if resume {
-		u += "?from=" + strconv.FormatUint(from, 10)
+		u += "&from=" + strconv.FormatUint(from, 10)
 	}
 	req, err := http.NewRequestWithContext(r.ctx, http.MethodGet, u, nil)
 	if err != nil {
@@ -267,6 +319,7 @@ func (r *Replica) bootstrap(br *bufio.Reader) error {
 			}
 			v.SeedVersion(rec.Version)
 			r.v = v
+			r.admitEpoch(rec) // first record: adopts the leader's epoch
 			r.advance(rec)
 			return nil
 		default:
@@ -316,13 +369,15 @@ func (r *Replica) run(resp *http.Response, br *bufio.Reader) {
 			r.opts.Logf("replica: stopping: %v", err)
 			return
 		}
-		// Retryable end: reconnect from the applied version.
+		// Retryable end: re-resolve the leader (the upstream may be dead
+		// or deposed), then reconnect from the applied version.
 		var lastErr error
 		reconnected := false
 		for attempt := 1; attempt <= p.MaxAttempts; attempt++ {
 			if err := sleepCtx(r.ctx, p.Backoff(attempt, 0)); err != nil {
 				return
 			}
+			r.resolveLeader()
 			rp, b, err := r.connect(r.applied.Load(), true)
 			if err != nil {
 				lastErr = err
@@ -382,6 +437,12 @@ func (r *Replica) tail(resp *http.Response, br *bufio.Reader) error {
 		}
 		r.lastRecord.Store(time.Now().UnixNano())
 		r.cRecords.Inc()
+		if !r.admitEpoch(rec) {
+			// A stale-epoch record: the upstream was deposed while we
+			// were connected. Drop the stream; the reconnect path
+			// re-resolves the real leader.
+			return nil
+		}
 		switch rec.Kind {
 		case storage.ReplKindHeartbeat:
 			r.advance(rec)
@@ -413,7 +474,10 @@ func (r *Replica) tail(resp *http.Response, br *bufio.Reader) error {
 				// Overlap after a resume: already applied, skip — the
 				// version stamp is the idempotency key.
 			case rec.Version == applied+1:
-				cs, err := r.v.ApplyScript(rec.Script)
+				// Replicated applies carry the primary's idempotency keys
+				// so the dedup window survives a failover: a client retry
+				// that lands here after promotion still dedups.
+				cs, err := r.v.ApplyScriptReplicated(rec.Script, rec.Keys)
 				if err != nil {
 					return fmt.Errorf("replica: applying version %d: %w", rec.Version, err)
 				}
@@ -431,6 +495,123 @@ func (r *Replica) tail(resp *http.Response, br *bufio.Reader) error {
 			}
 		}
 	}
+}
+
+// admitEpoch vets rec against the highest fencing epoch this follower
+// has seen. A record from an older epoch is fenced: counted, logged,
+// and inadmissible — the caller drops the connection. A record from a
+// newer epoch advances the follower's epoch (a promotion happened) and
+// mirrors it into the local views, so a later promotion of this
+// follower starts above it. Only the tail goroutine calls this, so the
+// load/store pair is race-free.
+func (r *Replica) admitEpoch(rec storage.ReplRecord) bool {
+	known := r.epoch.Load()
+	if rec.Epoch < known {
+		r.cFenced.Inc()
+		r.opts.Logf("replica: fenced stale record: epoch %d < %d (kind %q, version %d)",
+			rec.Epoch, known, rec.Kind, rec.Version)
+		return false
+	}
+	if rec.Epoch > known {
+		r.epoch.Store(rec.Epoch)
+		r.gEpoch.Set(int64(rec.Epoch))
+		if r.v != nil {
+			r.v.SetFenceEpoch(rec.Epoch)
+		}
+		if known != 0 {
+			r.opts.Logf("replica: leader epoch moved %d -> %d", known, rec.Epoch)
+		}
+	}
+	return true
+}
+
+// resolveLeader probes the current upstream and Options.Seeds for the
+// cluster's leader via /v1/info and retargets the tail at the
+// highest-epoch primary at or above the follower's own epoch. A
+// follower answering a probe contributes its advertised leader_url as
+// one extra hop. No reachable acceptable primary leaves the upstream
+// unchanged (the plain reconnect loop keeps trying it).
+func (r *Replica) resolveLeader() {
+	cur := r.LeaderURL()
+	known := r.Epoch()
+	cands := append([]string{cur}, r.opts.Seeds...)
+	seen := make(map[string]bool, len(cands)+1)
+	var bestURL string
+	var bestEpoch uint64
+	for i := 0; i < len(cands); i++ {
+		u := strings.TrimRight(cands[i], "/")
+		if u == "" || seen[u] {
+			continue
+		}
+		seen[u] = true
+		info, err := r.probeInfo(u)
+		if err != nil {
+			continue
+		}
+		switch {
+		case info.Role == "primary" && info.Epoch >= known && info.Epoch > bestEpoch:
+			bestURL, bestEpoch = u, info.Epoch
+		case info.Role == "follower" && info.LeaderURL != "":
+			cands = append(cands, info.LeaderURL)
+		}
+	}
+	if bestURL != "" && bestURL != cur {
+		r.setLeaderURL(bestURL)
+		r.opts.Logf("replica: leader re-resolved to %s (epoch %d)", bestURL, bestEpoch)
+		if r.opts.OnLeaderChange != nil {
+			r.opts.OnLeaderChange(bestURL)
+		}
+	}
+}
+
+// probeInfo asks one node for its /v1/info with a short timeout.
+func (r *Replica) probeInfo(base string) (client.Info, error) {
+	req, err := http.NewRequestWithContext(r.ctx, http.MethodGet, base+"/v1/info", nil)
+	if err != nil {
+		return client.Info{}, err
+	}
+	resp, err := r.probe.Do(req)
+	if err != nil {
+		return client.Info{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return client.Info{}, fmt.Errorf("replica: %s/v1/info answered %d", base, resp.StatusCode)
+	}
+	var info client.Info
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&info); err != nil {
+		return client.Info{}, err
+	}
+	return info, nil
+}
+
+// Promote turns this follower into a primary: the tail loop is stopped
+// (waiting for an in-flight record to finish applying) and the fencing
+// epoch is raised one past every epoch this follower has seen — the
+// fence that keeps a revived old primary from splitting the brain. The
+// serving layer must then clear its leader URL so applies commit
+// locally; cmd/ivmd wires both halves to POST /v1/promote. After
+// Promote the replica's Done channel is closed with a nil Err.
+//
+// Promotion does not verify this follower was the most caught-up —
+// that is the operator's (or orchestrator's) check, via
+// replica_applied_version against the acked writes. See
+// docs/OPERATIONS.md.
+func (r *Replica) Promote() (uint64, error) {
+	r.cancel()
+	<-r.done
+	epoch := r.v.FenceEpoch()
+	if e := r.epoch.Load(); e > epoch {
+		epoch = e
+	}
+	epoch++
+	if err := r.v.SetFenceEpoch(epoch); err != nil {
+		return 0, err
+	}
+	r.epoch.Store(epoch)
+	r.gEpoch.Set(int64(epoch))
+	r.opts.Logf("replica: promoted to primary at epoch %d (version %d)", epoch, r.applied.Load())
+	return epoch, nil
 }
 
 // sleepCtx waits d or until ctx ends.

@@ -96,10 +96,6 @@ func (s *Server) serveLineConn(conn net.Conn) {
 		case "version":
 			ok = reply("ok", map[string]uint64{"version": s.v.Snapshot().Version()})
 		case "apply":
-			if s.opts.LeaderURL != "" {
-				ok = fail("apply: this server is a read-only follower; apply to the leader at %s", s.opts.LeaderURL)
-				break
-			}
 			var key string
 			if strings.HasPrefix(rest, "@") {
 				key, rest, _ = strings.Cut(rest[1:], " ")
@@ -115,6 +111,26 @@ func (s *Server) serveLineConn(conn net.Conn) {
 			}
 			if rest == "" {
 				ok = fail("apply needs a delta script")
+				break
+			}
+			if leader := s.LeaderURL(); leader != "" {
+				// Follower: forward to the leader, key and all, and relay
+				// its ack — line clients get the same transparent
+				// forwarding as HTTP ones.
+				if !s.beginApply() {
+					ok = fail("server is shutting down")
+					break
+				}
+				res, err := s.forwardApplyLine(leader, key, rest)
+				s.applyWG.Done()
+				if err != nil {
+					ok = fail("%v", err)
+					break
+				}
+				if res.Deduped {
+					s.cDedups.Inc()
+				}
+				ok = reply("ok", res)
 				break
 			}
 			cs, deduped, err := s.v.ApplyScriptIdempotent(key, rest)

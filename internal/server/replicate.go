@@ -3,6 +3,7 @@ package server
 import (
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"ivm"
@@ -43,6 +44,22 @@ func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
 		}
 		cur, haveFrom = n, true
 	}
+	// ?epoch= is the follower's known fencing epoch. A follower ahead of
+	// us has seen a newer leader — we were deposed while away. Refuse
+	// loudly rather than feed it stale records it would reject anyway.
+	if es := r.URL.Query().Get("epoch"); es != "" {
+		e, err := strconv.ParseUint(es, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "invalid epoch %q", es)
+			return
+		}
+		if own := s.v.FenceEpoch(); e > own {
+			s.reg.Counter("replica_fenced_total").Inc()
+			writeError(w, http.StatusConflict,
+				"fenced: follower is at epoch %d but this node leads epoch %d; it was deposed", e, own)
+			return
+		}
+	}
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
@@ -51,11 +68,27 @@ func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Register this stream's shipped-version progress so a graceful
+	// shutdown can wait for connected followers to receive the final
+	// commits (Shutdown's replication grace) before cutting them off.
+	progress := new(atomic.Uint64)
+	s.mu.Lock()
+	s.replStreams[progress] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.replStreams, progress)
+		s.mu.Unlock()
+	}()
+
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 
 	send := func(rec storage.ReplRecord) bool {
+		// Every record carries the node's current fencing epoch: the
+		// follower's split-brain guard rides the stream itself.
+		rec.Epoch = s.v.FenceEpoch()
 		buf, err := storage.AppendReplRecord(nil, rec)
 		if err != nil {
 			s.opts.Logf("ivmd: replicate: encoding record v%d: %v", rec.Version, err)
@@ -140,6 +173,7 @@ func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
 	defer hb.Stop()
 	ctx := r.Context()
 	for {
+		progress.Store(cur)
 		// Capture the wait channel before probing: an append landing
 		// between Next and the select then wakes us instead of being
 		// lost.

@@ -11,6 +11,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -227,18 +230,75 @@ func TestReplicateStaleResumeFallsBackToState(t *testing.T) {
 	}
 }
 
-// TestFollowerRejectsWrites: a server with LeaderURL refuses applies
-// with 503 and names the leader; reads keep working.
-func TestFollowerRejectsWrites(t *testing.T) {
-	const leader = "http://leader.example:7199"
-	v, srv := startReplServer(t, Options{LeaderURL: leader})
+// TestFollowerForwardsWrites: a server with LeaderURL proxies applies
+// to the leader — Idempotency-Key and fencing epoch ride along, the
+// leader's ack comes back verbatim — and reads keep serving locally.
+func TestFollowerForwardsWrites(t *testing.T) {
+	type seen struct {
+		method, path, key, epoch, body string
+	}
+	var mu sync.Mutex
+	var got []seen
+	leader := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		mu.Lock()
+		got = append(got, seen{r.Method, r.URL.Path, r.Header.Get("Idempotency-Key"), r.Header.Get("X-Ivm-Epoch"), string(body)})
+		mu.Unlock()
+		if r.Method != http.MethodPost || r.URL.Path != "/v1/apply" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"version":42}`)
+	}))
+	defer leader.Close()
+
+	_, srv := startReplServer(t, Options{LeaderURL: leader.URL})
+	c := client.New(srv.URL(), nil)
+	ctx := context.Background()
+
+	res, err := c.ApplyWithKey(ctx, "k1", "+link(x,y).")
+	if err != nil {
+		t.Fatalf("forwarded apply failed: %v", err)
+	}
+	if res.Version != 42 {
+		t.Fatalf("forwarded ack version %d, want the leader's 42", res.Version)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 {
+		t.Fatalf("leader saw %d requests, want exactly 1: %+v", len(got), got)
+	}
+	fwd := got[0]
+	if fwd.method != http.MethodPost || fwd.path != "/v1/apply" {
+		t.Fatalf("leader saw %s %s, want POST /v1/apply", fwd.method, fwd.path)
+	}
+	if fwd.key != "k1" {
+		t.Fatalf("leader saw Idempotency-Key %q, want k1", fwd.key)
+	}
+	if fwd.epoch != "1" {
+		t.Fatalf("leader saw X-Ivm-Epoch %q, want 1", fwd.epoch)
+	}
+	if fwd.body != "+link(x,y)." {
+		t.Fatalf("leader saw body %q", fwd.body)
+	}
+	if _, err := c.Rows(ctx, "hop"); err != nil {
+		t.Fatalf("read on follower failed: %v", err)
+	}
+}
+
+// TestFollowerForwardUnreachableLeader: when the leader is down the
+// forward fails closed — 503 plus a Leader-URL header so the client can
+// redirect once a new leader exists.
+func TestFollowerForwardUnreachableLeader(t *testing.T) {
+	const leader = "http://127.0.0.1:1" // nothing listens here
+	_, srv := startReplServer(t, Options{LeaderURL: leader})
 
 	c := client.New(srv.URL(), nil)
 	c.SetRetryPolicy(client.RetryPolicy{MaxAttempts: 1})
-	ctx := context.Background()
-	_, err := c.Apply(ctx, "+link(x,y).")
+	_, err := c.Apply(context.Background(), "+link(x,y).")
 	if err == nil {
-		t.Fatal("follower accepted an apply")
+		t.Fatal("apply against a dead leader succeeded")
 	}
 	if got := client.StatusOf(err); got != http.StatusServiceUnavailable {
 		t.Fatalf("apply status %d, want 503", got)
@@ -246,10 +306,40 @@ func TestFollowerRejectsWrites(t *testing.T) {
 	if got := client.LeaderURLOf(err); got != leader {
 		t.Fatalf("Leader-URL %q, want %q", got, leader)
 	}
-	if _, err := c.Rows(ctx, "hop"); err != nil {
-		t.Fatalf("read on follower failed: %v", err)
+}
+
+// TestPrimaryFencesNewerEpoch: a primary that sees a forwarded apply
+// stamped with a newer fencing epoch knows it was deposed — the write
+// is refused with 409 and counted, never committed.
+func TestPrimaryFencesNewerEpoch(t *testing.T) {
+	v, srv := startReplServer(t, Options{})
+	before := v.Snapshot().Version()
+
+	req, err := http.NewRequest(http.MethodPost, srv.URL()+"/v1/apply", strings.NewReader("+link(q,r)."))
+	if err != nil {
+		t.Fatal(err)
 	}
-	_ = v
+	req.Header.Set("Content-Type", "text/plain")
+	req.Header.Set("X-Ivm-Epoch", "7") // the cluster moved on without us
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("stale-primary apply status %d, want 409", resp.StatusCode)
+	}
+	if got := v.Snapshot().Version(); got != before {
+		t.Fatalf("fenced apply still committed: version %d -> %d", before, got)
+	}
+	m, err := client.New(srv.URL(), nil).Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["replica_fenced_total"] < 1 {
+		t.Fatalf("replica_fenced_total = %d, want >= 1", m["replica_fenced_total"])
+	}
 }
 
 // TestMinVersionReads: a read bounded by min_version waits for the

@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ivm"
@@ -44,11 +45,18 @@ type Options struct {
 	// checkpoint + close a bound store). Set by cmd/ivmd, which owns its
 	// views; leave false when the views outlive the server.
 	OwnViews bool
-	// LeaderURL marks this server a read-only replication follower:
-	// applies are refused with 503 and a Leader-URL header naming the
-	// primary, and reads whose ?min_version= wait times out carry the
-	// same header so clients can redirect.
+	// LeaderURL marks this server a replication follower: applies are
+	// transparently forwarded to the primary at this URL (preserving the
+	// Idempotency-Key), and reads whose ?min_version= wait times out
+	// carry a Leader-URL header so clients can redirect. The value is
+	// only the initial leader; SetLeaderURL moves it when the follower
+	// re-resolves after a failover, and clears it on promotion.
 	LeaderURL string
+	// Promote, when set on a follower, is invoked by POST /v1/promote:
+	// it must stop tailing the old primary and raise the fencing epoch,
+	// returning the new epoch this node now leads at. After it returns
+	// the server clears its leader URL and serves applies locally.
+	Promote func() (uint64, error)
 	// ReplWindow is how many committed records the in-memory replication
 	// window retains (default 1024). Followers resuming further behind
 	// are backfilled from the WAL, or from a full state transfer.
@@ -122,14 +130,35 @@ type Server struct {
 	stop     chan struct{}
 	stopOnce sync.Once
 
+	// leader is the current leader base URL ("" = this node is the
+	// primary). It moves when a follower re-resolves after a failover
+	// and clears on promotion, so it is read atomically on every apply.
+	leader atomic.Value // string
+
+	// fwd is the HTTP client follower applies are proxied through.
+	fwd *http.Client
+
+	// applyWG tracks in-flight applies and forwards so Shutdown can
+	// drain them before the replication window closes — an acked apply
+	// is always shipped to connected followers. Admission goes through
+	// beginApply (Add under mu, gated on draining): once Shutdown has
+	// flipped draining and started waiting, no new apply can slip in.
+	applyWG sync.WaitGroup
+
 	mu        sync.Mutex
 	lineConns map[net.Conn]struct{}
-	draining  bool
+	// replStreams tracks each live /v1/replicate stream's shipped
+	// version so Shutdown can wait for connected followers to receive
+	// the final commits before cutting them off.
+	replStreams map[*atomic.Uint64]struct{}
+	draining    bool
 
-	cRequests *metrics.Counter
-	cErrors   *metrics.Counter
-	cDedups   *metrics.Counter
-	hRequest  *metrics.Histogram
+	cRequests  *metrics.Counter
+	cErrors    *metrics.Counter
+	cDedups    *metrics.Counter
+	cForwarded *metrics.Counter
+	cFwdErrors *metrics.Counter
+	hRequest   *metrics.Histogram
 }
 
 // New builds a server over v. Call Start to begin serving.
@@ -137,18 +166,23 @@ func New(v *ivm.Views, opts Options) *Server {
 	opts = opts.withDefaults()
 	reg := metrics.NewRegistry()
 	s := &Server{
-		v:         v,
-		opts:      opts,
-		hub:       NewHub(v, reg, opts.SubscriberBuffer),
-		sess:      newSessionTable(opts.SessionTTL, reg),
-		reg:       reg,
-		lineConns: make(map[net.Conn]struct{}),
-		cRequests: reg.Counter("server_requests_total"),
-		cErrors:   reg.Counter("server_request_errors_total"),
-		cDedups:   reg.Counter("server_apply_dedup_total"),
-		hRequest:  reg.Histogram("server_request_seconds"),
-		stop:      make(chan struct{}),
+		v:           v,
+		opts:        opts,
+		hub:         NewHub(v, reg, opts.SubscriberBuffer),
+		sess:        newSessionTable(opts.SessionTTL, reg),
+		reg:         reg,
+		lineConns:   make(map[net.Conn]struct{}),
+		replStreams: make(map[*atomic.Uint64]struct{}),
+		fwd:         &http.Client{Timeout: opts.RequestTimeout},
+		cRequests:   reg.Counter("server_requests_total"),
+		cErrors:     reg.Counter("server_request_errors_total"),
+		cDedups:     reg.Counter("server_apply_dedup_total"),
+		cForwarded:  reg.Counter("server_forwarded_total"),
+		cFwdErrors:  reg.Counter("server_forward_errors_total"),
+		hRequest:    reg.Histogram("server_request_seconds"),
+		stop:        make(chan struct{}),
 	}
+	s.leader.Store(opts.LeaderURL)
 	// Register the window's feed before seeding it: a commit landing in
 	// between appends (establishing tighter bounds) and the seed becomes
 	// a no-op, whereas the reverse order could lose that commit from the
@@ -177,6 +211,7 @@ func New(v *ivm.Views, opts Options) *Server {
 	mux.Handle("GET /v1/explain", timed(s.handleExplain))
 	mux.Handle("GET /v1/metrics", timed(s.handleMetrics))
 	mux.Handle("GET /v1/info", timed(s.handleInfo))
+	mux.Handle("POST /v1/promote", timed(s.handlePromote))
 	mux.Handle("POST /v1/session", timed(s.handleSessionCreate))
 	mux.Handle("DELETE /v1/session/{id}", timed(s.handleSessionDelete))
 	// Streaming: no timeout handler (the response never ends on its
@@ -239,23 +274,38 @@ func (s *Server) URL() string { return "http://" + s.Addr() }
 
 // Shutdown stops the server gracefully:
 //
-//  1. subscription streams are closed (so streaming handlers unblock)
-//     and new subscribes are refused;
-//  2. the HTTP server stops accepting and drains in-flight requests —
-//     an Apply that was admitted completes, is durably logged, and its
-//     acknowledgment is delivered before the connection closes;
-//  3. line-protocol connections are closed;
-//  4. the update scheduler is drained, and (with Options.OwnViews) the
-//     store is checkpointed and its WAL closed via Views.Shutdown.
+//  1. new streams (subscribe, replicate, line) are refused, and
+//     in-flight applies — including applies this follower is forwarding
+//     to its leader — are drained: an Apply that was admitted completes,
+//     is durably logged, and its acknowledgment is delivered;
+//  2. the update scheduler is drained and connected replication
+//     streams are given a bounded grace period to ship the final
+//     commits, so an acked apply is never left unshipped by a graceful
+//     shutdown;
+//  3. subscription and replication streams are closed (so streaming
+//     handlers unblock), the HTTP server stops accepting and drains
+//     what remains, and line-protocol connections are closed;
+//  4. (with Options.OwnViews) the store is checkpointed and its WAL
+//     closed via Views.Shutdown.
 //
-// ctx bounds the HTTP drain; on expiry remaining connections are cut
-// but the views are still drained and synced (a durably-acked apply is
-// never lost — at worst its ack is).
+// The apply drain and forwarding proxy MUST drain before the streams
+// close — the reverse order acks applies whose commit records the
+// closed window can no longer ship, which is exactly the write a
+// promoted follower would then be missing.
+//
+// ctx bounds each wait; on expiry remaining connections are cut but the
+// views are still drained and synced (a durably-acked apply is never
+// lost — at worst its ack is).
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
 	s.mu.Unlock()
 	s.sess.stopSweeper()
+	s.opts.Logf("ivmd: shutdown: draining applies and forwards")
+	waitCtx(ctx, &s.applyWG)
+	s.v.Drain()
+	s.opts.Logf("ivmd: shutdown: waiting for replication streams")
+	s.waitReplStreams(ctx)
 	s.opts.Logf("ivmd: shutdown: closing subscriptions")
 	s.hub.CloseAll()
 	s.stopOnce.Do(func() { close(s.stop) })
@@ -270,8 +320,6 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		c.Close()
 	}
 	s.mu.Unlock()
-	s.opts.Logf("ivmd: shutdown: draining applies")
-	s.v.Drain()
 	if s.opts.OwnViews {
 		s.opts.Logf("ivmd: shutdown: checkpointing store")
 		if serr := s.v.Shutdown(); serr != nil && err == nil {
@@ -280,6 +328,62 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	s.opts.Logf("ivmd: shutdown complete")
 	return err
+}
+
+// beginApply admits one apply (or forward) into applyWG, refusing when
+// the server is draining. The Add happens under mu, which Shutdown also
+// holds while flipping draining — so an admitted apply is always seen
+// by the drain's Wait, and a WaitGroup Add can never race a Wait that
+// already observed a zero counter.
+func (s *Server) beginApply() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.applyWG.Add(1)
+	return true
+}
+
+// waitCtx waits for wg, giving up when ctx expires.
+func waitCtx(ctx context.Context, wg *sync.WaitGroup) {
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+	}
+}
+
+// replStreamGrace bounds how long Shutdown waits for connected
+// followers to receive the final committed version.
+const replStreamGrace = 2 * time.Second
+
+// waitReplStreams polls the live replication streams until each has
+// shipped everything committed, or the grace period (or ctx) expires.
+// Streams register their progress in replStreams; a stream that
+// disconnects mid-wait simply drops out of the set.
+func (s *Server) waitReplStreams(ctx context.Context) {
+	target := s.v.Snapshot().Version()
+	deadline := time.Now().Add(replStreamGrace)
+	for {
+		caughtUp := true
+		s.mu.Lock()
+		for p := range s.replStreams {
+			if p.Load() < target {
+				caughtUp = false
+				break
+			}
+		}
+		s.mu.Unlock()
+		if caughtUp || time.Now().After(deadline) || ctx.Err() != nil {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 }
 
 // logMiddleware counts and (when Logf is set) logs every request.
@@ -343,11 +447,25 @@ type reader interface {
 	Explain(goal string) ([]ivm.Derivation, error)
 }
 
+// LeaderURL returns the leader as this server currently knows it: ""
+// when this node is the primary, the primary's base URL on a follower.
+func (s *Server) LeaderURL() string {
+	u, _ := s.leader.Load().(string)
+	return u
+}
+
+// SetLeaderURL moves the follower's notion of the leader (the forward
+// target and the Leader-URL header). An empty URL makes this server a
+// primary — promotion's serving-layer half.
+func (s *Server) SetLeaderURL(u string) {
+	s.leader.Store(u)
+}
+
 // setLeaderHeader advertises the primary on responses a client should
-// redirect away from (follower write rejections, min_version timeouts).
+// redirect away from (forwarding failures, min_version timeouts).
 func (s *Server) setLeaderHeader(w http.ResponseWriter) {
-	if s.opts.LeaderURL != "" {
-		w.Header().Set("Leader-URL", s.opts.LeaderURL)
+	if u := s.LeaderURL(); u != "" {
+		w.Header().Set("Leader-URL", u)
 	}
 }
 
@@ -402,11 +520,34 @@ func (s *Server) readerFor(w http.ResponseWriter, r *http.Request) (reader, bool
 // the first commit under a key is the only one applied, and duplicate
 // requests are answered with the original result (Deduped: true)
 // instead of re-applying — see DESIGN.md §13.
+//
+// On a follower the apply is transparently forwarded to the leader
+// (Idempotency-Key preserved, the leader's version-stamped ack returned
+// verbatim); on a primary an X-Ivm-Epoch header from a newer fencing
+// epoch means this node was deposed while it was away — the apply is
+// refused with 409 rather than split-braining the cluster.
 func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
-	if s.opts.LeaderURL != "" {
-		s.setLeaderHeader(w)
-		writeError(w, http.StatusServiceUnavailable, "this server is a read-only follower; apply to the leader at %s", s.opts.LeaderURL)
+	if !s.beginApply() {
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
 		return
+	}
+	defer s.applyWG.Done()
+	if leader := s.LeaderURL(); leader != "" {
+		s.forwardApply(w, r, leader)
+		return
+	}
+	if eh := r.Header.Get("X-Ivm-Epoch"); eh != "" {
+		e, err := strconv.ParseUint(eh, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "invalid X-Ivm-Epoch %q", eh)
+			return
+		}
+		if own := s.v.FenceEpoch(); e > own {
+			s.reg.Counter("replica_fenced_total").Inc()
+			writeError(w, http.StatusConflict,
+				"fenced: request carries epoch %d but this node leads epoch %d; it was deposed", e, own)
+			return
+		}
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
 	if err != nil {
@@ -578,11 +719,40 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 		Rules:     len(s.v.Program().Rules),
 		Version:   snap.Version(),
 		Preds:     snap.Preds(),
+		Role:      "primary",
+		Epoch:     s.v.FenceEpoch(),
+	}
+	if leader := s.LeaderURL(); leader != "" {
+		info.Role, info.LeaderURL = "follower", leader
 	}
 	if dir, ok := s.v.Store(); ok {
 		info.StoreDir = dir
 	}
 	writeJSON(w, http.StatusOK, info)
+}
+
+// handlePromote serves POST /v1/promote: turn this follower into the
+// primary at epoch+1. Idempotent — promoting a primary answers 200 with
+// Promoted: false. The heavy lifting (stop tailing, raise and persist
+// the fencing epoch) happens in Options.Promote, wired by cmd/ivmd to
+// the replica's Promote.
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	if s.LeaderURL() == "" {
+		writeJSON(w, http.StatusOK, client.PromoteResult{Role: "primary", Epoch: s.v.FenceEpoch()})
+		return
+	}
+	if s.opts.Promote == nil {
+		writeError(w, http.StatusNotImplemented, "this follower has no promotion hook")
+		return
+	}
+	epoch, err := s.opts.Promote()
+	if err != nil {
+		writeError(w, http.StatusConflict, "promote: %v", err)
+		return
+	}
+	s.SetLeaderURL("")
+	s.opts.Logf("ivmd: promoted to primary at epoch %d", epoch)
+	writeJSON(w, http.StatusOK, client.PromoteResult{Role: "primary", Epoch: epoch, Promoted: true})
 }
 
 func semanticsName(v *ivm.Views) string {

@@ -1,0 +1,35 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFenceEpochPersistence(t *testing.T) {
+	dir := t.TempDir()
+
+	// Missing file: zero epoch, no error — the caller picks the default.
+	e, err := LoadFenceEpoch(dir)
+	if err != nil || e != 0 {
+		t.Fatalf("LoadFenceEpoch on empty dir = (%d, %v), want (0, nil)", e, err)
+	}
+
+	if err := SaveFenceEpoch(dir, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveFenceEpoch(dir, 7); err != nil {
+		t.Fatal(err)
+	}
+	if e, err = LoadFenceEpoch(dir); err != nil || e != 7 {
+		t.Fatalf("LoadFenceEpoch = (%d, %v), want (7, nil)", e, err)
+	}
+
+	// A corrupt file is an error, not a silent zero.
+	if err := os.WriteFile(filepath.Join(dir, fenceFileName), []byte("not a number"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFenceEpoch(dir); err == nil {
+		t.Fatal("corrupt fence file accepted")
+	}
+}

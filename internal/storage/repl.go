@@ -3,11 +3,14 @@ package storage
 // Replication wire format. A primary ships committed changes to
 // followers as a stream of framed records:
 //
-//	[kind u8][version u64][unixnano i64][len u32][crc32c u32][payload]
+//	[kind u8][epoch u64][version u64][unixnano i64][len u32][crc32c u32][payload]
 //
-// The CRC32C covers the first 21 header bytes plus the payload, so a
+// The CRC32C covers the first 29 header bytes plus the payload, so a
 // record torn or damaged in transit is rejected before any of it is
-// applied. Three kinds exist:
+// applied. The epoch is the leader fencing epoch: it increments on
+// every promotion, and a follower that knows epoch N refuses records
+// stamped with an older epoch — a revived pre-failover primary cannot
+// feed it stale deltas. Three kinds exist:
 //
 //   - 'D' (delta): payload is a framing-v2 WAL body (keyed or bare
 //     delta script); version is the snapshot version the primary
@@ -38,9 +41,9 @@ const (
 	ReplKindHeartbeat byte = 'H'
 )
 
-// replHeaderSize is the fixed record header: kind u8, version u64,
-// unixnano i64, len u32, crc32c u32 (numbers big-endian).
-const replHeaderSize = 25
+// replHeaderSize is the fixed record header: kind u8, epoch u64,
+// version u64, unixnano i64, len u32, crc32c u32 (numbers big-endian).
+const replHeaderSize = 33
 
 // maxReplPayload bounds a record payload so a corrupt length header
 // cannot force a multi-gigabyte allocation on either end.
@@ -48,7 +51,11 @@ const maxReplPayload = 1 << 30
 
 // ReplRecord is one decoded replication stream record.
 type ReplRecord struct {
-	Kind     byte
+	Kind byte
+	// Epoch is the leader fencing epoch the record was shipped under.
+	// Followers reject records older than the highest epoch they have
+	// seen, so a deposed primary cannot split-brain the cluster.
+	Epoch    uint64
 	Version  uint64
 	UnixNano int64
 	// Script and Keys are set for 'D' records (the framing-v2 payload).
@@ -100,12 +107,13 @@ func AppendReplRecord(dst []byte, rec ReplRecord) ([]byte, error) {
 	}
 	var hdr [replHeaderSize]byte
 	hdr[0] = rec.Kind
-	binary.BigEndian.PutUint64(hdr[1:9], rec.Version)
-	binary.BigEndian.PutUint64(hdr[9:17], uint64(rec.UnixNano))
-	binary.BigEndian.PutUint32(hdr[17:21], uint32(len(payload)))
-	crc := crc32.Checksum(hdr[0:21], castagnoli)
+	binary.BigEndian.PutUint64(hdr[1:9], rec.Epoch)
+	binary.BigEndian.PutUint64(hdr[9:17], rec.Version)
+	binary.BigEndian.PutUint64(hdr[17:25], uint64(rec.UnixNano))
+	binary.BigEndian.PutUint32(hdr[25:29], uint32(len(payload)))
+	crc := crc32.Checksum(hdr[0:29], castagnoli)
 	crc = crc32.Update(crc, castagnoli, payload)
-	binary.BigEndian.PutUint32(hdr[21:25], crc)
+	binary.BigEndian.PutUint32(hdr[29:33], crc)
 	dst = append(dst, hdr[:]...)
 	return append(dst, payload...), nil
 }
@@ -132,7 +140,7 @@ func ReadReplRecord(r *bufio.Reader) (ReplRecord, error) {
 	default:
 		return ReplRecord{}, fmt.Errorf("storage: unknown replication record kind 0x%02x", kind)
 	}
-	n := binary.BigEndian.Uint32(hdr[17:21])
+	n := binary.BigEndian.Uint32(hdr[25:29])
 	if n > maxReplPayload {
 		return ReplRecord{}, fmt.Errorf("storage: replication record payload of %d bytes exceeds the %d limit", n, maxReplPayload)
 	}
@@ -143,16 +151,17 @@ func ReadReplRecord(r *bufio.Reader) (ReplRecord, error) {
 		}
 		return ReplRecord{}, err
 	}
-	want := binary.BigEndian.Uint32(hdr[21:25])
-	crc := crc32.Checksum(hdr[0:21], castagnoli)
+	want := binary.BigEndian.Uint32(hdr[29:33])
+	crc := crc32.Checksum(hdr[0:29], castagnoli)
 	crc = crc32.Update(crc, castagnoli, payload)
 	if crc != want {
 		return ReplRecord{}, fmt.Errorf("storage: replication record crc mismatch (stored %08x, computed %08x)", want, crc)
 	}
 	rec := ReplRecord{
 		Kind:     kind,
-		Version:  binary.BigEndian.Uint64(hdr[1:9]),
-		UnixNano: int64(binary.BigEndian.Uint64(hdr[9:17])),
+		Epoch:    binary.BigEndian.Uint64(hdr[1:9]),
+		Version:  binary.BigEndian.Uint64(hdr[9:17]),
+		UnixNano: int64(binary.BigEndian.Uint64(hdr[17:25])),
 	}
 	switch kind {
 	case ReplKindDelta:

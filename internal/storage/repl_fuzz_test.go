@@ -30,11 +30,11 @@ func FuzzReplRecord(f *testing.F) {
 	// Well-formed streams whose 'D' payloads exercise every WAL framing:
 	// bare scripts, keyed framing v2, and empty scripts.
 	valid := encodeReplRecords(f, []ReplRecord{
-		{Kind: ReplKindDelta, Version: 1, UnixNano: 111, Script: "+link(a,b)."},
-		{Kind: ReplKindDelta, Version: 2, UnixNano: 222, Script: "-link(a,b) * 2.", Keys: []string{"k1", "k2"}},
-		{Kind: ReplKindDelta, Version: 3, Script: "", Keys: []string{"only-keys"}},
-		{Kind: ReplKindState, Version: 4, State: []byte(`{"program":"p(X) :- q(X).","facts":"+q(1).\n"}`)},
-		{Kind: ReplKindHeartbeat, Version: 4, UnixNano: 333},
+		{Kind: ReplKindDelta, Epoch: 1, Version: 1, UnixNano: 111, Script: "+link(a,b)."},
+		{Kind: ReplKindDelta, Epoch: 1, Version: 2, UnixNano: 222, Script: "-link(a,b) * 2.", Keys: []string{"k1", "k2"}},
+		{Kind: ReplKindDelta, Epoch: 2, Version: 3, Script: "", Keys: []string{"only-keys"}},
+		{Kind: ReplKindState, Epoch: 2, Version: 4, State: []byte(`{"program":"p(X) :- q(X).","facts":"+q(1).\n"}`)},
+		{Kind: ReplKindHeartbeat, Epoch: 3, Version: 4, UnixNano: 333},
 	})
 	f.Add(valid)
 	f.Add(valid[:len(valid)-3]) // torn final record
@@ -60,7 +60,7 @@ func FuzzReplRecord(f *testing.F) {
 		}
 		for i := range records {
 			a, b := records[i], again[i]
-			if a.Kind != b.Kind || a.Version != b.Version || a.UnixNano != b.UnixNano ||
+			if a.Kind != b.Kind || a.Epoch != b.Epoch || a.Version != b.Version || a.UnixNano != b.UnixNano ||
 				a.Script != b.Script || len(a.Keys) != len(b.Keys) || !bytes.Equal(a.State, b.State) {
 				t.Fatalf("record %d changed in round trip: %+v != %+v", i, a, b)
 			}

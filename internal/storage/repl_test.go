@@ -20,11 +20,11 @@ func TestReplRecordRoundTrip(t *testing.T) {
 		t.Fatalf("EncodeReplState: %v", err)
 	}
 	records := []ReplRecord{
-		{Kind: ReplKindDelta, Version: 1, UnixNano: 123, Script: "+q(1)."},
-		{Kind: ReplKindDelta, Version: 2, UnixNano: 456, Script: "", Keys: []string{"k1", "k2"}},
-		{Kind: ReplKindDelta, Version: 3, Script: "+q(2). -q(1).", Keys: []string{"a"}},
-		{Kind: ReplKindState, Version: 4, UnixNano: 789, State: state},
-		{Kind: ReplKindHeartbeat, Version: 4, UnixNano: 999},
+		{Kind: ReplKindDelta, Epoch: 1, Version: 1, UnixNano: 123, Script: "+q(1)."},
+		{Kind: ReplKindDelta, Epoch: 1, Version: 2, UnixNano: 456, Script: "", Keys: []string{"k1", "k2"}},
+		{Kind: ReplKindDelta, Epoch: 2, Version: 3, Script: "+q(2). -q(1).", Keys: []string{"a"}},
+		{Kind: ReplKindState, Epoch: 3, Version: 4, UnixNano: 789, State: state},
+		{Kind: ReplKindHeartbeat, Epoch: 1<<63 + 7, Version: 4, UnixNano: 999},
 	}
 	var buf []byte
 	for _, rec := range records {
@@ -39,7 +39,7 @@ func TestReplRecordRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("record %d: %v", i, err)
 		}
-		if got.Kind != want.Kind || got.Version != want.Version || got.UnixNano != want.UnixNano {
+		if got.Kind != want.Kind || got.Epoch != want.Epoch || got.Version != want.Version || got.UnixNano != want.UnixNano {
 			t.Fatalf("record %d header: got %+v want %+v", i, got, want)
 		}
 		if got.Script != want.Script || strings.Join(got.Keys, ",") != strings.Join(want.Keys, ",") {
@@ -103,7 +103,7 @@ func TestReplRecordPayloadBound(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	buf[17], buf[18], buf[19], buf[20] = 0xff, 0xff, 0xff, 0xff
+	buf[25], buf[26], buf[27], buf[28] = 0xff, 0xff, 0xff, 0xff
 	if _, err := ReadReplRecord(bufio.NewReader(bytes.NewReader(buf))); err == nil {
 		t.Fatal("absurd length header accepted")
 	}

@@ -266,6 +266,14 @@ type Views struct {
 	// Sync checkpoints into it. Guarded by wmu.
 	store *storage.Store
 
+	// fence is the cluster leadership fencing epoch (0 reads as 1, the
+	// epoch of a never-promoted primary). It only moves forward —
+	// SetFenceEpoch on promotion, or a follower mirroring its leader's
+	// epoch — and for store-bound views every raise is persisted before
+	// it is visible, so a restarted node remembers the epoch it was
+	// deposed at.
+	fence atomic.Uint64
+
 	c  *counting.Engine
 	dr *dred.Engine
 	rc *recompute.Engine
@@ -1509,6 +1517,24 @@ func OpenStore(dir string, init func() (*Views, error), opts ...Option) (*Views,
 			return fail(err)
 		}
 	}
+	// Restore the fencing epoch (DESIGN.md §15). A store from before the
+	// epoch was introduced — or a fresh one — reads 0 and is stamped as
+	// epoch 1, the never-promoted primary, so the sidecar always exists
+	// after the first boot.
+	fence, err := storage.LoadFenceEpoch(st.Dir())
+	if err != nil {
+		v.wmu.Unlock()
+		return fail(err)
+	}
+	if fence == 0 {
+		fence = 1
+		if err := storage.SaveFenceEpoch(st.Dir(), fence); err != nil {
+			v.wmu.Unlock()
+			return fail(err)
+		}
+	}
+	v.fence.Store(fence)
+	v.reg.Gauge("fence_epoch").Set(int64(fence))
 	v.store = st
 	v.wmu.Unlock()
 	return v, info, nil
@@ -1535,6 +1561,64 @@ func (v *Views) Store() (dir string, ok bool) {
 		return "", false
 	}
 	return v.store.Dir(), true
+}
+
+// FenceEpoch returns the cluster leadership fencing epoch these views
+// operate under. A fresh primary is epoch 1; every follower promotion
+// raises it by one. Replication stamps the epoch on every shipped
+// record, and both ends reject traffic from an older epoch — the
+// split-brain guard (see DESIGN.md §15). Lock-free.
+func (v *Views) FenceEpoch() uint64 {
+	if e := v.fence.Load(); e != 0 {
+		return e
+	}
+	return 1
+}
+
+// SetFenceEpoch raises the fencing epoch to e. Lower-or-equal values
+// are ignored (the epoch is monotonic; returns nil), so mirroring a
+// leader's epoch and promotion can share this path. For store-bound
+// views the new epoch is persisted durably before it becomes visible:
+// a node that crashes right after a promotion still comes back fenced
+// correctly.
+func (v *Views) SetFenceEpoch(e uint64) error {
+	for {
+		cur := v.fence.Load()
+		if e <= cur || (cur == 0 && e <= 1) {
+			return nil
+		}
+		v.wmu.Lock()
+		if v.store != nil {
+			if err := storage.SaveFenceEpoch(v.store.Dir(), e); err != nil {
+				v.wmu.Unlock()
+				return err
+			}
+		}
+		swapped := v.fence.CompareAndSwap(cur, e)
+		v.wmu.Unlock()
+		if swapped {
+			v.reg.Gauge("fence_epoch").Set(int64(e))
+			return nil
+		}
+	}
+}
+
+// ApplyScriptReplicated applies a delta script shipped over the
+// replication stream, re-seeding the idempotency window with the keys
+// the record carried. This is the follower's apply path: by recording
+// the primary's keys, a client retry that lands on this node after a
+// failover still dedups — exactly-once survives the promotion. The
+// stream ships each key at most once (retries dedup on the primary
+// before a record is cut), so unlike ApplyIdempotent this path seeds
+// the window rather than answering from it — the same contract as WAL
+// replay on recovery.
+func (v *Views) ApplyScriptReplicated(script string, keys []string) (*ChangeSet, error) {
+	u, err := ParseUpdate(script)
+	if err != nil {
+		return nil, err
+	}
+	cs, _, err := v.submit(u, keys)
+	return cs, err
 }
 
 // Drain blocks until every Apply submitted before the call has

@@ -1,0 +1,54 @@
+#!/usr/bin/env sh
+# Docs lint, runnable locally (`make docs-lint`) and in CI: the README
+# must stay within its line budget (the deep dives belong in docs/),
+# the docs/ pages the README points at must exist, and every relative
+# markdown link in README.md and docs/*.md must resolve to a real file.
+set -eu
+
+README_BUDGET="${README_BUDGET:-250}"
+
+LINES="$(wc -l <README.md)"
+if [ "$LINES" -gt "$README_BUDGET" ]; then
+    echo "README.md is $LINES lines, over the $README_BUDGET-line budget:" >&2
+    echo "move deep-dive material into docs/ and link it instead" >&2
+    exit 1
+fi
+echo "README.md: $LINES lines (budget $README_BUDGET)"
+
+# The pages the cluster story depends on must exist by name — a rename
+# that forgets the README pointer should fail here, not in a 404.
+for page in docs/OPERATIONS.md docs/SERVING.md docs/REPLICATION.md docs/CI.md; do
+    if [ ! -f "$page" ]; then
+        echo "required docs page missing: $page" >&2
+        exit 1
+    fi
+done
+
+# Every relative markdown link target must exist. Extract ](path) and
+# ](path#anchor) targets, skip absolute URLs and pure anchors, and
+# resolve each against the linking file's directory.
+FAILED=0
+for f in README.md docs/*.md; do
+    dir="$(dirname "$f")"
+    for target in $(grep -o ']([^)]*)' "$f" | sed 's/^](//; s/)$//; s/#.*//'); do
+        case "$target" in
+        '' | http://* | https://* | mailto:*) continue ;;
+        # ../../actions/... style links resolve against the GitHub web
+        # UI, not the working tree — anything escaping the repo root
+        # is out of scope for a filesystem check.
+        ../../*) continue ;;
+        esac
+        case "$target" in
+        /*) path=".$target" ;;
+        *) path="$dir/$target" ;;
+        esac
+        if [ ! -e "$path" ]; then
+            echo "$f: broken link -> $target" >&2
+            FAILED=1
+        fi
+    done
+done
+if [ "$FAILED" -ne 0 ]; then
+    exit 1
+fi
+echo "docs lint OK (README + docs/ links all resolve)"

@@ -1,0 +1,229 @@
+#!/usr/bin/env sh
+# End-to-end smoke of fenced failover, runnable locally (`make
+# failover`) and in CI (the failover-smoke job): boot a store-bound
+# primary and two followers, push writes through a follower's
+# forwarding proxy, SIGTERM the primary mid-story, promote the first
+# follower with `ivmd -promote`, require writes through the second
+# follower to succeed against the new leader, then revive the old
+# primary from its store and require both of its serving surfaces to be
+# fenced (409 + replica_fenced_total). All three daemons' logs land in
+# $SMOKE_DIR (uploaded as a CI artifact on every run, pass or fail).
+set -eu
+
+SMOKE_DIR="${SMOKE_DIR:-$(mktemp -d)}"
+PRIMARY_ADDR="${IVMD_PRIMARY_ADDR:-127.0.0.1:7497}"
+F1_ADDR="${IVMD_F1_ADDR:-127.0.0.1:7496}"
+F2_ADDR="${IVMD_F2_ADDR:-127.0.0.1:7495}"
+PRIMARY_LOG="$SMOKE_DIR/primary.log"
+F1_LOG="$SMOKE_DIR/follower1.log"
+F2_LOG="$SMOKE_DIR/follower2.log"
+STORE="$SMOKE_DIR/store"
+
+echo "== failover smoke: workdir $SMOKE_DIR, primary $PRIMARY_ADDR, followers $F1_ADDR $F2_ADDR"
+go build -o "$SMOKE_DIR/ivmd" ./cmd/ivmd
+
+wait_ready() {
+    # $1 = log file, $2 = expected 'serving HTTP' count, $3 = pid, $4 = name
+    i=0
+    until count="$(grep -c 'serving HTTP' "$1" 2>/dev/null || true)" && [ "${count:-0}" -ge "$2" ]; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "$4 did not become ready within 20s" >&2
+            exit 1
+        fi
+        if ! kill -0 "$3" 2>/dev/null; then
+            echo "$4 exited before becoming ready" >&2
+            exit 1
+        fi
+        sleep 0.2
+    done
+}
+
+metric() {
+    # $1 = addr, $2 = metric name
+    curl -sf "http://$1/v1/metrics" | awk -v m="$2" '$1==m{print $2}'
+}
+
+wait_lag_zero() {
+    # $1 = follower addr, $2 = name
+    i=0
+    until [ "$(metric "$1" replica_lag_versions)" = "0" ]; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "$2 lag never recovered to 0 (currently '$(metric "$1" replica_lag_versions)')" >&2
+            exit 1
+        fi
+        sleep 0.2
+    done
+}
+
+info_field() {
+    # $1 = addr, $2 = field (string form: role, leader_url)
+    curl -sf "http://$1/v1/info" | sed -n "s/.*\"$2\":\"\([^\"]*\)\".*/\1/p"
+}
+
+PRIMARY_PID=""
+F1_PID=""
+F2_PID=""
+cleanup() {
+    kill "$PRIMARY_PID" 2>/dev/null || true
+    kill "$F1_PID" 2>/dev/null || true
+    kill "$F2_PID" 2>/dev/null || true
+    echo "== primary log ($PRIMARY_LOG):"
+    cat "$PRIMARY_LOG" || true
+    echo "== follower 1 log ($F1_LOG):"
+    cat "$F1_LOG" || true
+    echo "== follower 2 log ($F2_LOG):"
+    cat "$F2_LOG" || true
+}
+trap cleanup EXIT
+
+"$SMOKE_DIR/ivmd" \
+    -addr "$PRIMARY_ADDR" \
+    -store "$STORE" \
+    -program testdata/server/views.dl \
+    -data testdata/server/facts.dl \
+    -quiet \
+    >>"$PRIMARY_LOG" 2>&1 &
+PRIMARY_PID=$!
+wait_ready "$PRIMARY_LOG" 1 "$PRIMARY_PID" primary
+echo "== primary ready (pid $PRIMARY_PID)"
+
+# F1: the follower we will promote. F2: the forwarding front door,
+# seeded with F1 so it can re-resolve the leader after the failover.
+"$SMOKE_DIR/ivmd" \
+    -addr "$F1_ADDR" \
+    -follow "http://$PRIMARY_ADDR" \
+    -quiet \
+    >>"$F1_LOG" 2>&1 &
+F1_PID=$!
+"$SMOKE_DIR/ivmd" \
+    -addr "$F2_ADDR" \
+    -follow "http://$PRIMARY_ADDR,http://$F1_ADDR" \
+    -quiet \
+    >>"$F2_LOG" 2>&1 &
+F2_PID=$!
+wait_ready "$F1_LOG" 1 "$F1_PID" "follower 1"
+wait_ready "$F2_LOG" 1 "$F2_PID" "follower 2"
+echo "== followers ready (pids $F1_PID, $F2_PID)"
+
+# Keyed load through F2's forwarding proxy while the old primary leads.
+i=0
+while [ "$i" -lt 10 ]; do
+    curl -sf -X POST "http://$F2_ADDR/v1/apply" \
+        -H 'Content-Type: text/plain' \
+        -H "Idempotency-Key: failover-pre-$i" \
+        -d "+link(pre$i,row$i)." >/dev/null
+    i=$((i + 1))
+done
+wait_lag_zero "$F1_ADDR" "follower 1"
+wait_lag_zero "$F2_ADDR" "follower 2"
+echo "== 10 forwarded writes committed, both followers at lag 0"
+
+# Kill the primary: graceful SIGTERM drains the replication streams, so
+# everything acked is already on the followers.
+kill -TERM "$PRIMARY_PID"
+EXIT_CODE=0
+wait "$PRIMARY_PID" || EXIT_CODE=$?
+PRIMARY_PID=""
+if [ "$EXIT_CODE" -ne 0 ]; then
+    echo "primary exited $EXIT_CODE on SIGTERM" >&2
+    exit 1
+fi
+echo "== primary killed"
+
+# Promote F1 via the client-mode flag (the operator's command).
+"$SMOKE_DIR/ivmd" -promote "http://$F1_ADDR"
+ROLE="$(info_field "$F1_ADDR" role)"
+EPOCH="$(curl -sf "http://$F1_ADDR/v1/info" | sed -n 's/.*"epoch":\([0-9]*\).*/\1/p')"
+if [ "$ROLE" != "primary" ] || [ "$EPOCH" != "2" ]; then
+    echo "promoted follower reports role='$ROLE' epoch='$EPOCH', want primary at epoch 2" >&2
+    exit 1
+fi
+echo "== follower 1 promoted (role=$ROLE epoch=$EPOCH)"
+
+# Writes through F2 must succeed again once it re-resolves the leader
+# to F1 — retry with one key so slow re-resolution cannot double-apply.
+i=0
+until curl -sf -X POST "http://$F2_ADDR/v1/apply" \
+    -H 'Content-Type: text/plain' \
+    -H 'Idempotency-Key: failover-post-0' \
+    -d '+link(post0,row0).' >/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "write through follower 2 never succeeded after the promotion" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+F2_LEADER="$(info_field "$F2_ADDR" leader_url)"
+if [ "$F2_LEADER" != "http://$F1_ADDR" ]; then
+    echo "follower 2 forwards to '$F2_LEADER', want the promoted http://$F1_ADDR" >&2
+    exit 1
+fi
+COUNT="$(curl -sf "http://$F1_ADDR/v1/count?goal=link(post0,row0)" | sed -n 's/.*"count":\([0-9]*\).*/\1/p')"
+if [ "$COUNT" != "1" ]; then
+    echo "post-failover write missing on the new leader (count=$COUNT, want 1)" >&2
+    exit 1
+fi
+echo "== writes flow through follower 2 to the new leader"
+
+# Revive the old primary from its own store: it must come back fenced
+# out of the cluster — the epoch-2 handshake and epoch-2 writes are
+# refused with 409 and counted loudly.
+"$SMOKE_DIR/ivmd" \
+    -addr "$PRIMARY_ADDR" \
+    -store "$STORE" \
+    -program testdata/server/views.dl \
+    -data testdata/server/facts.dl \
+    -quiet \
+    >>"$PRIMARY_LOG" 2>&1 &
+PRIMARY_PID=$!
+wait_ready "$PRIMARY_LOG" 2 "$PRIMARY_PID" "revived primary"
+CODE="$(curl -s -o /dev/null -w '%{http_code}' "http://$PRIMARY_ADDR/v1/replicate?epoch=2&from=1")"
+if [ "$CODE" != "409" ]; then
+    echo "revived primary answered the epoch-2 handshake with $CODE, want 409" >&2
+    exit 1
+fi
+CODE="$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$PRIMARY_ADDR/v1/apply" \
+    -H 'Content-Type: text/plain' -H 'X-Ivm-Epoch: 2' -d '+link(split,brain).')"
+if [ "$CODE" != "409" ]; then
+    echo "revived primary accepted an epoch-2 apply with $CODE, want 409" >&2
+    exit 1
+fi
+FENCED="$(metric "$PRIMARY_ADDR" replica_fenced_total)"
+if [ "${FENCED:-0}" -lt 2 ]; then
+    echo "revived primary's replica_fenced_total = '$FENCED', want >= 2" >&2
+    exit 1
+fi
+echo "== revived old primary fenced (409 on both surfaces, replica_fenced_total=$FENCED)"
+
+# Convergence: F2 drains its lag against the new leader, never tripped
+# the divergence guard, and holds every row written on both sides of
+# the failover.
+wait_lag_zero "$F2_ADDR" "follower 2"
+DIVERGED="$(metric "$F2_ADDR" replica_divergence_total)"
+if [ "$DIVERGED" != "0" ]; then
+    echo "replica_divergence_total = $DIVERGED, want 0" >&2
+    exit 1
+fi
+for goal in "link(pre0,row0)" "link(pre9,row9)" "link(post0,row0)"; do
+    COUNT="$(curl -sf "http://$F2_ADDR/v1/count?goal=$goal" | sed -n 's/.*"count":\([0-9]*\).*/\1/p')"
+    if [ "$COUNT" != "1" ]; then
+        echo "follower 2 missing $goal after the failover (count=$COUNT, want 1)" >&2
+        exit 1
+    fi
+done
+echo "== follower 2 converged on the new leader (divergence 0)"
+
+kill -TERM "$F2_PID"
+wait "$F2_PID" || true
+F2_PID=""
+kill -TERM "$F1_PID"
+wait "$F1_PID" || true
+F1_PID=""
+kill -TERM "$PRIMARY_PID"
+wait "$PRIMARY_PID" || true
+trap - EXIT
+
+echo "== failover smoke OK (logs: $PRIMARY_LOG, $F1_LOG, $F2_LOG)"

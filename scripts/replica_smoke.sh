@@ -110,21 +110,42 @@ wait_lag_zero() {
 wait_lag_zero
 echo "== follower caught up (lag 0 at primary version $(primary_version))"
 
-# The follower must serve reads and reject writes with 503 + Leader-URL.
+# The follower serves reads locally and advertises the cluster shape.
 curl -sf "http://$FOLLOWER_ADDR/v1/rows?pred=link" >/dev/null
-CODE="$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$FOLLOWER_ADDR/v1/apply" \
-    -H 'Content-Type: text/plain' -d '+link(x,y).')"
-if [ "$CODE" != "503" ]; then
-    echo "follower answered apply with $CODE, want 503" >&2
+ROLE="$(curl -sf "http://$FOLLOWER_ADDR/v1/info" | sed -n 's/.*"role":"\([a-z]*\)".*/\1/p')"
+LEADER="$(curl -sf "http://$FOLLOWER_ADDR/v1/info" | sed -n 's/.*"leader_url":"\([^"]*\)".*/\1/p')"
+if [ "$ROLE" != "follower" ] || [ "$LEADER" != "http://$PRIMARY_ADDR" ]; then
+    echo "follower /v1/info role='$ROLE' leader_url='$LEADER', want follower / http://$PRIMARY_ADDR" >&2
     exit 1
 fi
-LEADER="$(curl -s -o /dev/null -D - -X POST "http://$FOLLOWER_ADDR/v1/apply" \
-    -H 'Content-Type: text/plain' -d '+link(x,y).' | awk 'tolower($1)=="leader-url:"{print $2}' | tr -d '\r')"
-if [ "$LEADER" != "http://$PRIMARY_ADDR" ]; then
-    echo "follower Leader-URL '$LEADER', want http://$PRIMARY_ADDR" >&2
+
+# A write sent to the follower is forwarded to the leader transparently:
+# the client gets the leader's 200 ack, and the primary's row count
+# grows — no redirect chasing.
+CODE="$(curl -s -o "$SMOKE_DIR/fwd_ack.json" -w '%{http_code}' -X POST "http://$FOLLOWER_ADDR/v1/apply" \
+    -H 'Content-Type: text/plain' -H 'Idempotency-Key: smoke-fwd-1' -d '+link(fwd_src,fwd_dst).')"
+if [ "$CODE" != "200" ]; then
+    echo "forwarded apply answered $CODE, want 200 (ack: $(cat "$SMOKE_DIR/fwd_ack.json" 2>/dev/null))" >&2
     exit 1
 fi
-echo "== follower rejects writes (503, Leader-URL $LEADER)"
+COUNT="$(curl -sf "http://$PRIMARY_ADDR/v1/count?goal=link(fwd_src,fwd_dst)" | sed -n 's/.*"count":\([0-9]*\).*/\1/p')"
+if [ "$COUNT" != "1" ]; then
+    echo "forwarded write missing on the primary (count=$COUNT, want 1)" >&2
+    exit 1
+fi
+# A retry with the same key must dedup at the leader, not double-apply.
+curl -sf -X POST "http://$FOLLOWER_ADDR/v1/apply" \
+    -H 'Content-Type: text/plain' -H 'Idempotency-Key: smoke-fwd-1' -d '+link(fwd_src,fwd_dst).' \
+    | grep -q '"deduped":true' || {
+    echo "forwarded retry was not deduped" >&2
+    exit 1
+}
+FWD="$(curl -sf "http://$FOLLOWER_ADDR/v1/metrics" | awk '/^server_forwarded_total /{print $2}')"
+if [ "${FWD:-0}" -lt 2 ]; then
+    echo "server_forwarded_total = '$FWD', want >= 2" >&2
+    exit 1
+fi
+echo "== follower forwards writes (200 ack, deduped retry, server_forwarded_total=$FWD)"
 
 # Kill the primary: graceful SIGTERM (drain, checkpoint, close).
 kill -TERM "$PRIMARY_PID"
@@ -158,9 +179,21 @@ if [ "$DIVERGED" != "0" ]; then
     exit 1
 fi
 
+# SIGTERM the follower first (while the primary is still up, as a real
+# drain would be) and check its shutdown ordering: the forwarding proxy
+# and in-flight applies must drain BEFORE subscriptions close — the
+# reverse order drops forwarded writes that were already accepted.
 kill -TERM "$FOLLOWER_PID"
 wait "$FOLLOWER_PID" || true
 FOLLOWER_PID=""
+DRAIN_LINE="$(grep -n 'draining applies and forwards' "$FOLLOWER_LOG" | tail -1 | cut -d: -f1)"
+SUBS_LINE="$(grep -n 'closing subscriptions' "$FOLLOWER_LOG" | tail -1 | cut -d: -f1)"
+if [ -z "$DRAIN_LINE" ] || [ -z "$SUBS_LINE" ] || [ "$DRAIN_LINE" -ge "$SUBS_LINE" ]; then
+    echo "follower shutdown ordering wrong: 'draining applies and forwards' at line '$DRAIN_LINE', 'closing subscriptions' at line '$SUBS_LINE' (want drain first)" >&2
+    exit 1
+fi
+echo "== follower drained forwards before closing subscriptions (lines $DRAIN_LINE < $SUBS_LINE)"
+
 kill -TERM "$PRIMARY_PID"
 wait "$PRIMARY_PID" || true
 trap - EXIT
